@@ -1,0 +1,32 @@
+//! Every method evaluated in the NURD paper, behind the common
+//! [`nurd_data::OnlinePredictor`] interface.
+//!
+//! The [`registry`] function returns the full 23-method roster of Table 3:
+//! one supervised regressor (GBTR), fourteen outlier detectors, two PU
+//! learners, three censored/survival regressors, the Wrangler system
+//! baseline, and NURD with its NURD-NC ablation. Each entry builds fresh
+//! per-job predictor instances, as the paper trains one model per job.
+//!
+//! # Example
+//!
+//! ```
+//! let methods = nurd_baselines::registry();
+//! assert_eq!(methods.len(), 23);
+//! let nurd = methods.iter().find(|m| m.name == "NURD").unwrap();
+//! let mut predictor = nurd.build();
+//! assert_eq!(predictor.name(), "NURD");
+//! ```
+
+mod outlier_adapter;
+mod pu_adapter;
+mod registry;
+mod supervised;
+mod survival_adapter;
+mod wrangler;
+
+pub use outlier_adapter::{OutlierPredictor, XgbodPredictor};
+pub use pu_adapter::{PuBaggingPredictor, PuEnPredictor};
+pub use registry::{registry, registry_with_nurd_alpha, MethodFamily, MethodSpec};
+pub use supervised::GbtrPredictor;
+pub use survival_adapter::{CoxPredictor, GrabitPredictor, TobitPredictor};
+pub use wrangler::WranglerPredictor;

@@ -1,0 +1,96 @@
+//! GBTR: the plain supervised baseline (§6 "Supervised learning").
+
+use nurd_data::{Checkpoint, JobContext, OnlinePredictor};
+use nurd_ml::{GbtConfig, GradientBoosting, SquaredLoss};
+
+/// Gradient boosting trained on finished tasks with no correction; flags a
+/// running task when the raw prediction crosses `τ_stra`. This is the
+/// paper's demonstration of uncorrected training/test drift: predictions
+/// are biased toward non-stragglers, so TPR is low.
+#[derive(Debug, Clone)]
+pub struct GbtrPredictor {
+    config: GbtConfig,
+    threshold: f64,
+}
+
+impl GbtrPredictor {
+    /// Creates the baseline with the given booster configuration.
+    #[must_use]
+    pub fn new(config: GbtConfig) -> Self {
+        GbtrPredictor {
+            config,
+            threshold: f64::INFINITY,
+        }
+    }
+}
+
+impl Default for GbtrPredictor {
+    fn default() -> Self {
+        GbtrPredictor::new(GbtConfig {
+            n_rounds: 50,
+            ..GbtConfig::default()
+        })
+    }
+}
+
+impl OnlinePredictor for GbtrPredictor {
+    fn name(&self) -> &str {
+        "GBTR"
+    }
+
+    fn begin_job(&mut self, ctx: &JobContext<'_>) {
+        self.threshold = ctx.threshold;
+    }
+
+    fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
+        if checkpoint.finished.len() < 2 || checkpoint.running.is_empty() {
+            return Vec::new();
+        }
+        let x = checkpoint.finished_features();
+        let y = checkpoint.finished_latencies();
+        let Ok(model) = GradientBoosting::fit(&x, &y, SquaredLoss, &self.config) else {
+            return Vec::new();
+        };
+        checkpoint
+            .running
+            .iter()
+            .filter(|t| model.predict(t.features) >= self.threshold)
+            .map(|t| t.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nurd_sim::{replay_job, ReplayConfig};
+    use nurd_trace::{SuiteConfig, TraceStyle};
+
+    #[test]
+    fn gbtr_underpredicts_stragglers() {
+        let cfg = SuiteConfig::new(TraceStyle::Google)
+            .with_jobs(1)
+            .with_task_range(150, 180)
+            .with_checkpoints(15)
+            .with_long_tail_fraction(1.0)
+            .with_seed(5);
+        let job = nurd_trace::generate_job(&cfg, 0);
+        let out = replay_job(&job, &mut GbtrPredictor::default(), &ReplayConfig::default());
+        // Trained only on non-stragglers, GBTR cannot predict beyond the
+        // observed latency range: FPR stays near zero and TPR well below 1.
+        assert!(out.confusion.fpr() < 0.15, "fpr {}", out.confusion.fpr());
+        assert!(out.confusion.tpr() < 0.9, "tpr {}", out.confusion.tpr());
+    }
+
+    #[test]
+    fn no_predictions_without_training_data() {
+        let mut p = GbtrPredictor::default();
+        let ckpt = Checkpoint {
+            ordinal: 0,
+            time: 1.0,
+            finished: vec![],
+            running: vec![],
+        };
+        assert!(p.predict(&ckpt).is_empty());
+    }
+}

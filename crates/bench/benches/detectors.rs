@@ -1,0 +1,44 @@
+//! Criterion microbenchmarks: per-checkpoint scoring cost of each outlier
+//! detector family on a realistic visible-task set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nurd_outlier::{
+    Abod, Cblof, Hbos, IsolationForest, Knn, Lof, Mcd, OutlierDetector, PcaDetector, Sos,
+};
+
+fn sample_set(n: usize, d: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 131 + j * 37) % 211) as f64 / 211.0 + (i % 7) as f64 * 0.1)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let x = sample_set(250, 15);
+    let detectors: Vec<Box<dyn OutlierDetector>> = vec![
+        Box::new(Knn::default()),
+        Box::new(Lof::default()),
+        Box::new(Hbos::default()),
+        Box::new(IsolationForest::default()),
+        Box::new(PcaDetector::default()),
+        Box::new(Cblof::default()),
+        Box::new(Abod::default()),
+        Box::new(Mcd::default()),
+        Box::new(Sos::default()),
+    ];
+    let mut group = c.benchmark_group("detector_score_250x15");
+    group.sample_size(10);
+    for det in detectors {
+        group.bench_function(det.name(), |b| {
+            b.iter(|| det.score_all(&x).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

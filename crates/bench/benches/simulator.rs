@@ -1,0 +1,61 @@
+//! Criterion benchmarks: trace generation and scheduler simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nurd_data::{Checkpoint, OnlinePredictor};
+use nurd_sim::{replay_job, simulate_jct, ReplayConfig, SchedulerConfig};
+use nurd_trace::{SuiteConfig, TraceStyle};
+
+struct Never;
+impl OnlinePredictor for Never {
+    fn name(&self) -> &str {
+        "NEVER"
+    }
+    fn predict(&mut self, _c: &Checkpoint<'_>) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_job");
+    for &tasks in &[100usize, 400] {
+        let cfg = SuiteConfig::new(TraceStyle::Google)
+            .with_jobs(1)
+            .with_task_range(tasks, tasks)
+            .with_checkpoints(25)
+            .with_seed(7);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, _| {
+            b.iter(|| nurd_trace::generate_job(&cfg, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let cfg = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(1)
+        .with_task_range(300, 300)
+        .with_checkpoints(25)
+        .with_seed(9);
+    let job = nurd_trace::generate_job(&cfg, 0);
+    let outcome = replay_job(&job, &mut Never, &ReplayConfig::default());
+
+    let mut group = c.benchmark_group("simulate_jct_300_tasks");
+    for &machines in &[50usize, 300] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(machines),
+            &machines,
+            |b, &m| {
+                let scheduler = SchedulerConfig {
+                    machines: Some(m),
+                    ..SchedulerConfig::default()
+                };
+                b.iter(|| simulate_jct(&job, &outcome, &scheduler));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: the calibration term δ. Sweeps α and compares NURD against
+//! NURD-NC per latency family — the design-choice study behind §4.2.
+
+use nurd_core::{NurdConfig, NurdPredictor};
+use nurd_sim::{replay_job, MethodSummary, ReplayConfig};
+use nurd_trace::{SuiteConfig, TraceStyle};
+
+fn evaluate(jobs: &[nurd_data::JobTrace], config: &NurdConfig) -> MethodSummary {
+    let confusions: Vec<_> = jobs
+        .iter()
+        .map(|job| {
+            let mut p = NurdPredictor::new(config.clone());
+            replay_job(job, &mut p, &ReplayConfig::default()).confusion
+        })
+        .collect();
+    MethodSummary::from_confusions(&confusions)
+}
+
+fn main() {
+    println!("Ablation: calibration term (per latency family, 12 jobs each).");
+    for (label, fraction) in [("long-tail", 1.0), ("close-tail", 0.0)] {
+        let cfg = SuiteConfig::new(TraceStyle::Google)
+            .with_jobs(12)
+            .with_task_range(120, 250)
+            .with_checkpoints(20)
+            .with_long_tail_fraction(fraction)
+            .with_seed(0xAB1A);
+        let jobs = nurd_trace::generate_suite(&cfg);
+
+        println!("\n{label} jobs:");
+        println!("{:14} {:>6} {:>6} {:>6}", "variant", "TPR", "FPR", "F1");
+        let nc = evaluate(&jobs, &NurdConfig::without_calibration());
+        println!("{:14} {:6.2} {:6.2} {:6.3}", "NURD-NC", nc.tpr, nc.fpr, nc.f1);
+        for alpha in [0.08, 0.12, 0.2, 0.35, 0.5] {
+            let s = evaluate(&jobs, &NurdConfig::default().with_alpha(alpha));
+            println!(
+                "{:14} {:6.2} {:6.2} {:6.3}",
+                format!("NURD α={alpha}"),
+                s.tpr,
+                s.fpr,
+                s.f1
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Ablation: the minimum-weight floor ε (caps the dilation at 1/ε).
+
+use nurd_core::{NurdConfig, NurdPredictor};
+use nurd_sim::{replay_job, MethodSummary, ReplayConfig};
+use nurd_trace::{SuiteConfig, TraceStyle};
+
+fn main() {
+    let cfg = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(16)
+        .with_task_range(120, 250)
+        .with_checkpoints(20)
+        .with_seed(0xAB1B);
+    let jobs = nurd_trace::generate_suite(&cfg);
+
+    println!("Ablation: epsilon floor (16 mixed jobs, Google style).");
+    println!("{:>8} {:>6} {:>6} {:>6}", "epsilon", "TPR", "FPR", "F1");
+    for epsilon in [0.01, 0.05, 0.1, 0.2, 0.4] {
+        let confusions: Vec<_> = jobs
+            .iter()
+            .map(|job| {
+                let mut p =
+                    NurdPredictor::new(NurdConfig::default().with_epsilon(epsilon));
+                replay_job(job, &mut p, &ReplayConfig::default()).confusion
+            })
+            .collect();
+        let s = MethodSummary::from_confusions(&confusions);
+        println!("{epsilon:8.2} {:6.2} {:6.2} {:6.3}", s.tpr, s.fpr, s.f1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Ablation: online model updates (§4.3). The paper refits `h_t` and `g_t`
+//! at every checkpoint; this sweep shows what staleness costs.
+
+use nurd_core::{NurdConfig, NurdPredictor};
+use nurd_sim::{replay_job, MethodSummary, ReplayConfig};
+use nurd_trace::{SuiteConfig, TraceStyle};
+
+fn main() {
+    let cfg = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(16)
+        .with_task_range(120, 250)
+        .with_checkpoints(25)
+        .with_seed(0xAB1D);
+    let jobs = nurd_trace::generate_suite(&cfg);
+
+    println!("Ablation: refit interval (16 mixed jobs, Google style).");
+    println!("{:>12} {:>6} {:>6} {:>6}", "refit every", "TPR", "FPR", "F1");
+    for refit in [1usize, 2, 4, 8, 1000] {
+        let confusions: Vec<_> = jobs
+            .iter()
+            .map(|job| {
+                let config = NurdConfig {
+                    refit_every: refit,
+                    ..NurdConfig::default()
+                };
+                let mut p = NurdPredictor::new(config);
+                replay_job(job, &mut p, &ReplayConfig::default()).confusion
+            })
+            .collect();
+        let s = MethodSummary::from_confusions(&confusions);
+        let label = if refit == 1000 {
+            "never".to_string()
+        } else {
+            refit.to_string()
+        };
+        println!("{label:>12} {:6.2} {:6.2} {:6.3}", s.tpr, s.fpr, s.f1);
+    }
+}

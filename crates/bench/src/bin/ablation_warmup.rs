@@ -1,0 +1,33 @@
+//! Ablation: the initial-training fraction (the paper waits for 4% of
+//! tasks to finish before predicting).
+
+use nurd_core::{NurdConfig, NurdPredictor};
+use nurd_sim::{replay_job, MethodSummary, ReplayConfig};
+use nurd_trace::{SuiteConfig, TraceStyle};
+
+fn main() {
+    let cfg = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(16)
+        .with_task_range(120, 250)
+        .with_checkpoints(25)
+        .with_seed(0xAB1C);
+    let jobs = nurd_trace::generate_suite(&cfg);
+
+    println!("Ablation: warmup fraction (16 mixed jobs, Google style).");
+    println!("{:>8} {:>6} {:>6} {:>6}", "warmup", "TPR", "FPR", "F1");
+    for warmup in [0.01, 0.04, 0.1, 0.2, 0.4] {
+        let replay = ReplayConfig {
+            warmup_fraction: warmup,
+            ..ReplayConfig::default()
+        };
+        let confusions: Vec<_> = jobs
+            .iter()
+            .map(|job| {
+                let mut p = NurdPredictor::new(NurdConfig::default());
+                replay_job(job, &mut p, &replay).confusion
+            })
+            .collect();
+        let s = MethodSummary::from_confusions(&confusions);
+        println!("{warmup:8.2} {:6.2} {:6.2} {:6.3}", s.tpr, s.fpr, s.f1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 1: normalized latency histograms for one long-tailed and one
+//! close-tailed job, with the p90 threshold and the half-maximum marked.
+
+use nurd_trace::{SuiteConfig, TraceStyle};
+
+fn describe(job: &nurd_data::JobTrace, label: &str) {
+    let max = job.max_latency();
+    let threshold = job.straggler_threshold(0.9);
+    let normalized: Vec<f64> = job.latencies().iter().map(|l| l / max).collect();
+    println!("Job {} ({label})", job.job_id());
+    println!(
+        "  tasks={} threshold(p90)={:.3} (normalized), half-max=0.5 → {}",
+        job.task_count(),
+        threshold / max,
+        if threshold < 0.5 * max {
+            "threshold BELOW half max (Figure 1 left)"
+        } else {
+            "threshold ABOVE half max (Figure 1 right)"
+        }
+    );
+    let scaled: Vec<f64> = normalized.iter().map(|v| v * max).collect();
+    print!("{}", nurd_bench::ascii_histogram(&scaled, 25, 50));
+    println!();
+}
+
+fn main() {
+    // One suite per family so both Figure 1 shapes appear.
+    let long = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(1)
+        .with_task_range(300, 400)
+        .with_checkpoints(20)
+        .with_long_tail_fraction(1.0)
+        .with_seed(0xF16_1);
+    let close = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(1)
+        .with_task_range(300, 400)
+        .with_checkpoints(20)
+        .with_long_tail_fraction(0.0)
+        .with_seed(0xF16_1);
+
+    println!("Figure 1. Latency distributions for two generated jobs.\n");
+    describe(&nurd_trace::generate_job(&long, 0), "long-tailed family");
+    describe(&nurd_trace::generate_job(&close, 1), "close-tailed family");
+}

@@ -1,0 +1,49 @@
+//! Figures 2 and 3: F1 of the cumulative flagged set at ten normalized
+//! time checkpoints (`--trace google` = Figure 2, `--trace alibaba` =
+//! Figure 3).
+
+use nurd_bench::{evaluate_all, HarnessOptions};
+use nurd_sim::ReplayConfig;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    eprintln!(
+        "[fig2/3] {} suite: {} jobs",
+        opts.style_label(),
+        opts.jobs
+    );
+    let jobs = opts.build_suite();
+    let methods = opts.selected_methods();
+    let results = evaluate_all(&methods, &jobs, &ReplayConfig::default(), opts.threads);
+
+    println!();
+    println!(
+        "Figure {} ({} trace): F1 at normalized time checkpoints (averaged over {} jobs).",
+        if opts.style_label() == "Google" { 2 } else { 3 },
+        opts.style_label(),
+        jobs.len()
+    );
+    print!("{:8}", "Method");
+    for p in 1..=10 {
+        print!(" {:>5.1}", p as f64 / 10.0);
+    }
+    println!();
+    println!("{:-^69}", "");
+    for r in &results {
+        // Average each method's decile series over jobs.
+        let mut series = [0.0f64; 10];
+        for outcome in &r.outcomes {
+            for (s, v) in series.iter_mut().zip(outcome.f1_at_normalized_times(10)) {
+                *s += v;
+            }
+        }
+        for s in &mut series {
+            *s /= r.outcomes.len() as f64;
+        }
+        print!("{:8}", r.name);
+        for s in series {
+            print!(" {s:5.2}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,35 @@
+//! Figures 4 and 5: average job-completion-time reduction with unlimited
+//! machines (Algorithm 2); `--trace` selects the figure.
+
+use nurd_bench::{evaluate_all, HarnessOptions};
+use nurd_sim::{simulate_jct, ReplayConfig, SchedulerConfig};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    eprintln!(
+        "[fig4/5] {} suite: {} jobs, unlimited machines",
+        opts.style_label(),
+        opts.jobs
+    );
+    let jobs = opts.build_suite();
+    let methods = opts.selected_methods();
+    let results = evaluate_all(&methods, &jobs, &ReplayConfig::default(), opts.threads);
+
+    println!();
+    println!(
+        "Figure {} ({} trace): reduction in job completion time, unlimited machines ({} jobs).",
+        if opts.style_label() == "Google" { 4 } else { 5 },
+        opts.style_label(),
+        jobs.len()
+    );
+    println!("{:8} {:>12}", "Method", "Reduction(%)");
+    println!("{:-^22}", "");
+    let scheduler = SchedulerConfig::default();
+    for r in &results {
+        let mut total = 0.0;
+        for (job, outcome) in jobs.iter().zip(&r.outcomes) {
+            total += simulate_jct(job, outcome, &scheduler).reduction_percent();
+        }
+        println!("{:8} {:12.1}", r.name, total / jobs.len() as f64);
+    }
+}

@@ -1,0 +1,49 @@
+//! Figures 6 and 7: job-completion-time reduction as a function of the
+//! machine-pool size (Algorithm 3); `--trace` selects the figure.
+
+use nurd_bench::{evaluate_all, HarnessOptions};
+use nurd_sim::{simulate_jct, ReplayConfig, SchedulerConfig};
+
+/// The paper sweeps 100..=1000 machines in steps of 100.
+const MACHINE_COUNTS: [usize; 10] = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    eprintln!(
+        "[fig6/7] {} suite: {} jobs, machine sweep",
+        opts.style_label(),
+        opts.jobs
+    );
+    let jobs = opts.build_suite();
+    let methods = opts.selected_methods();
+    let results = evaluate_all(&methods, &jobs, &ReplayConfig::default(), opts.threads);
+
+    println!();
+    println!(
+        "Figure {} ({} trace): JCT reduction vs number of machines ({} jobs).",
+        if opts.style_label() == "Google" { 6 } else { 7 },
+        opts.style_label(),
+        jobs.len()
+    );
+    print!("{:8}", "Method");
+    for m in MACHINE_COUNTS {
+        print!(" {m:>6}");
+    }
+    println!();
+    println!("{:-^78}", "");
+    for r in &results {
+        print!("{:8}", r.name);
+        for m in MACHINE_COUNTS {
+            let scheduler = SchedulerConfig {
+                machines: Some(m),
+                ..SchedulerConfig::default()
+            };
+            let mut total = 0.0;
+            for (job, outcome) in jobs.iter().zip(&r.outcomes) {
+                total += simulate_jct(job, outcome, &scheduler).reduction_percent();
+            }
+            print!(" {:6.1}", total / jobs.len() as f64);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,47 @@
+//! Figures 8 and 9: JCT reduction averaged over the Figure 6/7 machine
+//! sweep; `--trace` selects the figure.
+
+use nurd_bench::{evaluate_all, HarnessOptions};
+use nurd_sim::{simulate_jct, ReplayConfig, SchedulerConfig};
+
+const MACHINE_COUNTS: [usize; 10] = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    eprintln!(
+        "[fig8/9] {} suite: {} jobs, averaged machine sweep",
+        opts.style_label(),
+        opts.jobs
+    );
+    let jobs = opts.build_suite();
+    let methods = opts.selected_methods();
+    let results = evaluate_all(&methods, &jobs, &ReplayConfig::default(), opts.threads);
+
+    println!();
+    println!(
+        "Figure {} ({} trace): JCT reduction averaged over {} machine counts ({} jobs).",
+        if opts.style_label() == "Google" { 8 } else { 9 },
+        opts.style_label(),
+        MACHINE_COUNTS.len(),
+        jobs.len()
+    );
+    println!("{:8} {:>12}", "Method", "Reduction(%)");
+    println!("{:-^22}", "");
+    for r in &results {
+        let mut total = 0.0;
+        for m in MACHINE_COUNTS {
+            let scheduler = SchedulerConfig {
+                machines: Some(m),
+                ..SchedulerConfig::default()
+            };
+            for (job, outcome) in jobs.iter().zip(&r.outcomes) {
+                total += simulate_jct(job, outcome, &scheduler).reduction_percent();
+            }
+        }
+        println!(
+            "{:8} {:12.1}",
+            r.name,
+            total / (jobs.len() * MACHINE_COUNTS.len()) as f64
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Tables 1 and 2 of the paper: the feature schemas of the two traces.
+
+use nurd_trace::{ALIBABA_FEATURES, GOOGLE_FEATURES};
+
+fn main() {
+    println!("Table 1. Task features used in the Google Traces.");
+    println!("{:-^60}", "");
+    println!("{:10} {}", "Feature", "Description");
+    println!("{:-^60}", "");
+    for (name, description) in GOOGLE_FEATURES {
+        println!("{name:10} {description}");
+    }
+    println!();
+    println!("Table 2. Instance features used in the Alibaba Traces.");
+    println!("{:-^60}", "");
+    println!("{:10} {}", "Feature", "Description");
+    println!("{:-^60}", "");
+    for (name, description) in ALIBABA_FEATURES {
+        println!("{name:10} {description}");
+    }
+}

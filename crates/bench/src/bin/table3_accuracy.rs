@@ -1,0 +1,71 @@
+//! Table 3: TPR/FPR/FNR/F1 averaged over all jobs, for every method.
+//!
+//! Usage: `table3_accuracy [--trace google|alibaba] [--jobs N]
+//! [--tasks A:B] [--checkpoints N] [--methods CSV] [--seed N]`.
+//! With no `--trace`, both traces are evaluated (the full Table 3).
+
+use nurd_bench::{evaluate_all, HarnessOptions};
+use nurd_sim::ReplayConfig;
+use nurd_trace::TraceStyle;
+
+fn run(opts: &HarnessOptions) {
+    eprintln!(
+        "[table3] {} suite: {} jobs, tasks {}..{}, {} checkpoints",
+        opts.style_label(),
+        opts.jobs,
+        opts.tasks.0,
+        opts.tasks.1,
+        opts.checkpoints
+    );
+    let jobs = opts.build_suite();
+    let methods = opts.selected_methods();
+    let results = evaluate_all(&methods, &jobs, &ReplayConfig::default(), opts.threads);
+
+    println!();
+    println!(
+        "Table 3 ({} trace, {} jobs). Higher is better for TPR and F1; lower for FPR and FNR.",
+        opts.style_label(),
+        jobs.len()
+    );
+    println!("{:-^78}", "");
+    println!(
+        "{:32} {:8} {:>6} {:>6} {:>6} {:>6}",
+        "Family", "Method", "TPR", "FPR", "FNR", "F1"
+    );
+    println!("{:-^78}", "");
+    let best_f1 = results
+        .iter()
+        .map(|r| r.summary.f1)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut last_family = "";
+    for r in &results {
+        let family = if r.family == last_family { "" } else { r.family };
+        last_family = r.family;
+        let marker = if (r.summary.f1 - best_f1).abs() < 1e-12 {
+            " *"
+        } else {
+            ""
+        };
+        println!(
+            "{:32} {:8} {:6.2} {:6.2} {:6.2} {:6.2}{marker}",
+            family, r.name, r.summary.tpr, r.summary.fpr, r.summary.fnr, r.summary.f1
+        );
+    }
+    println!("{:-^78}", "");
+    println!("(* best F1)");
+    println!();
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let explicit_trace = std::env::args().any(|a| a == "--trace");
+    if explicit_trace {
+        run(&opts);
+    } else {
+        for style in [TraceStyle::Google, TraceStyle::Alibaba] {
+            let mut o = opts.clone();
+            o.style = style;
+            run(&o);
+        }
+    }
+}

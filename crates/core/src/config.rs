@@ -1,0 +1,134 @@
+//! NURD hyperparameters.
+
+use nurd_ml::{GbtConfig, LogisticConfig, TreeConfig};
+
+/// Hyperparameters of Algorithm 1.
+///
+/// Defaults follow the paper where it pins values down (`ε = 0.05`, gradient
+/// boosting latency head, logistic propensity model, refit at every
+/// checkpoint) and this reproduction's tuning where it does not (`α` — see
+/// the note on [`NurdConfig::default`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NurdConfig {
+    /// Calibration range parameter `α`: `δ ∈ (−α, α)`.
+    pub alpha: f64,
+    /// Minimum positive weight `ε` (floor of the weighting function).
+    pub epsilon: f64,
+    /// Whether to apply the calibration term `δ` (false = NURD-NC, the
+    /// paper's no-calibration ablation with `w = z`).
+    pub calibrate: bool,
+    /// Latency predictor (`h_t`) configuration.
+    pub gbt: GbtConfig,
+    /// Propensity model (`g_t`) configuration.
+    pub logistic: LogisticConfig,
+    /// Retrain every `refit_every` checkpoints (1 = paper behaviour of
+    /// updating models at every checkpoint).
+    pub refit_every: usize,
+}
+
+impl Default for NurdConfig {
+    fn default() -> Self {
+        NurdConfig {
+            // The paper reports α = 0.5 for its traces. α's optimum is tied
+            // to the feature-normalization convention inside ρ, which the
+            // paper leaves unspecified; following its own protocol (§6,
+            // manual tuning on a handful of held-out jobs) on the synthetic
+            // traces of this reproduction lands at α = 0.20. The ablation
+            // bench sweeps α; see EXPERIMENTS.md.
+            alpha: 0.20,
+            epsilon: 0.05,
+            calibrate: true,
+            gbt: GbtConfig {
+                n_rounds: 50,
+                learning_rate: 0.15,
+                tree: TreeConfig {
+                    max_depth: 3,
+                    min_child_weight: 2.0,
+                    lambda: 1.0,
+                    min_split_gain: 1e-9,
+                },
+                subsample: 1.0,
+                seed: 17,
+            },
+            // Balanced classes: the finished/running split is heavily
+            // imbalanced right after warmup (4% vs 96%); without balancing,
+            // every propensity collapses toward the base rate and the
+            // weighting function floods the job with false positives.
+            logistic: LogisticConfig {
+                balanced: true,
+                ..LogisticConfig::default()
+            },
+            refit_every: 1,
+        }
+    }
+}
+
+impl NurdConfig {
+    /// The NURD-NC ablation: no calibration term, `w = z` (still floored at
+    /// a tiny positive value to keep the division defined).
+    #[must_use]
+    pub fn without_calibration() -> Self {
+        NurdConfig {
+            calibrate: false,
+            ..NurdConfig::default()
+        }
+    }
+
+    /// Sets `α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets `ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < 1`.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1)"
+        );
+        self.epsilon = epsilon;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = NurdConfig::default();
+        assert_eq!(cfg.alpha, 0.20);
+        assert_eq!(cfg.epsilon, 0.05);
+        assert!(cfg.calibrate);
+        assert_eq!(cfg.refit_every, 1);
+    }
+
+    #[test]
+    fn nc_variant_disables_calibration() {
+        assert!(!NurdConfig::without_calibration().calibrate);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn alpha_validated() {
+        let _ = NurdConfig::default().with_alpha(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1)")]
+    fn epsilon_validated() {
+        let _ = NurdConfig::default().with_epsilon(1.0);
+    }
+}

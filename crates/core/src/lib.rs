@@ -1,0 +1,43 @@
+//! NURD: Negative-Unlabeled learning with Reweighting and
+//! Distribution-compensation (Ding et al., MLSys 2022) — Algorithm 1.
+//!
+//! NURD predicts which running tasks of a datacenter job will straggle,
+//! training only on *negative* examples (tasks that already finished — all
+//! non-stragglers by construction) plus the unlabeled running tasks:
+//!
+//! 1. a gradient-boosted latency predictor `h_t` is fit on finished tasks;
+//! 2. a logistic propensity model `g_t` estimates
+//!    `z = P(finished | features)`;
+//! 3. each running task's latency prediction is *reweighted*,
+//!    `ŷ_adj = ŷ / max(ε, min(z + δ, 1))`, so tasks whose features look
+//!    unlike any finished task have their predicted latency dilated;
+//! 4. the calibration term `δ = 1/(1+ρ) − α` compensates for the job's
+//!    latency shape without distributional assumptions, using only the
+//!    feature-centroid ratio `ρ = ‖c_fin‖ / ‖c_run − c_fin‖`;
+//! 5. a task is flagged a straggler when `ŷ_adj ≥ τ_stra`.
+//!
+//! [`NurdPredictor`] implements [`nurd_data::OnlinePredictor`] and is
+//! driven by `nurd_sim::replay_job`; [`NurdConfig::without_calibration`]
+//! yields the paper's NURD-NC ablation (`w = z`).
+//!
+//! # Example
+//!
+//! ```
+//! use nurd_core::{NurdConfig, NurdPredictor};
+//! use nurd_data::OnlinePredictor;
+//!
+//! let mut nurd = NurdPredictor::new(NurdConfig::default());
+//! assert_eq!(nurd.name(), "NURD");
+//! ```
+
+mod calibration;
+mod config;
+mod model;
+mod transfer;
+mod weighting;
+
+pub use calibration::{calibration_delta, centroid_ratio};
+pub use config::NurdConfig;
+pub use model::{AdjustedPrediction, NurdPredictor};
+pub use transfer::{DonorModel, TransferNurdPredictor};
+pub use weighting::{adjusted_latency, weight};

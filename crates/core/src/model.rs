@@ -1,0 +1,332 @@
+//! The online NURD predictor (Algorithm 1's outer loop).
+
+use nurd_data::{Checkpoint, JobContext, OnlinePredictor};
+use nurd_ml::{GradientBoosting, LogisticRegression, SquaredLoss};
+
+use crate::{calibration, weighting, NurdConfig};
+
+/// Per-task diagnostic record produced by [`NurdPredictor::score_running`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdjustedPrediction {
+    /// Task id within the job.
+    pub id: usize,
+    /// Raw latency prediction `ŷ` from the boosted trees.
+    pub raw: f64,
+    /// Propensity score `z = P(finished | x)`.
+    pub propensity: f64,
+    /// Final weight `w = max(ε, min(z + δ, 1))`.
+    pub weight: f64,
+    /// Adjusted prediction `ŷ_adj = ŷ / w`.
+    pub adjusted: f64,
+}
+
+/// Online NURD straggler predictor; one instance per job.
+///
+/// Drive it through [`nurd_sim::replay_job`] or call
+/// [`NurdPredictor::score_running`] directly to observe the intermediate
+/// quantities (raw prediction, propensity, weight) for each running task.
+///
+/// [`nurd_sim::replay_job`]: https://docs.rs/nurd-sim
+#[derive(Debug, Clone)]
+pub struct NurdPredictor {
+    config: NurdConfig,
+    threshold: f64,
+    /// δ, fixed at the first prediction checkpoint (Algorithm 1 computes ρ
+    /// "before starting prediction"). `None` until then.
+    delta: Option<f64>,
+    latency_model: Option<GradientBoosting<SquaredLoss>>,
+    propensity_model: Option<LogisticRegression>,
+    checkpoints_seen: usize,
+    fit_failures: usize,
+    name: &'static str,
+}
+
+impl NurdPredictor {
+    /// Creates a predictor with the given configuration.
+    #[must_use]
+    pub fn new(config: NurdConfig) -> Self {
+        let name = if config.calibrate { "NURD" } else { "NURD-NC" };
+        NurdPredictor {
+            config,
+            threshold: f64::INFINITY,
+            delta: None,
+            latency_model: None,
+            propensity_model: None,
+            checkpoints_seen: 0,
+            fit_failures: 0,
+            name,
+        }
+    }
+
+    /// The calibration term δ, once computed (at the first prediction
+    /// checkpoint); `None` before that or for NURD-NC.
+    #[must_use]
+    pub fn delta(&self) -> Option<f64> {
+        self.delta
+    }
+
+    /// Number of checkpoints at which model fitting failed (degenerate
+    /// training data); predictions at those checkpoints were skipped.
+    #[must_use]
+    pub fn fit_failures(&self) -> usize {
+        self.fit_failures
+    }
+
+    /// Scores every running task at this checkpoint, returning the full
+    /// adjusted-prediction breakdown. Returns an empty vector when there is
+    /// not enough data to fit the models (fewer than two finished tasks, or
+    /// no running tasks).
+    pub fn score_running(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<AdjustedPrediction> {
+        if checkpoint.finished.len() < 2 || checkpoint.running.is_empty() {
+            return Vec::new();
+        }
+        let x_fin = checkpoint.finished_features();
+        let y_fin = checkpoint.finished_latencies();
+        let x_run = checkpoint.running_features();
+
+        // Calibration happens once, before the first prediction (Algorithm 1
+        // lines 4–6). NURD-NC skips it and uses w = z.
+        if self.delta.is_none() && self.config.calibrate {
+            let rho = calibration::centroid_ratio(&x_fin, &x_run);
+            self.delta = Some(calibration::calibration_delta(rho, self.config.alpha));
+        }
+
+        // Refit h_t and g_t (line 11). `refit_every` > 1 reuses stale models
+        // between refits, an ablation knob beyond the paper.
+        let refit = self.checkpoints_seen % self.config.refit_every.max(1) == 0
+            || self.latency_model.is_none();
+        self.checkpoints_seen += 1;
+        if refit {
+            match GradientBoosting::fit(&x_fin, &y_fin, SquaredLoss, &self.config.gbt) {
+                Ok(m) => self.latency_model = Some(m),
+                Err(_) => {
+                    self.fit_failures += 1;
+                    return Vec::new();
+                }
+            }
+            let mut x_all = x_fin.clone();
+            x_all.extend(x_run.iter().cloned());
+            let mut labels = vec![1.0; x_fin.len()];
+            labels.extend(std::iter::repeat_n(0.0, x_run.len()));
+            match LogisticRegression::fit(&x_all, &labels, &self.config.logistic) {
+                Ok(m) => self.propensity_model = Some(m),
+                Err(_) => {
+                    self.fit_failures += 1;
+                    return Vec::new();
+                }
+            }
+        }
+        let (Some(h), Some(g)) = (&self.latency_model, &self.propensity_model) else {
+            return Vec::new();
+        };
+
+        checkpoint
+            .running
+            .iter()
+            .map(|task| {
+                let raw = h.predict(task.features);
+                let z = g.predict_proba(task.features);
+                let w = match self.delta {
+                    Some(delta) => weighting::weight(z, delta, self.config.epsilon),
+                    // NURD-NC: w = z, floored only to keep division defined.
+                    None => z.max(1e-9),
+                };
+                AdjustedPrediction {
+                    id: task.id,
+                    raw,
+                    propensity: z,
+                    weight: w,
+                    adjusted: weighting::adjusted_latency(raw, w),
+                }
+            })
+            .collect()
+    }
+}
+
+impl OnlinePredictor for NurdPredictor {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn begin_job(&mut self, ctx: &JobContext<'_>) {
+        self.threshold = ctx.threshold;
+        self.delta = None;
+        self.latency_model = None;
+        self.propensity_model = None;
+        self.checkpoints_seen = 0;
+        self.fit_failures = 0;
+    }
+
+    fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
+        let threshold = self.threshold;
+        self.score_running(checkpoint)
+            .into_iter()
+            .filter(|p| p.adjusted >= threshold)
+            .map(|p| p.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nurd_data::{FinishedTask, RunningTask};
+
+    /// Builds a checkpoint where finished tasks have latency ≈ features and
+    /// running tasks have either similar or alien features.
+    fn checkpoint<'a>(
+        fin: &'a [(Vec<f64>, f64)],
+        run: &'a [Vec<f64>],
+    ) -> Checkpoint<'a> {
+        Checkpoint {
+            ordinal: 5,
+            time: 100.0,
+            finished: fin
+                .iter()
+                .enumerate()
+                .map(|(i, (f, l))| FinishedTask {
+                    id: i,
+                    features: f,
+                    latency: *l,
+                })
+                .collect(),
+            running: run
+                .iter()
+                .enumerate()
+                .map(|(i, f)| RunningTask {
+                    id: fin.len() + i,
+                    features: f,
+                })
+                .collect(),
+        }
+    }
+
+    fn linear_finished(n: usize) -> Vec<(Vec<f64>, f64)> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                (vec![x, 1.0 - x], 20.0 + 30.0 * x)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn alien_running_task_gets_low_weight_and_dilation() {
+        let fin = linear_finished(40);
+        let run = vec![vec![0.5, 0.5], vec![8.0, -6.0]]; // typical vs alien
+        let mut nurd = NurdPredictor::new(NurdConfig::default());
+        let scores = nurd.score_running(&checkpoint(&fin, &run));
+        assert_eq!(scores.len(), 2);
+        let typical = &scores[0];
+        let alien = &scores[1];
+        assert!(
+            alien.propensity < typical.propensity,
+            "alien task should look less finished: {alien:?} vs {typical:?}"
+        );
+        assert!(alien.weight <= typical.weight);
+        assert!(alien.adjusted / alien.raw >= typical.adjusted / typical.raw);
+    }
+
+    #[test]
+    fn weights_respect_epsilon_floor() {
+        let fin = linear_finished(30);
+        let run = vec![vec![100.0, -100.0]];
+        let mut nurd = NurdPredictor::new(NurdConfig::default().with_epsilon(0.2));
+        let scores = nurd.score_running(&checkpoint(&fin, &run));
+        assert!(scores[0].weight >= 0.2);
+        assert!(scores[0].weight <= 1.0);
+    }
+
+    #[test]
+    fn nc_variant_uses_raw_propensity() {
+        let fin = linear_finished(30);
+        let run = vec![vec![0.5, 0.5]];
+        let mut nc = NurdPredictor::new(NurdConfig::without_calibration());
+        let scores = nc.score_running(&checkpoint(&fin, &run));
+        assert!(nc.delta().is_none());
+        let s = &scores[0];
+        assert!((s.weight - s.propensity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_computed_once_and_fixed() {
+        let fin = linear_finished(30);
+        let run = vec![vec![0.5, 0.5]];
+        let mut nurd = NurdPredictor::new(NurdConfig::default());
+        let ckpt = checkpoint(&fin, &run);
+        nurd.score_running(&ckpt);
+        let d1 = nurd.delta().expect("delta set after first scoring");
+        nurd.score_running(&ckpt);
+        assert_eq!(nurd.delta(), Some(d1));
+        assert!(d1 > -0.5 && d1 <= 0.5);
+    }
+
+    #[test]
+    fn too_little_data_yields_no_predictions() {
+        let fin = linear_finished(1);
+        let run = vec![vec![0.5, 0.5]];
+        let mut nurd = NurdPredictor::new(NurdConfig::default());
+        assert!(nurd.score_running(&checkpoint(&fin, &run)).is_empty());
+        let fin = linear_finished(10);
+        let no_run: Vec<Vec<f64>> = Vec::new();
+        assert!(nurd.score_running(&checkpoint(&fin, &no_run)).is_empty());
+    }
+
+    #[test]
+    fn begin_job_resets_state() {
+        let fin = linear_finished(30);
+        let run = vec![vec![0.5, 0.5]];
+        let mut nurd = NurdPredictor::new(NurdConfig::default());
+        nurd.score_running(&checkpoint(&fin, &run));
+        assert!(nurd.delta().is_some());
+        let job = nurd_trace::generate_job(
+            &nurd_trace::SuiteConfig::new(nurd_trace::TraceStyle::Google)
+                .with_jobs(1)
+                .with_task_range(10, 12)
+                .with_checkpoints(3),
+            0,
+        );
+        let ctx = JobContext {
+            threshold: 1.0,
+            task_count: job.task_count(),
+            feature_dim: job.feature_dim(),
+            oracle: &job,
+        };
+        nurd.begin_job(&ctx);
+        assert!(nurd.delta().is_none());
+        assert_eq!(nurd.fit_failures(), 0);
+    }
+
+    #[test]
+    fn predict_flags_only_above_threshold() {
+        let fin = linear_finished(40);
+        // One task that looks typical (prediction ~35), one alien.
+        let run = vec![vec![0.5, 0.5], vec![9.0, -9.0]];
+        let mut nurd = NurdPredictor::new(NurdConfig::default());
+        let job = nurd_trace::generate_job(
+            &nurd_trace::SuiteConfig::new(nurd_trace::TraceStyle::Google)
+                .with_jobs(1)
+                .with_task_range(10, 12)
+                .with_checkpoints(3),
+            0,
+        );
+        // Threshold far above anything the model can produce: no flags.
+        let ctx = JobContext {
+            threshold: 1e12,
+            task_count: 42,
+            feature_dim: 2,
+            oracle: &job,
+        };
+        nurd.begin_job(&ctx);
+        assert!(nurd.predict(&checkpoint(&fin, &run)).is_empty());
+        // Threshold of zero: everything flags.
+        let ctx = JobContext {
+            threshold: 0.0,
+            task_count: 42,
+            feature_dim: 2,
+            oracle: &job,
+        };
+        nurd.begin_job(&ctx);
+        assert_eq!(nurd.predict(&checkpoint(&fin, &run)).len(), 2);
+    }
+}

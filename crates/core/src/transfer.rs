@@ -1,0 +1,306 @@
+//! Cross-job transfer learning — the paper's stated future work (§8:
+//! "there is a possibility to apply transfer learning to incorporate
+//! knowledge from other jobs to improve predictions").
+//!
+//! The mechanism is residual boosting: a *donor* model is trained offline
+//! on a completed job's (features, relative latency) pairs; on the target
+//! job, the online latency head learns only the **residual** between the
+//! scale-adjusted donor prediction and the observed latencies. Early in a
+//! job — when NURD's own head has almost no training data — the donor
+//! carries most of the signal; as finished tasks accumulate, the residual
+//! model takes over. Everything else (propensity, calibration, weighting)
+//! is unchanged NURD.
+
+use nurd_data::{Checkpoint, JobContext, JobTrace, OnlinePredictor};
+use nurd_ml::{GradientBoosting, LogisticRegression, MlError, SquaredLoss};
+
+use crate::{calibration, weighting, NurdConfig};
+
+/// A latency model distilled from one or more completed jobs, in
+/// scale-free (relative-latency) form.
+///
+/// Donor targets are `latency / median(latency)` so the knowledge moves
+/// across jobs whose absolute time scales differ by an order of magnitude;
+/// the target-side predictor multiplies back by its own running median.
+#[derive(Debug, Clone)]
+pub struct DonorModel {
+    model: GradientBoosting<SquaredLoss>,
+}
+
+impl DonorModel {
+    /// Distills a completed job into a transferable latency model, trained
+    /// on final feature snapshots against relative latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates booster errors ([`MlError::EmptyTrainingSet`] on an empty
+    /// job, configuration errors from `config.gbt`).
+    pub fn from_job(job: &JobTrace, config: &NurdConfig) -> Result<Self, MlError> {
+        let last = job.checkpoint_count() - 1;
+        let x: Vec<Vec<f64>> = job
+            .tasks()
+            .iter()
+            .map(|t| t.snapshot(last).to_vec())
+            .collect();
+        let mut latencies = job.latencies();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let median = latencies[latencies.len() / 2].max(1e-9);
+        let y: Vec<f64> = job.tasks().iter().map(|t| t.latency() / median).collect();
+        let model = GradientBoosting::fit(&x, &y, SquaredLoss, &config.gbt)?;
+        Ok(DonorModel { model })
+    }
+
+    /// Relative-latency prediction (multiples of the donor job's median).
+    #[must_use]
+    pub fn predict_relative(&self, features: &[f64]) -> f64 {
+        self.model.predict(features)
+    }
+}
+
+/// NURD with a cross-job donor prior on the latency head.
+///
+/// Implements the same online protocol as [`crate::NurdPredictor`]; the
+/// only change is `ŷ = scale · donor(x) + residual(x)`, with the residual
+/// head refit per checkpoint on `y − scale · donor(x)` and
+/// `scale = median(observed latencies)`.
+#[derive(Debug, Clone)]
+pub struct TransferNurdPredictor {
+    config: NurdConfig,
+    donor: DonorModel,
+    threshold: f64,
+    delta: Option<f64>,
+}
+
+impl TransferNurdPredictor {
+    /// Creates a transfer predictor from a donor model.
+    #[must_use]
+    pub fn new(config: NurdConfig, donor: DonorModel) -> Self {
+        TransferNurdPredictor {
+            config,
+            donor,
+            threshold: f64::INFINITY,
+            delta: None,
+        }
+    }
+}
+
+impl OnlinePredictor for TransferNurdPredictor {
+    fn name(&self) -> &str {
+        "NURD-TL"
+    }
+
+    fn begin_job(&mut self, ctx: &JobContext<'_>) {
+        self.threshold = ctx.threshold;
+        self.delta = None;
+    }
+
+    fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
+        if checkpoint.finished.len() < 2 || checkpoint.running.is_empty() {
+            return Vec::new();
+        }
+        let x_fin = checkpoint.finished_features();
+        let y_fin = checkpoint.finished_latencies();
+        let x_run = checkpoint.running_features();
+
+        if self.delta.is_none() && self.config.calibrate {
+            let rho = calibration::centroid_ratio(&x_fin, &x_run);
+            self.delta = Some(calibration::calibration_delta(rho, self.config.alpha));
+        }
+
+        // Scale the donor's relative predictions by the observed median.
+        let mut sorted = y_fin.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let scale = sorted[sorted.len() / 2].max(1e-9);
+
+        // Residual head: learn what the donor gets wrong on this job.
+        let residuals: Vec<f64> = x_fin
+            .iter()
+            .zip(&y_fin)
+            .map(|(x, &y)| y - scale * self.donor.predict_relative(x))
+            .collect();
+        let Ok(residual_model) =
+            GradientBoosting::fit(&x_fin, &residuals, SquaredLoss, &self.config.gbt)
+        else {
+            return Vec::new();
+        };
+
+        let mut x_all = x_fin.clone();
+        x_all.extend(x_run.iter().cloned());
+        let mut labels = vec![1.0; x_fin.len()];
+        labels.extend(std::iter::repeat_n(0.0, x_run.len()));
+        let Ok(propensity) = LogisticRegression::fit(&x_all, &labels, &self.config.logistic)
+        else {
+            return Vec::new();
+        };
+
+        let threshold = self.threshold;
+        checkpoint
+            .running
+            .iter()
+            .filter(|task| {
+                let raw = scale * self.donor.predict_relative(task.features)
+                    + residual_model.predict(task.features);
+                let z = propensity.predict_proba(task.features);
+                let w = match self.delta {
+                    Some(delta) => weighting::weight(z, delta, self.config.epsilon),
+                    None => z.max(1e-9),
+                };
+                weighting::adjusted_latency(raw.max(0.0), w) >= threshold
+            })
+            .map(|task| task.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nurd_trace::{SuiteConfig, TraceStyle};
+
+    fn suite(seed: u64, jobs: usize) -> Vec<JobTrace> {
+        let cfg = SuiteConfig::new(TraceStyle::Google)
+            .with_jobs(jobs)
+            .with_task_range(100, 150)
+            .with_checkpoints(14)
+            .with_seed(seed);
+        nurd_trace::generate_suite(&cfg)
+    }
+
+    #[test]
+    fn donor_model_learns_relative_latency() {
+        let job = &suite(1, 1)[0];
+        let donor = DonorModel::from_job(job, &NurdConfig::default()).unwrap();
+        // The donor's relative predictions should correlate with truth:
+        // slowest task predicted above the fastest.
+        let last = job.checkpoint_count() - 1;
+        let mut order: Vec<usize> = (0..job.task_count()).collect();
+        order.sort_by(|&a, &b| {
+            job.tasks()[a]
+                .latency()
+                .partial_cmp(&job.tasks()[b].latency())
+                .unwrap()
+        });
+        let fastest = job.tasks()[order[0]].snapshot(last);
+        let slowest = job.tasks()[*order.last().unwrap()].snapshot(last);
+        assert!(donor.predict_relative(slowest) > donor.predict_relative(fastest));
+    }
+
+    #[test]
+    fn transfer_predictor_runs_the_protocol() {
+        let jobs = suite(2, 2);
+        let donor = DonorModel::from_job(&jobs[0], &NurdConfig::default()).unwrap();
+        let mut p = TransferNurdPredictor::new(NurdConfig::default(), donor);
+        let out = nurd_sim_replay(&jobs[1], &mut p);
+        assert_eq!(out.confusion.total(), jobs[1].task_count());
+        assert_eq!(p.name(), "NURD-TL");
+    }
+
+    #[test]
+    fn transfer_is_competitive_with_scratch_nurd() {
+        // Averaged over a few target jobs, the donor prior must not wreck
+        // accuracy (it should help early; end-of-job F1 stays comparable).
+        let jobs = suite(3, 7);
+        let donor = DonorModel::from_job(&jobs[0], &NurdConfig::default()).unwrap();
+        let mut scratch = 0.0;
+        let mut transfer = 0.0;
+        for job in &jobs[1..] {
+            let mut a = crate::NurdPredictor::new(NurdConfig::default());
+            scratch += nurd_sim_replay(job, &mut a).confusion.f1();
+            let mut b = TransferNurdPredictor::new(NurdConfig::default(), donor.clone());
+            transfer += nurd_sim_replay(job, &mut b).confusion.f1();
+        }
+        assert!(
+            transfer >= scratch - 0.8,
+            "transfer {transfer:.2} collapsed vs scratch {scratch:.2}"
+        );
+    }
+
+    /// Minimal local replay to avoid a dev-dependency cycle on `nurd-sim`.
+    fn nurd_sim_replay(
+        job: &JobTrace,
+        predictor: &mut dyn OnlinePredictor,
+    ) -> LocalOutcome {
+        let threshold = job.straggler_threshold(0.9);
+        let warmup = job.warmup_checkpoint(0.04);
+        let n = job.task_count();
+        predictor.begin_job(&JobContext {
+            threshold,
+            task_count: n,
+            feature_dim: job.feature_dim(),
+            oracle: job,
+        });
+        let mut flagged = vec![false; n];
+        for (k, &time) in job.checkpoint_times().iter().enumerate() {
+            if k < warmup || time >= threshold {
+                continue;
+            }
+            let mut finished = Vec::new();
+            let mut running = Vec::new();
+            for task in job.tasks() {
+                if flagged[task.id()] {
+                    continue;
+                }
+                if task.latency() <= time {
+                    finished.push(nurd_data::FinishedTask {
+                        id: task.id(),
+                        features: task.snapshot(k),
+                        latency: task.latency(),
+                    });
+                } else {
+                    running.push(nurd_data::RunningTask {
+                        id: task.id(),
+                        features: task.snapshot(k),
+                    });
+                }
+            }
+            let running_ids: Vec<usize> = running.iter().map(|r| r.id).collect();
+            let ckpt = Checkpoint {
+                ordinal: k,
+                time,
+                finished,
+                running,
+            };
+            for id in predictor.predict(&ckpt) {
+                if running_ids.contains(&id) {
+                    flagged[id] = true;
+                }
+            }
+        }
+        let mut confusion = Confusion::default();
+        for (task, &f) in job.tasks().iter().zip(&flagged) {
+            match (f, task.latency() >= threshold) {
+                (true, true) => confusion.tp += 1,
+                (true, false) => confusion.fp += 1,
+                (false, true) => confusion.fne += 1,
+                (false, false) => confusion.tn += 1,
+            }
+        }
+        LocalOutcome { confusion }
+    }
+
+    struct LocalOutcome {
+        confusion: Confusion,
+    }
+
+    #[derive(Default)]
+    struct Confusion {
+        tp: usize,
+        fp: usize,
+        fne: usize,
+        tn: usize,
+    }
+
+    impl Confusion {
+        fn total(&self) -> usize {
+            self.tp + self.fp + self.fne + self.tn
+        }
+        fn f1(&self) -> f64 {
+            if self.tp == 0 {
+                return 0.0;
+            }
+            let p = self.tp as f64 / (self.tp + self.fp) as f64;
+            let r = self.tp as f64 / (self.tp + self.fne) as f64;
+            2.0 * p * r / (p + r)
+        }
+    }
+}

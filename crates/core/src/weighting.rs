@@ -1,0 +1,93 @@
+//! The weighting function and adjusted prediction (Algorithm 1, lines
+//! 15–16; Equations 1 and 4).
+
+/// The final weighting function `w = max(ε, min(z + δ, 1))`.
+///
+/// `z` is the propensity score (probability the task belongs to the
+/// finished class), `δ` the calibration term, `ε` the minimum positive
+/// weight. The result is always in `[ε, 1]`.
+///
+/// # Panics
+///
+/// Panics unless `0 < epsilon <= 1`.
+#[must_use]
+pub fn weight(z: f64, delta: f64, epsilon: f64) -> f64 {
+    assert!(
+        epsilon > 0.0 && epsilon <= 1.0,
+        "epsilon must be in (0, 1]"
+    );
+    (z + delta).min(1.0).max(epsilon)
+}
+
+/// The adjusted latency prediction `ŷ_adj = ŷ / w` (Equation 1).
+///
+/// # Panics
+///
+/// Panics if `w` is not positive.
+#[must_use]
+pub fn adjusted_latency(y_hat: f64, w: f64) -> f64 {
+    assert!(w > 0.0, "weight must be positive");
+    y_hat / w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weight_clamps_both_sides() {
+        assert_eq!(weight(0.9, 0.5, 0.05), 1.0); // hits the upper clamp
+        assert_eq!(weight(0.01, -0.5, 0.05), 0.05); // hits ε
+        assert!((weight(0.5, 0.1, 0.05) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjustment_only_inflates() {
+        // w ≤ 1 ⟹ ŷ_adj ≥ ŷ.
+        for w in [0.05, 0.3, 1.0] {
+            assert!(adjusted_latency(10.0, w) >= 10.0);
+        }
+    }
+
+    #[test]
+    fn similar_task_keeps_its_prediction() {
+        // z close to 1 (finished-like features) leaves ŷ nearly unchanged.
+        let w = weight(0.97, 0.0, 0.05);
+        assert!((adjusted_latency(100.0, w) - 100.0 / 0.97).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dissimilar_task_is_dilated_to_threshold() {
+        // z ≈ 0: maximum dilation 1/ε = 20x at the paper's ε.
+        let w = weight(0.0, 0.0, 0.05);
+        assert_eq!(adjusted_latency(50.0, w), 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1]")]
+    fn epsilon_validated() {
+        let _ = weight(0.5, 0.0, 0.0);
+    }
+
+    proptest! {
+        /// w ∈ [ε, 1] for any propensity and calibration value.
+        #[test]
+        fn prop_weight_range(z in -1.0..2.0f64, delta in -1.0..1.0f64,
+                             eps in 0.01..0.5f64) {
+            let w = weight(z, delta, eps);
+            prop_assert!(w >= eps && w <= 1.0);
+        }
+
+        /// Weight is monotone in z: more finished-like never increases the
+        /// adjusted latency.
+        #[test]
+        fn prop_monotone_in_z(z1 in 0.0..1.0f64, z2 in 0.0..1.0f64,
+                              delta in -0.5..0.5f64) {
+            let (lo, hi) = if z1 < z2 { (z1, z2) } else { (z2, z1) };
+            let w_lo = weight(lo, delta, 0.05);
+            let w_hi = weight(hi, delta, 0.05);
+            prop_assert!(adjusted_latency(1.0, w_hi) <= adjusted_latency(1.0, w_lo) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Checkpoint views handed to predictors by the simulator.
+
+/// A finished task as visible at a checkpoint: features *and* latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FinishedTask<'a> {
+    /// The task's id within its job.
+    pub id: usize,
+    /// The task's frozen feature snapshot.
+    pub features: &'a [f64],
+    /// The task's observed latency (`y_i ≤ τ_run_t` by construction).
+    pub latency: f64,
+}
+
+/// A still-running task as visible at a checkpoint: features only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningTask<'a> {
+    /// The task's id within its job.
+    pub id: usize,
+    /// The task's feature snapshot at this checkpoint.
+    pub features: &'a [f64],
+}
+
+/// Everything a predictor may observe at the `t`-th checkpoint.
+///
+/// The simulator guarantees:
+/// * every task in `finished` has `latency <= time`;
+/// * every task in `running` has true latency `> time` (unknown to the
+///   predictor) and has not been flagged at an earlier checkpoint;
+/// * tasks flagged as stragglers at earlier checkpoints appear in neither
+///   list (the paper stops evaluating flagged tasks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint<'a> {
+    /// Ordinal of this checkpoint within the replay (0-based).
+    pub ordinal: usize,
+    /// Elapsed time `τ_run_t` at this checkpoint.
+    pub time: f64,
+    /// Tasks that have finished by `time`, with observed latencies.
+    pub finished: Vec<FinishedTask<'a>>,
+    /// Tasks still running at `time`.
+    pub running: Vec<RunningTask<'a>>,
+}
+
+impl Checkpoint<'_> {
+    /// Feature matrix of the finished tasks (row per task).
+    #[must_use]
+    pub fn finished_features(&self) -> Vec<Vec<f64>> {
+        self.finished.iter().map(|t| t.features.to_vec()).collect()
+    }
+
+    /// Observed latencies of the finished tasks, aligned with
+    /// [`Checkpoint::finished_features`].
+    #[must_use]
+    pub fn finished_latencies(&self) -> Vec<f64> {
+        self.finished.iter().map(|t| t.latency).collect()
+    }
+
+    /// Feature matrix of the running tasks (row per task).
+    #[must_use]
+    pub fn running_features(&self) -> Vec<Vec<f64>> {
+        self.running.iter().map(|t| t.features.to_vec()).collect()
+    }
+
+    /// Total number of visible tasks (finished + running).
+    #[must_use]
+    pub fn visible_count(&self) -> usize {
+        self.finished.len() + self.running.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        (
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            vec![vec![5.0, 6.0]],
+        )
+    }
+
+    #[test]
+    fn matrices_align_with_views() {
+        let (fin, run) = fixture();
+        let ckpt = Checkpoint {
+            ordinal: 2,
+            time: 10.0,
+            finished: vec![
+                FinishedTask {
+                    id: 0,
+                    features: &fin[0],
+                    latency: 4.0,
+                },
+                FinishedTask {
+                    id: 1,
+                    features: &fin[1],
+                    latency: 9.0,
+                },
+            ],
+            running: vec![RunningTask {
+                id: 2,
+                features: &run[0],
+            }],
+        };
+        assert_eq!(ckpt.finished_features(), fin);
+        assert_eq!(ckpt.finished_latencies(), vec![4.0, 9.0]);
+        assert_eq!(ckpt.running_features(), run);
+        assert_eq!(ckpt.visible_count(), 3);
+    }
+
+    #[test]
+    fn empty_checkpoint_has_zero_visible() {
+        let ckpt = Checkpoint {
+            ordinal: 0,
+            time: 1.0,
+            finished: vec![],
+            running: vec![],
+        };
+        assert_eq!(ckpt.visible_count(), 0);
+        assert!(ckpt.finished_features().is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by the data layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DataError {
+    /// An underlying I/O failure while reading or writing a trace file.
+    Io(io::Error),
+    /// A malformed line in a trace file.
+    Parse {
+        /// 1-based line number of the offending input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A structurally invalid trace (e.g. ragged feature rows).
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DataError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataError {
+    fn from(e: io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_number() {
+        let e = DataError::Parse {
+            line: 42,
+            message: "bad float".into(),
+        };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn io_error_roundtrips_through_from() {
+        let e: DataError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, DataError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

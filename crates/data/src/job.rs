@@ -1,0 +1,281 @@
+//! Job-level trace container.
+
+use crate::{DataError, TaskRecord};
+
+/// A complete job trace: the unit the simulator replays.
+///
+/// Holds every task's latency and feature time series together with the
+/// checkpoint schedule. The prediction protocol never exposes a latency to a
+/// predictor before the checkpoint at which the task has finished; that
+/// discipline is enforced by the simulator, not this container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTrace {
+    job_id: u64,
+    feature_names: Vec<String>,
+    checkpoint_times: Vec<f64>,
+    tasks: Vec<TaskRecord>,
+}
+
+impl JobTrace {
+    /// Creates a validated job trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Invalid`] when:
+    /// * `tasks` or `checkpoint_times` is empty,
+    /// * checkpoint times are not strictly increasing and positive,
+    /// * a task's feature width differs from `feature_names.len()`,
+    /// * a task's snapshot count differs from the checkpoint count,
+    /// * task ids are not the dense sequence `0..n`.
+    pub fn new(
+        job_id: u64,
+        feature_names: Vec<String>,
+        checkpoint_times: Vec<f64>,
+        tasks: Vec<TaskRecord>,
+    ) -> Result<Self, DataError> {
+        if tasks.is_empty() {
+            return Err(DataError::Invalid("job has no tasks".into()));
+        }
+        if checkpoint_times.is_empty() {
+            return Err(DataError::Invalid("job has no checkpoints".into()));
+        }
+        let mut prev = 0.0;
+        for &t in &checkpoint_times {
+            if !(t.is_finite() && t > prev) {
+                return Err(DataError::Invalid(format!(
+                    "checkpoint times must be positive and strictly increasing, got {t} after {prev}"
+                )));
+            }
+            prev = t;
+        }
+        let d = feature_names.len();
+        for (i, task) in tasks.iter().enumerate() {
+            if task.id() != i {
+                return Err(DataError::Invalid(format!(
+                    "task ids must be dense 0..n, found id {} at position {i}",
+                    task.id()
+                )));
+            }
+            if task.feature_dim() != d {
+                return Err(DataError::Invalid(format!(
+                    "task {i} has {} features, job declares {d}",
+                    task.feature_dim()
+                )));
+            }
+            if task.snapshot_count() != checkpoint_times.len() {
+                return Err(DataError::Invalid(format!(
+                    "task {i} has {} snapshots, job has {} checkpoints",
+                    task.snapshot_count(),
+                    checkpoint_times.len()
+                )));
+            }
+        }
+        Ok(JobTrace {
+            job_id,
+            feature_names,
+            checkpoint_times,
+            tasks,
+        })
+    }
+
+    /// The job's identifier.
+    #[must_use]
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// Names of the recorded features, in column order.
+    #[must_use]
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn feature_dim(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// The checkpoint schedule (task-local elapsed times, ascending).
+    #[must_use]
+    pub fn checkpoint_times(&self) -> &[f64] {
+        &self.checkpoint_times
+    }
+
+    /// Number of checkpoints.
+    #[must_use]
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoint_times.len()
+    }
+
+    /// The job's tasks, ordered by id.
+    #[must_use]
+    pub fn tasks(&self) -> &[TaskRecord] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// All task latencies, in task-id order.
+    #[must_use]
+    pub fn latencies(&self) -> Vec<f64> {
+        self.tasks.iter().map(TaskRecord::latency).collect()
+    }
+
+    /// The maximum task latency (the job's completion time when every task
+    /// starts at time zero).
+    #[must_use]
+    pub fn max_latency(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(TaskRecord::latency)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The latency value at quantile `q` (e.g. `0.9` for p90), computed with
+    /// linear interpolation between order statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn straggler_threshold(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let mut lat = self.latencies();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pos = q * (lat.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            lat[lo]
+        } else {
+            let frac = pos - lo as f64;
+            lat[lo] * (1.0 - frac) + lat[hi] * frac
+        }
+    }
+
+    /// Ids of the tasks whose latency is at or above `threshold` — the true
+    /// straggler set `S` of the paper.
+    #[must_use]
+    pub fn true_stragglers(&self, threshold: f64) -> Vec<usize> {
+        self.tasks
+            .iter()
+            .filter(|t| t.latency() >= threshold)
+            .map(TaskRecord::id)
+            .collect()
+    }
+
+    /// Index of the first checkpoint at which at least `fraction` of tasks
+    /// have finished — the paper waits for 4% before predicting.
+    ///
+    /// Returns the last checkpoint index if the fraction is never reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn warmup_checkpoint(&self, fraction: f64) -> usize {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0,1]"
+        );
+        let need = (fraction * self.task_count() as f64).ceil() as usize;
+        for (k, &t) in self.checkpoint_times.iter().enumerate() {
+            let finished = self.tasks.iter().filter(|task| task.latency() <= t).count();
+            if finished >= need.max(1) {
+                return k;
+            }
+        }
+        self.checkpoint_times.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_job() -> JobTrace {
+        // Latencies 1..=10; p90 interpolates between 9 and 10.
+        let tasks: Vec<TaskRecord> = (0..10)
+            .map(|i| {
+                TaskRecord::new(
+                    i,
+                    (i + 1) as f64,
+                    vec![vec![i as f64], vec![i as f64 + 0.5]],
+                )
+            })
+            .collect();
+        JobTrace::new(1, vec!["f0".into()], vec![2.0, 20.0], tasks).unwrap()
+    }
+
+    #[test]
+    fn threshold_p90_interpolates() {
+        let job = small_job();
+        let t = job.straggler_threshold(0.9);
+        assert!((t - 9.1).abs() < 1e-9, "p90 of 1..=10 is 9.1, got {t}");
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        let job = small_job();
+        assert_eq!(job.straggler_threshold(0.0), 1.0);
+        assert_eq!(job.straggler_threshold(1.0), 10.0);
+    }
+
+    #[test]
+    fn true_stragglers_above_threshold() {
+        let job = small_job();
+        assert_eq!(job.true_stragglers(9.1), vec![9]);
+        assert_eq!(job.true_stragglers(9.0), vec![8, 9]);
+    }
+
+    #[test]
+    fn max_latency() {
+        assert_eq!(small_job().max_latency(), 10.0);
+    }
+
+    #[test]
+    fn warmup_checkpoint_finds_first_quorum() {
+        let job = small_job();
+        // 4% of 10 tasks → 1 task; latencies 1 and 2 are ≤ first checkpoint 2.0.
+        assert_eq!(job.warmup_checkpoint(0.04), 0);
+        // 50% needs 5 finished; only 2 finish by t=2, all by t=20.
+        assert_eq!(job.warmup_checkpoint(0.5), 1);
+    }
+
+    #[test]
+    fn rejects_ragged_feature_width() {
+        let tasks = vec![
+            TaskRecord::new(0, 1.0, vec![vec![1.0], vec![1.0]]),
+            TaskRecord::new(1, 2.0, vec![vec![1.0, 2.0], vec![1.0, 2.0]]),
+        ];
+        assert!(JobTrace::new(1, vec!["f0".into()], vec![1.0, 2.0], tasks).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_snapshot_count() {
+        let tasks = vec![TaskRecord::new(0, 1.0, vec![vec![1.0]])];
+        assert!(JobTrace::new(1, vec!["f0".into()], vec![1.0, 2.0], tasks).is_err());
+    }
+
+    #[test]
+    fn rejects_non_monotone_checkpoints() {
+        let tasks = vec![TaskRecord::new(0, 1.0, vec![vec![1.0], vec![1.0]])];
+        assert!(JobTrace::new(1, vec!["f0".into()], vec![2.0, 1.0], tasks).is_err());
+    }
+
+    #[test]
+    fn rejects_sparse_task_ids() {
+        let tasks = vec![TaskRecord::new(5, 1.0, vec![vec![1.0]])];
+        assert!(JobTrace::new(1, vec!["f0".into()], vec![1.0], tasks).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_job() {
+        assert!(JobTrace::new(1, vec!["f0".into()], vec![1.0], vec![]).is_err());
+    }
+}

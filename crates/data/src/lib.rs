@@ -1,0 +1,40 @@
+//! Data model shared by every crate in the NURD reproduction.
+//!
+//! A datacenter **job** is a set of parallel **tasks**; each task reports a
+//! feature vector at regular time **checkpoints** and has a final **latency**
+//! (its duration). A **straggler** is a task whose latency is at or above the
+//! job's p90 latency. The simulator streams [`Checkpoint`] views — features
+//! of all tasks, latencies of *finished* tasks only — to an
+//! [`OnlinePredictor`], which must flag future stragglers among the running
+//! tasks. This mirrors the problem formulation in §2 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use nurd_data::{JobTrace, TaskRecord};
+//!
+//! # fn main() -> Result<(), nurd_data::DataError> {
+//! let tasks = vec![
+//!     TaskRecord::new(0, 10.0, vec![vec![0.1], vec![0.2]]),
+//!     TaskRecord::new(1, 50.0, vec![vec![0.9], vec![1.0]]),
+//! ];
+//! let job = JobTrace::new(7, vec!["cpu".into()], vec![5.0, 60.0], tasks)?;
+//! assert_eq!(job.task_count(), 2);
+//! assert!(job.straggler_threshold(0.5) > 10.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod checkpoint;
+mod csv;
+mod error;
+mod job;
+mod predictor;
+mod task;
+
+pub use checkpoint::{Checkpoint, FinishedTask, RunningTask};
+pub use csv::{read_job_csv, read_jobs_csv, write_job_csv, write_jobs_csv};
+pub use error::DataError;
+pub use job::JobTrace;
+pub use predictor::{JobContext, OnlinePredictor};
+pub use task::{TaskId, TaskRecord};

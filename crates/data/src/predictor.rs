@@ -1,0 +1,97 @@
+//! The trait every evaluated method implements.
+
+use crate::{Checkpoint, JobTrace};
+
+/// Job-level context available to a predictor before replay starts.
+///
+/// `threshold` is the straggler latency threshold `τ_stra`. The paper treats
+/// threshold selection as out of scope (§4.2) and evaluates all methods at
+/// the true p90, so the simulator computes it from the trace and passes it
+/// to every method equally.
+///
+/// `oracle` exposes the full trace *including unfinished tasks' latencies*.
+/// Honest online methods must not read labels from it; it exists for the
+/// Wrangler baseline, which the paper explicitly grants offline access to
+/// labeled stragglers ("we randomly sample 2/3 non-stragglers and stragglers
+/// from each job as training").
+#[derive(Debug, Clone, Copy)]
+pub struct JobContext<'a> {
+    /// The straggler latency threshold `τ_stra` (p90 by default).
+    pub threshold: f64,
+    /// Number of tasks in the job.
+    pub task_count: usize,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Full trace for oracle baselines (see type-level docs).
+    pub oracle: &'a JobTrace,
+}
+
+/// An online straggler predictor, driven checkpoint-by-checkpoint.
+///
+/// A fresh instance is created per job (the paper trains one model per job).
+/// At each checkpoint the simulator calls [`OnlinePredictor::predict`]; the
+/// returned task ids are flagged as stragglers, removed from subsequent
+/// checkpoints, and never unflagged — matching the paper's protocol in §7.1:
+/// "If a task is predicted to be a straggler, it will not be evaluated
+/// again."
+pub trait OnlinePredictor {
+    /// Short method name as it appears in the paper's tables ("NURD",
+    /// "GBTR", "LOF", ...).
+    fn name(&self) -> &str;
+
+    /// Called once before the first checkpoint.
+    fn begin_job(&mut self, _ctx: &JobContext<'_>) {}
+
+    /// Returns the ids of running tasks predicted to straggle at this
+    /// checkpoint. Ids not present in `checkpoint.running` are ignored by
+    /// the simulator.
+    fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskRecord;
+
+    /// A trivial predictor that flags every running task.
+    struct FlagAll;
+    impl OnlinePredictor for FlagAll {
+        fn name(&self) -> &str {
+            "FLAG-ALL"
+        }
+        fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
+            checkpoint.running.iter().map(|r| r.id).collect()
+        }
+    }
+
+    #[test]
+    fn trait_object_is_usable() {
+        let job = JobTrace::new(
+            1,
+            vec!["f".into()],
+            vec![1.0],
+            vec![TaskRecord::new(0, 0.5, vec![vec![0.0]])],
+        )
+        .unwrap();
+        let ctx = JobContext {
+            threshold: 1.0,
+            task_count: 1,
+            feature_dim: 1,
+            oracle: &job,
+        };
+        let mut p: Box<dyn OnlinePredictor> = Box::new(FlagAll);
+        p.begin_job(&ctx);
+        let features = [0.0];
+        let ckpt = Checkpoint {
+            ordinal: 0,
+            time: 1.0,
+            finished: vec![],
+            running: vec![crate::RunningTask {
+                id: 0,
+                features: &features,
+            }],
+        };
+        assert_eq!(p.predict(&ckpt), vec![0]);
+        assert_eq!(p.name(), "FLAG-ALL");
+    }
+}

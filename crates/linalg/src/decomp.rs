@@ -1,0 +1,410 @@
+//! LU (partial pivoting) and Cholesky factorizations.
+
+use crate::{LinalgError, Matrix};
+
+/// LU decomposition with partial pivoting: `P * A = L * U`.
+///
+/// Used for determinants (MCD objective), linear solves (Newton steps in
+/// Tobit/CoxPH/logistic regression) and inverses (Mahalanobis distances).
+///
+/// # Example
+///
+/// ```
+/// use nurd_linalg::{Lu, Matrix};
+///
+/// # fn main() -> Result<(), nurd_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = Lu::decompose(&a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors (L has implicit unit diagonal).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`).
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotSquare`] for rectangular input,
+    /// [`LinalgError::Singular`] when a pivot underflows.
+    pub fn decompose(a: &Matrix) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: bring the largest |entry| in column k to the top.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = lu.get(r, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu.get(k, c);
+                    lu.set(k, c, lu.get(pivot_row, c));
+                    lu.set(pivot_row, c, tmp);
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu.get(k, k);
+            for r in (k + 1)..n {
+                let factor = lu.get(r, k) / pivot;
+                lu.set(r, k, factor);
+                for c in (k + 1)..n {
+                    lu.set(r, c, lu.get(r, c) - factor * lu.get(k, c));
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Determinant of the factored matrix.
+    #[must_use]
+    pub fn determinant(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).fold(self.perm_sign, |acc, i| acc * self.lu.get(i, i))
+    }
+
+    /// Log of the absolute determinant — robust for near-singular scatter
+    /// matrices in the MCD objective.
+    #[must_use]
+    pub fn log_abs_determinant(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).map(|i| self.lu.get(i, i).abs().ln()).sum()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if `b.len()` differs from the dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        // Forward substitution on the permuted right-hand side.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu.get(i, j) * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Inverse of the factored matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from the column solves.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            e[c] = 0.0;
+            for (r, v) in col.into_iter().enumerate() {
+                inv.set(r, c, v);
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Cholesky factorization `A = L * Lᵀ` of a symmetric positive-definite matrix.
+///
+/// # Example
+///
+/// ```
+/// use nurd_linalg::{Cholesky, Matrix};
+///
+/// # fn main() -> Result<(), nurd_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::decompose(&a)?;
+/// assert!((chol.factor().get(0, 0) - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotSquare`] for rectangular input,
+    /// [`LinalgError::NotPositiveDefinite`] when a diagonal pivot is
+    /// non-positive.
+    pub fn decompose(a: &Matrix) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    #[must_use]
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if `b.len()` differs from the dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        // L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.l.get(i, j) * y[j];
+            }
+            y[i] = acc / self.l.get(i, i);
+        }
+        // Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.l.get(j, i) * x[j];
+            }
+            x[i] = acc / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` (twice the log-determinant of `L`).
+    #[must_use]
+    pub fn log_determinant(&self) -> f64 {
+        let n = self.l.rows();
+        2.0 * (0..n).map(|i| self.l.get(i, i).ln()).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
+            .unwrap();
+        let lu = Lu::decompose(&a).unwrap();
+        let x = lu.solve(&[8.0, -11.0, -3.0]).unwrap();
+        assert_close(x[0], 2.0, 1e-10);
+        assert_close(x[1], 3.0, 1e-10);
+        assert_close(x[2], -1.0, 1e-10);
+    }
+
+    #[test]
+    fn lu_determinant_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[&[6.0, 1.0, 1.0], &[4.0, -2.0, 5.0], &[2.0, 8.0, 7.0]])
+            .unwrap();
+        let lu = Lu::decompose(&a).unwrap();
+        assert_close(lu.determinant(), -306.0, 1e-9);
+        assert_close(lu.log_abs_determinant(), 306.0f64.ln(), 1e-9);
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        let id = a.matmul(&inv).unwrap();
+        assert_close(id.get(0, 0), 1.0, 1e-12);
+        assert_close(id.get(0, 1), 0.0, 1e-12);
+        assert_close(id.get(1, 0), 0.0, 1e-12);
+        assert_close(id.get(1, 1), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::decompose(&a), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn lu_rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::decompose(&a),
+            Err(LinalgError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn lu_pivots_on_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::decompose(&a).unwrap();
+        assert_close(lu.determinant(), -1.0, 1e-12);
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert_close(x[0], 3.0, 1e-12);
+        assert_close(x[1], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn cholesky_known_factor() {
+        let a = Matrix::from_rows(&[
+            &[25.0, 15.0, -5.0],
+            &[15.0, 18.0, 0.0],
+            &[-5.0, 0.0, 11.0],
+        ])
+        .unwrap();
+        let chol = Cholesky::decompose(&a).unwrap();
+        let l = chol.factor();
+        assert_close(l.get(0, 0), 5.0, 1e-12);
+        assert_close(l.get(1, 0), 3.0, 1e-12);
+        assert_close(l.get(1, 1), 3.0, 1e-12);
+        assert_close(l.get(2, 0), -1.0, 1e-12);
+        assert_close(l.get(2, 1), 1.0, 1e-12);
+        assert_close(l.get(2, 2), 3.0, 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu_solve() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let b = [1.0, 2.0];
+        let x1 = Cholesky::decompose(&a).unwrap().solve(&b).unwrap();
+        let x2 = Lu::decompose(&a).unwrap().solve(&b).unwrap();
+        assert_close(x1[0], x2[0], 1e-10);
+        assert_close(x1[1], x2[1], 1e-10);
+    }
+
+    #[test]
+    fn cholesky_log_determinant() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]).unwrap();
+        let chol = Cholesky::decompose(&a).unwrap();
+        assert_close(chol.log_determinant(), 36.0f64.ln(), 1e-12);
+    }
+
+    proptest! {
+        /// Random SPD matrices (A = B·Bᵀ + n·I) factor and solve correctly.
+        #[test]
+        fn prop_spd_solve_roundtrip(seed_rows in proptest::collection::vec(
+            proptest::collection::vec(-2.0..2.0f64, 4), 4)) {
+            let b = Matrix::from_vec_of_rows(seed_rows).unwrap();
+            let spd = b
+                .matmul(&b.transpose())
+                .unwrap()
+                .add(&Matrix::identity(4).scaled(4.0))
+                .unwrap();
+            let rhs = [1.0, -2.0, 0.5, 3.0];
+            let chol = Cholesky::decompose(&spd).unwrap();
+            let x = chol.solve(&rhs).unwrap();
+            let back = spd.matvec(&x).unwrap();
+            for (a, b) in back.iter().zip(rhs.iter()) {
+                prop_assert!((a - b).abs() < 1e-7);
+            }
+        }
+
+        /// det(A·Aᵀ + I) via LU is strictly positive (matrix is SPD).
+        #[test]
+        fn prop_spd_determinant_positive(seed_rows in proptest::collection::vec(
+            proptest::collection::vec(-2.0..2.0f64, 3), 3)) {
+            let b = Matrix::from_vec_of_rows(seed_rows).unwrap();
+            let spd = b
+                .matmul(&b.transpose())
+                .unwrap()
+                .add(&Matrix::identity(3))
+                .unwrap();
+            let lu = Lu::decompose(&spd).unwrap();
+            prop_assert!(lu.determinant() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Small dense linear algebra substrate for the NURD reproduction.
+//!
+//! The NURD paper's baselines need a handful of classic dense routines:
+//! covariance matrices and Mahalanobis distances (MCD), symmetric
+//! eigendecomposition (PCA), Newton steps over small Hessians (logistic
+//! regression, Tobit, CoxPH). Problems are small (tens of features), so this
+//! crate favors clarity and numerical robustness over cache blocking.
+//!
+//! # Example
+//!
+//! ```
+//! use nurd_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), nurd_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let inv = a.inverse()?;
+//! let id = a.matmul(&inv)?;
+//! assert!((id.get(0, 0) - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod decomp;
+mod eigen;
+mod error;
+mod matrix;
+mod stats;
+mod vector;
+
+pub use decomp::{Cholesky, Lu};
+pub use eigen::SymmetricEigen;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use stats::{column_means, covariance_matrix, mahalanobis_squared, standardize_columns};
+pub use vector::{
+    add_scaled, dot, euclidean_distance, l2_norm, mean, scale, squared_distance, subtract,
+    variance,
+};

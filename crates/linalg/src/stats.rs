@@ -1,0 +1,221 @@
+//! Multivariate statistics over row-major sample sets.
+
+use crate::{LinalgError, Matrix};
+
+/// Per-column means of a sample set (rows = samples).
+///
+/// # Errors
+///
+/// [`LinalgError::Empty`] when `samples` is empty,
+/// [`LinalgError::ShapeMismatch`] on ragged rows.
+pub fn column_means(samples: &[Vec<f64>]) -> Result<Vec<f64>, LinalgError> {
+    let first = samples.first().ok_or(LinalgError::Empty)?;
+    let d = first.len();
+    let mut means = vec![0.0; d];
+    for row in samples {
+        if row.len() != d {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("rows of length {d}"),
+                found: format!("row of length {}", row.len()),
+            });
+        }
+        for (m, v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    let n = samples.len() as f64;
+    for m in &mut means {
+        *m /= n;
+    }
+    Ok(means)
+}
+
+/// Sample covariance matrix (denominator `n - 1`, or `n` when `n == 1`).
+///
+/// # Errors
+///
+/// Same conditions as [`column_means`].
+pub fn covariance_matrix(samples: &[Vec<f64>]) -> Result<Matrix, LinalgError> {
+    let means = column_means(samples)?;
+    let d = means.len();
+    let n = samples.len();
+    let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
+    let mut cov = Matrix::zeros(d, d);
+    for row in samples {
+        for i in 0..d {
+            let di = row[i] - means[i];
+            for j in i..d {
+                let dj = row[j] - means[j];
+                let v = cov.get(i, j) + di * dj / denom;
+                cov.set(i, j, v);
+            }
+        }
+    }
+    for i in 0..d {
+        for j in 0..i {
+            cov.set(i, j, cov.get(j, i));
+        }
+    }
+    Ok(cov)
+}
+
+/// Squared Mahalanobis distance `(x - μ)ᵀ Σ⁻¹ (x - μ)` given a precomputed
+/// precision matrix `Σ⁻¹`.
+///
+/// # Errors
+///
+/// [`LinalgError::ShapeMismatch`] when dimensions disagree.
+pub fn mahalanobis_squared(
+    x: &[f64],
+    mean: &[f64],
+    precision: &Matrix,
+) -> Result<f64, LinalgError> {
+    if x.len() != mean.len() || precision.rows() != x.len() || precision.cols() != x.len() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: format!("{0}-vector and {0}x{0} precision", mean.len()),
+            found: format!(
+                "{}-vector and {}x{} precision",
+                x.len(),
+                precision.rows(),
+                precision.cols()
+            ),
+        });
+    }
+    let diff = crate::subtract(x, mean);
+    let proj = precision.matvec(&diff)?;
+    Ok(crate::dot(&diff, &proj))
+}
+
+/// Column-standardization parameters learned by [`standardize_columns`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardization {
+    /// Per-column means subtracted from the data.
+    pub means: Vec<f64>,
+    /// Per-column standard deviations divided out (floored at `1e-12`).
+    pub stds: Vec<f64>,
+}
+
+/// Standardizes columns in place to zero mean / unit variance and returns the
+/// parameters so the same transform can be applied to new samples.
+///
+/// Constant columns get a standard deviation of `1.0` so they map to zero
+/// rather than NaN.
+///
+/// # Errors
+///
+/// Same conditions as [`column_means`].
+pub fn standardize_columns(samples: &mut [Vec<f64>]) -> Result<Standardization, LinalgError> {
+    let means = column_means(samples)?;
+    let d = means.len();
+    let n = samples.len() as f64;
+    let mut stds = vec![0.0; d];
+    for row in samples.iter() {
+        for j in 0..d {
+            let diff = row[j] - means[j];
+            stds[j] += diff * diff;
+        }
+    }
+    for s in &mut stds {
+        *s = (*s / n).sqrt();
+        if *s < 1e-12 {
+            *s = 1.0;
+        }
+    }
+    for row in samples.iter_mut() {
+        for j in 0..d {
+            row[j] = (row[j] - means[j]) / stds[j];
+        }
+    }
+    Ok(Standardization { means, stds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn means_of_fixture() {
+        let samples = vec![vec![1.0, 10.0], vec![3.0, 30.0]];
+        assert_eq!(column_means(&samples).unwrap(), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn means_empty_errors() {
+        assert!(matches!(column_means(&[]), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        let samples = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
+        let cov = covariance_matrix(&samples).unwrap();
+        assert!((cov.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((cov.get(0, 1) - 2.0).abs() < 1e-12);
+        assert!((cov.get(1, 1) - 4.0).abs() < 1e-12);
+        // Symmetry.
+        assert_eq!(cov.get(0, 1), cov.get(1, 0));
+    }
+
+    #[test]
+    fn mahalanobis_identity_precision_is_euclidean() {
+        let precision = Matrix::identity(2);
+        let d2 = mahalanobis_squared(&[3.0, 4.0], &[0.0, 0.0], &precision).unwrap();
+        assert!((d2 - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mahalanobis_scales_with_precision() {
+        // Variance 4 in dim 0 => precision 0.25 => distance shrinks 4x.
+        let precision = Matrix::from_rows(&[&[0.25, 0.0], &[0.0, 1.0]]).unwrap();
+        let d2 = mahalanobis_squared(&[2.0, 0.0], &[0.0, 0.0], &precision).unwrap();
+        assert!((d2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mahalanobis_shape_mismatch() {
+        let precision = Matrix::identity(3);
+        assert!(mahalanobis_squared(&[1.0, 2.0], &[0.0, 0.0], &precision).is_err());
+    }
+
+    #[test]
+    fn standardize_produces_zero_mean_unit_variance() {
+        let mut samples = vec![vec![1.0, 100.0], vec![2.0, 200.0], vec![3.0, 300.0]];
+        let params = standardize_columns(&mut samples).unwrap();
+        assert_eq!(params.means, vec![2.0, 200.0]);
+        let means = column_means(&samples).unwrap();
+        assert!(means.iter().all(|m| m.abs() < 1e-12));
+        for j in 0..2 {
+            let var: f64 =
+                samples.iter().map(|r| r[j] * r[j]).sum::<f64>() / samples.len() as f64;
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardize_constant_column_maps_to_zero() {
+        let mut samples = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let params = standardize_columns(&mut samples).unwrap();
+        assert_eq!(params.stds, vec![1.0]);
+        assert!(samples.iter().all(|r| r[0] == 0.0));
+    }
+
+    proptest! {
+        /// Covariance matrices are positive semi-definite: xᵀΣx ≥ 0.
+        #[test]
+        fn prop_covariance_psd(samples in proptest::collection::vec(
+            proptest::collection::vec(-10.0..10.0f64, 3), 2..20),
+            probe in proptest::collection::vec(-1.0..1.0f64, 3)) {
+            let cov = covariance_matrix(&samples).unwrap();
+            let proj = cov.matvec(&probe).unwrap();
+            prop_assert!(crate::dot(&probe, &proj) >= -1e-8);
+        }
+
+        /// Mahalanobis distance with any SPD precision is non-negative.
+        #[test]
+        fn prop_mahalanobis_nonnegative(x in proptest::collection::vec(-5.0..5.0f64, 3),
+                                        mu in proptest::collection::vec(-5.0..5.0f64, 3)) {
+            let precision = Matrix::identity(3).scaled(0.7);
+            prop_assert!(mahalanobis_squared(&x, &mu, &precision).unwrap() >= 0.0);
+        }
+    }
+}

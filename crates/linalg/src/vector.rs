@@ -1,0 +1,191 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! Feature vectors in the NURD pipeline are plain slices; these helpers keep
+//! the hot paths allocation-free.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(nurd_linalg::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(nurd_linalg::l2_norm(&[3.0, 4.0]), 5.0);
+/// ```
+#[must_use]
+pub fn l2_norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_distance(a, b).sqrt()
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn subtract(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "subtract: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// In-place `a += alpha * b` (the BLAS `axpy` primitive).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_scaled(a: &mut [f64], alpha: f64, b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "add_scaled: length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// In-place scalar multiplication `a *= alpha`.
+pub fn scale(a: &mut [f64], alpha: f64) {
+    for x in a.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().sum::<f64>() / a.len() as f64
+}
+
+/// Population variance of a slice; `0.0` when fewer than two elements.
+#[must_use]
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn norm_of_zero_vector() {
+        assert_eq!(l2_norm(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_on_fixture() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [-1.0, 0.5, 9.0];
+        assert_eq!(euclidean_distance(&a, &b), euclidean_distance(&b, &a));
+    }
+
+    #[test]
+    fn subtract_then_norm_equals_distance() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        assert!((l2_norm(&subtract(&a, &b)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = vec![1.0, 1.0];
+        add_scaled(&mut a, 2.0, &[1.0, -1.0]);
+        assert_eq!(a, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = vec![1.0, -2.0];
+        scale(&mut a, -3.0);
+        assert_eq!(a, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_and_variance_fixture() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cauchy_schwarz(a in proptest::collection::vec(-1e3..1e3f64, 1..16),
+                               b in proptest::collection::vec(-1e3..1e3f64, 1..16)) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            prop_assert!(dot(a, b).abs() <= l2_norm(a) * l2_norm(b) + 1e-6);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in proptest::collection::vec(-1e3..1e3f64, 2..12),
+                                    b in proptest::collection::vec(-1e3..1e3f64, 2..12),
+                                    c in proptest::collection::vec(-1e3..1e3f64, 2..12)) {
+            let n = a.len().min(b.len()).min(c.len());
+            let (a, b, c) = (&a[..n], &b[..n], &c[..n]);
+            prop_assert!(euclidean_distance(a, c)
+                <= euclidean_distance(a, b) + euclidean_distance(b, c) + 1e-6);
+        }
+
+        #[test]
+        fn prop_variance_nonnegative(xs in proptest::collection::vec(-1e4..1e4f64, 0..32)) {
+            prop_assert!(variance(&xs) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when fitting or applying models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Sample and label counts (or feature widths) disagree.
+    DimensionMismatch {
+        /// What the model expected.
+        expected: String,
+        /// What it was given.
+        found: String,
+    },
+    /// A hyperparameter was out of its valid range.
+    InvalidConfig(String),
+    /// Optimization failed to make progress (e.g. singular Hessian that
+    /// ridge damping could not repair).
+    OptimizationFailed(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "training set is empty"),
+            MlError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            MlError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MlError::OptimizationFailed(msg) => write!(f, "optimization failed: {msg}"),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+/// Validates that `x` and `y` describe a consistent, non-empty training set
+/// and returns the feature dimensionality.
+pub(crate) fn check_xy(x: &[Vec<f64>], y: &[f64]) -> Result<usize, MlError> {
+    let first = x.first().ok_or(MlError::EmptyTrainingSet)?;
+    if x.len() != y.len() {
+        return Err(MlError::DimensionMismatch {
+            expected: format!("{} labels", x.len()),
+            found: format!("{} labels", y.len()),
+        });
+    }
+    let d = first.len();
+    if d == 0 {
+        return Err(MlError::DimensionMismatch {
+            expected: "at least one feature".into(),
+            found: "zero-width rows".into(),
+        });
+    }
+    for row in x {
+        if row.len() != d {
+            return Err(MlError::DimensionMismatch {
+                expected: format!("rows of width {d}"),
+                found: format!("row of width {}", row.len()),
+            });
+        }
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_xy_accepts_consistent_input() {
+        let x = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(check_xy(&x, &[0.0, 1.0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn check_xy_rejects_empty() {
+        assert_eq!(check_xy(&[], &[]), Err(MlError::EmptyTrainingSet));
+    }
+
+    #[test]
+    fn check_xy_rejects_label_mismatch() {
+        let x = vec![vec![1.0]];
+        assert!(matches!(
+            check_xy(&x, &[1.0, 2.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn check_xy_rejects_ragged_rows() {
+        let x = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(matches!(
+            check_xy(&x, &[1.0, 2.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display_messages_lowercase() {
+        assert!(MlError::EmptyTrainingSet
+            .to_string()
+            .starts_with("training"));
+    }
+}

@@ -1,0 +1,361 @@
+//! Gradient-boosted trees with Newton (second-order) updates.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::tree::{RegressionTree, TreeConfig};
+use crate::MlError;
+
+/// A twice-differentiable training loss for [`GradientBoosting`].
+///
+/// Implementors supply the gradient and hessian of the per-sample loss with
+/// respect to the raw model score `f`. The trait is deliberately *not*
+/// sealed: `nurd-survival` implements a Tobit loss on top of it to build
+/// Grabit exactly as Sigrist & Hirnschall describe.
+pub trait Loss {
+    /// `(∂ℓ/∂f, ∂²ℓ/∂f²)` evaluated at raw score `f` for target `y`.
+    ///
+    /// Hessians must be non-negative; the booster floors them at `1e-12`.
+    fn gradient_hessian(&self, y: f64, f: f64) -> (f64, f64);
+
+    /// Initial raw score `f₀` minimizing the loss over the training targets
+    /// (e.g. the mean for squared loss, the log-odds for logistic loss).
+    fn base_score(&self, ys: &[f64]) -> f64;
+}
+
+/// Squared-error loss `½(f − y)²` for regression.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SquaredLoss;
+
+impl Loss for SquaredLoss {
+    fn gradient_hessian(&self, y: f64, f: f64) -> (f64, f64) {
+        (f - y, 1.0)
+    }
+
+    fn base_score(&self, ys: &[f64]) -> f64 {
+        nurd_linalg::mean(ys)
+    }
+}
+
+/// Logistic loss for binary classification; targets must be in `{0, 1}` and
+/// the raw score is a logit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogisticLoss;
+
+impl Loss for LogisticLoss {
+    fn gradient_hessian(&self, y: f64, f: f64) -> (f64, f64) {
+        let p = crate::sigmoid(f);
+        (p - y, (p * (1.0 - p)).max(1e-12))
+    }
+
+    fn base_score(&self, ys: &[f64]) -> f64 {
+        let p = nurd_linalg::mean(ys).clamp(1e-6, 1.0 - 1e-6);
+        (p / (1.0 - p)).ln()
+    }
+}
+
+/// Hyperparameters for [`GradientBoosting`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbtConfig {
+    /// Number of boosting rounds (trees).
+    pub n_rounds: usize,
+    /// Shrinkage applied to each tree's output.
+    pub learning_rate: f64,
+    /// Per-tree structural parameters.
+    pub tree: TreeConfig,
+    /// Row subsampling fraction per round (`(0, 1]`).
+    pub subsample: f64,
+    /// RNG seed for row subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbtConfig {
+    fn default() -> Self {
+        GbtConfig {
+            n_rounds: 60,
+            learning_rate: 0.15,
+            tree: TreeConfig::default(),
+            subsample: 1.0,
+            seed: 17,
+        }
+    }
+}
+
+/// Newton-boosted tree ensemble over an arbitrary [`Loss`].
+///
+/// This is the workhorse model of the reproduction: with [`SquaredLoss`] it
+/// is the paper's GBTR baseline and NURD's latency head `h_t`; with
+/// [`LogisticLoss`] it is a boosted classifier (XGBOD's supervised head);
+/// `nurd-survival` plugs in a Tobit loss to obtain Grabit.
+///
+/// # Example
+///
+/// ```
+/// use nurd_ml::{GbtConfig, GradientBoosting, LogisticLoss};
+///
+/// # fn main() -> Result<(), nurd_ml::MlError> {
+/// let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+/// let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 1.0 }).collect();
+/// let clf = GradientBoosting::fit(&x, &y, LogisticLoss, &GbtConfig::default())?;
+/// assert!(clf.predict_proba(&[0.9]) > clf.predict_proba(&[0.1]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradientBoosting<L: Loss> {
+    loss: L,
+    base_score: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl<L: Loss> GradientBoosting<L> {
+    /// Fits the ensemble.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::EmptyTrainingSet`] / [`MlError::DimensionMismatch`] on bad
+    /// input, [`MlError::InvalidConfig`] on out-of-range hyperparameters.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        loss: L,
+        config: &GbtConfig,
+    ) -> Result<Self, MlError> {
+        crate::error::check_xy(x, y)?;
+        if !(config.subsample > 0.0 && config.subsample <= 1.0) {
+            return Err(MlError::InvalidConfig(format!(
+                "subsample must be in (0,1], got {}",
+                config.subsample
+            )));
+        }
+        if config.learning_rate <= 0.0 {
+            return Err(MlError::InvalidConfig(format!(
+                "learning_rate must be positive, got {}",
+                config.learning_rate
+            )));
+        }
+
+        let n = x.len();
+        let base_score = loss.base_score(y);
+        let mut scores = vec![base_score; n];
+        let mut trees = Vec::with_capacity(config.n_rounds);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut all_rows: Vec<usize> = (0..n).collect();
+        let sample_size = ((config.subsample * n as f64).round() as usize).clamp(1, n);
+
+        for _round in 0..config.n_rounds {
+            let rows: &[usize] = if sample_size < n {
+                all_rows.shuffle(&mut rng);
+                &all_rows[..sample_size]
+            } else {
+                &all_rows
+            };
+            let sub_x: Vec<Vec<f64>> = rows.iter().map(|&i| x[i].clone()).collect();
+            let mut grads = Vec::with_capacity(rows.len());
+            let mut hess = Vec::with_capacity(rows.len());
+            for &i in rows {
+                let (g, h) = loss.gradient_hessian(y[i], scores[i]);
+                grads.push(g);
+                hess.push(h.max(1e-12));
+            }
+            let tree = RegressionTree::fit(&sub_x, &grads, &hess, &config.tree)?;
+            for (i, score) in scores.iter_mut().enumerate() {
+                *score += config.learning_rate * tree.predict(&x[i]);
+            }
+            trees.push(tree);
+        }
+
+        Ok(GradientBoosting {
+            loss,
+            base_score,
+            learning_rate: config.learning_rate,
+            trees,
+        })
+    }
+
+    /// Raw additive score `f(x)` (the latency for squared loss, a logit for
+    /// logistic loss).
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let tree_sum: f64 = self.trees.iter().map(|t| t.predict(features)).sum();
+        self.base_score + self.learning_rate * tree_sum
+    }
+
+    /// Raw scores for a batch of samples.
+    #[must_use]
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Probability `σ(f(x))`; meaningful when the loss trains a logit
+    /// (e.g. [`LogisticLoss`]).
+    #[must_use]
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        crate::sigmoid(self.predict(features))
+    }
+
+    /// Number of fitted trees.
+    #[must_use]
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The loss the ensemble was trained with.
+    #[must_use]
+    pub fn loss(&self) -> &L {
+        &self.loss
+    }
+
+    /// The constant initial score `f₀`.
+    #[must_use]
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn regression_learns_linear_function() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+        let model = GradientBoosting::fit(&x, &y, SquaredLoss, &GbtConfig::default()).unwrap();
+        let mse = crate::mean_squared_error(&y, &model.predict_batch(&x));
+        assert!(mse < 0.1, "train mse {mse} too high");
+    }
+
+    #[test]
+    fn regression_learns_nonlinear_interaction() {
+        // y = x0 * x1: linear models can't fit this; trees can.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                x.push(vec![i as f64, j as f64]);
+                y.push((i * j) as f64);
+            }
+        }
+        let cfg = GbtConfig {
+            n_rounds: 150,
+            tree: TreeConfig {
+                max_depth: 4,
+                ..TreeConfig::default()
+            },
+            ..GbtConfig::default()
+        };
+        let model = GradientBoosting::fit(&x, &y, SquaredLoss, &cfg).unwrap();
+        let mse = crate::mean_squared_error(&y, &model.predict_batch(&x));
+        let var = nurd_linalg::variance(&y);
+        assert!(mse < 0.05 * var, "mse {mse} vs variance {var}");
+    }
+
+    #[test]
+    fn classifier_separates_halves() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 0.0 } else { 1.0 }).collect();
+        let clf = GradientBoosting::fit(&x, &y, LogisticLoss, &GbtConfig::default()).unwrap();
+        assert!(clf.predict_proba(&[5.0]) < 0.2);
+        assert!(clf.predict_proba(&[35.0]) > 0.8);
+    }
+
+    #[test]
+    fn base_score_is_mean_for_squared_loss() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![2.0, 4.0];
+        let model = GradientBoosting::fit(
+            &x,
+            &y,
+            SquaredLoss,
+            &GbtConfig {
+                n_rounds: 0,
+                ..GbtConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(model.tree_count(), 0);
+        assert!((model.predict(&[0.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsampling_is_deterministic_under_seed() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| (i % 5) as f64).collect();
+        let cfg = GbtConfig {
+            subsample: 0.6,
+            seed: 99,
+            ..GbtConfig::default()
+        };
+        let m1 = GradientBoosting::fit(&x, &y, SquaredLoss, &cfg).unwrap();
+        let m2 = GradientBoosting::fit(&x, &y, SquaredLoss, &cfg).unwrap();
+        for i in 0..50 {
+            assert_eq!(m1.predict(&x[i]), m2.predict(&x[i]));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_subsample() {
+        let cfg = GbtConfig {
+            subsample: 0.0,
+            ..GbtConfig::default()
+        };
+        assert!(matches!(
+            GradientBoosting::fit(&[vec![1.0]], &[1.0], SquaredLoss, &cfg),
+            Err(MlError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            GradientBoosting::fit(&[], &[], SquaredLoss, &GbtConfig::default()),
+            Err(MlError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn logistic_loss_gradient_signs() {
+        let loss = LogisticLoss;
+        // Predicting logit 0 (p=0.5) with target 1 → negative gradient.
+        let (g1, h1) = loss.gradient_hessian(1.0, 0.0);
+        assert!(g1 < 0.0 && h1 > 0.0);
+        let (g0, _) = loss.gradient_hessian(0.0, 0.0);
+        assert!(g0 > 0.0);
+    }
+
+    proptest! {
+        /// Squared-loss predictions stay within the target hull (each tree
+        /// moves scores toward targets; shrinkage keeps them inside).
+        #[test]
+        fn prop_regression_predictions_bounded(
+            ys in proptest::collection::vec(-50.0..50.0f64, 3..30)) {
+            let x: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+            let model =
+                GradientBoosting::fit(&x, &ys, SquaredLoss, &GbtConfig::default()).unwrap();
+            let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for row in &x {
+                let p = model.predict(row);
+                prop_assert!(p >= lo - 1e-6 && p <= hi + 1e-6);
+            }
+        }
+
+        /// Classifier probabilities are valid probabilities.
+        #[test]
+        fn prop_proba_in_unit_interval(
+            labels in proptest::collection::vec(0u8..2, 4..24)) {
+            let x: Vec<Vec<f64>> = (0..labels.len()).map(|i| vec![i as f64]).collect();
+            let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+            let clf =
+                GradientBoosting::fit(&x, &y, LogisticLoss, &GbtConfig::default()).unwrap();
+            for row in &x {
+                let p = clf.predict_proba(row);
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

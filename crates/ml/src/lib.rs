@@ -1,0 +1,47 @@
+//! From-scratch ML primitives for the NURD reproduction.
+//!
+//! The paper's method stack is built on a small number of classic learners:
+//!
+//! * [`GradientBoosting`] — Newton-boosted regression trees (XGBoost-style)
+//!   with a pluggable [`Loss`]; NURD's latency predictor `h_t`, the GBTR
+//!   baseline, XGBOD's supervised head and Grabit (via a Tobit loss defined
+//!   in `nurd-survival`) all reuse it.
+//! * [`LogisticRegression`] — IRLS-fit; NURD's propensity-score model `g_t`
+//!   and the PU-EN non-traditional classifier.
+//! * [`LinearSvm`] — Pegasos-trained linear SVM; Wrangler and PU-BG.
+//! * [`KMeans`], [`NearestNeighbors`] — substrates for the outlier detectors.
+//!
+//! # Example
+//!
+//! ```
+//! use nurd_ml::{GbtConfig, GradientBoosting, SquaredLoss};
+//!
+//! # fn main() -> Result<(), nurd_ml::MlError> {
+//! let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+//! let y = vec![0.0, 1.0, 2.0, 3.0];
+//! let model = GradientBoosting::fit(&x, &y, SquaredLoss, &GbtConfig::default())?;
+//! let pred = model.predict(&[1.5]);
+//! assert!((pred - 1.5).abs() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod gbt;
+mod kmeans;
+mod logistic;
+mod metrics;
+mod neighbors;
+mod scaler;
+mod svm;
+mod tree;
+
+pub use error::MlError;
+pub use gbt::{GbtConfig, GradientBoosting, LogisticLoss, Loss, SquaredLoss};
+pub use kmeans::{KMeans, KMeansConfig};
+pub use logistic::{LogisticConfig, LogisticRegression};
+pub use metrics::{accuracy, f1_score, mean_absolute_error, mean_squared_error, sigmoid};
+pub use neighbors::NearestNeighbors;
+pub use scaler::StandardScaler;
+pub use svm::{LinearSvm, SvmConfig};
+pub use tree::{RegressionTree, TreeConfig};

@@ -1,0 +1,411 @@
+//! CART-style regression trees fit to gradient/hessian statistics.
+//!
+//! The tree minimizes the second-order (Newton) objective used by
+//! XGBoost-style boosting: each leaf's weight is `-G / (H + λ)` and a split's
+//! gain is the reduction in `-G²/(H+λ)` across the partition. With gradients
+//! `g_i = f_i - y_i` and unit hessians this reduces to ordinary
+//! variance-reduction CART, so the same tree serves plain regression too.
+
+use crate::MlError;
+
+/// Hyperparameters for a single regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0). Must be ≥ 1.
+    pub max_depth: usize,
+    /// Minimum hessian mass per child (≈ sample count for unit hessians).
+    pub min_child_weight: f64,
+    /// L2 regularization on leaf weights (λ in the XGBoost objective).
+    pub lambda: f64,
+    /// Minimum gain required to keep a split (γ).
+    pub min_split_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 3,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            min_split_gain: 1e-9,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        /// Samples with `x[feature] <= threshold` go left.
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+///
+/// # Example
+///
+/// ```
+/// use nurd_ml::{RegressionTree, TreeConfig};
+///
+/// # fn main() -> Result<(), nurd_ml::MlError> {
+/// let x = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+/// // Gradients of squared loss at prediction 0: g = -y.
+/// let grads = vec![-1.0, -1.0, -9.0, -9.0];
+/// let hess = vec![1.0; 4];
+/// let tree = RegressionTree::fit(&x, &grads, &hess, &TreeConfig::default())?;
+/// assert!(tree.predict(&[10.5]) > tree.predict(&[0.5]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree to per-sample gradients and hessians.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::EmptyTrainingSet`] / [`MlError::DimensionMismatch`] on
+    /// inconsistent inputs, [`MlError::InvalidConfig`] if `max_depth == 0`.
+    pub fn fit(
+        x: &[Vec<f64>],
+        gradients: &[f64],
+        hessians: &[f64],
+        config: &TreeConfig,
+    ) -> Result<Self, MlError> {
+        crate::error::check_xy(x, gradients)?;
+        if hessians.len() != gradients.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: format!("{} hessians", gradients.len()),
+                found: format!("{} hessians", hessians.len()),
+            });
+        }
+        if config.max_depth == 0 {
+            return Err(MlError::InvalidConfig("max_depth must be >= 1".into()));
+        }
+        let mut builder = Builder {
+            x,
+            gradients,
+            hessians,
+            config,
+            nodes: Vec::new(),
+        };
+        let indices: Vec<usize> = (0..x.len()).collect();
+        builder.build(indices, 0);
+        Ok(RegressionTree {
+            nodes: builder.nodes,
+        })
+    }
+
+    /// The tree's output for one sample (a leaf weight; the caller applies
+    /// base score and learning rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is narrower than a split feature index, which
+    /// only happens when predicting with fewer features than training used.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { weight } => return *weight,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Depth of the deepest leaf (root-only tree has depth 0).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + walk(nodes, *left).max(walk(nodes, *right))
+                }
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+struct Builder<'a> {
+    x: &'a [Vec<f64>],
+    gradients: &'a [f64],
+    hessians: &'a [f64],
+    config: &'a TreeConfig,
+    nodes: Vec<Node>,
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+impl Builder<'_> {
+    /// Builds the subtree over `indices`; returns the node index.
+    fn build(&mut self, indices: Vec<usize>, depth: usize) -> usize {
+        let (g_sum, h_sum) = self.sums(&indices);
+        let leaf_weight = -g_sum / (h_sum + self.config.lambda);
+
+        if depth >= self.config.max_depth || indices.len() < 2 {
+            return self.push_leaf(leaf_weight);
+        }
+        let Some(split) = self.best_split(&indices, g_sum, h_sum) else {
+            return self.push_leaf(leaf_weight);
+        };
+        if split.gain <= self.config.min_split_gain {
+            return self.push_leaf(leaf_weight);
+        }
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .into_iter()
+            .partition(|&i| self.x[i][split.feature] <= split.threshold);
+        // Degenerate partitions cannot happen: thresholds are midpoints of
+        // strictly distinct consecutive values.
+        let placeholder = self.push_leaf(0.0);
+        let left = self.build(left_idx, depth + 1);
+        let right = self.build(right_idx, depth + 1);
+        self.nodes[placeholder] = Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left,
+            right,
+        };
+        placeholder
+    }
+
+    fn push_leaf(&mut self, weight: f64) -> usize {
+        self.nodes.push(Node::Leaf { weight });
+        self.nodes.len() - 1
+    }
+
+    fn sums(&self, indices: &[usize]) -> (f64, f64) {
+        indices.iter().fold((0.0, 0.0), |(g, h), &i| {
+            (g + self.gradients[i], h + self.hessians[i])
+        })
+    }
+
+    fn best_split(&self, indices: &[usize], g_sum: f64, h_sum: f64) -> Option<BestSplit> {
+        let d = self.x[0].len();
+        let lambda = self.config.lambda;
+        let parent_score = g_sum * g_sum / (h_sum + lambda);
+        let mut best: Option<BestSplit> = None;
+
+        let mut order: Vec<usize> = indices.to_vec();
+        for feature in 0..d {
+            order.sort_by(|&a, &b| {
+                self.x[a][feature]
+                    .partial_cmp(&self.x[b][feature])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut g_left = 0.0;
+            let mut h_left = 0.0;
+            for w in 0..order.len() - 1 {
+                let i = order[w];
+                g_left += self.gradients[i];
+                h_left += self.hessians[i];
+                let v = self.x[i][feature];
+                let v_next = self.x[order[w + 1]][feature];
+                if v == v_next {
+                    continue;
+                }
+                let h_right = h_sum - h_left;
+                if h_left < self.config.min_child_weight
+                    || h_right < self.config.min_child_weight
+                {
+                    continue;
+                }
+                let g_right = g_sum - g_left;
+                let gain = 0.5
+                    * (g_left * g_left / (h_left + lambda)
+                        + g_right * g_right / (h_right + lambda)
+                        - parent_score);
+                if best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(BestSplit {
+                        feature,
+                        threshold: 0.5 * (v + v_next),
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn squared_loss_grads(y: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        // Gradient of 1/2 (f - y)^2 at f = 0 is -y; hessian is 1.
+        (y.iter().map(|v| -v).collect(), vec![1.0; y.len()])
+    }
+
+    #[test]
+    fn perfectly_separable_step_function() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 10.0 }).collect();
+        let (g, h) = squared_loss_grads(&y);
+        let cfg = TreeConfig {
+            lambda: 0.0,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&x, &g, &h, &cfg).unwrap();
+        assert!((tree.predict(&[2.0]) - 0.0).abs() < 1e-9);
+        assert!((tree.predict(&[15.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 5];
+        let (g, h) = squared_loss_grads(&y);
+        let cfg = TreeConfig {
+            lambda: 0.0,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&x, &g, &h, &cfg).unwrap();
+        assert_eq!(tree.leaf_count(), 1);
+        assert!((tree.predict(&[0.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+        let (g, h) = squared_loss_grads(&y);
+        let cfg = TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&x, &g, &h, &cfg).unwrap();
+        assert!(tree.depth() <= 2);
+        assert!(tree.leaf_count() <= 4);
+    }
+
+    #[test]
+    fn min_child_weight_blocks_tiny_splits() {
+        let x: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let y = vec![0.0, 0.0, 0.0, 100.0];
+        let (g, h) = squared_loss_grads(&y);
+        let cfg = TreeConfig {
+            min_child_weight: 2.0,
+            lambda: 0.0,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&x, &g, &h, &cfg).unwrap();
+        // The only useful split (3 vs 1) is blocked on the right child;
+        // 2-2 split is allowed.
+        for node in 0..tree.node_count() {
+            if let Node::Split { threshold, .. } = tree.nodes[node] {
+                assert!((threshold - 1.5).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn multivariate_picks_informative_feature() {
+        // Feature 1 is pure noise; feature 0 determines the target.
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i / 15) as f64, ((i * 7919) % 13) as f64])
+            .collect();
+        let y: Vec<f64> = (0..30).map(|i| if i < 15 { -5.0 } else { 5.0 }).collect();
+        let (g, h) = squared_loss_grads(&y);
+        let tree = RegressionTree::fit(&x, &g, &h, &TreeConfig::default()).unwrap();
+        match &tree.nodes[0] {
+            Node::Split { feature, .. } => assert_eq!(*feature, 0),
+            Node::Leaf { .. } => panic!("expected a split at the root"),
+        }
+    }
+
+    #[test]
+    fn rejects_zero_depth() {
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let err = RegressionTree::fit(&[vec![1.0]], &[1.0], &[1.0], &cfg).unwrap_err();
+        assert!(matches!(err, MlError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn rejects_hessian_length_mismatch() {
+        let err = RegressionTree::fit(
+            &[vec![1.0], vec![2.0]],
+            &[1.0, 2.0],
+            &[1.0],
+            &TreeConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MlError::DimensionMismatch { .. }));
+    }
+
+    proptest! {
+        /// Leaf predictions stay within the hull of the Newton-optimal
+        /// per-sample weights (for unit hessians, within [-max|g|, max|g|]).
+        #[test]
+        fn prop_predictions_bounded_by_gradient_hull(
+            ys in proptest::collection::vec(-100.0..100.0f64, 2..40)) {
+            let x: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+            let (g, h) = squared_loss_grads(&ys);
+            let cfg = TreeConfig { lambda: 0.0, ..TreeConfig::default() };
+            let tree = RegressionTree::fit(&x, &g, &h, &cfg).unwrap();
+            let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for i in 0..ys.len() {
+                let p = tree.predict(&[i as f64]);
+                prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            }
+        }
+
+        /// Tree structure respects depth limits for random targets.
+        #[test]
+        fn prop_depth_bounded(ys in proptest::collection::vec(-10.0..10.0f64, 2..64),
+                              depth in 1usize..5) {
+            let x: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+            let (g, h) = squared_loss_grads(&ys);
+            let cfg = TreeConfig { max_depth: depth, ..TreeConfig::default() };
+            let tree = RegressionTree::fit(&x, &g, &h, &cfg).unwrap();
+            prop_assert!(tree.depth() <= depth);
+        }
+    }
+}

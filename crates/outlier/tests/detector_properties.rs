@@ -1,0 +1,99 @@
+//! Property tests across the full detector suite: on arbitrary
+//! well-formed data, every detector must return finite scores of the right
+//! length, behave deterministically, and respect basic ranking sanity.
+
+use proptest::prelude::*;
+
+use nurd_outlier::{
+    Abod, Cblof, Cof, Hbos, IsolationForest, Knn, Lof, Lscp, Mcd, OcSvm, OutlierDetector,
+    PcaDetector, Sod, Sos,
+};
+
+fn detectors() -> Vec<Box<dyn OutlierDetector>> {
+    vec![
+        Box::new(Abod::default()),
+        Box::new(Cblof::default()),
+        Box::new(Hbos::default()),
+        Box::new(IsolationForest::default()),
+        Box::new(Knn::default()),
+        Box::new(Lof::default()),
+        Box::new(Cof::default()),
+        Box::new(Mcd::default()),
+        Box::new(OcSvm::default()),
+        Box::new(PcaDetector::default()),
+        Box::new(Sos::default()),
+        Box::new(Lscp::default()),
+        Box::new(Sod::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Finite, length-aligned scores on arbitrary rectangular data.
+    #[test]
+    fn prop_scores_finite_and_aligned(rows in proptest::collection::vec(
+        proptest::collection::vec(-100.0..100.0f64, 3), 12..40)) {
+        for det in detectors() {
+            match det.score_all(&rows) {
+                Ok(scores) => {
+                    prop_assert_eq!(scores.len(), rows.len(), "{}", det.name());
+                    prop_assert!(
+                        scores.iter().all(|s| s.is_finite()),
+                        "{} produced non-finite scores", det.name()
+                    );
+                }
+                // Degenerate random data may legitimately be rejected
+                // (e.g. MCD on near-singular scatter) — but only with a
+                // proper error, never a panic.
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Determinism: scoring twice gives identical results.
+    #[test]
+    fn prop_detectors_deterministic(rows in proptest::collection::vec(
+        proptest::collection::vec(-50.0..50.0f64, 2), 10..24)) {
+        for det in detectors() {
+            let a = det.score_all(&rows);
+            let b = det.score_all(&rows);
+            match (a, b) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "{} nondeterministic", det.name()),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "{} flip-flopped Ok/Err", det.name()),
+            }
+        }
+    }
+
+    /// Translation invariance of ranking for distance-based detectors:
+    /// shifting all points by a constant must keep the top-scoring index.
+    #[test]
+    fn prop_translation_preserves_top_outlier(shift in -1e3..1e3f64) {
+        let mut rows: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![(i % 5) as f64 * 0.1, (i / 5) as f64 * 0.1])
+            .collect();
+        rows.push(vec![9.0, 9.0]);
+        let shifted: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|v| v + shift).collect())
+            .collect();
+        for det in [
+            Box::new(Knn::default()) as Box<dyn OutlierDetector>,
+            Box::new(Lof::default()),
+            Box::new(Hbos::default()),
+        ] {
+            let top = |scores: &[f64]| -> usize {
+                scores
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            };
+            let base = det.score_all(&rows).unwrap();
+            let moved = det.score_all(&shifted).unwrap();
+            prop_assert_eq!(top(&base), top(&moved), "{} not shift-stable", det.name());
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Online replay of a job trace under the paper's evaluation protocol.
+
+use nurd_data::{Checkpoint, FinishedTask, JobContext, JobTrace, OnlinePredictor, RunningTask};
+
+use crate::Confusion;
+
+/// Replay parameters (paper defaults: p90 threshold, 4% warmup).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayConfig {
+    /// Latency quantile defining `τ_stra` (the paper uses p90 and reports
+    /// robustness from p70–p95).
+    pub quantile: f64,
+    /// Fraction of tasks that must finish before prediction starts — the
+    /// initial training set of §6.
+    pub warmup_fraction: f64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            quantile: 0.9,
+            warmup_fraction: 0.04,
+        }
+    }
+}
+
+/// Everything measured during one job's replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// The straggler threshold `τ_stra` used.
+    pub threshold: f64,
+    /// For each task, the checkpoint ordinal at which it was flagged
+    /// (`None` = never flagged).
+    pub flagged_at: Vec<Option<usize>>,
+    /// End-of-job confusion counts.
+    pub confusion: Confusion,
+    /// F1 of the *cumulative* flagged set after each checkpoint — the
+    /// series behind Figures 2 and 3.
+    pub f1_timeline: Vec<f64>,
+    /// Checkpoint ordinal at which prediction started (warmup).
+    pub warmup_checkpoint: usize,
+}
+
+impl ReplayOutcome {
+    /// Task ids flagged as stragglers.
+    #[must_use]
+    pub fn flagged_ids(&self) -> Vec<usize> {
+        self.flagged_at
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.map(|_| i))
+            .collect()
+    }
+
+    /// F1 values sampled at `points` normalized-time positions (Figures 2–3
+    /// use ten deciles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points == 0`.
+    #[must_use]
+    pub fn f1_at_normalized_times(&self, points: usize) -> Vec<f64> {
+        assert!(points > 0, "need at least one sample point");
+        let t = self.f1_timeline.len();
+        (1..=points)
+            .map(|p| {
+                let idx = ((p as f64 / points as f64) * t as f64).ceil() as usize;
+                self.f1_timeline[idx.clamp(1, t) - 1]
+            })
+            .collect()
+    }
+}
+
+/// Replays one job against a predictor.
+///
+/// Protocol (§7.1 of the paper):
+/// 1. `τ_stra` is the `quantile` latency of the job; prediction begins at
+///    the first checkpoint where `warmup_fraction` of tasks have finished.
+/// 2. At each checkpoint the predictor sees all finished tasks (features +
+///    latencies) and all still-running, not-yet-flagged tasks (features
+///    only).
+/// 3. A task predicted to straggle is flagged permanently and disappears
+///    from later checkpoints; a task predicted negative is re-evaluated at
+///    the next checkpoint unless it finished in between.
+/// 4. **Revelation rule**: once the clock passes `τ_stra`, every
+///    still-running task has *revealed itself* as a straggler (`y > τ` is
+///    observable) — the paper's goal is prediction "before stragglers
+///    reveal themselves with long run times" (§1). Revealed tasks stop
+///    being predictable; a method that never flagged them pre-revelation
+///    takes the false negative. Without this rule, any method that flags
+///    all survivors at the first post-τ checkpoint collects free true
+///    positives with zero false-positive risk, and end-of-job F1 stops
+///    measuring prediction at all.
+///
+/// # Panics
+///
+/// Panics if the config quantile or warmup fraction is outside `[0, 1]`
+/// (propagated from [`JobTrace::straggler_threshold`]).
+pub fn replay_job(
+    job: &JobTrace,
+    predictor: &mut dyn OnlinePredictor,
+    config: &ReplayConfig,
+) -> ReplayOutcome {
+    let threshold = job.straggler_threshold(config.quantile);
+    let warmup = job.warmup_checkpoint(config.warmup_fraction);
+    let n = job.task_count();
+
+    let ctx = JobContext {
+        threshold,
+        task_count: n,
+        feature_dim: job.feature_dim(),
+        oracle: job,
+    };
+    predictor.begin_job(&ctx);
+
+    let mut flagged_at: Vec<Option<usize>> = vec![None; n];
+    let truth: Vec<bool> = job.tasks().iter().map(|t| t.latency() >= threshold).collect();
+    let mut f1_timeline = Vec::with_capacity(job.checkpoint_count());
+
+    for (k, &time) in job.checkpoint_times().iter().enumerate() {
+        // Prediction is only meaningful before stragglers reveal themselves
+        // (revelation rule, see the function docs).
+        if k >= warmup && time < threshold {
+            let mut finished = Vec::new();
+            let mut running = Vec::new();
+            for task in job.tasks() {
+                if flagged_at[task.id()].is_some() {
+                    continue;
+                }
+                if task.latency() <= time {
+                    finished.push(FinishedTask {
+                        id: task.id(),
+                        features: task.snapshot(k),
+                        latency: task.latency(),
+                    });
+                } else {
+                    running.push(RunningTask {
+                        id: task.id(),
+                        features: task.snapshot(k),
+                    });
+                }
+            }
+            let running_ids: Vec<usize> = running.iter().map(|r| r.id).collect();
+            let checkpoint = Checkpoint {
+                ordinal: k,
+                time,
+                finished,
+                running,
+            };
+            for id in predictor.predict(&checkpoint) {
+                // Ignore ids that are not actually running (finished,
+                // already flagged, or out of range).
+                if running_ids.contains(&id) {
+                    flagged_at[id] = Some(k);
+                }
+            }
+        }
+        f1_timeline.push(cumulative_f1(&flagged_at, &truth));
+    }
+
+    let mut confusion = Confusion::default();
+    for (flag, &is_straggler) in flagged_at.iter().zip(&truth) {
+        match (flag.is_some(), is_straggler) {
+            (true, true) => confusion.true_positives += 1,
+            (true, false) => confusion.false_positives += 1,
+            (false, true) => confusion.false_negatives += 1,
+            (false, false) => confusion.true_negatives += 1,
+        }
+    }
+
+    ReplayOutcome {
+        threshold,
+        flagged_at,
+        confusion,
+        f1_timeline,
+        warmup_checkpoint: warmup,
+    }
+}
+
+fn cumulative_f1(flagged_at: &[Option<usize>], truth: &[bool]) -> f64 {
+    let mut c = Confusion::default();
+    for (flag, &is_straggler) in flagged_at.iter().zip(truth) {
+        match (flag.is_some(), is_straggler) {
+            (true, true) => c.true_positives += 1,
+            (true, false) => c.false_positives += 1,
+            (false, true) => c.false_negatives += 1,
+            (false, false) => c.true_negatives += 1,
+        }
+    }
+    c.f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nurd_trace::{SuiteConfig, TraceStyle};
+
+    /// Oracle predictor that reads true latencies from the context — used
+    /// only to validate the protocol accounting.
+    struct Oracle {
+        threshold: f64,
+        latencies: Vec<f64>,
+    }
+
+    impl Oracle {
+        fn new() -> Self {
+            Oracle {
+                threshold: 0.0,
+                latencies: Vec::new(),
+            }
+        }
+    }
+
+    impl OnlinePredictor for Oracle {
+        fn name(&self) -> &str {
+            "ORACLE"
+        }
+        fn begin_job(&mut self, ctx: &JobContext<'_>) {
+            self.threshold = ctx.threshold;
+            self.latencies = ctx.oracle.latencies();
+        }
+        fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
+            checkpoint
+                .running
+                .iter()
+                .map(|r| r.id)
+                .filter(|&id| self.latencies[id] >= self.threshold)
+                .collect()
+        }
+    }
+
+    struct FlagEverything;
+    impl OnlinePredictor for FlagEverything {
+        fn name(&self) -> &str {
+            "ALL"
+        }
+        fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
+            checkpoint.running.iter().map(|r| r.id).collect()
+        }
+    }
+
+    struct FlagNothing;
+    impl OnlinePredictor for FlagNothing {
+        fn name(&self) -> &str {
+            "NONE"
+        }
+        fn predict(&mut self, _checkpoint: &Checkpoint<'_>) -> Vec<usize> {
+            Vec::new()
+        }
+    }
+
+    fn job() -> JobTrace {
+        let cfg = SuiteConfig::new(TraceStyle::Google)
+            .with_jobs(1)
+            .with_task_range(100, 120)
+            .with_checkpoints(12)
+            .with_seed(21);
+        nurd_trace::generate_job(&cfg, 0)
+    }
+
+    #[test]
+    fn oracle_catches_every_straggler_it_can_see() {
+        let job = job();
+        let out = replay_job(&job, &mut Oracle::new(), &ReplayConfig::default());
+        // Stragglers run long, so all of them are still running at warmup
+        // and the oracle flags them all; no false positives by construction.
+        assert_eq!(out.confusion.false_positives, 0);
+        assert_eq!(out.confusion.false_negatives, 0);
+        assert_eq!(out.confusion.f1(), 1.0);
+    }
+
+    #[test]
+    fn flag_nothing_yields_zero_f1_and_full_fnr() {
+        let job = job();
+        let out = replay_job(&job, &mut FlagNothing, &ReplayConfig::default());
+        assert_eq!(out.confusion.true_positives, 0);
+        assert_eq!(out.confusion.false_positives, 0);
+        assert_eq!(out.confusion.fnr(), 1.0);
+        assert!(out.f1_timeline.iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn flag_everything_has_perfect_tpr_terrible_precision() {
+        let job = job();
+        let out = replay_job(&job, &mut FlagEverything, &ReplayConfig::default());
+        assert_eq!(out.confusion.false_negatives, 0);
+        assert!(out.confusion.fpr() > 0.5);
+        assert!(out.confusion.f1() < 0.5);
+    }
+
+    #[test]
+    fn conservation_of_tasks() {
+        let job = job();
+        for predictor in [&mut FlagEverything as &mut dyn OnlinePredictor, &mut FlagNothing] {
+            let out = replay_job(&job, predictor, &ReplayConfig::default());
+            assert_eq!(out.confusion.total(), job.task_count());
+        }
+    }
+
+    #[test]
+    fn flagged_tasks_stay_flagged() {
+        let job = job();
+        let out = replay_job(&job, &mut FlagEverything, &ReplayConfig::default());
+        // Every task flagged exactly once, at or after warmup.
+        for flag in out.flagged_at.iter().flatten() {
+            assert!(*flag >= out.warmup_checkpoint);
+        }
+        // Tasks finished before warmup are unflaggable.
+        let warmup_time = job.checkpoint_times()[out.warmup_checkpoint];
+        for (task, flag) in job.tasks().iter().zip(&out.flagged_at) {
+            if task.latency() <= warmup_time && flag.is_some() {
+                panic!("task finished before warmup got flagged");
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_is_monotone_for_oracle() {
+        let job = job();
+        let out = replay_job(&job, &mut Oracle::new(), &ReplayConfig::default());
+        for w in out.f1_timeline.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "oracle F1 should only improve");
+        }
+    }
+
+    #[test]
+    fn decile_sampling_has_ten_points() {
+        let job = job();
+        let out = replay_job(&job, &mut Oracle::new(), &ReplayConfig::default());
+        let deciles = out.f1_at_normalized_times(10);
+        assert_eq!(deciles.len(), 10);
+        assert_eq!(*deciles.last().unwrap(), *out.f1_timeline.last().unwrap());
+    }
+
+    #[test]
+    fn higher_warmup_fraction_delays_prediction() {
+        let job = job();
+        let early = replay_job(&job, &mut Oracle::new(), &ReplayConfig::default());
+        let late = replay_job(
+            &job,
+            &mut Oracle::new(),
+            &ReplayConfig {
+                warmup_fraction: 0.5,
+                ..ReplayConfig::default()
+            },
+        );
+        assert!(late.warmup_checkpoint >= early.warmup_checkpoint);
+    }
+
+    #[test]
+    fn out_of_range_predictions_are_ignored() {
+        struct Wild;
+        impl OnlinePredictor for Wild {
+            fn name(&self) -> &str {
+                "WILD"
+            }
+            fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
+                // Claim finished tasks and nonsense ids; none should count.
+                checkpoint
+                    .finished
+                    .iter()
+                    .map(|f| f.id)
+                    .chain([usize::MAX >> 1])
+                    .collect()
+            }
+        }
+        let job = job();
+        let out = replay_job(&job, &mut Wild, &ReplayConfig::default());
+        assert!(out.flagged_ids().is_empty());
+    }
+}

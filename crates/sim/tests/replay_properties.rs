@@ -1,0 +1,101 @@
+//! Property tests of the replay protocol over directly constructed jobs
+//! (no generator involved): the protocol must be correct for *any*
+//! structurally valid trace, not just the synthetic family.
+
+use proptest::prelude::*;
+
+use nurd_data::{Checkpoint, JobTrace, OnlinePredictor, TaskRecord};
+use nurd_sim::{replay_job, ReplayConfig};
+
+/// Builds a valid job from proptest-drawn latencies.
+fn job_from_latencies(latencies: &[f64]) -> JobTrace {
+    let max = latencies.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let checkpoints: Vec<f64> = (1..=8).map(|k| max * 1.05 * k as f64 / 8.0).collect();
+    let tasks: Vec<TaskRecord> = latencies
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            // One feature correlated with latency, one constant.
+            let series: Vec<Vec<f64>> = checkpoints.iter().map(|_| vec![l * 0.1, 1.0]).collect();
+            TaskRecord::new(i, l, series)
+        })
+        .collect();
+    JobTrace::new(7, vec!["a".into(), "b".into()], checkpoints, tasks).unwrap()
+}
+
+struct FlagAll;
+impl OnlinePredictor for FlagAll {
+    fn name(&self) -> &str {
+        "ALL"
+    }
+    fn predict(&mut self, c: &Checkpoint<'_>) -> Vec<usize> {
+        c.running.iter().map(|r| r.id).collect()
+    }
+}
+
+struct Never;
+impl OnlinePredictor for Never {
+    fn name(&self) -> &str {
+        "NONE"
+    }
+    fn predict(&mut self, _c: &Checkpoint<'_>) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Task conservation and timeline shape hold for arbitrary latencies.
+    #[test]
+    fn prop_conservation_and_timeline(latencies in proptest::collection::vec(
+        0.1..1000.0f64, 5..60)) {
+        let job = job_from_latencies(&latencies);
+        for p in [&mut FlagAll as &mut dyn OnlinePredictor, &mut Never] {
+            let out = replay_job(&job, p, &ReplayConfig::default());
+            prop_assert_eq!(out.confusion.total(), job.task_count());
+            prop_assert_eq!(out.f1_timeline.len(), job.checkpoint_count());
+            prop_assert!(out.f1_timeline.iter().all(|f| (0.0..=1.0).contains(f)));
+        }
+    }
+
+    /// The never-flagging predictor has zero positives; the all-flagging
+    /// one has zero true negatives among tasks running at a prediction
+    /// checkpoint.
+    #[test]
+    fn prop_extreme_predictors_bound_the_confusion(latencies in
+        proptest::collection::vec(0.1..1000.0f64, 5..60)) {
+        let job = job_from_latencies(&latencies);
+        let never = replay_job(&job, &mut Never, &ReplayConfig::default());
+        prop_assert_eq!(never.confusion.true_positives, 0);
+        prop_assert_eq!(never.confusion.false_positives, 0);
+        let all = replay_job(&job, &mut FlagAll, &ReplayConfig::default());
+        // FlagAll's flagged set is a superset of any other predictor's
+        // possible flags; its FN count is the protocol's floor.
+        prop_assert!(all.confusion.false_negatives <= never.confusion.false_negatives);
+    }
+
+    /// The cumulative F1 timeline never moves before warmup.
+    #[test]
+    fn prop_timeline_flat_before_warmup(latencies in proptest::collection::vec(
+        0.1..1000.0f64, 10..40)) {
+        let job = job_from_latencies(&latencies);
+        let out = replay_job(&job, &mut FlagAll, &ReplayConfig::default());
+        for k in 0..out.warmup_checkpoint.min(out.f1_timeline.len()) {
+            prop_assert_eq!(out.f1_timeline[k], 0.0);
+        }
+    }
+
+    /// Quantile monotonicity of the threshold wiring: a stricter quantile
+    /// yields a no-smaller threshold and a no-larger true straggler set.
+    #[test]
+    fn prop_quantile_monotonicity(latencies in proptest::collection::vec(
+        0.1..1000.0f64, 10..50), q1 in 0.5..0.95f64, q2 in 0.5..0.95f64) {
+        let job = job_from_latencies(&latencies);
+        let (lo, hi) = if q1 < q2 { (q1, q2) } else { (q2, q1) };
+        let t_lo = job.straggler_threshold(lo);
+        let t_hi = job.straggler_threshold(hi);
+        prop_assert!(t_hi >= t_lo);
+        prop_assert!(job.true_stragglers(t_hi).len() <= job.true_stragglers(t_lo).len());
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: generate a job, run NURD on it, inspect the outcome.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nurd::core::{NurdConfig, NurdPredictor};
+use nurd::sim::{replay_job, ReplayConfig};
+use nurd::trace::{SuiteConfig, TraceStyle};
+
+fn main() {
+    // 1. Generate a synthetic Google-style job: 200 tasks, 15 features,
+    //    ~10% stragglers at the p90 latency threshold.
+    let config = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(1)
+        .with_task_range(200, 200)
+        .with_seed(42);
+    let job = nurd::trace::generate_job(&config, 0);
+    let threshold = job.straggler_threshold(0.9);
+    println!(
+        "job {}: {} tasks, p90 threshold {:.0}s, max latency {:.0}s",
+        job.job_id(),
+        job.task_count(),
+        threshold,
+        job.max_latency()
+    );
+
+    // 2. Replay it online against NURD (paper defaults).
+    let mut nurd = NurdPredictor::new(NurdConfig::default());
+    let outcome = replay_job(&job, &mut nurd, &ReplayConfig::default());
+
+    // 3. Score the prediction.
+    let c = &outcome.confusion;
+    println!(
+        "NURD: caught {}/{} stragglers, {} false alarms over {} tasks",
+        c.true_positives,
+        c.true_positives + c.false_negatives,
+        c.false_positives,
+        c.total()
+    );
+    println!(
+        "TPR {:.2}  FPR {:.2}  F1 {:.3}  (delta = {:?})",
+        c.tpr(),
+        c.fpr(),
+        c.f1(),
+        nurd.delta()
+    );
+
+    // 4. Show when each straggler was flagged.
+    println!("\nflagged tasks (id @ checkpoint):");
+    for (id, flag) in outcome.flagged_at.iter().enumerate() {
+        if let Some(k) = flag {
+            let truth = if job.tasks()[id].latency() >= threshold {
+                "straggler"
+            } else {
+                "FALSE ALARM"
+            };
+            println!("  task {id:4} @ checkpoint {k:2} ({truth})");
+        }
+    }
+}

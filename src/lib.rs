@@ -1,0 +1,47 @@
+//! **nurd** — a from-scratch Rust reproduction of *NURD: Negative-Unlabeled
+//! Learning for Online Datacenter Straggler Prediction* (MLSys 2022).
+//!
+//! This facade re-exports the workspace crates under stable module names so
+//! downstream users can depend on a single crate:
+//!
+//! * [`core`] — the NURD algorithm (Algorithm 1): propensity reweighting
+//!   and distribution compensation.
+//! * [`baselines`] — the full 23-method roster of the paper's Table 3.
+//! * [`sim`] — the online replay protocol, metrics, and the mitigation
+//!   schedulers of Algorithms 2 and 3.
+//! * [`trace`] — the synthetic Google/Alibaba-style trace substrate.
+//! * [`data`], [`ml`], [`linalg`], [`outlier`], [`pu`], [`survival`] — the
+//!   substrates everything above is built from.
+//!
+//! # Example
+//!
+//! ```
+//! use nurd::core::{NurdConfig, NurdPredictor};
+//! use nurd::sim::{replay_job, ReplayConfig};
+//! use nurd::trace::{SuiteConfig, TraceStyle};
+//!
+//! let config = SuiteConfig::new(TraceStyle::Google)
+//!     .with_jobs(1)
+//!     .with_task_range(60, 80)
+//!     .with_checkpoints(10)
+//!     .with_seed(42);
+//! let job = nurd::trace::generate_job(&config, 0);
+//! let mut predictor = NurdPredictor::new(NurdConfig::default());
+//! let outcome = replay_job(&job, &mut predictor, &ReplayConfig::default());
+//! assert_eq!(outcome.confusion.total(), job.task_count());
+//! ```
+//!
+//! See `README.md` for the experiment harness, `DESIGN.md` for the system
+//! inventory and substitution rationale, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use nurd_baselines as baselines;
+pub use nurd_core as core;
+pub use nurd_data as data;
+pub use nurd_linalg as linalg;
+pub use nurd_ml as ml;
+pub use nurd_outlier as outlier;
+pub use nurd_pu as pu;
+pub use nurd_sim as sim;
+pub use nurd_survival as survival;
+pub use nurd_trace as trace;

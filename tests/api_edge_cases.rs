@@ -1,0 +1,153 @@
+//! Edge-case and failure-injection tests over the public API surface:
+//! the library must fail loudly and predictably, never silently wrong.
+
+use nurd::data::{DataError, JobTrace, TaskRecord};
+use nurd::ml::{
+    GbtConfig, GradientBoosting, KMeans, KMeansConfig, LinearSvm, LogisticConfig,
+    LogisticRegression, MlError, NearestNeighbors, SquaredLoss, SvmConfig,
+};
+use nurd::outlier::{contamination_threshold, IsolationForest, OutlierDetector};
+use nurd::survival::{CoxConfig, CoxPh, Grabit, GrabitConfig, Tobit, TobitConfig};
+
+#[test]
+fn degenerate_training_sets_error_not_panic() {
+    // Empty everything.
+    assert!(matches!(
+        GradientBoosting::fit(&[], &[], SquaredLoss, &GbtConfig::default()),
+        Err(MlError::EmptyTrainingSet)
+    ));
+    assert!(matches!(
+        LogisticRegression::fit(&[], &[], &LogisticConfig::default()),
+        Err(MlError::EmptyTrainingSet)
+    ));
+    assert!(matches!(
+        LinearSvm::fit(&[], &[], &SvmConfig::default()),
+        Err(MlError::EmptyTrainingSet)
+    ));
+    assert!(matches!(
+        KMeans::fit(&[], &KMeansConfig::default()),
+        Err(MlError::EmptyTrainingSet)
+    ));
+    assert!(NearestNeighbors::new(vec![]).is_err());
+    assert!(Tobit::fit(&[], &[], &[], &TobitConfig::default()).is_err());
+    assert!(Grabit::fit(&[], &[], &[], &GrabitConfig::default()).is_err());
+    assert!(CoxPh::fit(&[], &[], &[], &CoxConfig::default()).is_err());
+}
+
+#[test]
+fn single_sample_models_behave() {
+    // One sample is enough for fit-or-clean-error, never a panic.
+    let x = vec![vec![1.0, 2.0]];
+    let gbt = GradientBoosting::fit(&x, &[5.0], SquaredLoss, &GbtConfig::default()).unwrap();
+    assert!((gbt.predict(&[1.0, 2.0]) - 5.0).abs() < 1e-9);
+    let km = KMeans::fit(&x, &KMeansConfig::default()).unwrap();
+    assert_eq!(km.centroids().len(), 1);
+    let det = IsolationForest::default();
+    let scores = det.score_all(&x).unwrap();
+    assert_eq!(scores.len(), 1);
+}
+
+#[test]
+fn constant_features_are_survivable_everywhere() {
+    let x: Vec<Vec<f64>> = (0..20).map(|_| vec![3.0, 3.0, 3.0]).collect();
+    let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+    let labels: Vec<f64> = (0..20).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
+    let gbt = GradientBoosting::fit(&x, &y, SquaredLoss, &GbtConfig::default()).unwrap();
+    assert!((gbt.predict(&[3.0, 3.0, 3.0]) - 9.5).abs() < 1e-6);
+    let lr = LogisticRegression::fit(&x, &labels, &LogisticConfig::default()).unwrap();
+    assert!((lr.predict_proba(&[3.0, 3.0, 3.0]) - 0.5).abs() < 0.01);
+}
+
+#[test]
+fn nan_free_outputs_under_extreme_scales() {
+    // Features spanning 12 orders of magnitude must not produce NaN.
+    let x: Vec<Vec<f64>> = (0..30)
+        .map(|i| vec![1e-6 * (i + 1) as f64, 1e6 * (i + 1) as f64])
+        .collect();
+    let y: Vec<f64> = (0..30).map(|i| (i * i) as f64).collect();
+    let gbt = GradientBoosting::fit(&x, &y, SquaredLoss, &GbtConfig::default()).unwrap();
+    for row in &x {
+        assert!(gbt.predict(row).is_finite());
+    }
+    let observed = vec![true; 30];
+    let tobit = Tobit::fit(&x, &y, &observed, &TobitConfig::default()).unwrap();
+    for row in &x {
+        assert!(tobit.predict(row).is_finite());
+    }
+}
+
+#[test]
+fn trace_validation_rejects_malformed_jobs() {
+    // Zero tasks.
+    assert!(matches!(
+        JobTrace::new(1, vec!["f".into()], vec![1.0], vec![]),
+        Err(DataError::Invalid(_))
+    ));
+    // Checkpoint at time zero.
+    let t = TaskRecord::new(0, 1.0, vec![vec![0.0]]);
+    assert!(JobTrace::new(1, vec!["f".into()], vec![0.0], vec![t]).is_err());
+    // NaN checkpoint.
+    let t = TaskRecord::new(0, 1.0, vec![vec![0.0]]);
+    assert!(JobTrace::new(1, vec!["f".into()], vec![f64::NAN], vec![t]).is_err());
+}
+
+#[test]
+fn csv_reader_survives_hostile_input() {
+    for garbage in [
+        &b"\xff\xfe invalid utf8 later: \xc3\x28"[..],
+        b"#job,notanumber\n",
+        b"#features,a,b\n0,1,0,2,3\n",
+        b"#job,1\n#features,a\n#checkpoints,abc\n",
+        b"#job,1\n#features,f\n#checkpoints,1\n0,nan,0,0.5\n",
+        b"#job,1\n#features,f\n#checkpoints,1\n0,1.0,0,inf\n",
+        b"#job,1\n#features,f\n#checkpoints,1\n0,-3.0,0,0.5\n",
+    ] {
+        // Must error, never panic.
+        assert!(nurd::data::read_job_csv(garbage).is_err());
+    }
+}
+
+#[test]
+fn contamination_threshold_extremes() {
+    let scores = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+    // Tiny contamination → threshold at the top of the range.
+    assert!(contamination_threshold(&scores, 0.01) >= 4.0);
+    // Huge contamination → threshold near the bottom.
+    assert!(contamination_threshold(&scores, 0.99) <= 2.0);
+}
+
+#[test]
+fn replay_handles_trivial_jobs() {
+    // A 2-task job with 1 checkpoint must replay without panicking for
+    // every registry method.
+    let tasks = vec![
+        TaskRecord::new(0, 1.0, vec![vec![0.1, 0.2]]),
+        TaskRecord::new(1, 5.0, vec![vec![0.9, 0.8]]),
+    ];
+    let job = JobTrace::new(
+        9,
+        vec!["a".into(), "b".into()],
+        vec![10.0],
+        tasks,
+    )
+    .unwrap();
+    for spec in nurd::baselines::registry() {
+        let mut p = spec.build();
+        let out = nurd::sim::replay_job(&job, p.as_mut(), &nurd::sim::ReplayConfig::default());
+        assert_eq!(out.confusion.total(), 2, "{}", spec.name);
+    }
+}
+
+#[test]
+fn quantile_thresholds_cover_the_full_range() {
+    let tasks: Vec<TaskRecord> = (0..50)
+        .map(|i| TaskRecord::new(i, (i + 1) as f64, vec![vec![i as f64]]))
+        .collect();
+    let job = JobTrace::new(3, vec!["f".into()], vec![100.0], tasks).unwrap();
+    for q in [0.0, 0.25, 0.5, 0.7, 0.9, 0.95, 1.0] {
+        let t = job.straggler_threshold(q);
+        assert!((1.0..=50.0).contains(&t), "q={q} → {t}");
+    }
+    // Monotone in q.
+    assert!(job.straggler_threshold(0.9) > job.straggler_threshold(0.5));
+}
