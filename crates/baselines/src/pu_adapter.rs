@@ -87,7 +87,11 @@ mod tests {
     #[test]
     fn pu_en_is_aggressive_but_catches_stragglers() {
         let job = job();
-        let out = replay_job(&job, &mut PuEnPredictor::default(), &ReplayConfig::default());
+        let out = replay_job(
+            &job,
+            &mut PuEnPredictor::default(),
+            &ReplayConfig::default(),
+        );
         // The paper's observation: PU learners achieve high TPR at the cost
         // of many false positives.
         assert!(out.confusion.tpr() > 0.5, "tpr {}", out.confusion.tpr());

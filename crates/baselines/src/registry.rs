@@ -102,9 +102,7 @@ pub fn registry() -> Vec<MethodSpec> {
 pub fn registry_with_nurd_alpha(alpha: f64) -> Vec<MethodSpec> {
     use MethodFamily as F;
     vec![
-        MethodSpec::new("GBTR", F::Supervised, || {
-            Box::new(GbtrPredictor::default())
-        }),
+        MethodSpec::new("GBTR", F::Supervised, || Box::new(GbtrPredictor::default())),
         MethodSpec::new("ABOD", F::OutlierDetection, || {
             Box::new(OutlierPredictor::new(Box::new(Abod::default())))
         }),
@@ -169,9 +167,7 @@ pub fn registry_with_nurd_alpha(alpha: f64) -> Vec<MethodSpec> {
             Box::new(NurdPredictor::new(NurdConfig::without_calibration()))
         }),
         MethodSpec::new("NURD", F::Ours, move || {
-            Box::new(NurdPredictor::new(
-                NurdConfig::default().with_alpha(alpha),
-            ))
+            Box::new(NurdPredictor::new(NurdConfig::default().with_alpha(alpha)))
         }),
     ]
 }

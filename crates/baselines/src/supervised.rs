@@ -1,6 +1,7 @@
 //! GBTR: the plain supervised baseline (§6 "Supervised learning").
 
 use nurd_data::{Checkpoint, JobContext, OnlinePredictor};
+use nurd_linalg::MatrixView;
 use nurd_ml::{GbtConfig, GradientBoosting, SquaredLoss};
 
 /// Gradient boosting trained on finished tasks with no correction; flags a
@@ -46,16 +47,23 @@ impl OnlinePredictor for GbtrPredictor {
         if checkpoint.finished.len() < 2 || checkpoint.running.is_empty() {
             return Vec::new();
         }
-        let x = checkpoint.finished_features();
+        // Zero-copy row views: the booster bins straight from the trace
+        // storage, no feature cloning.
+        let x = checkpoint.finished_feature_rows();
         let y = checkpoint.finished_latencies();
-        let Ok(model) = GradientBoosting::fit(&x, &y, SquaredLoss, &self.config) else {
+        let Ok(model) =
+            GradientBoosting::fit_view(MatrixView::RowSlices(&x), &y, SquaredLoss, &self.config)
+        else {
             return Vec::new();
         };
+        let run_rows = checkpoint.running_feature_rows();
+        let preds = model.predict_view(MatrixView::RowSlices(&run_rows));
         checkpoint
             .running
             .iter()
-            .filter(|t| model.predict(t.features) >= self.threshold)
-            .map(|t| t.id)
+            .zip(preds)
+            .filter(|(_, pred)| *pred >= self.threshold)
+            .map(|(t, _)| t.id)
             .collect()
     }
 }
@@ -75,7 +83,11 @@ mod tests {
             .with_long_tail_fraction(1.0)
             .with_seed(5);
         let job = nurd_trace::generate_job(&cfg, 0);
-        let out = replay_job(&job, &mut GbtrPredictor::default(), &ReplayConfig::default());
+        let out = replay_job(
+            &job,
+            &mut GbtrPredictor::default(),
+            &ReplayConfig::default(),
+        );
         // Trained only on non-stragglers, GBTR cannot predict beyond the
         // observed latency range: FPR stays near zero and TPR well below 1.
         assert!(out.confusion.fpr() < 0.15, "fpr {}", out.confusion.fpr());

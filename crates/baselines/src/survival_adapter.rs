@@ -201,7 +201,11 @@ mod tests {
         let mut grabit_f1 = 0.0;
         for seed in [1, 2, 3, 4, 5, 6] {
             let job = job(seed);
-            let t = replay_job(&job, &mut TobitPredictor::default(), &ReplayConfig::default());
+            let t = replay_job(
+                &job,
+                &mut TobitPredictor::default(),
+                &ReplayConfig::default(),
+            );
             let g = replay_job(
                 &job,
                 &mut GrabitPredictor::default(),

@@ -4,12 +4,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use nurd_ml::{
-    GbtConfig, GradientBoosting, LogisticConfig, LogisticRegression, SquaredLoss,
+    GbtConfig, GradientBoosting, LogisticConfig, LogisticRegression, RegressionTree, SquaredLoss,
+    TreeConfig, TreeGrowth,
 };
 
 fn training_set(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let x: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..d).map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0).collect())
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0)
+                .collect()
+        })
         .collect();
     let y: Vec<f64> = x
         .iter()
@@ -18,14 +23,39 @@ fn training_set(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     (x, y)
 }
 
+fn bench_tree_fit(c: &mut Criterion) {
+    // Single-tree construction cost, exact vs histogram growth, across the
+    // training-set sizes NURD sees over a job's lifetime. This isolates
+    // the split-finding algorithm itself (depth 6 to give both builders
+    // real work below the root).
+    let mut group = c.benchmark_group("tree_fit");
+    for &n in &[100usize, 1000, 3000] {
+        let (x, y) = training_set(n, 15);
+        let grads: Vec<f64> = y.iter().map(|v| -v).collect();
+        let hess = vec![1.0; n];
+        for (label, growth) in [
+            ("exact", TreeGrowth::Exact),
+            ("histogram", TreeGrowth::Histogram),
+        ] {
+            let config = TreeConfig {
+                max_depth: 6,
+                growth,
+                ..TreeConfig::default()
+            };
+            group.bench_function(BenchmarkId::new(label, n), |b| {
+                b.iter(|| RegressionTree::fit(&x, &grads, &hess, &config).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_gbt_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("gbt_fit");
     for &n in &[100usize, 300] {
         let (x, y) = training_set(n, 15);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                GradientBoosting::fit(&x, &y, SquaredLoss, &GbtConfig::default()).unwrap()
-            });
+            b.iter(|| GradientBoosting::fit(&x, &y, SquaredLoss, &GbtConfig::default()).unwrap());
         });
     }
     group.finish();
@@ -61,5 +91,11 @@ fn bench_logistic_fit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gbt_fit, bench_gbt_predict, bench_logistic_fit);
+criterion_group!(
+    benches,
+    bench_tree_fit,
+    bench_gbt_fit,
+    bench_gbt_predict,
+    bench_logistic_fit
+);
 criterion_main!(benches);

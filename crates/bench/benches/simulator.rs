@@ -42,17 +42,13 @@ fn bench_scheduler(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("simulate_jct_300_tasks");
     for &machines in &[50usize, 300] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(machines),
-            &machines,
-            |b, &m| {
-                let scheduler = SchedulerConfig {
-                    machines: Some(m),
-                    ..SchedulerConfig::default()
-                };
-                b.iter(|| simulate_jct(&job, &outcome, &scheduler));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(machines), &machines, |b, &m| {
+            let scheduler = SchedulerConfig {
+                machines: Some(m),
+                ..SchedulerConfig::default()
+            };
+            b.iter(|| simulate_jct(&job, &outcome, &scheduler));
+        });
     }
     group.finish();
 }

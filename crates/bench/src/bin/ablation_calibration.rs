@@ -30,7 +30,10 @@ fn main() {
         println!("\n{label} jobs:");
         println!("{:14} {:>6} {:>6} {:>6}", "variant", "TPR", "FPR", "F1");
         let nc = evaluate(&jobs, &NurdConfig::without_calibration());
-        println!("{:14} {:6.2} {:6.2} {:6.3}", "NURD-NC", nc.tpr, nc.fpr, nc.f1);
+        println!(
+            "{:14} {:6.2} {:6.2} {:6.3}",
+            "NURD-NC", nc.tpr, nc.fpr, nc.f1
+        );
         for alpha in [0.08, 0.12, 0.2, 0.35, 0.5] {
             let s = evaluate(&jobs, &NurdConfig::default().with_alpha(alpha));
             println!(

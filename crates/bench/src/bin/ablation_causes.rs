@@ -57,9 +57,13 @@ fn main() {
             }
         }
         let pct = |key: &str| -> f64 {
-            caught
-                .get(key)
-                .map_or(0.0, |&(c, n)| if n == 0 { 0.0 } else { 100.0 * c as f64 / n as f64 })
+            caught.get(key).map_or(0.0, |&(c, n)| {
+                if n == 0 {
+                    0.0
+                } else {
+                    100.0 * c as f64 / n as f64
+                }
+            })
         };
         println!(
             "{:10} {:>12.0}% {:>9.0}% {:>8.0}% {:>6.0}% {:>7.0}%",

@@ -18,8 +18,7 @@ fn main() {
         let confusions: Vec<_> = jobs
             .iter()
             .map(|job| {
-                let mut p =
-                    NurdPredictor::new(NurdConfig::default().with_epsilon(epsilon));
+                let mut p = NurdPredictor::new(NurdConfig::default().with_epsilon(epsilon));
                 replay_job(job, &mut p, &ReplayConfig::default()).confusion
             })
             .collect();

@@ -14,7 +14,10 @@ fn main() {
     let jobs = nurd_trace::generate_suite(&cfg);
 
     println!("Ablation: refit interval (16 mixed jobs, Google style).");
-    println!("{:>12} {:>6} {:>6} {:>6}", "refit every", "TPR", "FPR", "F1");
+    println!(
+        "{:>12} {:>6} {:>6} {:>6}",
+        "refit every", "TPR", "FPR", "F1"
+    );
     for refit in [1usize, 2, 4, 8, 1000] {
         let confusions: Vec<_> = jobs
             .iter()

@@ -5,7 +5,6 @@
 //! no training data.
 
 use nurd_core::{DonorModel, NurdConfig, NurdPredictor, TransferNurdPredictor};
-use nurd_data::OnlinePredictor;
 use nurd_sim::{replay_job, ReplayConfig, ReplayOutcome};
 use nurd_trace::{SuiteConfig, TraceStyle};
 
@@ -29,8 +28,7 @@ fn main() {
         .with_seed(0xE87);
     let jobs = nurd_trace::generate_suite(&cfg);
     // Job 0 is the completed donor; jobs 1.. are the online targets.
-    let donor = DonorModel::from_job(&jobs[0], &NurdConfig::default())
-        .expect("donor job distills");
+    let donor = DonorModel::from_job(&jobs[0], &NurdConfig::default()).expect("donor job distills");
     let targets = &jobs[1..];
 
     let replay = ReplayConfig::default();

@@ -30,13 +30,13 @@ fn main() {
         .with_task_range(300, 400)
         .with_checkpoints(20)
         .with_long_tail_fraction(1.0)
-        .with_seed(0xF16_1);
+        .with_seed(0xF161);
     let close = SuiteConfig::new(TraceStyle::Google)
         .with_jobs(1)
         .with_task_range(300, 400)
         .with_checkpoints(20)
         .with_long_tail_fraction(0.0)
-        .with_seed(0xF16_1);
+        .with_seed(0xF161);
 
     println!("Figure 1. Latency distributions for two generated jobs.\n");
     describe(&nurd_trace::generate_job(&long, 0), "long-tailed family");

@@ -7,11 +7,7 @@ use nurd_sim::ReplayConfig;
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    eprintln!(
-        "[fig2/3] {} suite: {} jobs",
-        opts.style_label(),
-        opts.jobs
-    );
+    eprintln!("[fig2/3] {} suite: {} jobs", opts.style_label(), opts.jobs);
     let jobs = opts.build_suite();
     let methods = opts.selected_methods();
     let results = evaluate_all(&methods, &jobs, &ReplayConfig::default(), opts.threads);

@@ -5,7 +5,7 @@ use nurd_trace::{ALIBABA_FEATURES, GOOGLE_FEATURES};
 fn main() {
     println!("Table 1. Task features used in the Google Traces.");
     println!("{:-^60}", "");
-    println!("{:10} {}", "Feature", "Description");
+    println!("{:10} Description", "Feature");
     println!("{:-^60}", "");
     for (name, description) in GOOGLE_FEATURES {
         println!("{name:10} {description}");
@@ -13,7 +13,7 @@ fn main() {
     println!();
     println!("Table 2. Instance features used in the Alibaba Traces.");
     println!("{:-^60}", "");
-    println!("{:10} {}", "Feature", "Description");
+    println!("{:10} Description", "Feature");
     println!("{:-^60}", "");
     for (name, description) in ALIBABA_FEATURES {
         println!("{name:10} {description}");

@@ -39,7 +39,11 @@ fn run(opts: &HarnessOptions) {
         .fold(f64::NEG_INFINITY, f64::max);
     let mut last_family = "";
     for r in &results {
-        let family = if r.family == last_family { "" } else { r.family };
+        let family = if r.family == last_family {
+            ""
+        } else {
+            r.family
+        };
         last_family = r.family;
         let marker = if (r.summary.f1 - best_f1).abs() < 1e-12 {
             " *"

@@ -6,9 +6,7 @@
 //! method-over-jobs evaluation.
 
 use std::collections::BTreeMap;
-
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use nurd_baselines::MethodSpec;
 use nurd_data::JobTrace;
@@ -89,8 +87,7 @@ impl HarnessOptions {
                 }
                 "--seed" => opts.seed = value.parse().expect("--seed takes an integer"),
                 "--methods" => {
-                    opts.methods =
-                        Some(value.split(',').map(|s| s.trim().to_string()).collect());
+                    opts.methods = Some(value.split(',').map(|s| s.trim().to_string()).collect());
                 }
                 "--threads" => opts.threads = value.parse().expect("--threads takes an integer"),
                 other => panic!("unknown flag {other}"),
@@ -168,22 +165,28 @@ pub fn evaluate_method(
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     let workers = threads.clamp(1, jobs.len().max(1));
 
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= jobs.len() {
                     break;
                 }
                 let mut predictor = spec.build();
                 let outcome = replay_job(&jobs[idx], predictor.as_mut(), replay);
-                results.lock().insert(idx, outcome);
+                results
+                    .lock()
+                    .expect("evaluation worker panicked")
+                    .insert(idx, outcome);
             });
         }
-    })
-    .expect("evaluation worker panicked");
+    });
 
-    let outcomes: Vec<ReplayOutcome> = results.into_inner().into_values().collect();
+    let outcomes: Vec<ReplayOutcome> = results
+        .into_inner()
+        .expect("evaluation worker panicked")
+        .into_values()
+        .collect();
     let confusions: Vec<_> = outcomes.iter().map(|o| o.confusion).collect();
     MethodResult {
         name: spec.name,

@@ -27,6 +27,19 @@
 /// Panics if either matrix is empty or widths disagree.
 #[must_use]
 pub fn centroid_ratio(finished: &[Vec<f64>], running: &[Vec<f64>]) -> f64 {
+    let fin: Vec<&[f64]> = finished.iter().map(Vec::as_slice).collect();
+    let run: Vec<&[f64]> = running.iter().map(Vec::as_slice).collect();
+    centroid_ratio_rows(&fin, &run)
+}
+
+/// [`centroid_ratio`] over borrowed row slices (e.g. straight from
+/// `Checkpoint::finished_feature_rows`), avoiding any feature copies.
+///
+/// # Panics
+///
+/// Panics if either set is empty or widths disagree.
+#[must_use]
+pub fn centroid_ratio_rows(finished: &[&[f64]], running: &[&[f64]]) -> f64 {
     assert!(
         !finished.is_empty() && !running.is_empty(),
         "need both finished and running tasks"
@@ -68,20 +81,21 @@ pub fn centroid_ratio(finished: &[Vec<f64>], running: &[Vec<f64>]) -> f64 {
     let stds = scales;
     // Winsorize at ±8 robust units so that a single unbounded column (e.g.
     // an eviction counter whose body is identically zero) cannot dominate
-    // the centroid geometry.
-    let normalize = |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
-        rows.iter()
-            .map(|r| {
-                r.iter()
-                    .enumerate()
-                    .map(|(j, v)| ((v - medians[j]) / stds[j]).clamp(-8.0, 8.0))
-                    .collect()
-            })
-            .collect()
+    // the centroid geometry. The centroid of the normalized rows is
+    // accumulated directly — no normalized copies are materialized.
+    let normalized_centroid = |rows: &[&[f64]]| -> Vec<f64> {
+        let mut c = vec![0.0; d];
+        for row in rows {
+            for (j, v) in row.iter().enumerate() {
+                c[j] += ((v - medians[j]) / stds[j]).clamp(-8.0, 8.0);
+            }
+        }
+        nurd_linalg::scale(&mut c, 1.0 / rows.len() as f64);
+        c
     };
 
-    let c_fin = centroid(&normalize(finished));
-    let c_run = centroid(&normalize(running));
+    let c_fin = normalized_centroid(finished);
+    let c_run = normalized_centroid(running);
     let num = nurd_linalg::l2_norm(&c_fin);
     let den = nurd_linalg::euclidean_distance(&c_run, &c_fin);
     if den < 1e-12 {
@@ -114,16 +128,6 @@ fn median_of_sorted(sorted: &[f64]) -> f64 {
     } else {
         0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
     }
-}
-
-fn centroid(rows: &[Vec<f64>]) -> Vec<f64> {
-    let d = rows[0].len();
-    let mut c = vec![0.0; d];
-    for row in rows {
-        nurd_linalg::add_scaled(&mut c, 1.0, row);
-    }
-    nurd_linalg::scale(&mut c, 1.0 / rows.len() as f64);
-    c
 }
 
 #[cfg(test)]

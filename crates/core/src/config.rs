@@ -44,8 +44,7 @@ impl Default for NurdConfig {
                 tree: TreeConfig {
                     max_depth: 3,
                     min_child_weight: 2.0,
-                    lambda: 1.0,
-                    min_split_gain: 1e-9,
+                    ..TreeConfig::default()
                 },
                 subsample: 1.0,
                 seed: 17,
@@ -93,10 +92,7 @@ impl NurdConfig {
     /// Panics unless `0 < epsilon < 1`.
     #[must_use]
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
-        assert!(
-            epsilon > 0.0 && epsilon < 1.0,
-            "epsilon must be in (0, 1)"
-        );
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
         self.epsilon = epsilon;
         self
     }

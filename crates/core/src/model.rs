@@ -1,6 +1,7 @@
 //! The online NURD predictor (Algorithm 1's outer loop).
 
 use nurd_data::{Checkpoint, JobContext, OnlinePredictor};
+use nurd_linalg::{FeatureMatrix, MatrixView};
 use nurd_ml::{GradientBoosting, LogisticRegression, SquaredLoss};
 
 use crate::{calibration, weighting, NurdConfig};
@@ -39,6 +40,13 @@ pub struct NurdPredictor {
     checkpoints_seen: usize,
     fit_failures: usize,
     name: &'static str,
+    /// Scratch buffers refilled in place at every checkpoint so the
+    /// per-checkpoint refit allocates nothing beyond first use: the
+    /// finished∪running design matrix for the propensity model, its
+    /// labels, and the finished-task latencies.
+    scratch_x_all: FeatureMatrix,
+    scratch_labels: Vec<f64>,
+    scratch_y_fin: Vec<f64>,
 }
 
 impl NurdPredictor {
@@ -55,6 +63,9 @@ impl NurdPredictor {
             checkpoints_seen: 0,
             fit_failures: 0,
             name,
+            scratch_x_all: FeatureMatrix::new(),
+            scratch_labels: Vec::new(),
+            scratch_y_fin: Vec::new(),
         }
     }
 
@@ -80,35 +91,55 @@ impl NurdPredictor {
         if checkpoint.finished.len() < 2 || checkpoint.running.is_empty() {
             return Vec::new();
         }
-        let x_fin = checkpoint.finished_features();
-        let y_fin = checkpoint.finished_latencies();
-        let x_run = checkpoint.running_features();
+        // Zero-copy row views into the trace storage: only slice pointers
+        // are gathered, no feature values are cloned.
+        let x_fin = checkpoint.finished_feature_rows();
+        let x_run = checkpoint.running_feature_rows();
 
         // Calibration happens once, before the first prediction (Algorithm 1
         // lines 4–6). NURD-NC skips it and uses w = z.
         if self.delta.is_none() && self.config.calibrate {
-            let rho = calibration::centroid_ratio(&x_fin, &x_run);
+            let rho = calibration::centroid_ratio_rows(&x_fin, &x_run);
             self.delta = Some(calibration::calibration_delta(rho, self.config.alpha));
         }
 
         // Refit h_t and g_t (line 11). `refit_every` > 1 reuses stale models
         // between refits, an ablation knob beyond the paper.
-        let refit = self.checkpoints_seen % self.config.refit_every.max(1) == 0
+        let refit = self
+            .checkpoints_seen
+            .is_multiple_of(self.config.refit_every.max(1))
             || self.latency_model.is_none();
         self.checkpoints_seen += 1;
         if refit {
-            match GradientBoosting::fit(&x_fin, &y_fin, SquaredLoss, &self.config.gbt) {
+            checkpoint.finished_latencies_into(&mut self.scratch_y_fin);
+            match GradientBoosting::fit_view(
+                MatrixView::RowSlices(&x_fin),
+                &self.scratch_y_fin,
+                SquaredLoss,
+                &self.config.gbt,
+            ) {
                 Ok(m) => self.latency_model = Some(m),
                 Err(_) => {
                     self.fit_failures += 1;
                     return Vec::new();
                 }
             }
-            let mut x_all = x_fin.clone();
-            x_all.extend(x_run.iter().cloned());
-            let mut labels = vec![1.0; x_fin.len()];
-            labels.extend(std::iter::repeat_n(0.0, x_run.len()));
-            match LogisticRegression::fit(&x_all, &labels, &self.config.logistic) {
+            // Finished ∪ running design matrix and labels for g_t, filled
+            // into the predictor's scratch buffers in place (the row list
+            // is pointer-only; feature values are copied exactly once,
+            // into the reused column-major scratch).
+            let all_rows: Vec<&[f64]> = x_fin.iter().chain(x_run.iter()).copied().collect();
+            self.scratch_x_all.fill_from_rows(all_rows.iter().copied());
+            self.scratch_labels.clear();
+            self.scratch_labels
+                .extend(std::iter::repeat_n(1.0, x_fin.len()));
+            self.scratch_labels
+                .extend(std::iter::repeat_n(0.0, x_run.len()));
+            match LogisticRegression::fit_view(
+                self.scratch_x_all.view(),
+                &self.scratch_labels,
+                &self.config.logistic,
+            ) {
                 Ok(m) => self.propensity_model = Some(m),
                 Err(_) => {
                     self.fit_failures += 1;
@@ -120,12 +151,14 @@ impl NurdPredictor {
             return Vec::new();
         };
 
+        // Batch scoring over the zero-copy running-task view.
+        let raw_preds = h.predict_view(MatrixView::RowSlices(&x_run));
+        let propensities = g.predict_proba_view(MatrixView::RowSlices(&x_run));
         checkpoint
             .running
             .iter()
-            .map(|task| {
-                let raw = h.predict(task.features);
-                let z = g.predict_proba(task.features);
+            .zip(raw_preds.into_iter().zip(propensities))
+            .map(|(task, (raw, z))| {
                 let w = match self.delta {
                     Some(delta) => weighting::weight(z, delta, self.config.epsilon),
                     // NURD-NC: w = z, floored only to keep division defined.
@@ -174,10 +207,7 @@ mod tests {
 
     /// Builds a checkpoint where finished tasks have latency ≈ features and
     /// running tasks have either similar or alien features.
-    fn checkpoint<'a>(
-        fin: &'a [(Vec<f64>, f64)],
-        run: &'a [Vec<f64>],
-    ) -> Checkpoint<'a> {
+    fn checkpoint<'a>(fin: &'a [(Vec<f64>, f64)], run: &'a [Vec<f64>]) -> Checkpoint<'a> {
         Checkpoint {
             ordinal: 5,
             time: 100.0,

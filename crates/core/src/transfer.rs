@@ -12,6 +12,7 @@
 //! is unchanged NURD.
 
 use nurd_data::{Checkpoint, JobContext, JobTrace, OnlinePredictor};
+use nurd_linalg::MatrixView;
 use nurd_ml::{GradientBoosting, LogisticRegression, MlError, SquaredLoss};
 
 use crate::{calibration, weighting, NurdConfig};
@@ -98,12 +99,14 @@ impl OnlinePredictor for TransferNurdPredictor {
         if checkpoint.finished.len() < 2 || checkpoint.running.is_empty() {
             return Vec::new();
         }
-        let x_fin = checkpoint.finished_features();
+        // Zero-copy row views into the trace storage (same hot-path shape
+        // as `NurdPredictor::score_running`).
+        let x_fin = checkpoint.finished_feature_rows();
         let y_fin = checkpoint.finished_latencies();
-        let x_run = checkpoint.running_features();
+        let x_run = checkpoint.running_feature_rows();
 
         if self.delta.is_none() && self.config.calibrate {
-            let rho = calibration::centroid_ratio(&x_fin, &x_run);
+            let rho = calibration::centroid_ratio_rows(&x_fin, &x_run);
             self.delta = Some(calibration::calibration_delta(rho, self.config.alpha));
         }
 
@@ -118,18 +121,23 @@ impl OnlinePredictor for TransferNurdPredictor {
             .zip(&y_fin)
             .map(|(x, &y)| y - scale * self.donor.predict_relative(x))
             .collect();
-        let Ok(residual_model) =
-            GradientBoosting::fit(&x_fin, &residuals, SquaredLoss, &self.config.gbt)
-        else {
+        let Ok(residual_model) = GradientBoosting::fit_view(
+            MatrixView::RowSlices(&x_fin),
+            &residuals,
+            SquaredLoss,
+            &self.config.gbt,
+        ) else {
             return Vec::new();
         };
 
-        let mut x_all = x_fin.clone();
-        x_all.extend(x_run.iter().cloned());
+        let x_all: Vec<&[f64]> = x_fin.iter().chain(x_run.iter()).copied().collect();
         let mut labels = vec![1.0; x_fin.len()];
         labels.extend(std::iter::repeat_n(0.0, x_run.len()));
-        let Ok(propensity) = LogisticRegression::fit(&x_all, &labels, &self.config.logistic)
-        else {
+        let Ok(propensity) = LogisticRegression::fit_view(
+            MatrixView::RowSlices(&x_all),
+            &labels,
+            &self.config.logistic,
+        ) else {
             return Vec::new();
         };
 
@@ -216,10 +224,7 @@ mod tests {
     }
 
     /// Minimal local replay to avoid a dev-dependency cycle on `nurd-sim`.
-    fn nurd_sim_replay(
-        job: &JobTrace,
-        predictor: &mut dyn OnlinePredictor,
-    ) -> LocalOutcome {
+    fn nurd_sim_replay(job: &JobTrace, predictor: &mut dyn OnlinePredictor) -> LocalOutcome {
         let threshold = job.straggler_threshold(0.9);
         let warmup = job.warmup_checkpoint(0.04);
         let n = job.task_count();

@@ -12,10 +12,7 @@
 /// Panics unless `0 < epsilon <= 1`.
 #[must_use]
 pub fn weight(z: f64, delta: f64, epsilon: f64) -> f64 {
-    assert!(
-        epsilon > 0.0 && epsilon <= 1.0,
-        "epsilon must be in (0, 1]"
-    );
+    assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
     (z + delta).min(1.0).max(epsilon)
 }
 

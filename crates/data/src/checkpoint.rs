@@ -40,11 +40,38 @@ pub struct Checkpoint<'a> {
     pub running: Vec<RunningTask<'a>>,
 }
 
-impl Checkpoint<'_> {
+impl<'a> Checkpoint<'a> {
     /// Feature matrix of the finished tasks (row per task).
+    ///
+    /// Copies every feature value; hot paths should prefer
+    /// [`Checkpoint::finished_feature_rows`], which only gathers slice
+    /// pointers into the trace's own storage.
     #[must_use]
     pub fn finished_features(&self) -> Vec<Vec<f64>> {
         self.finished.iter().map(|t| t.features.to_vec()).collect()
+    }
+
+    /// Zero-copy matrix view of the finished tasks' features: borrowed row
+    /// slices pointing straight into the trace storage (only the slice
+    /// pointers are gathered). Feed to the ML layer via
+    /// `nurd_linalg::MatrixView::RowSlices`.
+    #[must_use]
+    pub fn finished_feature_rows(&self) -> Vec<&'a [f64]> {
+        self.finished.iter().map(|t| t.features).collect()
+    }
+
+    /// Zero-copy matrix view of the running tasks' features (see
+    /// [`Checkpoint::finished_feature_rows`]).
+    #[must_use]
+    pub fn running_feature_rows(&self) -> Vec<&'a [f64]> {
+        self.running.iter().map(|t| t.features).collect()
+    }
+
+    /// Appends the observed latencies of the finished tasks to `out`
+    /// (cleared first), reusing its allocation.
+    pub fn finished_latencies_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.finished.iter().map(|t| t.latency));
     }
 
     /// Observed latencies of the finished tasks, aligned with
@@ -72,10 +99,7 @@ mod tests {
     use super::*;
 
     fn fixture() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
-        (
-            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
-            vec![vec![5.0, 6.0]],
-        )
+        (vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![vec![5.0, 6.0]])
     }
 
     #[test]
@@ -105,6 +129,32 @@ mod tests {
         assert_eq!(ckpt.finished_latencies(), vec![4.0, 9.0]);
         assert_eq!(ckpt.running_features(), run);
         assert_eq!(ckpt.visible_count(), 3);
+    }
+
+    #[test]
+    fn zero_copy_rows_alias_trace_storage() {
+        let (fin, run) = fixture();
+        let ckpt = Checkpoint {
+            ordinal: 1,
+            time: 10.0,
+            finished: vec![FinishedTask {
+                id: 0,
+                features: &fin[0],
+                latency: 4.0,
+            }],
+            running: vec![RunningTask {
+                id: 1,
+                features: &run[0],
+            }],
+        };
+        let fin_rows = ckpt.finished_feature_rows();
+        let run_rows = ckpt.running_feature_rows();
+        // Same pointers, not copies.
+        assert!(std::ptr::eq(fin_rows[0], fin[0].as_slice()));
+        assert!(std::ptr::eq(run_rows[0], run[0].as_slice()));
+        let mut lat = vec![99.0; 8];
+        ckpt.finished_latencies_into(&mut lat);
+        assert_eq!(lat, vec![4.0]);
     }
 
     #[test]

@@ -38,7 +38,11 @@ pub fn write_job_csv<W: Write>(mut writer: W, job: &JobTrace) -> Result<(), Data
         .map(|t| format!("{t}"))
         .collect();
     writeln!(writer, "#checkpoints,{}", times.join(","))?;
-    writeln!(writer, "task,latency,ckpt,{}", job.feature_names().join(","))?;
+    writeln!(
+        writer,
+        "task,latency,ckpt,{}",
+        job.feature_names().join(",")
+    )?;
     for task in job.tasks() {
         for (k, snap) in task.snapshots().iter().enumerate() {
             let vals: Vec<String> = snap.iter().map(|v| format!("{v}")).collect();

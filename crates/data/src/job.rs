@@ -179,10 +179,7 @@ impl JobTrace {
     /// Panics if `fraction` is outside `[0, 1]`.
     #[must_use]
     pub fn warmup_checkpoint(&self, fraction: f64) -> usize {
-        assert!(
-            (0.0..=1.0).contains(&fraction),
-            "fraction must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
         let need = (fraction * self.task_count() as f64).ceil() as usize;
         for (k, &t) in self.checkpoint_times.iter().enumerate() {
             let finished = self.tasks.iter().filter(|task| task.latency() <= t).count();

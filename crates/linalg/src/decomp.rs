@@ -109,6 +109,9 @@ impl Lu {
     /// # Errors
     ///
     /// [`LinalgError::ShapeMismatch`] if `b.len()` differs from the dimension.
+    // Triangular substitution reads `y[j]`/`x[j]` against row `i` of the
+    // factor; explicit indices mirror the textbook recurrences.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.lu.rows();
         if b.len() != n {
@@ -227,6 +230,9 @@ impl Cholesky {
     /// # Errors
     ///
     /// [`LinalgError::ShapeMismatch`] if `b.len()` differs from the dimension.
+    // Triangular substitution reads `y[j]`/`x[j]` against row `i` of the
+    // factor; explicit indices mirror the textbook recurrences.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.l.rows();
         if b.len() != n {
@@ -275,8 +281,8 @@ mod tests {
 
     #[test]
     fn lu_solves_known_system() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let lu = Lu::decompose(&a).unwrap();
         let x = lu.solve(&[8.0, -11.0, -3.0]).unwrap();
         assert_close(x[0], 2.0, 1e-10);
@@ -286,8 +292,8 @@ mod tests {
 
     #[test]
     fn lu_determinant_matches_cofactor_expansion() {
-        let a = Matrix::from_rows(&[&[6.0, 1.0, 1.0], &[4.0, -2.0, 5.0], &[2.0, 8.0, 7.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[6.0, 1.0, 1.0], &[4.0, -2.0, 5.0], &[2.0, 8.0, 7.0]]).unwrap();
         let lu = Lu::decompose(&a).unwrap();
         assert_close(lu.determinant(), -306.0, 1e-9);
         assert_close(lu.log_abs_determinant(), 306.0f64.ln(), 1e-9);
@@ -331,12 +337,8 @@ mod tests {
 
     #[test]
     fn cholesky_known_factor() {
-        let a = Matrix::from_rows(&[
-            &[25.0, 15.0, -5.0],
-            &[15.0, 18.0, 0.0],
-            &[-5.0, 0.0, 11.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap();
         let chol = Cholesky::decompose(&a).unwrap();
         let l = chol.factor();
         assert_close(l.get(0, 0), 5.0, 1e-12);

@@ -106,9 +106,7 @@ impl SymmetricEigen {
             }
         }
 
-        let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
-            .map(|i| (m.get(i, i), v.column(i)))
-            .collect();
+        let mut pairs: Vec<(f64, Vec<f64>)> = (0..n).map(|i| (m.get(i, i), v.column(i))).collect();
         pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let (eigenvalues, eigenvectors) = pairs.into_iter().unzip();
         Ok(SymmetricEigen {
@@ -153,12 +151,7 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_eigenvalues_sorted() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 5.0, 0.0],
-            &[0.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]]).unwrap();
         let eig = SymmetricEigen::decompose(&a).unwrap();
         let vals = eig.eigenvalues();
         assert!((vals[0] - 5.0).abs() < 1e-10);
@@ -190,12 +183,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_unit_norm_and_orthogonal() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]).unwrap();
         let eig = SymmetricEigen::decompose(&a).unwrap();
         for i in 0..eig.len() {
             assert!((crate::l2_norm(eig.eigenvector(i)) - 1.0).abs() < 1e-8);

@@ -6,6 +6,21 @@
 //! regression, Tobit, CoxPH). Problems are small (tens of features), so this
 //! crate favors clarity and numerical robustness over cache blocking.
 //!
+//! # Feature storage for the training hot path
+//!
+//! The one place layout *does* matter is the online refit loop: NURD
+//! retrains its models at every checkpoint, and `nurd-ml`'s histogram
+//! tree builder wants per-feature columns as contiguous memory. Two types
+//! serve that path:
+//!
+//! * [`FeatureMatrix`] — owned, contiguous, **column-major** samples ×
+//!   features storage. `column(j)` is a plain `&[f64]` slice, and
+//!   [`FeatureMatrix::fill_from_rows`] refills the buffer in place so
+//!   per-checkpoint scratch reuse allocates nothing in steady state.
+//! * [`MatrixView`] — a borrowed, layout-polymorphic view (`&[Vec<f64>]`
+//!   rows, zero-copy `&[&[f64]]` row slices, or a `FeatureMatrix`), so
+//!   the ML fitting routines accept any of the three without copying.
+//!
 //! # Example
 //!
 //! ```
@@ -23,6 +38,7 @@
 mod decomp;
 mod eigen;
 mod error;
+mod feature_matrix;
 mod matrix;
 mod stats;
 mod vector;
@@ -30,9 +46,9 @@ mod vector;
 pub use decomp::{Cholesky, Lu};
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
+pub use feature_matrix::{FeatureMatrix, MatrixView};
 pub use matrix::Matrix;
 pub use stats::{column_means, covariance_matrix, mahalanobis_squared, standardize_columns};
 pub use vector::{
-    add_scaled, dot, euclidean_distance, l2_norm, mean, scale, squared_distance, subtract,
-    variance,
+    add_scaled, dot, euclidean_distance, l2_norm, mean, scale, squared_distance, subtract, variance,
 };

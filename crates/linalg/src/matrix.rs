@@ -212,9 +212,7 @@ impl Matrix {
                 found: format!("vector of length {}", v.len()),
             });
         }
-        Ok((0..self.rows)
-            .map(|r| crate::dot(self.row(r), v))
-            .collect())
+        Ok((0..self.rows).map(|r| crate::dot(self.row(r), v)).collect())
     }
 
     /// Element-wise sum `self + other`.
@@ -282,11 +280,7 @@ impl Matrix {
         SymmetricEigen::decompose(self)
     }
 
-    fn zip_with(
-        &self,
-        other: &Matrix,
-        f: impl Fn(f64, f64) -> f64,
-    ) -> Result<Matrix, LinalgError> {
+    fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Result<Matrix, LinalgError> {
         if self.rows != other.rows || self.cols != other.cols {
             return Err(LinalgError::ShapeMismatch {
                 expected: format!("{}x{}", self.rows, self.cols),

@@ -185,8 +185,7 @@ mod tests {
         let means = column_means(&samples).unwrap();
         assert!(means.iter().all(|m| m.abs() < 1e-12));
         for j in 0..2 {
-            let var: f64 =
-                samples.iter().map(|r| r[j] * r[j]).sum::<f64>() / samples.len() as f64;
+            let var: f64 = samples.iter().map(|r| r[j] * r[j]).sum::<f64>() / samples.len() as f64;
             assert!((var - 1.0).abs() < 1e-9);
         }
     }

@@ -1,0 +1,362 @@
+//! Feature quantization for histogram-based tree growth.
+//!
+//! An XGBoost/LightGBM-style booster does not need raw `f64` features at
+//! split-finding time: it quantizes each feature column into at most
+//! [`BinnedMatrix::MAX_BINS`] bins *once per fit*, then every tree node
+//! accumulates per-bin gradient/hessian statistics in a single linear pass
+//! and scans bin boundaries for the best split. That replaces the exact
+//! builder's per-node, per-feature `O(n log n)` re-sort with an `O(n)`
+//! sweep over contiguous `u8` codes.
+//!
+//! Two properties of this implementation matter for correctness tests:
+//!
+//! * When a feature has **at most `max_bins` distinct values**, every
+//!   distinct value gets its own bin and the recorded per-bin min/max
+//!   collapse to that value — so candidate thresholds (midpoints between
+//!   adjacent *present* values) are bit-for-bit the thresholds the exact
+//!   builder proposes, and the two growth modes produce identical trees.
+//! * Otherwise bins are (approximately) equal-mass quantile buckets of the
+//!   training distribution, the standard accuracy/speed tradeoff.
+
+use nurd_linalg::MatrixView;
+
+/// Total order over `f64` with *every* NaN — positive or negative — at the
+/// end. `f64::total_cmp` alone is not enough: negative NaN (the default
+/// runtime NaN on x86-64, e.g. `0.0/0.0`) sorts *before* every number
+/// under IEEE total ordering, which would break the "NaNs last" invariant
+/// both tree builders rely on.
+#[inline]
+pub(crate) fn nan_last_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.is_nan().cmp(&b.is_nan()).then_with(|| a.total_cmp(&b))
+}
+
+/// Per-feature quantization: cut points plus per-bin value ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureBins {
+    /// Upper-boundary cut points between bins, length `n_bins - 1`; a value
+    /// `v` lands in the first bin `b` with `v <= cuts[b]` (last bin
+    /// otherwise).
+    cuts: Vec<f64>,
+    /// Smallest training value assigned to each bin.
+    bin_min: Vec<f64>,
+    /// Largest training value assigned to each bin.
+    bin_max: Vec<f64>,
+}
+
+impl FeatureBins {
+    /// Number of bins for this feature.
+    #[must_use]
+    pub fn n_bins(&self) -> usize {
+        self.bin_min.len()
+    }
+
+    /// The bin code for a raw value (binary search over the cut points).
+    ///
+    /// NaN maps to the *last* bin so that training-time partitioning
+    /// (`code <= left_bin` → left) and prediction-time routing
+    /// (`NaN <= threshold` is false → right) agree: a NaN row always
+    /// rides the right child in both phases, matching exact growth.
+    #[inline]
+    #[must_use]
+    pub fn code_of(&self, value: f64) -> u8 {
+        if value.is_nan() {
+            return self.cuts.len() as u8;
+        }
+        // partition_point returns the count of cuts strictly below value,
+        // i.e. the index of the first bin whose upper bound admits it.
+        let idx = self.cuts.partition_point(|&cut| cut < value);
+        debug_assert!(idx <= u8::MAX as usize);
+        idx as u8
+    }
+
+    /// Smallest training value in bin `b`.
+    #[inline]
+    #[must_use]
+    pub fn min_of(&self, b: usize) -> f64 {
+        self.bin_min[b]
+    }
+
+    /// Largest training value in bin `b`.
+    #[inline]
+    #[must_use]
+    pub fn max_of(&self, b: usize) -> f64 {
+        self.bin_max[b]
+    }
+}
+
+/// A quantized training matrix: per-feature bins plus column-major `u8`
+/// codes, built once per `fit` and shared by every boosting round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedMatrix {
+    /// Column-major codes: `codes[f * n_rows + i]` is row `i`'s bin for
+    /// feature `f`.
+    codes: Vec<u8>,
+    n_rows: usize,
+    n_features: usize,
+    features: Vec<FeatureBins>,
+}
+
+impl BinnedMatrix {
+    /// Hard upper limit on bins per feature (codes are `u8`).
+    pub const MAX_BINS: usize = 256;
+
+    /// Quantizes `x` into at most `max_bins` bins per feature.
+    ///
+    /// `max_bins` is clamped to `[2, 256]`. The view must be non-ragged
+    /// and non-empty (callers validate via [`MatrixView::validated_dims`]).
+    #[must_use]
+    pub fn build(x: MatrixView<'_>, max_bins: usize) -> Self {
+        let n = x.rows();
+        let d = x.cols();
+        let max_bins = max_bins.clamp(2, Self::MAX_BINS);
+        let mut codes = vec![0u8; n * d];
+        let mut features = Vec::with_capacity(d);
+        let mut column: Vec<f64> = Vec::with_capacity(n);
+        let mut sorted: Vec<f64> = Vec::with_capacity(n);
+
+        for f in 0..d {
+            x.gather_column(f, &mut column);
+            sorted.clear();
+            sorted.extend_from_slice(&column);
+            // A NaN-tolerant total order keeps the pass panic-free
+            // (matching the exact builder): NaNs sort last, are excluded
+            // from bin planning, and `code_of` routes them to the last bin
+            // so they ride the right child in training and prediction alike.
+            sorted.sort_by(|a, b| nan_last_cmp(*a, *b));
+            let finite_end = sorted.partition_point(|v| !v.is_nan());
+            let bins = if finite_end == 0 {
+                // All-NaN column: a single inert bin, never splittable.
+                FeatureBins {
+                    cuts: Vec::new(),
+                    bin_min: vec![f64::NAN],
+                    bin_max: vec![f64::NAN],
+                }
+            } else {
+                plan_feature(&sorted[..finite_end], max_bins)
+            };
+            let col_codes = &mut codes[f * n..(f + 1) * n];
+            for (slot, &v) in col_codes.iter_mut().zip(&column) {
+                *slot = bins.code_of(v);
+            }
+            features.push(bins);
+        }
+
+        BinnedMatrix {
+            codes,
+            n_rows: n,
+            n_features: d,
+            features,
+        }
+    }
+
+    /// Number of rows (samples).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    #[must_use]
+    pub fn features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The quantization of feature `f`.
+    #[must_use]
+    pub fn feature_bins(&self, f: usize) -> &FeatureBins {
+        &self.features[f]
+    }
+
+    /// The contiguous code column for feature `f` (one `u8` per row).
+    #[inline]
+    #[must_use]
+    pub fn codes(&self, f: usize) -> &[u8] {
+        &self.codes[f * self.n_rows..(f + 1) * self.n_rows]
+    }
+
+    /// Largest bin count across features (histogram scratch sizing).
+    #[must_use]
+    pub fn max_bin_count(&self) -> usize {
+        self.features
+            .iter()
+            .map(FeatureBins::n_bins)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Plans the bins for one feature from its sorted training values.
+fn plan_feature(sorted: &[f64], max_bins: usize) -> FeatureBins {
+    debug_assert!(!sorted.is_empty());
+    let mut distinct: Vec<f64> = Vec::new();
+    for &v in sorted {
+        if distinct.last() != Some(&v) {
+            distinct.push(v);
+        }
+    }
+
+    if distinct.len() <= max_bins {
+        // One bin per distinct value: histogram growth is then *exact* —
+        // cut points are midpoints between adjacent distinct values, the
+        // same candidate thresholds the exact builder enumerates.
+        let cuts: Vec<f64> = distinct.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
+        return FeatureBins {
+            cuts,
+            bin_min: distinct.clone(),
+            bin_max: distinct,
+        };
+    }
+
+    // Equal-mass quantile cuts over the training distribution. A cut is
+    // only placed at a quantile index where the adjacent sorted values
+    // *differ* — its midpoint then lies strictly inside a gap between
+    // distinct data values, so heavy ties can neither duplicate cuts nor
+    // produce empty bins (every inter-cut interval contains a data value).
+    let n = sorted.len();
+    let mut cuts: Vec<f64> = Vec::with_capacity(max_bins - 1);
+    for b in 1..max_bins {
+        let idx = (b * n) / max_bins;
+        if idx == 0 || sorted[idx - 1] == sorted[idx] {
+            continue;
+        }
+        let cut = 0.5 * (sorted[idx - 1] + sorted[idx]);
+        if cuts.last().is_none_or(|&last| cut > last) {
+            cuts.push(cut);
+        }
+    }
+
+    let n_bins = cuts.len() + 1;
+    let mut bin_min = vec![f64::INFINITY; n_bins];
+    let mut bin_max = vec![f64::NEG_INFINITY; n_bins];
+    let probe = FeatureBins {
+        cuts,
+        bin_min: Vec::new(),
+        bin_max: Vec::new(),
+    };
+    for &v in sorted {
+        let b = probe.code_of(v) as usize;
+        bin_min[b] = bin_min[b].min(v);
+        bin_max[b] = bin_max[b].max(v);
+    }
+    FeatureBins {
+        cuts: probe.cuts,
+        bin_min,
+        bin_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(rows: &[Vec<f64>]) -> MatrixView<'_> {
+        MatrixView::Rows(rows)
+    }
+
+    #[test]
+    fn small_distinct_sets_get_one_bin_per_value() {
+        let rows: Vec<Vec<f64>> = vec![vec![3.0], vec![1.0], vec![2.0], vec![1.0], vec![3.0]];
+        let binned = BinnedMatrix::build(view(&rows), 256);
+        let bins = binned.feature_bins(0);
+        assert_eq!(bins.n_bins(), 3);
+        assert_eq!(binned.codes(0), &[2, 0, 1, 0, 2]);
+        assert_eq!(bins.min_of(1), 2.0);
+        assert_eq!(bins.max_of(1), 2.0);
+    }
+
+    #[test]
+    fn cut_points_are_midpoints_in_exact_regime() {
+        let rows: Vec<Vec<f64>> = vec![vec![0.0], vec![10.0], vec![1.0]];
+        let binned = BinnedMatrix::build(view(&rows), 256);
+        let bins = binned.feature_bins(0);
+        assert_eq!(bins.cuts, vec![0.5, 5.5]);
+    }
+
+    #[test]
+    fn many_distinct_values_collapse_to_max_bins() {
+        let rows: Vec<Vec<f64>> = (0..1000).map(|i| vec![f64::from(i)]).collect();
+        let binned = BinnedMatrix::build(view(&rows), 64);
+        let bins = binned.feature_bins(0);
+        assert!(bins.n_bins() <= 64);
+        assert!(bins.n_bins() >= 60, "quantile cuts should not collapse");
+        // Codes are monotone in the value.
+        let codes = binned.codes(0);
+        for i in 1..1000 {
+            assert!(codes[i] >= codes[i - 1]);
+        }
+        // Roughly equal mass per bin.
+        let mut counts = vec![0usize; bins.n_bins()];
+        for &c in codes {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "no empty bins");
+        let max = counts.iter().max().unwrap();
+        assert!(*max <= 2 * (1000 / bins.n_bins()), "max bin {max}");
+    }
+
+    #[test]
+    fn heavy_ties_do_not_produce_degenerate_bins() {
+        // 90% zeros, a few distinct positives — the quantile cuts all land
+        // on zero and must be deduplicated.
+        let mut rows: Vec<Vec<f64>> = vec![vec![0.0]; 900];
+        for i in 0..300 {
+            rows.push(vec![1.0 + f64::from(i)]);
+        }
+        let binned = BinnedMatrix::build(view(&rows), 16);
+        let bins = binned.feature_bins(0);
+        assert!(bins.n_bins() >= 2);
+        let mut counts = vec![0usize; bins.n_bins()];
+        for &c in binned.codes(0) {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "no empty bins: {counts:?}");
+    }
+
+    #[test]
+    fn constant_feature_yields_single_bin() {
+        let rows: Vec<Vec<f64>> = vec![vec![7.0]; 10];
+        let binned = BinnedMatrix::build(view(&rows), 256);
+        assert_eq!(binned.feature_bins(0).n_bins(), 1);
+        assert!(binned.codes(0).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn nan_features_do_not_panic_and_route_to_last_bin() {
+        // NaN tolerance must match the exact builder: degraded model,
+        // never a panic. NaNs are excluded from planning and coded into
+        // the last bin, so they ride the right child of every split in
+        // training and prediction alike.
+        // Negative NaN (the default runtime NaN on x86-64, e.g. 0.0/0.0)
+        // sorts *first* under f64::total_cmp — the planner must still
+        // treat it as NaN-last.
+        let neg_nan = f64::from_bits(0xFFF8_0000_0000_0000);
+        assert!(neg_nan.is_nan() && neg_nan.is_sign_negative());
+        let rows: Vec<Vec<f64>> = vec![
+            vec![1.0, f64::NAN],
+            vec![neg_nan, f64::NAN],
+            vec![3.0, neg_nan],
+            vec![2.0, f64::NAN],
+        ];
+        let binned = BinnedMatrix::build(view(&rows), 256);
+        let bins0 = binned.feature_bins(0);
+        assert_eq!(bins0.n_bins(), 3);
+        assert_eq!(binned.codes(0), &[0, 2, 2, 1]);
+        // No NaN leaked into the planning: cuts and bin stats are finite.
+        assert!((0..bins0.n_bins()).all(|b| bins0.min_of(b).is_finite()));
+        assert!((0..bins0.n_bins()).all(|b| bins0.max_of(b).is_finite()));
+        // All-NaN column collapses to one inert bin.
+        assert_eq!(binned.feature_bins(1).n_bins(), 1);
+        assert!(binned.codes(1).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn codes_agree_across_layouts() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![f64::from(i % 7), f64::from((i * 13) % 5)])
+            .collect();
+        let m = nurd_linalg::FeatureMatrix::from_rows(&rows).unwrap();
+        let a = BinnedMatrix::build(MatrixView::Rows(&rows), 256);
+        let b = BinnedMatrix::build(m.view(), 256);
+        assert_eq!(a, b);
+    }
+}

@@ -36,6 +36,18 @@ impl fmt::Display for MlError {
 
 impl Error for MlError {}
 
+/// Validates that a matrix view and `y` describe a consistent, non-empty
+/// training set and returns the feature dimensionality.
+pub(crate) fn check_view(x: nurd_linalg::MatrixView<'_>, y: &[f64]) -> Result<usize, MlError> {
+    x.validated_dims(y.len()).map_err(|e| match e {
+        nurd_linalg::LinalgError::Empty => MlError::EmptyTrainingSet,
+        nurd_linalg::LinalgError::ShapeMismatch { expected, found } => {
+            MlError::DimensionMismatch { expected, found }
+        }
+        other => MlError::InvalidConfig(other.to_string()),
+    })
+}
+
 /// Validates that `x` and `y` describe a consistent, non-empty training set
 /// and returns the feature dimensionality.
 pub(crate) fn check_xy(x: &[Vec<f64>], y: &[f64]) -> Result<usize, MlError> {

@@ -1,10 +1,30 @@
 //! Gradient-boosted trees with Newton (second-order) updates.
+//!
+//! # The per-checkpoint refit hot path
+//!
+//! NURD refits this booster at every checkpoint of every job, so `fit` is
+//! the single hottest code path in the repository. The implementation is
+//! built around that fact:
+//!
+//! * the training matrix is accepted as a zero-copy [`MatrixView`]
+//!   (row-major slices or a column-major
+//!   [`nurd_linalg::FeatureMatrix`]) — rows are never cloned;
+//! * under the default [`TreeGrowth::Histogram`](crate::TreeGrowth)
+//!   growth, features are quantized into a [`BinnedMatrix`] **once per
+//!   fit** and every round trains on it via
+//!   [`RegressionTree::fit_binned`];
+//! * row subsampling selects *indices* into the shared binned matrix; the
+//!   `subsample == 1.0` case short-circuits to a precomputed identity
+//!   index list.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::tree::{RegressionTree, TreeConfig};
+use nurd_linalg::MatrixView;
+
+use crate::binned::BinnedMatrix;
+use crate::tree::{RegressionTree, TreeConfig, TreeGrowth};
 use crate::MlError;
 
 /// A twice-differentiable training loss for [`GradientBoosting`].
@@ -117,13 +137,24 @@ impl<L: Loss> GradientBoosting<L> {
     ///
     /// [`MlError::EmptyTrainingSet`] / [`MlError::DimensionMismatch`] on bad
     /// input, [`MlError::InvalidConfig`] on out-of-range hyperparameters.
-    pub fn fit(
-        x: &[Vec<f64>],
+    pub fn fit(x: &[Vec<f64>], y: &[f64], loss: L, config: &GbtConfig) -> Result<Self, MlError> {
+        Self::fit_view(MatrixView::Rows(x), y, loss, config)
+    }
+
+    /// Fits the ensemble over any matrix layout without copying rows: pass
+    /// `MatrixView::RowSlices` for zero-copy checkpoint features or a
+    /// column-major [`nurd_linalg::FeatureMatrix`] scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradientBoosting::fit`].
+    pub fn fit_view(
+        x: MatrixView<'_>,
         y: &[f64],
         loss: L,
         config: &GbtConfig,
     ) -> Result<Self, MlError> {
-        crate::error::check_xy(x, y)?;
+        crate::error::check_view(x, y)?;
         if !(config.subsample > 0.0 && config.subsample <= 1.0) {
             return Err(MlError::InvalidConfig(format!(
                 "subsample must be in (0,1], got {}",
@@ -136,8 +167,11 @@ impl<L: Loss> GradientBoosting<L> {
                 config.learning_rate
             )));
         }
+        if config.tree.max_depth == 0 {
+            return Err(MlError::InvalidConfig("max_depth must be >= 1".into()));
+        }
 
-        let n = x.len();
+        let n = x.rows();
         let base_score = loss.base_score(y);
         let mut scores = vec![base_score; n];
         let mut trees = Vec::with_capacity(config.n_rounds);
@@ -145,24 +179,42 @@ impl<L: Loss> GradientBoosting<L> {
         let mut all_rows: Vec<usize> = (0..n).collect();
         let sample_size = ((config.subsample * n as f64).round() as usize).clamp(1, n);
 
+        // Quantize once; every boosting round (and every node of every
+        // tree) trains against this shared binned matrix.
+        let binned = match config.tree.growth {
+            TreeGrowth::Histogram if config.n_rounds > 0 => {
+                Some(BinnedMatrix::build(x, config.tree.max_bins))
+            }
+            _ => None,
+        };
+
+        let mut grads = vec![0.0; n];
+        let mut hess = vec![0.0; n];
         for _round in 0..config.n_rounds {
+            // Subsampling selects indices into the shared matrix — rows
+            // are never materialized. With subsample == 1.0 the identity
+            // index list is reused untouched round over round.
             let rows: &[usize] = if sample_size < n {
                 all_rows.shuffle(&mut rng);
                 &all_rows[..sample_size]
             } else {
                 &all_rows
             };
-            let sub_x: Vec<Vec<f64>> = rows.iter().map(|&i| x[i].clone()).collect();
-            let mut grads = Vec::with_capacity(rows.len());
-            let mut hess = Vec::with_capacity(rows.len());
             for &i in rows {
                 let (g, h) = loss.gradient_hessian(y[i], scores[i]);
-                grads.push(g);
-                hess.push(h.max(1e-12));
+                grads[i] = g;
+                hess[i] = h.max(1e-12);
             }
-            let tree = RegressionTree::fit(&sub_x, &grads, &hess, &config.tree)?;
+            let tree = match &binned {
+                Some(binned) => {
+                    RegressionTree::fit_binned(binned, &grads, &hess, rows, &config.tree)?
+                }
+                None => {
+                    RegressionTree::fit_exact_rows(x, &grads, &hess, rows.to_vec(), &config.tree)
+                }
+            };
             for (i, score) in scores.iter_mut().enumerate() {
-                *score += config.learning_rate * tree.predict(&x[i]);
+                *score += config.learning_rate * tree.predict_at(x, i);
             }
             trees.push(tree);
         }
@@ -187,6 +239,17 @@ impl<L: Loss> GradientBoosting<L> {
     #[must_use]
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
         xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Raw scores for every row of a matrix view (no row copies).
+    #[must_use]
+    pub fn predict_view(&self, xs: MatrixView<'_>) -> Vec<f64> {
+        (0..xs.rows())
+            .map(|i| {
+                let tree_sum: f64 = self.trees.iter().map(|t| t.predict_at(xs, i)).sum();
+                self.base_score + self.learning_rate * tree_sum
+            })
+            .collect()
     }
 
     /// Probability `σ(f(x))`; meaningful when the loss trains a logit
@@ -255,6 +318,86 @@ mod tests {
     }
 
     #[test]
+    fn histogram_mode_matches_exact_mode_on_nonlinear_interaction() {
+        // Regression guard for the histogram-growth accuracy tradeoff: on
+        // the nonlinear-interaction fixture, histogram-mode train MSE must
+        // stay within 10% of exact-mode.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                x.push(vec![i as f64, j as f64]);
+                y.push((i * j) as f64);
+            }
+        }
+        let cfg_for = |growth| GbtConfig {
+            n_rounds: 150,
+            tree: TreeConfig {
+                max_depth: 4,
+                growth,
+                ..TreeConfig::default()
+            },
+            ..GbtConfig::default()
+        };
+        let exact =
+            GradientBoosting::fit(&x, &y, SquaredLoss, &cfg_for(TreeGrowth::Exact)).unwrap();
+        let hist =
+            GradientBoosting::fit(&x, &y, SquaredLoss, &cfg_for(TreeGrowth::Histogram)).unwrap();
+        let mse_exact = crate::mean_squared_error(&y, &exact.predict_batch(&x));
+        let mse_hist = crate::mean_squared_error(&y, &hist.predict_batch(&x));
+        assert!(
+            mse_hist <= mse_exact * 1.10 + 1e-12,
+            "histogram mse {mse_hist} vs exact mse {mse_exact}"
+        );
+    }
+
+    #[test]
+    fn subsample_one_never_shuffles_and_matches_explicit_rounding() {
+        // subsample == 1.0 must short-circuit to the identity index list;
+        // a fractional subsample that rounds to n must behave identically.
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| (i % 4) as f64).collect();
+        let full = GradientBoosting::fit(&x, &y, SquaredLoss, &GbtConfig::default()).unwrap();
+        let rounded = GradientBoosting::fit(
+            &x,
+            &y,
+            SquaredLoss,
+            &GbtConfig {
+                subsample: 0.999,
+                ..GbtConfig::default()
+            },
+        )
+        .unwrap();
+        for row in &x {
+            assert_eq!(full.predict(row), rounded.predict(row));
+        }
+    }
+
+    #[test]
+    fn fit_view_layouts_agree() {
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 / 4.0, ((i * 13) % 7) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0 - r[1]).collect();
+        let by_rows = GradientBoosting::fit(&x, &y, SquaredLoss, &GbtConfig::default()).unwrap();
+        let slices: Vec<&[f64]> = x.iter().map(Vec::as_slice).collect();
+        let by_slices = GradientBoosting::fit_view(
+            MatrixView::RowSlices(&slices),
+            &y,
+            SquaredLoss,
+            &GbtConfig::default(),
+        )
+        .unwrap();
+        let m = nurd_linalg::FeatureMatrix::from_rows(&x).unwrap();
+        let by_columns =
+            GradientBoosting::fit_view(m.view(), &y, SquaredLoss, &GbtConfig::default()).unwrap();
+        let p_rows = by_rows.predict_batch(&x);
+        assert_eq!(p_rows, by_slices.predict_batch(&x));
+        assert_eq!(p_rows, by_columns.predict_batch(&x));
+        assert_eq!(p_rows, by_columns.predict_view(m.view()));
+    }
+
+    #[test]
     fn classifier_separates_halves() {
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..40).map(|i| if i < 20 { 0.0 } else { 1.0 }).collect();
@@ -292,8 +435,8 @@ mod tests {
         };
         let m1 = GradientBoosting::fit(&x, &y, SquaredLoss, &cfg).unwrap();
         let m2 = GradientBoosting::fit(&x, &y, SquaredLoss, &cfg).unwrap();
-        for i in 0..50 {
-            assert_eq!(m1.predict(&x[i]), m2.predict(&x[i]));
+        for row in &x {
+            assert_eq!(m1.predict(row), m2.predict(row));
         }
     }
 

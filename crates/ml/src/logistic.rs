@@ -1,6 +1,6 @@
 //! L2-regularized logistic regression fit by IRLS (Newton-Raphson).
 
-use nurd_linalg::{Cholesky, Matrix};
+use nurd_linalg::{Cholesky, Matrix, MatrixView};
 
 use crate::MlError;
 
@@ -77,19 +77,49 @@ impl LogisticRegression {
     /// [`MlError::OptimizationFailed`] if the damped Newton system stays
     /// singular.
     pub fn fit(x: &[Vec<f64>], y: &[f64], config: &LogisticConfig) -> Result<Self, MlError> {
-        let d = crate::error::check_xy(x, y)?;
+        Self::fit_view(MatrixView::Rows(x), y, config)
+    }
+
+    /// Fits the model over any matrix layout without cloning caller rows
+    /// (the standardized working copy is a single flat allocation).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogisticRegression::fit`].
+    pub fn fit_view(
+        x: MatrixView<'_>,
+        y: &[f64],
+        config: &LogisticConfig,
+    ) -> Result<Self, MlError> {
+        let d = crate::error::check_view(x, y)?;
         if y.iter().any(|&v| v != 0.0 && v != 1.0) {
-            return Err(MlError::InvalidConfig(
-                "labels must be 0.0 or 1.0".into(),
-            ));
+            return Err(MlError::InvalidConfig("labels must be 0.0 or 1.0".into()));
         }
 
-        // Standardize features so IRLS is well-conditioned.
-        let mut xs: Vec<Vec<f64>> = x.to_vec();
-        let std_params = nurd_linalg::standardize_columns(&mut xs)
-            .map_err(|e| MlError::OptimizationFailed(e.to_string()))?;
-
-        let n = xs.len();
+        let n = x.rows();
+        // Standardize features so IRLS is well-conditioned. The working
+        // copy is one contiguous row-major buffer (stride `d`), filled
+        // column by column straight from the view.
+        let mut xs = vec![0.0; n * d];
+        let mut means = vec![0.0; d];
+        let mut stds = vec![0.0; d];
+        let mut column: Vec<f64> = Vec::with_capacity(n);
+        for j in 0..d {
+            x.gather_column(j, &mut column);
+            let mean = column.iter().sum::<f64>() / n as f64;
+            let var = column.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+            // Same floor convention as `nurd_linalg::standardize_columns`:
+            // constant columns map to zero rather than NaN.
+            let mut std = var.sqrt();
+            if std < 1e-12 {
+                std = 1.0;
+            }
+            means[j] = mean;
+            stds[j] = std;
+            for (i, &v) in column.iter().enumerate() {
+                xs[i * d + j] = (v - mean) / std;
+            }
+        }
         // Per-sample weights: uniform, or inverse class frequency.
         let sample_weights: Vec<f64> = if config.balanced {
             let n_pos = y.iter().filter(|&&v| v == 1.0).count().max(1) as f64;
@@ -110,14 +140,13 @@ impl LogisticRegression {
 
         // Augment with intercept column: index d is the bias.
         let mut beta = vec![0.0; d + 1];
-        let mut objective =
-            penalized_log_likelihood(&xs, y, &sample_weights, &beta, config.l2);
+        let mut objective = penalized_log_likelihood(&xs, d, y, &sample_weights, &beta, config.l2);
         for _iter in 0..config.max_iter {
             // Gradient and Hessian of the penalized log-likelihood.
             let mut grad = vec![0.0; d + 1];
             let mut hess = Matrix::zeros(d + 1, d + 1);
             for i in 0..n {
-                let row = &xs[i];
+                let row = &xs[i * d..(i + 1) * d];
                 let z = beta[d] + nurd_linalg::dot(&beta[..d], row);
                 let p = crate::sigmoid(z);
                 let sw = sample_weights[i];
@@ -158,9 +187,11 @@ impl LogisticRegression {
                         .expect("shapes match")
                 };
                 match Cholesky::decompose(&damped) {
-                    Ok(chol) => break chol.solve(&grad).map_err(|e| {
-                        MlError::OptimizationFailed(format!("newton solve failed: {e}"))
-                    })?,
+                    Ok(chol) => {
+                        break chol.solve(&grad).map_err(|e| {
+                            MlError::OptimizationFailed(format!("newton solve failed: {e}"))
+                        })?
+                    }
                     Err(_) => {
                         damping = if damping == 0.0 { 1e-6 } else { damping * 10.0 };
                         if damping > 1e6 {
@@ -179,13 +210,10 @@ impl LogisticRegression {
             let mut accepted = false;
             let mut max_update = 0.0f64;
             for _ in 0..30 {
-                let candidate: Vec<f64> = beta
-                    .iter()
-                    .zip(&step)
-                    .map(|(b, s)| b + alpha * s)
-                    .collect();
+                let candidate: Vec<f64> =
+                    beta.iter().zip(&step).map(|(b, s)| b + alpha * s).collect();
                 let cand_obj =
-                    penalized_log_likelihood(&xs, y, &sample_weights, &candidate, config.l2);
+                    penalized_log_likelihood(&xs, d, y, &sample_weights, &candidate, config.l2);
                 if cand_obj > objective {
                     max_update = step.iter().fold(0.0, |m, s| m.max((alpha * s).abs()));
                     beta = candidate;
@@ -203,8 +231,8 @@ impl LogisticRegression {
         Ok(LogisticRegression {
             weights: beta[..d].to_vec(),
             intercept: beta[d],
-            feature_means: std_params.means,
-            feature_stds: std_params.stds,
+            feature_means: means,
+            feature_stds: stds,
         })
     }
 
@@ -215,11 +243,7 @@ impl LogisticRegression {
     /// Panics if `features` has a different width than the training data.
     #[must_use]
     pub fn predict_proba(&self, features: &[f64]) -> f64 {
-        assert_eq!(
-            features.len(),
-            self.weights.len(),
-            "feature width mismatch"
-        );
+        assert_eq!(features.len(), self.weights.len(), "feature width mismatch");
         let mut z = self.intercept;
         for ((&f, &w), (&m, &s)) in features
             .iter()
@@ -237,6 +261,25 @@ impl LogisticRegression {
         xs.iter().map(|x| self.predict_proba(x)).collect()
     }
 
+    /// Probabilities for every row of a matrix view (no row copies).
+    #[must_use]
+    pub fn predict_proba_view(&self, xs: MatrixView<'_>) -> Vec<f64> {
+        (0..xs.rows())
+            .map(|i| {
+                let mut z = self.intercept;
+                for (c, (&w, (&m, &s))) in self
+                    .weights
+                    .iter()
+                    .zip(self.feature_means.iter().zip(&self.feature_stds))
+                    .enumerate()
+                {
+                    z += w * (xs.get(i, c) - m) / s;
+                }
+                crate::sigmoid(z)
+            })
+            .collect()
+    }
+
     /// Learned weights in standardized feature space.
     #[must_use]
     pub fn weights(&self) -> &[f64] {
@@ -252,17 +295,18 @@ impl LogisticRegression {
 
 /// Weighted penalized Bernoulli log-likelihood
 /// `Σ wᵢ [y·z − ln(1 + eᶻ)] − ½λ‖w‖²` (intercept unpenalized), evaluated
-/// with the stable `ln(1+eᶻ)` form.
+/// with the stable `ln(1+eᶻ)` form. `xs` is row-major with stride `d`.
 fn penalized_log_likelihood(
-    xs: &[Vec<f64>],
+    xs: &[f64],
+    d: usize,
     y: &[f64],
     sample_weights: &[f64],
     beta: &[f64],
     l2: f64,
 ) -> f64 {
-    let d = beta.len() - 1;
+    debug_assert_eq!(beta.len(), d + 1);
     let mut ll = 0.0;
-    for ((row, &yi), &sw) in xs.iter().zip(y).zip(sample_weights) {
+    for ((row, &yi), &sw) in xs.chunks_exact(d).zip(y).zip(sample_weights) {
         let z = beta[d] + nurd_linalg::dot(&beta[..d], row);
         // ln(1 + e^z) = max(z, 0) + ln(1 + e^{-|z|})
         let log1pexp = z.max(0.0) + (-z.abs()).exp().ln_1p();
@@ -337,7 +381,12 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_crash() {
-        let x = vec![vec![5.0, 0.0], vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let x = vec![
+            vec![5.0, 0.0],
+            vec![5.0, 1.0],
+            vec![5.0, 2.0],
+            vec![5.0, 3.0],
+        ];
         let y = vec![0.0, 0.0, 1.0, 1.0];
         let m = LogisticRegression::fit(&x, &y, &LogisticConfig::default()).unwrap();
         assert!(m.predict_proba(&[5.0, 3.0]) > m.predict_proba(&[5.0, 0.0]));

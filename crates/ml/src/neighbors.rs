@@ -105,8 +105,7 @@ mod tests {
 
     #[test]
     fn query_orders_by_distance() {
-        let nn =
-            NearestNeighbors::new(vec![vec![0.0], vec![2.0], vec![10.0], vec![3.0]]).unwrap();
+        let nn = NearestNeighbors::new(vec![vec![0.0], vec![2.0], vec![10.0], vec![3.0]]).unwrap();
         let hits = nn.query(&[2.4], 3);
         assert_eq!(hits.len(), 3);
         assert_eq!(hits[0].0, 1);

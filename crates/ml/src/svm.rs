@@ -71,9 +71,7 @@ impl LinearSvm {
     pub fn fit(x: &[Vec<f64>], y: &[f64], config: &SvmConfig) -> Result<Self, MlError> {
         let d = crate::error::check_xy(x, y)?;
         if y.iter().any(|&v| v != -1.0 && v != 1.0) {
-            return Err(MlError::InvalidConfig(
-                "labels must be -1.0 or +1.0".into(),
-            ));
+            return Err(MlError::InvalidConfig("labels must be -1.0 or +1.0".into()));
         }
         if config.lambda <= 0.0 {
             return Err(MlError::InvalidConfig(format!(
@@ -130,11 +128,7 @@ impl LinearSvm {
     /// Panics if `features` has a different width than the training data.
     #[must_use]
     pub fn decision_function(&self, features: &[f64]) -> f64 {
-        assert_eq!(
-            features.len(),
-            self.weights.len(),
-            "feature width mismatch"
-        );
+        assert_eq!(features.len(), self.weights.len(), "feature width mismatch");
         let mut z = self.bias;
         for ((&f, &w), (&m, &s)) in features
             .iter()

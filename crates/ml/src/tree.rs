@@ -5,8 +5,42 @@
 //! gain is the reduction in `-G²/(H+λ)` across the partition. With gradients
 //! `g_i = f_i - y_i` and unit hessians this reduces to ordinary
 //! variance-reduction CART, so the same tree serves plain regression too.
+//!
+//! # Growth strategies
+//!
+//! Two interchangeable split finders sit behind [`RegressionTree::fit`],
+//! selected by [`TreeConfig::growth`]:
+//!
+//! * [`TreeGrowth::Histogram`] (the default) — quantizes each feature into
+//!   at most [`TreeConfig::max_bins`] bins once per fit (see
+//!   [`BinnedMatrix`]), then finds splits by accumulating per-bin
+//!   gradient/hessian sums in one linear pass per node and scanning bin
+//!   boundaries. Split finding costs `O(n·d)` per level with sequential
+//!   access over contiguous `u8` codes. When every feature has at most
+//!   `max_bins` distinct values the result is **identical** to exact
+//!   growth (same thresholds, bit for bit); otherwise thresholds are
+//!   restricted to quantile bin boundaries — the standard histogram
+//!   tradeoff.
+//! * [`TreeGrowth::Exact`] — the classic sort-based CART enumeration:
+//!   every node re-sorts its samples per feature (`O(d · n log n)` per
+//!   node) and considers every midpoint between adjacent distinct values.
+//!   Kept for accuracy-sensitive comparisons and as the reference
+//!   implementation the histogram path is property-tested against.
 
+use nurd_linalg::MatrixView;
+
+use crate::binned::BinnedMatrix;
 use crate::MlError;
+
+/// Split-finding strategy for tree construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TreeGrowth {
+    /// Per-node sort-based exact enumeration (reference path).
+    Exact,
+    /// Binned histogram split finding (fast path, default).
+    #[default]
+    Histogram,
+}
 
 /// Hyperparameters for a single regression tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +53,11 @@ pub struct TreeConfig {
     pub lambda: f64,
     /// Minimum gain required to keep a split (γ).
     pub min_split_gain: f64,
+    /// Split-finding strategy.
+    pub growth: TreeGrowth,
+    /// Maximum bins per feature for histogram growth (clamped to
+    /// `[2, 256]`; ignored by exact growth).
+    pub max_bins: usize,
 }
 
 impl Default for TreeConfig {
@@ -28,6 +67,8 @@ impl Default for TreeConfig {
             min_child_weight: 1.0,
             lambda: 1.0,
             min_split_gain: 1e-9,
+            growth: TreeGrowth::Histogram,
+            max_bins: BinnedMatrix::MAX_BINS,
         }
     }
 }
@@ -81,28 +122,118 @@ impl RegressionTree {
         hessians: &[f64],
         config: &TreeConfig,
     ) -> Result<Self, MlError> {
-        crate::error::check_xy(x, gradients)?;
-        if hessians.len() != gradients.len() {
+        Self::fit_view(MatrixView::Rows(x), gradients, hessians, config)
+    }
+
+    /// Fits a tree over any matrix layout (row-major, row slices, or a
+    /// column-major `FeatureMatrix`) without copying the features.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RegressionTree::fit`].
+    pub fn fit_view(
+        x: MatrixView<'_>,
+        gradients: &[f64],
+        hessians: &[f64],
+        config: &TreeConfig,
+    ) -> Result<Self, MlError> {
+        check_tree_inputs(x, gradients, hessians, config)?;
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        match config.growth {
+            TreeGrowth::Exact => Ok(Self::fit_exact_rows(
+                x, gradients, hessians, indices, config,
+            )),
+            TreeGrowth::Histogram => {
+                let binned = BinnedMatrix::build(x, config.max_bins);
+                Ok(Self::grow_binned(
+                    &binned, gradients, hessians, indices, config,
+                ))
+            }
+        }
+    }
+
+    /// Fits a tree over a subset (`rows`) of a pre-quantized matrix.
+    ///
+    /// This is the boosting hot path: [`crate::GradientBoosting`] builds
+    /// the [`BinnedMatrix`] once per `fit` and every round trains on an
+    /// index subset — no row materialization, no re-quantization.
+    /// `gradients`/`hessians` are indexed by *matrix row id* (length
+    /// `binned.rows()`).
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::EmptyTrainingSet`] when `rows` is empty,
+    /// [`MlError::DimensionMismatch`] when gradient/hessian lengths do not
+    /// match the matrix, [`MlError::InvalidConfig`] if `max_depth == 0`.
+    pub fn fit_binned(
+        binned: &BinnedMatrix,
+        gradients: &[f64],
+        hessians: &[f64],
+        rows: &[usize],
+        config: &TreeConfig,
+    ) -> Result<Self, MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if gradients.len() != binned.rows() || hessians.len() != binned.rows() {
             return Err(MlError::DimensionMismatch {
-                expected: format!("{} hessians", gradients.len()),
-                found: format!("{} hessians", hessians.len()),
+                expected: format!("{} gradient/hessian entries", binned.rows()),
+                found: format!("{}/{}", gradients.len(), hessians.len()),
             });
         }
         if config.max_depth == 0 {
             return Err(MlError::InvalidConfig("max_depth must be >= 1".into()));
         }
-        let mut builder = Builder {
+        Ok(Self::grow_binned(
+            binned,
+            gradients,
+            hessians,
+            rows.to_vec(),
+            config,
+        ))
+    }
+
+    /// Exact growth over an index subset; inputs already validated.
+    pub(crate) fn fit_exact_rows(
+        x: MatrixView<'_>,
+        gradients: &[f64],
+        hessians: &[f64],
+        rows: Vec<usize>,
+        config: &TreeConfig,
+    ) -> Self {
+        let mut builder = ExactBuilder {
             x,
             gradients,
             hessians,
             config,
             nodes: Vec::new(),
         };
-        let indices: Vec<usize> = (0..x.len()).collect();
-        builder.build(indices, 0);
-        Ok(RegressionTree {
+        builder.build(rows, 0);
+        RegressionTree {
             nodes: builder.nodes,
-        })
+        }
+    }
+
+    fn grow_binned(
+        binned: &BinnedMatrix,
+        gradients: &[f64],
+        hessians: &[f64],
+        rows: Vec<usize>,
+        config: &TreeConfig,
+    ) -> Self {
+        let bins = binned.max_bin_count();
+        let mut builder = HistogramBuilder {
+            binned,
+            gradients,
+            hessians,
+            config,
+            nodes: Vec::new(),
+            hist: vec![HistBin::default(); bins],
+        };
+        builder.build(rows, 0);
+        RegressionTree {
+            nodes: builder.nodes,
+        }
     }
 
     /// The tree's output for one sample (a leaf weight; the caller applies
@@ -134,6 +265,33 @@ impl RegressionTree {
         }
     }
 
+    /// The tree's output for row `row` of a matrix view (no row copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is narrower than a split feature index.
+    #[must_use]
+    pub fn predict_at(&self, x: MatrixView<'_>, row: usize) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { weight } => return *weight,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if x.get(row, *feature) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
     /// Number of nodes (splits + leaves).
     #[must_use]
     pub fn node_count(&self) -> usize {
@@ -155,85 +313,123 @@ impl RegressionTree {
         fn walk(nodes: &[Node], idx: usize) -> usize {
             match &nodes[idx] {
                 Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => {
-                    1 + walk(nodes, *left).max(walk(nodes, *right))
-                }
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
             }
         }
         walk(&self.nodes, 0)
     }
 }
 
-struct Builder<'a> {
-    x: &'a [Vec<f64>],
-    gradients: &'a [f64],
-    hessians: &'a [f64],
-    config: &'a TreeConfig,
-    nodes: Vec<Node>,
+fn check_tree_inputs(
+    x: MatrixView<'_>,
+    gradients: &[f64],
+    hessians: &[f64],
+    config: &TreeConfig,
+) -> Result<(), MlError> {
+    crate::error::check_view(x, gradients)?;
+    if hessians.len() != gradients.len() {
+        return Err(MlError::DimensionMismatch {
+            expected: format!("{} hessians", gradients.len()),
+            found: format!("{} hessians", hessians.len()),
+        });
+    }
+    if config.max_depth == 0 {
+        return Err(MlError::InvalidConfig("max_depth must be >= 1".into()));
+    }
+    Ok(())
 }
 
 struct BestSplit {
     feature: usize,
     threshold: f64,
     gain: f64,
+    /// Highest bin code routed left (histogram growth only; `u8::MAX` for
+    /// exact growth, where partitioning uses the threshold directly).
+    left_bin: u8,
 }
 
-impl Builder<'_> {
-    /// Builds the subtree over `indices`; returns the node index.
-    fn build(&mut self, indices: Vec<usize>, depth: usize) -> usize {
-        let (g_sum, h_sum) = self.sums(&indices);
-        let leaf_weight = -g_sum / (h_sum + self.config.lambda);
+/// Shared leaf/recursion skeleton: both builders differ only in how they
+/// find the best split and partition the node.
+macro_rules! impl_build {
+    ($builder:ident) => {
+        impl $builder<'_> {
+            /// Builds the subtree over `indices`; returns the node index.
+            fn build(&mut self, indices: Vec<usize>, depth: usize) -> usize {
+                let (g_sum, h_sum) = self.sums(&indices);
+                let leaf_weight = -g_sum / (h_sum + self.config.lambda);
 
-        if depth >= self.config.max_depth || indices.len() < 2 {
-            return self.push_leaf(leaf_weight);
-        }
-        let Some(split) = self.best_split(&indices, g_sum, h_sum) else {
-            return self.push_leaf(leaf_weight);
-        };
-        if split.gain <= self.config.min_split_gain {
-            return self.push_leaf(leaf_weight);
-        }
+                if depth >= self.config.max_depth || indices.len() < 2 {
+                    return self.push_leaf(leaf_weight);
+                }
+                let Some(split) = self.best_split(&indices, g_sum, h_sum) else {
+                    return self.push_leaf(leaf_weight);
+                };
+                if split.gain <= self.config.min_split_gain {
+                    return self.push_leaf(leaf_weight);
+                }
 
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                let (left_idx, right_idx) = self.partition(indices, &split);
+                // Degenerate partitions cannot happen: thresholds are
+                // midpoints of strictly distinct consecutive values.
+                let placeholder = self.push_leaf(0.0);
+                let left = self.build(left_idx, depth + 1);
+                let right = self.build(right_idx, depth + 1);
+                self.nodes[placeholder] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                };
+                placeholder
+            }
+
+            fn push_leaf(&mut self, weight: f64) -> usize {
+                self.nodes.push(Node::Leaf { weight });
+                self.nodes.len() - 1
+            }
+
+            fn sums(&self, indices: &[usize]) -> (f64, f64) {
+                indices.iter().fold((0.0, 0.0), |(g, h), &i| {
+                    (g + self.gradients[i], h + self.hessians[i])
+                })
+            }
+        }
+    };
+}
+
+/// The reference sort-based builder (`TreeGrowth::Exact`).
+struct ExactBuilder<'a> {
+    x: MatrixView<'a>,
+    gradients: &'a [f64],
+    hessians: &'a [f64],
+    config: &'a TreeConfig,
+    nodes: Vec<Node>,
+}
+
+impl_build!(ExactBuilder);
+
+impl ExactBuilder<'_> {
+    fn partition(&self, indices: Vec<usize>, split: &BestSplit) -> (Vec<usize>, Vec<usize>) {
+        indices
             .into_iter()
-            .partition(|&i| self.x[i][split.feature] <= split.threshold);
-        // Degenerate partitions cannot happen: thresholds are midpoints of
-        // strictly distinct consecutive values.
-        let placeholder = self.push_leaf(0.0);
-        let left = self.build(left_idx, depth + 1);
-        let right = self.build(right_idx, depth + 1);
-        self.nodes[placeholder] = Node::Split {
-            feature: split.feature,
-            threshold: split.threshold,
-            left,
-            right,
-        };
-        placeholder
-    }
-
-    fn push_leaf(&mut self, weight: f64) -> usize {
-        self.nodes.push(Node::Leaf { weight });
-        self.nodes.len() - 1
-    }
-
-    fn sums(&self, indices: &[usize]) -> (f64, f64) {
-        indices.iter().fold((0.0, 0.0), |(g, h), &i| {
-            (g + self.gradients[i], h + self.hessians[i])
-        })
+            .partition(|&i| self.x.get(i, split.feature) <= split.threshold)
     }
 
     fn best_split(&self, indices: &[usize], g_sum: f64, h_sum: f64) -> Option<BestSplit> {
-        let d = self.x[0].len();
+        let d = self.x.cols();
         let lambda = self.config.lambda;
         let parent_score = g_sum * g_sum / (h_sum + lambda);
         let mut best: Option<BestSplit> = None;
 
         let mut order: Vec<usize> = indices.to_vec();
         for feature in 0..d {
+            // NaN input must not panic the sort (a partial_cmp fallback
+            // violates strict total order, which the stdlib sort detects
+            // and aborts on). nan_last_cmp orders every NaN — positive or
+            // negative — last, so NaNs are never split boundaries and
+            // simply ride along in the right child.
             order.sort_by(|&a, &b| {
-                self.x[a][feature]
-                    .partial_cmp(&self.x[b][feature])
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                crate::binned::nan_last_cmp(self.x.get(a, feature), self.x.get(b, feature))
             });
             let mut g_left = 0.0;
             let mut h_left = 0.0;
@@ -241,15 +437,18 @@ impl Builder<'_> {
                 let i = order[w];
                 g_left += self.gradients[i];
                 h_left += self.hessians[i];
-                let v = self.x[i][feature];
-                let v_next = self.x[order[w + 1]][feature];
+                let v = self.x.get(i, feature);
+                let v_next = self.x.get(order[w + 1], feature);
+                if v_next.is_nan() {
+                    // NaNs sort last: no further finite boundaries exist
+                    // for this feature.
+                    break;
+                }
                 if v == v_next {
                     continue;
                 }
                 let h_right = h_sum - h_left;
-                if h_left < self.config.min_child_weight
-                    || h_right < self.config.min_child_weight
-                {
+                if h_left < self.config.min_child_weight || h_right < self.config.min_child_weight {
                     continue;
                 }
                 let g_right = g_sum - g_left;
@@ -262,8 +461,103 @@ impl Builder<'_> {
                         feature,
                         threshold: 0.5 * (v + v_next),
                         gain,
+                        left_bin: u8::MAX,
                     });
                 }
+            }
+        }
+        best
+    }
+}
+
+/// One histogram cell: gradient sum, hessian sum, sample count. Kept as a
+/// single struct so the accumulation loop touches one cache line per
+/// sample instead of three parallel arrays.
+#[derive(Debug, Clone, Copy, Default)]
+struct HistBin {
+    g: f64,
+    h: f64,
+    n: u32,
+}
+
+/// The binned builder (`TreeGrowth::Histogram`): one linear pass per
+/// node/feature to fill the histogram, then a scan over bin boundaries.
+struct HistogramBuilder<'a> {
+    binned: &'a BinnedMatrix,
+    gradients: &'a [f64],
+    hessians: &'a [f64],
+    config: &'a TreeConfig,
+    nodes: Vec<Node>,
+    /// Per-bin scratch, reused across nodes and features.
+    hist: Vec<HistBin>,
+}
+
+impl_build!(HistogramBuilder);
+
+impl HistogramBuilder<'_> {
+    fn partition(&self, indices: Vec<usize>, split: &BestSplit) -> (Vec<usize>, Vec<usize>) {
+        let codes = self.binned.codes(split.feature);
+        indices
+            .into_iter()
+            .partition(|&i| codes[i] <= split.left_bin)
+    }
+
+    fn best_split(&mut self, indices: &[usize], g_sum: f64, h_sum: f64) -> Option<BestSplit> {
+        let lambda = self.config.lambda;
+        let parent_score = g_sum * g_sum / (h_sum + lambda);
+        let mut best: Option<BestSplit> = None;
+
+        for feature in 0..self.binned.features() {
+            let bins = self.binned.feature_bins(feature);
+            let n_bins = bins.n_bins();
+            if n_bins < 2 {
+                continue;
+            }
+            let codes = self.binned.codes(feature);
+            let hist = &mut self.hist[..n_bins];
+            hist.fill(HistBin::default());
+            // The node's entire split-finding cost for this feature: one
+            // sequential pass over u8 codes and the gradient arrays.
+            for &i in indices {
+                let cell = &mut hist[codes[i] as usize];
+                cell.g += self.gradients[i];
+                cell.h += self.hessians[i];
+                cell.n += 1;
+            }
+
+            // Scan boundaries between bins *present in this node*: the
+            // candidate set (and, in the one-bin-per-value regime, the
+            // thresholds) then matches the exact builder sample-for-sample.
+            let mut g_left = 0.0;
+            let mut h_left = 0.0;
+            let mut last_present: Option<usize> = None;
+            for (b, cell) in hist.iter().enumerate() {
+                if cell.n == 0 {
+                    continue;
+                }
+                if let Some(prev) = last_present {
+                    let h_right = h_sum - h_left;
+                    if h_left >= self.config.min_child_weight
+                        && h_right >= self.config.min_child_weight
+                    {
+                        let g_right = g_sum - g_left;
+                        let gain = 0.5
+                            * (g_left * g_left / (h_left + lambda)
+                                + g_right * g_right / (h_right + lambda)
+                                - parent_score);
+                        if best.as_ref().is_none_or(|cur| gain > cur.gain) {
+                            best = Some(BestSplit {
+                                feature,
+                                threshold: 0.5 * (bins.max_of(prev) + bins.min_of(b)),
+                                gain,
+                                left_bin: prev as u8,
+                            });
+                        }
+                    }
+                }
+                g_left += cell.g;
+                h_left += cell.h;
+                last_present = Some(b);
             }
         }
         best
@@ -379,6 +673,110 @@ mod tests {
         assert!(matches!(err, MlError::DimensionMismatch { .. }));
     }
 
+    #[test]
+    fn both_growth_modes_pass_reference_cases() {
+        // The named tests above run under the default (histogram) growth;
+        // spot-check the exact path stays equivalent on one of them.
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 10.0 }).collect();
+        let (g, h) = squared_loss_grads(&y);
+        let exact = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &TreeConfig {
+                growth: TreeGrowth::Exact,
+                lambda: 0.0,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        let hist = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &TreeConfig {
+                growth: TreeGrowth::Histogram,
+                lambda: 0.0,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(exact, hist);
+    }
+
+    #[test]
+    fn fit_binned_trains_on_row_subsets() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 10.0 }).collect();
+        let (g, h) = squared_loss_grads(&y);
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), 256);
+        // Train on the even rows only.
+        let rows: Vec<usize> = (0..20).step_by(2).collect();
+        let cfg = TreeConfig {
+            lambda: 0.0,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit_binned(&binned, &g, &h, &rows, &cfg).unwrap();
+        assert!((tree.predict(&[2.0]) - 0.0).abs() < 1e-9);
+        assert!((tree.predict(&[16.0]) - 10.0).abs() < 1e-9);
+
+        assert!(matches!(
+            RegressionTree::fit_binned(&binned, &g, &h, &[], &cfg),
+            Err(MlError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            RegressionTree::fit_binned(&binned, &g[..5], &h[..5], &rows, &cfg),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_features_degrade_without_panicking_in_both_growth_modes() {
+        // Large enough that the stdlib sort detects a non-total-order
+        // comparator (the seed's partial_cmp fallback panicked here).
+        // Cover both NaN signs: negative NaN (the x86-64 runtime default)
+        // sorts first under plain total_cmp and needs the nan_last order.
+        let neg_nan = f64::from_bits(0xFFF8_0000_0000_0000);
+        let mut x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        x[7][0] = f64::NAN;
+        x[11][0] = neg_nan;
+        x[19][1] = neg_nan;
+        let g: Vec<f64> = (0..30).map(|i| -(i as f64)).collect();
+        let h = vec![1.0; 30];
+        for growth in [TreeGrowth::Exact, TreeGrowth::Histogram] {
+            let cfg = TreeConfig {
+                growth,
+                ..TreeConfig::default()
+            };
+            let tree = RegressionTree::fit(&x, &g, &h, &cfg).unwrap();
+            assert!(tree.predict(&[15.0, 0.0]).is_finite(), "{growth:?}");
+            assert!(tree.predict(&x[7]).is_finite(), "{growth:?} on NaN row");
+            // No split may carry a NaN threshold: every training row must
+            // route deterministically.
+            for node in 0..tree.node_count() {
+                if let Node::Split { threshold, .. } = tree.nodes[node] {
+                    assert!(threshold.is_finite(), "{growth:?} NaN threshold");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_at_matches_predict() {
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64, ((i * 7) % 5) as f64])
+            .collect();
+        let y: Vec<f64> = (0..30).map(|i| (i % 4) as f64).collect();
+        let (g, h) = squared_loss_grads(&y);
+        let tree = RegressionTree::fit(&x, &g, &h, &TreeConfig::default()).unwrap();
+        let m = nurd_linalg::FeatureMatrix::from_rows(&x).unwrap();
+        for (i, row) in x.iter().enumerate() {
+            assert_eq!(tree.predict(row), tree.predict_at(MatrixView::Rows(&x), i));
+            assert_eq!(tree.predict(row), tree.predict_at(m.view(), i));
+        }
+    }
+
     proptest! {
         /// Leaf predictions stay within the hull of the Newton-optimal
         /// per-sample weights (for unit hessians, within [-max|g|, max|g|]).
@@ -406,6 +804,41 @@ mod tests {
             let cfg = TreeConfig { max_depth: depth, ..TreeConfig::default() };
             let tree = RegressionTree::fit(&x, &g, &h, &cfg).unwrap();
             prop_assert!(tree.depth() <= depth);
+        }
+
+        /// **Exact ≡ histogram**: whenever every feature has at most
+        /// `max_bins` distinct values, the two growth strategies must
+        /// produce *identical* trees — same structure, same features,
+        /// bit-for-bit the same thresholds and leaf weights. Features are
+        /// drawn from a small value pool to force that regime while still
+        /// exercising ties, duplicates, and multi-feature interaction.
+        #[test]
+        fn prop_histogram_equals_exact_when_bins_cover_values(
+            pool_picks in proptest::collection::vec(
+                proptest::collection::vec(0usize..12, 3), 4..48),
+            ys in proptest::collection::vec(-50.0..50.0f64, 48),
+            depth in 1usize..5) {
+            // 12 possible values per feature << max_bins = 256.
+            let values = [-3.0, -1.5, -0.75, 0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+            let x: Vec<Vec<f64>> = pool_picks
+                .iter()
+                .map(|picks| picks.iter().map(|&p| values[p]).collect())
+                .collect();
+            let n = x.len();
+            let (g, h) = squared_loss_grads(&ys[..n]);
+            let exact_cfg = TreeConfig {
+                growth: TreeGrowth::Exact,
+                max_depth: depth,
+                ..TreeConfig::default()
+            };
+            let hist_cfg = TreeConfig {
+                growth: TreeGrowth::Histogram,
+                max_depth: depth,
+                ..TreeConfig::default()
+            };
+            let exact = RegressionTree::fit(&x, &g, &h, &exact_cfg).unwrap();
+            let hist = RegressionTree::fit(&x, &g, &h, &hist_cfg).unwrap();
+            prop_assert_eq!(&exact, &hist);
         }
     }
 }

@@ -101,10 +101,16 @@ mod tests {
             .collect();
         rows.push(vec![10.0, 10.0]);
         rows.push(vec![10.1, 10.0]);
-        let scores = Cblof { clusters: 3, ..Cblof::default() }
-            .score_all(&rows)
-            .unwrap();
-        let inlier_max = scores[..60].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let scores = Cblof {
+            clusters: 3,
+            ..Cblof::default()
+        }
+        .score_all(&rows)
+        .unwrap();
+        let inlier_max = scores[..60]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(scores[60] > inlier_max);
         assert!(scores[61] > inlier_max);
     }

@@ -45,9 +45,7 @@ impl OutlierDetector for Hbos {
             }
             let width = (hi - lo) / bins as f64;
             let mut counts = vec![0usize; bins];
-            let bin_of = |v: f64| -> usize {
-                (((v - lo) / width) as usize).min(bins - 1)
-            };
+            let bin_of = |v: f64| -> usize { (((v - lo) / width) as usize).min(bins - 1) };
             for &v in &col {
                 counts[bin_of(v)] += 1;
             }
@@ -86,7 +84,9 @@ mod tests {
     #[test]
     fn independent_features_accumulate() {
         // An outlier in two features scores above an outlier in one.
-        let mut rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 4) as f64, (i % 4) as f64]).collect();
+        let mut rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 4) as f64, (i % 4) as f64])
+            .collect();
         rows.push(vec![30.0, 1.0]);
         rows.push(vec![30.0, 30.0]);
         let scores = Hbos::default().score_all(&rows).unwrap();

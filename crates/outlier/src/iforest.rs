@@ -87,9 +87,8 @@ impl Tree {
                 continue;
             }
             let threshold = rng.gen_range(lo..hi);
-            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-                .iter()
-                .partition(|&&i| x[i][feature] < threshold);
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| x[i][feature] < threshold);
             if left_idx.is_empty() || right_idx.is_empty() {
                 continue;
             }

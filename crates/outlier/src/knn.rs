@@ -55,7 +55,9 @@ mod tests {
 
     #[test]
     fn uniform_cluster_scores_are_similar() {
-        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 3) as f64, (i % 5) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 3) as f64, (i % 5) as f64])
+            .collect();
         let scores = Knn::default().score_all(&rows).unwrap();
         let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);

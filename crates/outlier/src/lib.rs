@@ -134,8 +134,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "ABOD", "CBLOF", "HBOS", "IFOREST", "KNN", "LOF", "COF", "MCD", "OCSVM",
-                "PCA", "SOS", "LSCP", "SOD"
+                "ABOD", "CBLOF", "HBOS", "IFOREST", "KNN", "LOF", "COF", "MCD", "OCSVM", "PCA",
+                "SOS", "LSCP", "SOD"
             ]
         );
     }

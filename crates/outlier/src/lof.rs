@@ -48,10 +48,7 @@ impl OutlierDetector for Lof {
                 if hits.is_empty() {
                     return 0.0;
                 }
-                let reach_sum: f64 = hits
-                    .iter()
-                    .map(|&(j, d)| d.max(k_dist[j]))
-                    .sum();
+                let reach_sum: f64 = hits.iter().map(|&(j, d)| d.max(k_dist[j])).sum();
                 if reach_sum <= 0.0 {
                     LRD_CAP
                 } else {

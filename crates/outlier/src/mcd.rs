@@ -72,7 +72,7 @@ impl OutlierDetector for Mcd {
         let n = xs.len();
         let d = xs[0].len();
         // h = ⌈(n + d + 1) / 2⌉, the standard breakdown-optimal subset size.
-        let h = ((n + d + 1) / 2).clamp((d + 1).min(n), n);
+        let h = (n + d).div_ceil(2).clamp((d + 1).min(n), n);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut indices: Vec<usize> = (0..n).collect();
         let mut best: Option<Estimate> = None;
@@ -107,17 +107,13 @@ impl OutlierDetector for Mcd {
                     None => break,
                 }
             }
-            if best
-                .as_ref()
-                .is_none_or(|b| estimate.log_det < b.log_det)
-            {
+            if best.as_ref().is_none_or(|b| estimate.log_det < b.log_det) {
                 best = Some(estimate);
             }
         }
 
-        let best = best.ok_or_else(|| {
-            MlError::OptimizationFailed("all MCD subsets were singular".into())
-        })?;
+        let best = best
+            .ok_or_else(|| MlError::OptimizationFailed("all MCD subsets were singular".into()))?;
         Ok(xs
             .iter()
             .map(|p| {
@@ -144,7 +140,10 @@ mod tests {
             rows.push(vec![10.0 + i as f64 * 0.01, -10.0]);
         }
         let scores = Mcd::default().score_all(&rows).unwrap();
-        let max_inlier = scores[..44].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_inlier = scores[..44]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         for s in &scores[44..] {
             assert!(*s > max_inlier, "outlier {s} <= inlier max {max_inlier}");
         }

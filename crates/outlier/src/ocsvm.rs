@@ -38,12 +38,7 @@ impl Default for OcSvm {
 fn project_capped_simplex(v: &mut [f64], cap: f64) {
     let n = v.len();
     debug_assert!(cap * n as f64 >= 1.0 - 1e-9, "infeasible simplex");
-    let mut lo = v
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min)
-        - cap
-        - 1.0;
+    let mut lo = v.iter().cloned().fold(f64::INFINITY, f64::min) - cap - 1.0;
     let mut hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 1.0;
     for _ in 0..100 {
         let tau = 0.5 * (lo + hi);
@@ -169,7 +164,10 @@ mod tests {
             .collect();
         rows.push(vec![6.0, 6.0]);
         let scores = OcSvm::default().score_all(&rows).unwrap();
-        let max_inlier = scores[..50].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_inlier = scores[..50]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(
             scores[50] > max_inlier,
             "outlier {} vs inlier max {max_inlier}",

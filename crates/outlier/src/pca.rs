@@ -77,7 +77,10 @@ mod tests {
             .collect();
         rows.push(vec![2.5, 0.5]); // inside both marginals, off the line
         let scores = PcaDetector::default().score_all(&rows).unwrap();
-        let max_inlier = scores[..50].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_inlier = scores[..50]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(scores[50] > max_inlier);
     }
 

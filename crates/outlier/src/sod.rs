@@ -47,9 +47,8 @@ impl OutlierDetector for Sod {
         let knn_sets: Vec<Vec<usize>> = (0..n)
             .map(|i| nn.neighbors_of(i, k).into_iter().map(|(j, _)| j).collect())
             .collect();
-        let snn = |a: &[usize], b: &[usize]| -> usize {
-            a.iter().filter(|i| b.contains(i)).count()
-        };
+        let snn =
+            |a: &[usize], b: &[usize]| -> usize { a.iter().filter(|i| b.contains(i)).count() };
 
         Ok((0..n)
             .map(|i| {
@@ -59,7 +58,7 @@ impl OutlierDetector for Sod {
                     .iter()
                     .map(|&j| (j, snn(&knn_sets[i], &knn_sets[j])))
                     .collect();
-                candidates.sort_by(|a, b| b.1.cmp(&a.1));
+                candidates.sort_by_key(|&(_, shared)| std::cmp::Reverse(shared));
                 let reference: Vec<usize> =
                     candidates.into_iter().take(l).map(|(j, _)| j).collect();
                 if reference.is_empty() {
@@ -85,9 +84,8 @@ impl OutlierDetector for Sod {
                 let mean_var: f64 = var.iter().sum::<f64>() / d as f64;
 
                 // Deviation in the low-variance (relevant) subspace.
-                let relevant: Vec<usize> = (0..d)
-                    .filter(|&a| var[a] < self.alpha * mean_var)
-                    .collect();
+                let relevant: Vec<usize> =
+                    (0..d).filter(|&a| var[a] < self.alpha * mean_var).collect();
                 if relevant.is_empty() {
                     return 0.0;
                 }
@@ -117,7 +115,10 @@ mod tests {
             .collect();
         rows.push(vec![20.0, 3.0]);
         let scores = Sod::default().score_all(&rows).unwrap();
-        let max_inlier = scores[..40].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_inlier = scores[..40]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(scores[40] > max_inlier);
     }
 

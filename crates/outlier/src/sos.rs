@@ -47,9 +47,9 @@ fn affinity_row(dist2: &[f64], i: usize, perplexity: f64) -> Vec<f64> {
         }
         // Shannon entropy of the affinity distribution.
         let mut entropy = 0.0;
-        for j in 0..n {
-            if row[j] > 0.0 {
-                let p = row[j] / sum;
+        for &a in row.iter().take(n) {
+            if a > 0.0 {
+                let p = a / sum;
                 entropy -= p * p.ln();
             }
         }
@@ -167,7 +167,11 @@ mod tests {
                 -p * p.ln()
             })
             .sum();
-        assert!((entropy.exp() - 5.0).abs() < 0.1, "perplexity {}", entropy.exp());
+        assert!(
+            (entropy.exp() - 5.0).abs() < 0.1,
+            "perplexity {}",
+            entropy.exp()
+        );
     }
 
     #[test]

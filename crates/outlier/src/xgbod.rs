@@ -60,13 +60,11 @@ impl Battery {
             .enumerate()
             .map(|(i, row)| {
                 let mut augmented = row.clone();
-                augmented.extend(columns.iter().map(|c| {
-                    if c[i].is_finite() {
-                        c[i]
-                    } else {
-                        0.0
-                    }
-                }));
+                augmented.extend(
+                    columns
+                        .iter()
+                        .map(|c| if c[i].is_finite() { c[i] } else { 0.0 }),
+                );
                 augmented
             })
             .collect())

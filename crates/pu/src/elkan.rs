@@ -37,11 +37,7 @@ impl PuEn {
     ///
     /// [`MlError::EmptyTrainingSet`] when either set is empty; otherwise
     /// propagates logistic-regression errors.
-    pub fn fit(
-        &self,
-        labeled: &[Vec<f64>],
-        unlabeled: &[Vec<f64>],
-    ) -> Result<FittedPuEn, MlError> {
+    pub fn fit(&self, labeled: &[Vec<f64>], unlabeled: &[Vec<f64>]) -> Result<FittedPuEn, MlError> {
         if labeled.is_empty() || unlabeled.is_empty() {
             return Err(MlError::EmptyTrainingSet);
         }

@@ -24,25 +24,37 @@ impl Confusion {
     /// True positive rate (recall); `0.0` when there are no positives.
     #[must_use]
     pub fn tpr(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_negatives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
     }
 
     /// False positive rate; `0.0` when there are no negatives.
     #[must_use]
     pub fn fpr(&self) -> f64 {
-        ratio(self.false_positives, self.false_positives + self.true_negatives)
+        ratio(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
     }
 
     /// False negative rate; `0.0` when there are no positives.
     #[must_use]
     pub fn fnr(&self) -> f64 {
-        ratio(self.false_negatives, self.true_positives + self.false_negatives)
+        ratio(
+            self.false_negatives,
+            self.true_positives + self.false_negatives,
+        )
     }
 
     /// Precision; `0.0` when nothing was flagged.
     #[must_use]
     pub fn precision(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_positives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
     }
 
     /// F1 score; `0.0` when there are no true positives.

@@ -114,7 +114,11 @@ pub fn replay_job(
     predictor.begin_job(&ctx);
 
     let mut flagged_at: Vec<Option<usize>> = vec![None; n];
-    let truth: Vec<bool> = job.tasks().iter().map(|t| t.latency() >= threshold).collect();
+    let truth: Vec<bool> = job
+        .tasks()
+        .iter()
+        .map(|t| t.latency() >= threshold)
+        .collect();
     let mut f1_timeline = Vec::with_capacity(job.checkpoint_count());
 
     for (k, &time) in job.checkpoint_times().iter().enumerate() {
@@ -291,7 +295,10 @@ mod tests {
     #[test]
     fn conservation_of_tasks() {
         let job = job();
-        for predictor in [&mut FlagEverything as &mut dyn OnlinePredictor, &mut FlagNothing] {
+        for predictor in [
+            &mut FlagEverything as &mut dyn OnlinePredictor,
+            &mut FlagNothing,
+        ] {
             let out = replay_job(&job, predictor, &ReplayConfig::default());
             assert_eq!(out.confusion.total(), job.task_count());
         }

@@ -80,24 +80,30 @@ enum Work {
 /// Panics if `config.machines == Some(0)` or if `outcome` does not belong
 /// to `job` (length mismatch).
 #[must_use]
-pub fn simulate_jct(job: &JobTrace, outcome: &ReplayOutcome, config: &SchedulerConfig) -> JctOutcome {
+pub fn simulate_jct(
+    job: &JobTrace,
+    outcome: &ReplayOutcome,
+    config: &SchedulerConfig,
+) -> JctOutcome {
     assert_eq!(
         outcome.flagged_at.len(),
         job.task_count(),
         "replay outcome does not match job"
     );
     let machines = config.machines.unwrap_or(job.task_count()).max(1);
-    assert!(
-        config.machines != Some(0),
-        "machine pool must be non-empty"
-    );
+    assert!(config.machines != Some(0), "machine pool must be non-empty");
 
     let mut sorted_latencies = job.latencies();
     sorted_latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let mut rng = StdRng::seed_from_u64(config.seed ^ job.job_id());
 
     // Baseline: nobody is flagged.
-    let baseline = run_pool(job, &vec![None; job.task_count()], machines, &mut |_rng, _now| 0.0);
+    let baseline = run_pool(
+        job,
+        &vec![None; job.task_count()],
+        machines,
+        &mut |_rng, _now| 0.0,
+    );
 
     // Mitigated: flagged tasks terminate at their flag time and relaunch
     // with a duration resampled from the *observed* execution times — the
@@ -142,9 +148,8 @@ fn run_pool_with_rng(
 ) -> f64 {
     let times = job.checkpoint_times();
     // Machine pool as a min-heap of free times.
-    let mut free: BinaryHeap<Reverse<OrderedF64>> = (0..machines)
-        .map(|_| Reverse(OrderedF64(0.0)))
-        .collect();
+    let mut free: BinaryHeap<Reverse<OrderedF64>> =
+        (0..machines).map(|_| Reverse(OrderedF64(0.0))).collect();
     let mut initial: std::collections::VecDeque<usize> = (0..job.task_count()).collect();
     let mut relaunches: BinaryHeap<Reverse<(OrderedF64, OrderedF64)>> = BinaryHeap::new();
     let mut makespan = 0.0f64;
@@ -219,7 +224,9 @@ impl PartialOrd for OrderedF64 {
 
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("event times are finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("event times are finite")
     }
 }
 
@@ -285,8 +292,14 @@ mod tests {
     #[test]
     fn oracle_mitigation_reduces_jct_with_unlimited_machines() {
         let job = job();
-        let out = replay_job(&job, &mut Oracle { threshold: 0.0, latencies: vec![] },
-            &ReplayConfig::default());
+        let out = replay_job(
+            &job,
+            &mut Oracle {
+                threshold: 0.0,
+                latencies: vec![],
+            },
+            &ReplayConfig::default(),
+        );
         let jct = simulate_jct(&job, &out, &SchedulerConfig::default());
         assert!(
             jct.mitigated < jct.baseline,
@@ -331,8 +344,14 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let job = job();
-        let out = replay_job(&job, &mut Oracle { threshold: 0.0, latencies: vec![] },
-            &ReplayConfig::default());
+        let out = replay_job(
+            &job,
+            &mut Oracle {
+                threshold: 0.0,
+                latencies: vec![],
+            },
+            &ReplayConfig::default(),
+        );
         let a = simulate_jct(&job, &out, &SchedulerConfig::default());
         let b = simulate_jct(&job, &out, &SchedulerConfig::default());
         assert_eq!(a, b);

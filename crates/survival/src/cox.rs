@@ -123,8 +123,8 @@ impl CoxPh {
                     for a in 0..d {
                         grad[a] += xs[i][a] - s1[a] / s0;
                         for b in a..d {
-                            let v = hess.get(a, b)
-                                + (s2.get(a, b) / s0 - (s1[a] / s0) * (s1[b] / s0));
+                            let v =
+                                hess.get(a, b) + (s2.get(a, b) / s0 - (s1[a] / s0) * (s1[b] / s0));
                             hess.set(a, b, v);
                         }
                     }

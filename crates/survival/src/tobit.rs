@@ -251,7 +251,10 @@ mod tests {
         let p_low = model.predict(&[1.0]);
         let p_high = model.predict(&[9.0]);
         assert!((p_low - 8.0).abs() < 1.5, "p(1.0) = {p_low}");
-        assert!(p_high > 26.0, "p(9.0) = {p_high} should extrapolate past 20");
+        assert!(
+            p_high > 26.0,
+            "p(9.0) = {p_high} should extrapolate past 20"
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl CauseMix {
     /// Panics if all weights are zero or any is negative.
     #[must_use]
     pub fn normalized(&self) -> [f64; 4] {
-        let w = [self.interference, self.data_skew, self.eviction, self.opaque];
+        let w = [
+            self.interference,
+            self.data_skew,
+            self.eviction,
+            self.opaque,
+        ];
         assert!(w.iter().all(|&v| v >= 0.0), "cause weights must be >= 0");
         let total: f64 = w.iter().sum();
         assert!(total > 0.0, "at least one cause weight must be positive");

@@ -36,7 +36,10 @@ pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
 ///
 /// Panics if `scale` or `alpha` is non-positive.
 pub fn pareto<R: Rng + ?Sized>(rng: &mut R, scale: f64, alpha: f64) -> f64 {
-    assert!(scale > 0.0 && alpha > 0.0, "scale and alpha must be positive");
+    assert!(
+        scale > 0.0 && alpha > 0.0,
+        "scale and alpha must be positive"
+    );
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     scale / u.powf(1.0 / alpha)
 }
@@ -70,8 +73,8 @@ mod tests {
         let mut r = rng();
         let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut r, 3.0, 2.0)).collect();
         let mean = nurd_data_free_mean(&samples);
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
     }

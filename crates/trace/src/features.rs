@@ -336,7 +336,13 @@ mod tests {
         let mut r = rng();
         let base = JobBaselines::sample(&mut r);
         let times = vec![10.0, 20.0, 30.0, 40.0];
-        let s = task_feature_series(&mut r, TraceStyle::Google, &nominal_plan(25.0), &base, &times);
+        let s = task_feature_series(
+            &mut r,
+            TraceStyle::Google,
+            &nominal_plan(25.0),
+            &base,
+            &times,
+        );
         assert_eq!(s.len(), 4);
         assert!(s.iter().all(|snap| snap.len() == 15));
     }
@@ -346,7 +352,13 @@ mod tests {
         let mut r = rng();
         let base = JobBaselines::sample(&mut r);
         let times = vec![10.0, 20.0, 30.0, 40.0];
-        let s = task_feature_series(&mut r, TraceStyle::Google, &nominal_plan(15.0), &base, &times);
+        let s = task_feature_series(
+            &mut r,
+            TraceStyle::Google,
+            &nominal_plan(15.0),
+            &base,
+            &times,
+        );
         assert_eq!(s[1], s[2]);
         assert_eq!(s[2], s[3]);
         assert_ne!(s[0], s[1]);

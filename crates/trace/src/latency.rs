@@ -110,8 +110,9 @@ impl LatencyFamily {
     /// Draws a straggler latency multiplier.
     pub fn straggler_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let (lo, hi) = match self {
-            LatencyFamily::LongTail { factor, .. }
-            | LatencyFamily::CloseTail { factor, .. } => *factor,
+            LatencyFamily::LongTail { factor, .. } | LatencyFamily::CloseTail { factor, .. } => {
+                *factor
+            }
         };
         dist::uniform(rng, lo, hi)
     }
@@ -325,15 +326,7 @@ mod tests {
             body_sigma: 0.2,
             factor: (1.3, 1.75),
         };
-        let plans = plan_job(
-            &mut r,
-            1000,
-            50.0,
-            &family,
-            &CauseMix::default(),
-            0.2,
-            0.2,
-        );
+        let plans = plan_job(&mut r, 1000, 50.0, &family, &CauseMix::default(), 0.2, 0.2);
         assert!(plans.iter().all(|p| !(p.decoy && p.cause.is_some())));
         assert!(plans.iter().any(|p| p.decoy));
     }

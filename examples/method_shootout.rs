@@ -15,9 +15,14 @@ fn main() {
         .with_seed(0xD0E);
     let jobs = nurd::trace::generate_suite(&config);
 
-    let picks = ["GBTR", "KNN", "PU-EN", "Grabit", "Wrangler", "NURD-NC", "NURD"];
+    let picks = [
+        "GBTR", "KNN", "PU-EN", "Grabit", "Wrangler", "NURD-NC", "NURD",
+    ];
     println!("Mini Table 3 ({} Google-style jobs)\n", jobs.len());
-    println!("{:10} {:>6} {:>6} {:>6} {:>6}", "method", "TPR", "FPR", "FNR", "F1");
+    println!(
+        "{:10} {:>6} {:>6} {:>6} {:>6}",
+        "method", "TPR", "FPR", "FNR", "F1"
+    );
 
     for spec in nurd::baselines::registry() {
         if !picks.contains(&spec.name) {
@@ -36,5 +41,7 @@ fn main() {
             spec.name, s.tpr, s.fpr, s.fnr, s.f1
         );
     }
-    println!("\n(run `cargo run --release -p nurd-bench --bin table3_accuracy` for all 23 methods)");
+    println!(
+        "\n(run `cargo run --release -p nurd-bench --bin table3_accuracy` for all 23 methods)"
+    );
 }

@@ -19,18 +19,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("nurd_example_suite.csv");
     nurd::data::write_jobs_csv(&path, &jobs)?;
     let bytes = std::fs::metadata(&path)?.len();
-    println!("wrote {} jobs to {} ({bytes} bytes)", jobs.len(), path.display());
+    println!(
+        "wrote {} jobs to {} ({bytes} bytes)",
+        jobs.len(),
+        path.display()
+    );
 
     let reloaded = nurd::data::read_jobs_csv(&path)?;
     assert_eq!(reloaded.len(), jobs.len());
-    println!("reloaded {} jobs; verifying replay equivalence...", reloaded.len());
+    println!(
+        "reloaded {} jobs; verifying replay equivalence...",
+        reloaded.len()
+    );
 
     for (a, b) in jobs.iter().zip(&reloaded) {
-        let out_a = replay_job(a, &mut NurdPredictor::new(NurdConfig::default()),
-            &ReplayConfig::default());
-        let out_b = replay_job(b, &mut NurdPredictor::new(NurdConfig::default()),
-            &ReplayConfig::default());
-        assert_eq!(out_a.confusion, out_b.confusion, "job {} diverged", a.job_id());
+        let out_a = replay_job(
+            a,
+            &mut NurdPredictor::new(NurdConfig::default()),
+            &ReplayConfig::default(),
+        );
+        let out_b = replay_job(
+            b,
+            &mut NurdPredictor::new(NurdConfig::default()),
+            &ReplayConfig::default(),
+        );
+        assert_eq!(
+            out_a.confusion,
+            out_b.confusion,
+            "job {} diverged",
+            a.job_id()
+        );
         println!(
             "  job {}: f1 {:.3} == {:.3}  ✓",
             a.job_id(),

@@ -124,13 +124,7 @@ fn replay_handles_trivial_jobs() {
         TaskRecord::new(0, 1.0, vec![vec![0.1, 0.2]]),
         TaskRecord::new(1, 5.0, vec![vec![0.9, 0.8]]),
     ];
-    let job = JobTrace::new(
-        9,
-        vec!["a".into(), "b".into()],
-        vec![10.0],
-        tasks,
-    )
-    .unwrap();
+    let job = JobTrace::new(9, vec!["a".into(), "b".into()], vec![10.0], tasks).unwrap();
     for spec in nurd::baselines::registry() {
         let mut p = spec.build();
         let out = nurd::sim::replay_job(&job, p.as_mut(), &nurd::sim::ReplayConfig::default());

@@ -6,10 +6,7 @@ use nurd::data::{Checkpoint, FinishedTask, JobContext, OnlinePredictor, RunningT
 use nurd::sim::{replay_job, ReplayConfig};
 use nurd::trace::{SuiteConfig, TraceStyle};
 
-fn checkpoint_views(
-    job: &nurd::data::JobTrace,
-    k: usize,
-) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+fn checkpoint_views(job: &nurd::data::JobTrace, k: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
     let t = job.checkpoint_times()[k];
     let mut fin = Vec::new();
     let mut run = Vec::new();
@@ -112,7 +109,9 @@ fn nurd_beats_its_own_ablation_on_mixed_suites() {
         jobs.iter()
             .map(|job| {
                 let mut p = NurdPredictor::new(config.clone());
-                replay_job(job, &mut p, &ReplayConfig::default()).confusion.f1()
+                replay_job(job, &mut p, &ReplayConfig::default())
+                    .confusion
+                    .f1()
             })
             .sum::<f64>()
             / jobs.len() as f64
@@ -141,7 +140,9 @@ fn stale_models_lose_to_online_updates() {
                     refit_every,
                     ..NurdConfig::default()
                 });
-                replay_job(job, &mut p, &ReplayConfig::default()).confusion.f1()
+                replay_job(job, &mut p, &ReplayConfig::default())
+                    .confusion
+                    .f1()
             })
             .sum::<f64>()
             / jobs.len() as f64

@@ -168,7 +168,9 @@ fn alibaba_features_are_weaker_than_google() {
         jobs.iter()
             .map(|job| {
                 let mut p = nurd::core::NurdPredictor::new(nurd::core::NurdConfig::default());
-                replay_job(job, &mut p, &ReplayConfig::default()).confusion.f1()
+                replay_job(job, &mut p, &ReplayConfig::default())
+                    .confusion
+                    .f1()
             })
             .sum::<f64>()
             / jobs.len() as f64

@@ -3,9 +3,7 @@
 
 use nurd::trace::{CauseMix, StragglerCause, SuiteConfig, TraceStyle};
 
-fn detailed_suite(
-    cfg: &SuiteConfig,
-) -> Vec<(nurd::data::JobTrace, Vec<nurd::trace::TaskPlan>)> {
+fn detailed_suite(cfg: &SuiteConfig) -> Vec<(nurd::data::JobTrace, Vec<nurd::trace::TaskPlan>)> {
     (0..cfg.jobs as u64)
         .map(|id| nurd::trace::generate_job_detailed(cfg, id))
         .collect()

@@ -1,0 +1,336 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this shim implements
+//! the criterion API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `sample_size`,
+//! `BenchmarkId::from_parameter`, `criterion_group!`/`criterion_main!` and
+//! `black_box` — with a simple warmup-then-sample measurement loop.
+//!
+//! Each benchmark prints `name  time: [median mean]` to stdout. Set
+//! `CRITERION_JSON=/path/file.json` to additionally write every estimate
+//! as a JSON array (used to record `BENCH_*.json` perf baselines), and
+//! `CRITERION_MEASURE_MS` / `CRITERION_WARMUP_MS` to adjust the time
+//! budget per benchmark (defaults: 1500 / 300).
+//!
+//! A positional command-line argument acts as a substring filter on
+//! benchmark ids, mirroring `cargo bench <filter>`; `--flags` are ignored
+//! for cargo compatibility.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Uses `parameter`'s `Display` form as the id (criterion's
+    /// `from_parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iters` times, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Estimate {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    samples: usize,
+}
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+}
+
+/// Top-level harness state; one per benchmark binary.
+pub struct Criterion {
+    filter: Option<String>,
+    warmup: Duration,
+    measure: Duration,
+    default_samples: usize,
+    estimates: Vec<Estimate>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First positional (non --flag) argument = substring filter, as
+        // with `cargo bench -- <filter>`.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion {
+            filter,
+            warmup: env_ms("CRITERION_WARMUP_MS", 300),
+            measure: env_ms("CRITERION_MEASURE_MS", 1500),
+            default_samples: 30,
+            estimates: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        let samples = self.default_samples;
+        self.run_one(name.to_string(), samples, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Writes collected estimates to `CRITERION_JSON` (when set). Called by
+    /// [`criterion_main!`] after all groups run.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, e) in self.estimates.iter().enumerate() {
+            let comma = if i + 1 == self.estimates.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"samples\": {}}}{}\n",
+                e.id, e.mean_ns, e.median_ns, e.samples, comma
+            ));
+        }
+        out.push_str("]\n");
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => eprintln!("wrote {} estimates to {path}", self.estimates.len()),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, samples: usize, mut routine: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Warmup: discover a per-sample iteration count that fits the
+        // measurement budget across `samples` samples.
+        let mut iters: u64 = 1;
+        let mut one = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warmup_start = Instant::now();
+        let mut per_iter = Duration::from_secs(1);
+        while warmup_start.elapsed() < self.warmup {
+            one.iters = iters;
+            routine(&mut one);
+            per_iter =
+                one.elapsed.max(Duration::from_nanos(1)) / u32::try_from(iters).unwrap_or(u32::MAX);
+            if one.elapsed < Duration::from_millis(1) {
+                iters = iters.saturating_mul(2);
+            }
+        }
+        let budget_per_sample = self.measure / u32::try_from(samples).unwrap_or(u32::MAX);
+        let per_sample_iters = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u128::from(u64::MAX)) as u64;
+
+        let mut times_ns: Vec<f64> = Vec::with_capacity(samples);
+        let mut bencher = Bencher {
+            iters: per_sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        let measure_start = Instant::now();
+        for _ in 0..samples {
+            routine(&mut bencher);
+            times_ns.push(bencher.elapsed.as_nanos() as f64 / per_sample_iters as f64);
+            // Keep pathological benches bounded at ~4x the budget.
+            if measure_start.elapsed() > self.measure * 4 {
+                break;
+            }
+        }
+        times_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mean = times_ns.iter().sum::<f64>() / times_ns.len() as f64;
+        let median = times_ns[times_ns.len() / 2];
+        println!(
+            "{id:<40} time: [median {} mean {}]  ({} samples x {} iters)",
+            format_ns(median),
+            format_ns(mean),
+            times_ns.len(),
+            per_sample_iters
+        );
+        self.estimates.push(Estimate {
+            id,
+            mean_ns: mean,
+            median_ns: median,
+            samples: times_ns.len(),
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// One benchmark group; ids render as `group_name/bench_id`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks `routine` under `group/id`.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        routine: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_samples);
+        self.criterion.run_one(full, samples, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with an input reference under `group/id`.
+    pub fn bench_with_input<ID: Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running every group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_from_parameter_displays_value() {
+        assert_eq!(BenchmarkId::from_parameter(300).to_string(), "300");
+        assert_eq!(BenchmarkId::new("fit", 300).to_string(), "fit/300");
+    }
+
+    #[test]
+    fn measurement_produces_estimates() {
+        std::env::remove_var("CRITERION_JSON");
+        let mut c = Criterion {
+            filter: None,
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+            default_samples: 5,
+            estimates: Vec::new(),
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.estimates.len(), 1);
+        assert!(c.estimates[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_respect_filter() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            warmup: Duration::from_millis(2),
+            measure: Duration::from_millis(10),
+            default_samples: 3,
+            estimates: Vec::new(),
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("keep_me", |b| b.iter(|| black_box(0)));
+        g.bench_function("drop_me", |b| b.iter(|| black_box(0)));
+        g.finish();
+        assert_eq!(c.estimates.len(), 1);
+        assert_eq!(c.estimates[0].id, "grp/keep_me");
+    }
+}

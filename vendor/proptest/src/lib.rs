@@ -1,0 +1,269 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim implements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (multiple `#[test]` functions per block, with
+//!   an optional `#![proptest_config(...)]` inner attribute);
+//! * scalar range strategies (`-1.0..1.0f64`, `0u8..2`, `1usize..5`, …);
+//! * [`collection::vec`] with exact or ranged sizes, arbitrarily nested;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: failing inputs are printed but **not
+//! shrunk**, and the default case count is 64 (upstream: 256) to keep
+//! `cargo test` fast in debug builds. Each test's RNG stream is seeded
+//! from a hash of its module path, so failures reproduce across runs.
+
+use std::ops::Range;
+
+pub use rand::rngs::StdRng as TestRng;
+
+/// Per-test execution configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values for one macro parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+/// Strategy yielding a constant value (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: an exact length or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy over an element strategy and a size (exact `usize`
+    /// or `Range<usize>`); nests freely (`vec(vec(0.0..1.0f64, 3), 1..10)`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rand::Rng::gen_range(rng, self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-test RNG: seeded from an FNV-1a hash of the test's
+    /// fully-qualified name so each property gets an independent but
+    /// reproducible stream.
+    #[must_use]
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Defines property tests: each inner `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` that runs the body over `config.cases` random
+/// draws, printing the failing inputs (unshrunk) on panic.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let inputs = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest {} failed at case {}/{} with inputs:\n{}",
+                            stringify!($name), case + 1, config.cases, inputs,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn scalar_ranges_respect_bounds(x in -3.0..7.0f64, n in 2usize..9) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((2..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in collection::vec(0u8..2, 4..24)) {
+            prop_assert!((4..24).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 2));
+        }
+
+        #[test]
+        fn nested_vec_exact_size(m in collection::vec(collection::vec(-1.0..1.0f64, 3), 2..6)) {
+            prop_assert!((2..6).contains(&m.len()));
+            for row in &m {
+                prop_assert_eq!(row.len(), 3);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_override_applies(x in 0.0..1.0f64) {
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::Strategy;
+        let mut a = crate::test_runner::rng_for("same::name");
+        let mut b = crate::test_runner::rng_for("same::name");
+        let strat = 0.0..1.0f64;
+        for _ in 0..10 {
+            assert_eq!(
+                strat.generate(&mut a).to_bits(),
+                strat.generate(&mut b).to_bits()
+            );
+        }
+    }
+}
