@@ -1,5 +1,6 @@
 //! GBTR: the plain supervised baseline (§6 "Supervised learning").
 
+use nurd_core::{RefitPolicy, RefitStats, WarmRefitState};
 use nurd_data::{Checkpoint, JobContext, OnlinePredictor};
 use nurd_linalg::MatrixView;
 use nurd_ml::{GbtConfig, GradientBoosting, SquaredLoss};
@@ -8,20 +9,42 @@ use nurd_ml::{GbtConfig, GradientBoosting, SquaredLoss};
 /// running task when the raw prediction crosses `τ_stra`. This is the
 /// paper's demonstration of uncorrected training/test drift: predictions
 /// are biased toward non-stragglers, so TPR is low.
+///
+/// Consumes the same per-checkpoint refit machinery as NURD itself: under
+/// a warm [`RefitPolicy`] the booster is warm-started across checkpoints
+/// through a [`WarmRefitState`] instead of being refit from scratch.
 #[derive(Debug, Clone)]
 pub struct GbtrPredictor {
     config: GbtConfig,
+    policy: RefitPolicy,
     threshold: f64,
+    warm: WarmRefitState,
 }
 
 impl GbtrPredictor {
-    /// Creates the baseline with the given booster configuration.
+    /// Creates the baseline with the given booster configuration and the
+    /// paper's always-cold refit behaviour.
     #[must_use]
     pub fn new(config: GbtConfig) -> Self {
+        GbtrPredictor::with_policy(config, RefitPolicy::AlwaysCold)
+    }
+
+    /// Creates the baseline with an explicit refit policy.
+    #[must_use]
+    pub fn with_policy(config: GbtConfig, policy: RefitPolicy) -> Self {
         GbtrPredictor {
             config,
+            policy,
             threshold: f64::INFINITY,
+            warm: WarmRefitState::new(),
         }
+    }
+
+    /// Warm/cold refit counters for the current job (all-zero under
+    /// [`RefitPolicy::AlwaysCold`]).
+    #[must_use]
+    pub fn refit_stats(&self) -> RefitStats {
+        self.warm.stats()
     }
 }
 
@@ -41,20 +64,40 @@ impl OnlinePredictor for GbtrPredictor {
 
     fn begin_job(&mut self, ctx: &JobContext<'_>) {
         self.threshold = ctx.threshold;
+        self.warm.reset();
     }
 
     fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
         if checkpoint.finished.len() < 2 || checkpoint.running.is_empty() {
             return Vec::new();
         }
-        // Zero-copy row views: the booster bins straight from the trace
-        // storage, no feature cloning.
-        let x = checkpoint.finished_feature_rows();
-        let y = checkpoint.finished_latencies();
-        let Ok(model) =
-            GradientBoosting::fit_view(MatrixView::RowSlices(&x), &y, SquaredLoss, &self.config)
-        else {
-            return Vec::new();
+        let cold_model;
+        let model: &GradientBoosting<SquaredLoss> = match &self.policy {
+            // Historical path: zero-copy row views — the booster bins
+            // straight from the trace storage, no feature cloning.
+            RefitPolicy::AlwaysCold => {
+                let x = checkpoint.finished_feature_rows();
+                let y = checkpoint.finished_latencies();
+                let Ok(m) = GradientBoosting::fit_view(
+                    MatrixView::RowSlices(&x),
+                    &y,
+                    SquaredLoss,
+                    &self.config,
+                ) else {
+                    return Vec::new();
+                };
+                cold_model = m;
+                &cold_model
+            }
+            // Warm path: absorb the finished-set delta and refit
+            // incrementally, exactly as NURD's latency head does.
+            policy => {
+                self.warm.absorb(checkpoint);
+                if self.warm.refit(&self.config, policy).is_err() {
+                    return Vec::new();
+                }
+                self.warm.model().expect("refit succeeded")
+            }
         };
         let run_rows = checkpoint.running_feature_rows();
         let preds = model.predict_view(MatrixView::RowSlices(&run_rows));
@@ -92,6 +135,37 @@ mod tests {
         // observed latency range: FPR stays near zero and TPR well below 1.
         assert!(out.confusion.fpr() < 0.15, "fpr {}", out.confusion.fpr());
         assert!(out.confusion.tpr() < 0.9, "tpr {}", out.confusion.tpr());
+    }
+
+    #[test]
+    fn warm_policy_flags_similarly_and_actually_warms() {
+        let cfg = SuiteConfig::new(TraceStyle::Google)
+            .with_jobs(1)
+            .with_task_range(150, 180)
+            .with_checkpoints(15)
+            .with_seed(5);
+        let job = nurd_trace::generate_job(&cfg, 0);
+        let cold_out = replay_job(
+            &job,
+            &mut GbtrPredictor::default(),
+            &ReplayConfig::default(),
+        );
+        let mut warm = GbtrPredictor::with_policy(
+            GbtConfig {
+                n_rounds: 50,
+                ..GbtConfig::default()
+            },
+            nurd_core::RefitPolicy::Warm(nurd_core::WarmRefitConfig::default()),
+        );
+        let warm_out = replay_job(&job, &mut warm, &ReplayConfig::default());
+        let stats = warm.refit_stats();
+        assert!(stats.warm_fits > 0, "{stats:?}");
+        assert!(
+            (warm_out.confusion.f1() - cold_out.confusion.f1()).abs() <= 0.25,
+            "warm {} vs cold {}",
+            warm_out.confusion.f1(),
+            cold_out.confusion.f1()
+        );
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Criterion A/B: warm-start vs cold refits across the checkpoints of one
+//! 200-task job — the headline number of the warm-refit subsystem.
+//!
+//! Each benchmark replays the *refit sequence* of a full job: at every
+//! checkpoint the latency head is retrained over the finished-so-far set,
+//! exactly as `NurdPredictor` (and GBTR) do during an online replay.
+//!
+//! * `warm_vs_cold/cold` — the paper protocol: a from-scratch
+//!   [`GradientBoosting::fit_view`] per checkpoint (fresh quantization,
+//!   fresh ensemble).
+//! * `warm_vs_cold/warm` — the [`WarmRefitState`] path under the default
+//!   [`RefitPolicy::Warm`]: append-only rebinning plus a few rounds
+//!   boosted onto the previous ensemble, with drift-triggered cold
+//!   fallbacks.
+//!
+//! Alongside timing, the harness prints the relative out-of-sample MSE
+//! gap between the two pipelines (predicting still-running tasks' true
+//! latencies at each checkpoint); the acceptance bar is a ≥ 2× refit
+//! speedup at ±1% MSE.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nurd_core::{NurdConfig, RefitPolicy, WarmRefitConfig, WarmRefitState};
+use nurd_data::{Checkpoint, JobTrace};
+use nurd_linalg::MatrixView;
+use nurd_ml::{GradientBoosting, SquaredLoss};
+use nurd_trace::{SuiteConfig, TraceStyle};
+
+fn bench_job() -> JobTrace {
+    let cfg = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(1)
+        .with_task_range(200, 200)
+        .with_checkpoints(20)
+        .with_seed(0xBE7C);
+    nurd_trace::generate_job(&cfg, 0)
+}
+
+/// One full cold refit sequence; returns summed squared error over
+/// running-task latency predictions (consumed so the work can't be
+/// optimized away).
+fn replay_cold(job: &JobTrace, checkpoints: &[Checkpoint<'_>]) -> f64 {
+    let gbt = NurdConfig::default().gbt;
+    let mut se = 0.0;
+    for ckpt in checkpoints {
+        if ckpt.finished.len() < 2 || ckpt.running.is_empty() {
+            continue;
+        }
+        let x_fin = ckpt.finished_feature_rows();
+        let y_fin = ckpt.finished_latencies();
+        let model =
+            GradientBoosting::fit_view(MatrixView::RowSlices(&x_fin), &y_fin, SquaredLoss, &gbt)
+                .expect("bench job yields fits");
+        for task in &ckpt.running {
+            let err = model.predict(task.features) - job.tasks()[task.id].latency();
+            se += err * err;
+        }
+    }
+    se
+}
+
+/// One full warm refit sequence under `policy` (state is rebuilt each
+/// iteration — the cross-checkpoint reuse being measured happens *within*
+/// a sequence, as it does within a job).
+fn replay_warm(job: &JobTrace, checkpoints: &[Checkpoint<'_>], policy: &RefitPolicy) -> f64 {
+    let gbt = NurdConfig::default().gbt;
+    let mut state = WarmRefitState::new();
+    let mut se = 0.0;
+    for ckpt in checkpoints {
+        if ckpt.finished.len() < 2 || ckpt.running.is_empty() {
+            continue;
+        }
+        state.absorb(ckpt);
+        state.refit(&gbt, policy).expect("bench job yields fits");
+        let model = state.model().expect("refit succeeded");
+        for task in &ckpt.running {
+            let err = model.predict(task.features) - job.tasks()[task.id].latency();
+            se += err * err;
+        }
+    }
+    se
+}
+
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    let job = bench_job();
+    let checkpoints: Vec<Checkpoint<'_>> = (0..job.checkpoint_count())
+        .map(|k| job.checkpoint_at(k))
+        .collect();
+    let policy = RefitPolicy::Warm(WarmRefitConfig::default());
+
+    // Accuracy guardrail printed next to the timings: the speedup only
+    // counts if prediction quality holds.
+    let se_cold = replay_cold(&job, &checkpoints);
+    let se_warm = replay_warm(&job, &checkpoints, &policy);
+    eprintln!(
+        "warm_vs_cold accuracy: out-of-sample MSE gap {:+.2}% (warm vs cold)",
+        100.0 * (se_warm - se_cold) / se_cold
+    );
+
+    let mut group = c.benchmark_group("warm_vs_cold");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("cold", "200tasks"), |b| {
+        b.iter(|| replay_cold(&job, &checkpoints));
+    });
+    group.bench_function(BenchmarkId::new("warm", "200tasks"), |b| {
+        b.iter(|| replay_warm(&job, &checkpoints, &policy));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_vs_cold);
+criterion_main!(benches);

@@ -4,6 +4,11 @@
 //! paper (see `DESIGN.md` §4 for the index); this library holds the shared
 //! machinery: a tiny CLI parser, suite construction, and parallel
 //! method-over-jobs evaluation.
+//!
+//! Criterion microbenchmarks live under `benches/` (ML primitives,
+//! detectors, end-to-end replays, and the `warm_vs_cold` refit A/B); the
+//! recorded baselines and the regeneration workflow for `BENCH_ml.json`
+//! are documented in this crate's `README.md`.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;

@@ -20,6 +20,21 @@
 //! driven by `nurd_sim::replay_job`; [`NurdConfig::without_calibration`]
 //! yields the paper's NURD-NC ablation (`w = z`).
 //!
+//! # Warm-start refits
+//!
+//! Because consecutive checkpoints share almost all of their finished
+//! set, the per-checkpoint refit of `h_t` can be *incremental*:
+//! [`RefitPolicy`] (on [`NurdConfig`]) selects between the paper's
+//! always-cold protocol and warm-started refits, where a
+//! [`WarmRefitState`] keeps the previous checkpoint's
+//! [`nurd_ml::BinnedMatrix`] and ensemble alive, absorbs only the newly
+//! finished tasks ([`nurd_data::FinishedDelta`]), and boosts a few new
+//! rounds via [`nurd_ml::GradientBoosting::warm_start`] — falling back
+//! to a cold refit when measured quantile drift or the ensemble-size cap
+//! says so. [`TransferNurdPredictor`] and the GBTR baseline in
+//! `nurd-baselines` reuse the same state machine. See `ARCHITECTURE.md`
+//! (repo root) for the full data-flow picture.
+//!
 //! # Example
 //!
 //! ```
@@ -33,11 +48,13 @@
 mod calibration;
 mod config;
 mod model;
+mod refit;
 mod transfer;
 mod weighting;
 
 pub use calibration::{calibration_delta, centroid_ratio};
-pub use config::NurdConfig;
+pub use config::{NurdConfig, RefitPolicy, WarmRefitConfig};
 pub use model::{AdjustedPrediction, NurdPredictor};
+pub use refit::{RefitStats, WarmRefitState};
 pub use transfer::{DonorModel, TransferNurdPredictor};
 pub use weighting::{adjusted_latency, weight};

@@ -4,7 +4,8 @@ use nurd_data::{Checkpoint, JobContext, OnlinePredictor};
 use nurd_linalg::{FeatureMatrix, MatrixView};
 use nurd_ml::{GradientBoosting, LogisticRegression, SquaredLoss};
 
-use crate::{calibration, weighting, NurdConfig};
+use crate::refit::WarmRefitState;
+use crate::{calibration, weighting, NurdConfig, RefitPolicy, RefitStats};
 
 /// Per-task diagnostic record produced by [`NurdPredictor::score_running`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +48,12 @@ pub struct NurdPredictor {
     scratch_x_all: FeatureMatrix,
     scratch_labels: Vec<f64>,
     scratch_y_fin: Vec<f64>,
+    /// Cross-checkpoint state for warm [`RefitPolicy`] variants: the
+    /// absorbed finished set, its quantization, and the latency model it
+    /// carries. Unused (and empty) under [`RefitPolicy::AlwaysCold`],
+    /// whose refits go through the historical from-scratch path
+    /// bit-for-bit.
+    warm: WarmRefitState,
 }
 
 impl NurdPredictor {
@@ -66,6 +73,7 @@ impl NurdPredictor {
             scratch_x_all: FeatureMatrix::new(),
             scratch_labels: Vec::new(),
             scratch_y_fin: Vec::new(),
+            warm: WarmRefitState::new(),
         }
     }
 
@@ -81,6 +89,13 @@ impl NurdPredictor {
     #[must_use]
     pub fn fit_failures(&self) -> usize {
         self.fit_failures
+    }
+
+    /// Warm/cold refit counters for the current job; all-zero under
+    /// [`RefitPolicy::AlwaysCold`], whose refits bypass the warm state.
+    #[must_use]
+    pub fn refit_stats(&self) -> RefitStats {
+        self.warm.stats()
     }
 
     /// Scores every running task at this checkpoint, returning the full
@@ -105,29 +120,52 @@ impl NurdPredictor {
 
         // Refit h_t and g_t (line 11). `refit_every` > 1 reuses stale models
         // between refits, an ablation knob beyond the paper.
+        let have_latency_model = match self.config.refit_policy {
+            RefitPolicy::AlwaysCold => self.latency_model.is_some(),
+            _ => self.warm.model().is_some(),
+        };
         let refit = self
             .checkpoints_seen
             .is_multiple_of(self.config.refit_every.max(1))
-            || self.latency_model.is_none();
+            || !have_latency_model;
         self.checkpoints_seen += 1;
         if refit {
-            checkpoint.finished_latencies_into(&mut self.scratch_y_fin);
-            match GradientBoosting::fit_view(
-                MatrixView::RowSlices(&x_fin),
-                &self.scratch_y_fin,
-                SquaredLoss,
-                &self.config.gbt,
-            ) {
-                Ok(m) => self.latency_model = Some(m),
-                Err(_) => {
-                    self.fit_failures += 1;
-                    return Vec::new();
+            match &self.config.refit_policy {
+                // The historical from-scratch path, kept byte-identical:
+                // bin and fit over the checkpoint's own row order.
+                RefitPolicy::AlwaysCold => {
+                    checkpoint.finished_latencies_into(&mut self.scratch_y_fin);
+                    match GradientBoosting::fit_view(
+                        MatrixView::RowSlices(&x_fin),
+                        &self.scratch_y_fin,
+                        SquaredLoss,
+                        &self.config.gbt,
+                    ) {
+                        Ok(m) => self.latency_model = Some(m),
+                        Err(_) => {
+                            self.fit_failures += 1;
+                            return Vec::new();
+                        }
+                    }
+                }
+                // Warm policies: absorb the checkpoint delta into the
+                // persistent state and refit incrementally (cold fallback
+                // on drift / tree-cap / first fit handled inside).
+                policy => {
+                    self.warm.absorb(checkpoint);
+                    if self.warm.refit(&self.config.gbt, policy).is_err() {
+                        self.fit_failures += 1;
+                        return Vec::new();
+                    }
                 }
             }
             // Finished ∪ running design matrix and labels for g_t, filled
             // into the predictor's scratch buffers in place (the row list
             // is pointer-only; feature values are copied exactly once,
-            // into the reused column-major scratch).
+            // into the reused column-major scratch). The propensity model
+            // is always refit cold: its training set mixes the mutable
+            // running side, and IRLS on small d converges in a handful of
+            // cheap passes.
             let all_rows: Vec<&[f64]> = x_fin.iter().chain(x_run.iter()).copied().collect();
             self.scratch_x_all.fill_from_rows(all_rows.iter().copied());
             self.scratch_labels.clear();
@@ -147,7 +185,11 @@ impl NurdPredictor {
                 }
             }
         }
-        let (Some(h), Some(g)) = (&self.latency_model, &self.propensity_model) else {
+        let h = match self.config.refit_policy {
+            RefitPolicy::AlwaysCold => self.latency_model.as_ref(),
+            _ => self.warm.model(),
+        };
+        let (Some(h), Some(g)) = (h, &self.propensity_model) else {
             return Vec::new();
         };
 
@@ -188,6 +230,7 @@ impl OnlinePredictor for NurdPredictor {
         self.propensity_model = None;
         self.checkpoints_seen = 0;
         self.fit_failures = 0;
+        self.warm.reset();
     }
 
     fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
@@ -289,6 +332,55 @@ mod tests {
         nurd.score_running(&ckpt);
         assert_eq!(nurd.delta(), Some(d1));
         assert!(d1 > -0.5 && d1 <= 0.5);
+    }
+
+    #[test]
+    fn warm_policy_scores_and_reports_warm_fits() {
+        let fin = linear_finished(40);
+        let run = vec![vec![0.5, 0.5], vec![8.0, -6.0]];
+        let config = NurdConfig::default()
+            .with_refit_policy(crate::RefitPolicy::Warm(crate::WarmRefitConfig::default()));
+        let mut nurd = NurdPredictor::new(config);
+        let ckpt = checkpoint(&fin, &run);
+        let s1 = nurd.score_running(&ckpt);
+        assert_eq!(s1.len(), 2);
+        assert_eq!(nurd.refit_stats().cold_fits, 1);
+        // Same checkpoint again: no new finished rows → model reused.
+        let s2 = nurd.score_running(&ckpt);
+        assert_eq!(nurd.refit_stats().reuses, 1);
+        // Raw latency head output is identical (same model, same rows);
+        // propensity is refit but on identical data, so scores agree.
+        for (a, b) in s1.iter().zip(&s2) {
+            assert_eq!(a.raw, b.raw);
+        }
+        // The alien task still gets dilated under the warm policy.
+        assert!(s1[1].weight <= s1[0].weight);
+    }
+
+    #[test]
+    fn warm_policy_resets_across_jobs() {
+        let fin = linear_finished(30);
+        let run = vec![vec![0.5, 0.5]];
+        let config = NurdConfig::default()
+            .with_refit_policy(crate::RefitPolicy::Warm(crate::WarmRefitConfig::default()));
+        let mut nurd = NurdPredictor::new(config);
+        nurd.score_running(&checkpoint(&fin, &run));
+        assert_eq!(nurd.refit_stats().cold_fits, 1);
+        let job = nurd_trace::generate_job(
+            &nurd_trace::SuiteConfig::new(nurd_trace::TraceStyle::Google)
+                .with_jobs(1)
+                .with_task_range(10, 12)
+                .with_checkpoints(3),
+            0,
+        );
+        let ctx = JobContext {
+            threshold: 1.0,
+            task_count: job.task_count(),
+            feature_dim: job.feature_dim(),
+            oracle: &job,
+        };
+        nurd.begin_job(&ctx);
+        assert_eq!(nurd.refit_stats(), crate::RefitStats::default());
     }
 
     #[test]

@@ -1,0 +1,548 @@
+//! Warm-start refit orchestration across checkpoints.
+//!
+//! NURD refits its latency head at every checkpoint over a finished set
+//! that is almost identical to the previous checkpoint's, so a cold refit
+//! spends most of its time re-learning what the last model already knew.
+//! [`WarmRefitState`] is the per-predictor scratch that exploits this:
+//!
+//! 1. an **append-only design matrix** ([`nurd_linalg::FeatureMatrix`]) of
+//!    every finished task absorbed so far, fed by
+//!    [`nurd_data::FinishedDelta`] (finished tasks are frozen, so the
+//!    prefix never changes);
+//! 2. a **persistent [`BinnedMatrix`]** grown in place via
+//!    [`BinnedMatrix::append_from`] — only the handful of newly finished
+//!    rows are re-quantized, and a Kolmogorov–Smirnov drift statistic
+//!    guards against stale quantile edges;
+//! 3. the **previous ensemble**, extended by a few rounds per checkpoint
+//!    through [`GradientBoosting::warm_start`] instead of being refit
+//!    from scratch.
+//!
+//! The policy knobs live in [`RefitPolicy`](crate::RefitPolicy); this
+//! module implements the mechanism. [`crate::NurdPredictor`],
+//! [`crate::TransferNurdPredictor`], and the GBTR baseline in
+//! `nurd-baselines` all drive the same state machine.
+
+use nurd_data::{Checkpoint, FinishedDelta};
+use nurd_linalg::FeatureMatrix;
+use nurd_ml::{BinnedMatrix, GbtConfig, GradientBoosting, MlError, SquaredLoss};
+
+use crate::config::{RefitPolicy, WarmRefitConfig};
+
+/// Counters describing how a [`WarmRefitState`] has been refitting;
+/// useful for benches, tests, and observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefitStats {
+    /// Full from-scratch fits (including warm-policy fallbacks).
+    pub cold_fits: usize,
+    /// Warm-started fits (a few rounds boosted onto the previous model).
+    pub warm_fits: usize,
+    /// Refits skipped entirely because no new row had arrived.
+    pub reuses: usize,
+    /// Cold fallbacks forced by quantile drift past tolerance.
+    pub drift_rebins: usize,
+    /// Cold fallbacks forced by the `max_trees` ensemble cap.
+    pub cap_resets: usize,
+}
+
+/// Persistent cross-checkpoint scratch for the warm-start refit path: the
+/// absorbed finished set, its quantization, and the current latency model.
+///
+/// One instance lives inside each predictor that opts into a warm
+/// [`RefitPolicy`](crate::RefitPolicy); [`WarmRefitState::reset`] clears it
+/// between jobs while keeping allocations.
+#[derive(Debug, Clone, Default)]
+pub struct WarmRefitState {
+    x: FeatureMatrix,
+    latencies: Vec<f64>,
+    delta: FinishedDelta,
+    binned: Option<BinnedMatrix>,
+    model: Option<GradientBoosting<SquaredLoss>>,
+    /// Raw per-row scores of the current model over the absorbed rows —
+    /// the cache that lets a warm refit replay the previous ensemble only
+    /// over rows appended since the last fit (see
+    /// [`GradientBoosting::warm_start_cached`]).
+    scores: Vec<f64>,
+    /// Rows the current model was fit over (for the no-new-data skip).
+    fitted_rows: usize,
+    /// Refits performed this job (drives `WarmEveryK` scheduling).
+    refits: usize,
+    stats: RefitStats,
+}
+
+impl WarmRefitState {
+    /// An empty state (no task absorbed, no model).
+    #[must_use]
+    pub fn new() -> Self {
+        WarmRefitState::default()
+    }
+
+    /// Clears everything for a new job, retaining buffer allocations.
+    pub fn reset(&mut self) {
+        self.x.fill_from_rows(std::iter::empty());
+        self.latencies.clear();
+        self.delta.clear();
+        self.binned = None;
+        self.model = None;
+        self.scores.clear();
+        self.fitted_rows = 0;
+        self.refits = 0;
+        self.stats = RefitStats::default();
+    }
+
+    /// Absorbs the checkpoint's newly finished tasks into the append-only
+    /// design matrix (features + latencies, in stable absorb order);
+    /// returns how many rows were added.
+    pub fn absorb(&mut self, checkpoint: &Checkpoint<'_>) -> usize {
+        let fresh = self.delta.absorb(checkpoint);
+        if fresh.is_empty() {
+            return 0;
+        }
+        self.x.append_rows(fresh.iter().map(|t| t.features));
+        self.latencies.extend(fresh.iter().map(|t| t.latency));
+        fresh.len()
+    }
+
+    /// Rows absorbed so far.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// The absorbed design matrix (row `i` is the `i`-th absorbed task).
+    #[must_use]
+    pub fn features(&self) -> &FeatureMatrix {
+        &self.x
+    }
+
+    /// Observed latencies aligned with [`WarmRefitState::features`] rows.
+    #[must_use]
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// The current latency model, if one has been fit this job.
+    #[must_use]
+    pub fn model(&self) -> Option<&GradientBoosting<SquaredLoss>> {
+        self.model.as_ref()
+    }
+
+    /// Refit counters for this job.
+    #[must_use]
+    pub fn stats(&self) -> RefitStats {
+        self.stats
+    }
+
+    /// Refits the latency model against the absorbed latencies under
+    /// `policy`. Because each row's target is immutable, a refit with no
+    /// new rows since the previous one reuses the current model for free.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::EmptyTrainingSet`] before any row is absorbed; otherwise
+    /// whatever the underlying fit propagates.
+    pub fn refit(&mut self, gbt: &GbtConfig, policy: &RefitPolicy) -> Result<(), MlError> {
+        let WarmRefitState {
+            x,
+            latencies,
+            binned,
+            model,
+            scores,
+            fitted_rows,
+            refits,
+            stats,
+            ..
+        } = self;
+        refit_fields(
+            x,
+            latencies,
+            true,
+            binned,
+            model,
+            scores,
+            fitted_rows,
+            refits,
+            stats,
+            gbt,
+            policy,
+        )
+    }
+
+    /// Refits against caller-supplied targets aligned with the absorbed
+    /// rows — the transfer predictor's residual head, whose targets move
+    /// with the running latency median. The no-new-data skip is disabled
+    /// (targets may have changed even when rows have not).
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::EmptyTrainingSet`] before any row is absorbed,
+    /// [`MlError::DimensionMismatch`] when `y` does not cover every row;
+    /// otherwise whatever the underlying fit propagates.
+    pub fn refit_against(
+        &mut self,
+        y: &[f64],
+        gbt: &GbtConfig,
+        policy: &RefitPolicy,
+    ) -> Result<(), MlError> {
+        let WarmRefitState {
+            x,
+            binned,
+            model,
+            scores,
+            fitted_rows,
+            refits,
+            stats,
+            ..
+        } = self;
+        refit_fields(
+            x,
+            y,
+            false,
+            binned,
+            model,
+            scores,
+            fitted_rows,
+            refits,
+            stats,
+            gbt,
+            policy,
+        )
+    }
+}
+
+/// The policy state machine, operating on disjoint field borrows so both
+/// target sources (owned latencies / caller residuals) share one
+/// implementation.
+#[allow(clippy::too_many_arguments)]
+fn refit_fields(
+    x: &FeatureMatrix,
+    y: &[f64],
+    targets_stable: bool,
+    binned: &mut Option<BinnedMatrix>,
+    model: &mut Option<GradientBoosting<SquaredLoss>>,
+    scores: &mut Vec<f64>,
+    fitted_rows: &mut usize,
+    refits: &mut usize,
+    stats: &mut RefitStats,
+    gbt: &GbtConfig,
+    policy: &RefitPolicy,
+) -> Result<(), MlError> {
+    let n = x.rows();
+    if n == 0 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if y.len() != n {
+        return Err(MlError::DimensionMismatch {
+            expected: format!("{n} targets"),
+            found: format!("{} targets", y.len()),
+        });
+    }
+    // Validate here — where the policy is consumed — not only in the
+    // `NurdConfig::with_refit_policy` builder: policies can arrive via
+    // the pub field or `GbtrPredictor::with_policy` without ever passing
+    // through it, and a zero-round warm refit would silently freeze the
+    // model forever.
+    if let RefitPolicy::Warm(w) | RefitPolicy::WarmEveryK { warm: w, .. } = policy {
+        if w.warm_rounds == 0 {
+            return Err(MlError::InvalidConfig(
+                "warm_rounds must be >= 1 (0 would freeze the model)".into(),
+            ));
+        }
+        if !(w.drift_tolerance > 0.0 && w.drift_tolerance <= 1.0) {
+            return Err(MlError::InvalidConfig(format!(
+                "drift_tolerance must be in (0, 1], got {}",
+                w.drift_tolerance
+            )));
+        }
+    }
+
+    // Nothing new to learn: targets immutable and no appended row since
+    // the current model was fit. Checked before the schedule so a reuse
+    // does not consume a `WarmEveryK` cold slot.
+    if targets_stable && model.is_some() && *fitted_rows == n {
+        stats.reuses += 1;
+        return Ok(());
+    }
+
+    // Which flavour does the schedule ask for this time? `refits` counts
+    // *performed* fits only (incremented on success below), so scheduled
+    // cold refits cannot be skipped by reuses or failed fits.
+    let warm_cfg: Option<&WarmRefitConfig> = match policy {
+        RefitPolicy::AlwaysCold => None,
+        RefitPolicy::Warm(w) => Some(w),
+        RefitPolicy::WarmEveryK { cold_every, warm } => {
+            if refits.is_multiple_of(*cold_every.max(&1)) {
+                None
+            } else {
+                Some(warm)
+            }
+        }
+    };
+
+    // A warm refit needs a previous model and a binned matrix that is a
+    // prefix of the current rows with live edges.
+    let mut warm = warm_cfg
+        .filter(|_| model.is_some())
+        .filter(|_| binned.as_ref().is_some_and(|b| b.rows() <= n));
+
+    if let Some(w) = warm {
+        let b = binned.as_mut().expect("checked above");
+        let drift = if b.rows() < n {
+            b.append_from(x.view())
+        } else {
+            b.drift()
+        };
+        if drift > w.drift_tolerance {
+            stats.drift_rebins += 1;
+            warm = None;
+        } else if model.as_ref().expect("checked above").tree_count() + w.warm_rounds > w.max_trees
+        {
+            stats.cap_resets += 1;
+            warm = None;
+        }
+    }
+
+    match warm {
+        Some(w) => {
+            let b = binned.as_ref().expect("warm requires binning");
+            let prev = model.as_ref().expect("warm requires a model");
+            *model = Some(GradientBoosting::warm_start_cached(
+                prev,
+                b,
+                y,
+                w.warm_rounds,
+                gbt,
+                scores,
+            )?);
+            stats.warm_fits += 1;
+        }
+        None => {
+            // Cold: rebuild the quantization from scratch too, so edges,
+            // codes, and ensemble all reflect exactly the current data —
+            // what a from-scratch fit would produce.
+            let fresh = BinnedMatrix::build(x.view(), gbt.tree.max_bins);
+            *model = Some(GradientBoosting::fit_binned_cached(
+                &fresh,
+                y,
+                SquaredLoss,
+                gbt,
+                scores,
+            )?);
+            *binned = Some(fresh);
+            stats.cold_fits += 1;
+        }
+    }
+    *fitted_rows = n;
+    *refits += 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nurd_data::{FinishedTask, RunningTask};
+
+    /// A checkpoint whose finished set is the first `k` of `tasks`.
+    fn checkpoint<'a>(tasks: &'a [(Vec<f64>, f64)], k: usize) -> Checkpoint<'a> {
+        Checkpoint {
+            ordinal: k,
+            time: k as f64,
+            finished: tasks[..k]
+                .iter()
+                .enumerate()
+                .map(|(id, (f, lat))| FinishedTask {
+                    id,
+                    features: f,
+                    latency: *lat,
+                })
+                .collect(),
+            running: tasks[k..]
+                .iter()
+                .enumerate()
+                .map(|(i, (f, _))| RunningTask {
+                    id: k + i,
+                    features: f,
+                })
+                .collect(),
+        }
+    }
+
+    fn tasks(n: usize) -> Vec<(Vec<f64>, f64)> {
+        (0..n)
+            .map(|i| {
+                let a = ((i * 29) % 17) as f64;
+                let b = ((i * 13) % 7) as f64;
+                (vec![a, b], 5.0 + 2.0 * a - b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warm_policy_warms_after_first_cold_fit() {
+        let ts = tasks(120);
+        let mut state = WarmRefitState::new();
+        let policy = RefitPolicy::Warm(WarmRefitConfig::default());
+        let gbt = GbtConfig::default();
+        for k in [30, 50, 70, 90, 110] {
+            state.absorb(&checkpoint(&ts, k));
+            state.refit(&gbt, &policy).unwrap();
+        }
+        let stats = state.stats();
+        assert_eq!(stats.cold_fits, 1, "{stats:?}");
+        assert_eq!(stats.warm_fits, 4, "{stats:?}");
+        assert!(state.model().is_some());
+        assert_eq!(state.rows(), 110);
+    }
+
+    #[test]
+    fn no_new_rows_reuses_model() {
+        let ts = tasks(60);
+        let mut state = WarmRefitState::new();
+        let policy = RefitPolicy::Warm(WarmRefitConfig::default());
+        let gbt = GbtConfig::default();
+        state.absorb(&checkpoint(&ts, 40));
+        state.refit(&gbt, &policy).unwrap();
+        let trees = state.model().unwrap().tree_count();
+        state.absorb(&checkpoint(&ts, 40));
+        state.refit(&gbt, &policy).unwrap();
+        assert_eq!(state.model().unwrap().tree_count(), trees);
+        assert_eq!(state.stats().reuses, 1);
+    }
+
+    #[test]
+    fn tree_cap_forces_cold_reset() {
+        let ts = tasks(200);
+        let mut state = WarmRefitState::new();
+        let gbt = GbtConfig {
+            n_rounds: 20,
+            ..GbtConfig::default()
+        };
+        let policy = RefitPolicy::Warm(WarmRefitConfig {
+            warm_rounds: 10,
+            drift_tolerance: 1.0,
+            max_trees: 40,
+        });
+        // 20 → 30 → 40 → cap (would be 50) → cold reset to 20 → 30 ...
+        for k in (20..=200).step_by(20) {
+            state.absorb(&checkpoint(&ts, k));
+            state.refit(&gbt, &policy).unwrap();
+            assert!(state.model().unwrap().tree_count() <= 40);
+        }
+        assert!(state.stats().cap_resets >= 2, "{:?}", state.stats());
+    }
+
+    #[test]
+    fn drift_forces_rebin_and_cold_fit() {
+        // First half benign, second half far out of range: the appended
+        // rows shift every quantile.
+        let mut ts = tasks(60);
+        for (i, (f, lat)) in ts.iter_mut().enumerate().skip(30) {
+            f[0] = 1000.0 + i as f64;
+            *lat = 2000.0;
+        }
+        let mut state = WarmRefitState::new();
+        let gbt = GbtConfig::default();
+        let policy = RefitPolicy::Warm(WarmRefitConfig {
+            drift_tolerance: 0.05,
+            ..WarmRefitConfig::default()
+        });
+        state.absorb(&checkpoint(&ts, 30));
+        state.refit(&gbt, &policy).unwrap();
+        state.absorb(&checkpoint(&ts, 60));
+        state.refit(&gbt, &policy).unwrap();
+        let stats = state.stats();
+        assert_eq!(stats.drift_rebins, 1, "{stats:?}");
+        assert_eq!(stats.cold_fits, 2, "{stats:?}");
+        assert_eq!(stats.warm_fits, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn warm_every_k_schedules_cold_refits() {
+        let ts = tasks(130);
+        let mut state = WarmRefitState::new();
+        let gbt = GbtConfig::default();
+        let policy = RefitPolicy::WarmEveryK {
+            cold_every: 3,
+            warm: WarmRefitConfig {
+                drift_tolerance: 1.0,
+                ..WarmRefitConfig::default()
+            },
+        };
+        for k in (10..=130).step_by(10) {
+            state.absorb(&checkpoint(&ts, k));
+            state.refit(&gbt, &policy).unwrap();
+        }
+        let stats = state.stats();
+        // Refits 0, 3, 6, 9, 12 are cold → 5 cold, 8 warm.
+        assert_eq!(stats.cold_fits, 5, "{stats:?}");
+        assert_eq!(stats.warm_fits, 8, "{stats:?}");
+    }
+
+    #[test]
+    fn degenerate_warm_configs_are_rejected_at_refit_time() {
+        // Policies can bypass NurdConfig::with_refit_policy (pub field,
+        // GbtrPredictor::with_policy), so the consumer must validate too.
+        let ts = tasks(40);
+        let mut state = WarmRefitState::new();
+        state.absorb(&checkpoint(&ts, 30));
+        let gbt = GbtConfig::default();
+        let frozen = RefitPolicy::Warm(WarmRefitConfig {
+            warm_rounds: 0,
+            ..WarmRefitConfig::default()
+        });
+        assert!(matches!(
+            state.refit(&gbt, &frozen),
+            Err(MlError::InvalidConfig(_))
+        ));
+        let bad_tol = RefitPolicy::WarmEveryK {
+            cold_every: 3,
+            warm: WarmRefitConfig {
+                drift_tolerance: 0.0,
+                ..WarmRefitConfig::default()
+            },
+        };
+        assert!(matches!(
+            state.refit(&gbt, &bad_tol),
+            Err(MlError::InvalidConfig(_))
+        ));
+        assert_eq!(state.stats().cold_fits + state.stats().warm_fits, 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let ts = tasks(40);
+        let mut state = WarmRefitState::new();
+        state.absorb(&checkpoint(&ts, 30));
+        state
+            .refit(&GbtConfig::default(), &RefitPolicy::AlwaysCold)
+            .unwrap();
+        state.reset();
+        assert_eq!(state.rows(), 0);
+        assert!(state.model().is_none());
+        assert_eq!(state.stats(), RefitStats::default());
+        assert!(matches!(
+            state.refit(&GbtConfig::default(), &RefitPolicy::AlwaysCold),
+            Err(MlError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn refit_against_supports_moving_targets() {
+        let ts = tasks(80);
+        let mut state = WarmRefitState::new();
+        let gbt = GbtConfig::default();
+        let policy = RefitPolicy::Warm(WarmRefitConfig::default());
+        state.absorb(&checkpoint(&ts, 50));
+        let y1: Vec<f64> = state.latencies().iter().map(|l| l * 0.5).collect();
+        state.refit_against(&y1, &gbt, &policy).unwrap();
+        // Same rows, new targets: must refit (no reuse skip).
+        let y2: Vec<f64> = state.latencies().iter().map(|l| l * 0.6).collect();
+        state.refit_against(&y2, &gbt, &policy).unwrap();
+        assert_eq!(state.stats().reuses, 0);
+        assert_eq!(state.stats().cold_fits + state.stats().warm_fits, 2);
+        // Mismatched target length is rejected.
+        assert!(matches!(
+            state.refit_against(&y2[..10], &gbt, &policy),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -15,7 +15,8 @@ use nurd_data::{Checkpoint, JobContext, JobTrace, OnlinePredictor};
 use nurd_linalg::MatrixView;
 use nurd_ml::{GradientBoosting, LogisticRegression, MlError, SquaredLoss};
 
-use crate::{calibration, weighting, NurdConfig};
+use crate::refit::WarmRefitState;
+use crate::{calibration, weighting, NurdConfig, RefitPolicy};
 
 /// A latency model distilled from one or more completed jobs, in
 /// scale-free (relative-latency) form.
@@ -70,6 +71,17 @@ pub struct TransferNurdPredictor {
     donor: DonorModel,
     threshold: f64,
     delta: Option<f64>,
+    /// Cross-checkpoint state for warm [`RefitPolicy`] variants (unused
+    /// under [`RefitPolicy::AlwaysCold`]). The residual head's *targets*
+    /// move with the running latency median, but its *rows* are the same
+    /// append-only finished set, so bin reuse and ensemble warm starts
+    /// apply unchanged via [`WarmRefitState::refit_against`].
+    warm: WarmRefitState,
+    /// Donor relative predictions cached per absorbed row (the donor is
+    /// frozen, so each row is evaluated exactly once per job).
+    donor_rel: Vec<f64>,
+    /// Residual-target scratch, rebuilt each refit.
+    resid_buf: Vec<f64>,
 }
 
 impl TransferNurdPredictor {
@@ -81,6 +93,9 @@ impl TransferNurdPredictor {
             donor,
             threshold: f64::INFINITY,
             delta: None,
+            warm: WarmRefitState::new(),
+            donor_rel: Vec::new(),
+            resid_buf: Vec::new(),
         }
     }
 }
@@ -93,6 +108,9 @@ impl OnlinePredictor for TransferNurdPredictor {
     fn begin_job(&mut self, ctx: &JobContext<'_>) {
         self.threshold = ctx.threshold;
         self.delta = None;
+        self.warm.reset();
+        self.donor_rel.clear();
+        self.resid_buf.clear();
     }
 
     fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
@@ -116,18 +134,64 @@ impl OnlinePredictor for TransferNurdPredictor {
         let scale = sorted[sorted.len() / 2].max(1e-9);
 
         // Residual head: learn what the donor gets wrong on this job.
-        let residuals: Vec<f64> = x_fin
-            .iter()
-            .zip(&y_fin)
-            .map(|(x, &y)| y - scale * self.donor.predict_relative(x))
-            .collect();
-        let Ok(residual_model) = GradientBoosting::fit_view(
-            MatrixView::RowSlices(&x_fin),
-            &residuals,
-            SquaredLoss,
-            &self.config.gbt,
-        ) else {
-            return Vec::new();
+        let cold_model;
+        let residual_model: &GradientBoosting<SquaredLoss> = match &self.config.refit_policy {
+            // Historical path: refit the residual head from scratch on the
+            // checkpoint's own rows.
+            RefitPolicy::AlwaysCold => {
+                let residuals: Vec<f64> = x_fin
+                    .iter()
+                    .zip(&y_fin)
+                    .map(|(x, &y)| y - scale * self.donor.predict_relative(x))
+                    .collect();
+                let Ok(m) = GradientBoosting::fit_view(
+                    MatrixView::RowSlices(&x_fin),
+                    &residuals,
+                    SquaredLoss,
+                    &self.config.gbt,
+                ) else {
+                    return Vec::new();
+                };
+                cold_model = m;
+                &cold_model
+            }
+            // Warm path: grow the absorbed set, evaluate the (frozen)
+            // donor once per new row, rebuild the moving residual targets
+            // cheaply, and warm-start the head.
+            policy => {
+                let added = self.warm.absorb(checkpoint);
+                let n = self.warm.rows();
+                if added > 0 {
+                    let mut row = vec![0.0; self.warm.features().cols()];
+                    for r in n - added..n {
+                        self.warm.features().row_into(r, &mut row);
+                        self.donor_rel.push(self.donor.predict_relative(&row));
+                    }
+                }
+                // With no newly finished row, `scale` (median of the same
+                // finished latencies) and the cached donor predictions are
+                // unchanged, so the residual targets are bit-identical to
+                // the previous checkpoint's — reuse the model rather than
+                // stacking warm rounds onto identical data.
+                if added > 0 || self.warm.model().is_none() {
+                    self.resid_buf.clear();
+                    self.resid_buf.extend(
+                        self.warm
+                            .latencies()
+                            .iter()
+                            .zip(&self.donor_rel)
+                            .map(|(&y, &rel)| y - scale * rel),
+                    );
+                    if self
+                        .warm
+                        .refit_against(&self.resid_buf, &self.config.gbt, policy)
+                        .is_err()
+                    {
+                        return Vec::new();
+                    }
+                }
+                self.warm.model().expect("refit succeeded or model cached")
+            }
         };
 
         let x_all: Vec<&[f64]> = x_fin.iter().chain(x_run.iter()).copied().collect();
@@ -201,6 +265,56 @@ mod tests {
         let out = nurd_sim_replay(&jobs[1], &mut p);
         assert_eq!(out.confusion.total(), jobs[1].task_count());
         assert_eq!(p.name(), "NURD-TL");
+    }
+
+    #[test]
+    fn transfer_warm_path_reuses_model_when_nothing_new_finished() {
+        let jobs = suite(7, 1);
+        let donor = DonorModel::from_job(&jobs[0], &NurdConfig::default()).unwrap();
+        let config = NurdConfig::default()
+            .with_refit_policy(crate::RefitPolicy::Warm(crate::WarmRefitConfig::default()));
+        let mut p = TransferNurdPredictor::new(config, donor);
+        let job = &jobs[0];
+        let ctx = JobContext {
+            threshold: job.straggler_threshold(0.9),
+            task_count: job.task_count(),
+            feature_dim: job.feature_dim(),
+            oracle: job,
+        };
+        p.begin_job(&ctx);
+        let k = job.checkpoint_count() / 2;
+        let ckpt = job.checkpoint_at(k);
+        p.predict(&ckpt);
+        let fits_after_first = p.warm.stats().cold_fits + p.warm.stats().warm_fits;
+        // Identical checkpoint again: residual targets are bit-identical,
+        // so no further fit may happen.
+        p.predict(&ckpt);
+        assert_eq!(
+            p.warm.stats().cold_fits + p.warm.stats().warm_fits,
+            fits_after_first
+        );
+    }
+
+    #[test]
+    fn transfer_warm_policy_matches_cold_accuracy() {
+        // Warm-started residual refits must not wreck transfer accuracy
+        // relative to the always-cold protocol on the same jobs.
+        let jobs = suite(11, 4);
+        let donor = DonorModel::from_job(&jobs[0], &NurdConfig::default()).unwrap();
+        let warm_cfg = NurdConfig::default()
+            .with_refit_policy(crate::RefitPolicy::Warm(crate::WarmRefitConfig::default()));
+        let mut cold_f1 = 0.0;
+        let mut warm_f1 = 0.0;
+        for job in &jobs[1..] {
+            let mut cold = TransferNurdPredictor::new(NurdConfig::default(), donor.clone());
+            cold_f1 += nurd_sim_replay(job, &mut cold).confusion.f1();
+            let mut warm = TransferNurdPredictor::new(warm_cfg.clone(), donor.clone());
+            warm_f1 += nurd_sim_replay(job, &mut warm).confusion.f1();
+        }
+        assert!(
+            warm_f1 >= cold_f1 - 0.5,
+            "warm transfer {warm_f1:.2} collapsed vs cold {cold_f1:.2}"
+        );
     }
 
     #[test]

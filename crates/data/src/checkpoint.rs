@@ -94,6 +94,77 @@ impl<'a> Checkpoint<'a> {
     }
 }
 
+/// Tracks which finished tasks a consumer has already absorbed, exposing
+/// each checkpoint's finished set as a **delta** against the previous one.
+///
+/// The replay protocol guarantees the finished set only ever grows (a
+/// finished task stays finished; flagged tasks leave the *running* list,
+/// never the finished one) and that a finished task's feature snapshot is
+/// frozen. Consecutive checkpoints therefore share almost all finished
+/// rows, and incremental consumers — the warm-start refit path in
+/// `nurd-core`, most prominently — only need the handful of newly finished
+/// tasks per checkpoint. This tracker owns that bookkeeping: feed it every
+/// checkpoint and it returns the tasks not seen before, in a stable
+/// absorb order suitable for append-only training-matrix storage.
+#[derive(Debug, Clone, Default)]
+pub struct FinishedDelta {
+    /// `seen[id]` once task `id` has been returned by `absorb`.
+    seen: Vec<bool>,
+    absorbed: usize,
+}
+
+impl FinishedDelta {
+    /// An empty tracker (no task absorbed yet).
+    #[must_use]
+    pub fn new() -> Self {
+        FinishedDelta::default()
+    }
+
+    /// Forgets everything — call between jobs. Keeps the allocation.
+    pub fn clear(&mut self) {
+        self.seen.clear();
+        self.absorbed = 0;
+    }
+
+    /// Returns the finished tasks of `checkpoint` that have not been
+    /// absorbed before, marking them absorbed. Order follows the
+    /// checkpoint's own finished order, so repeated calls over a replay
+    /// yield every finished task exactly once, in a deterministic
+    /// append sequence.
+    pub fn absorb<'c, 'a>(&mut self, checkpoint: &'c Checkpoint<'a>) -> Vec<&'c FinishedTask<'a>> {
+        let mut fresh = Vec::new();
+        for task in &checkpoint.finished {
+            if task.id >= self.seen.len() {
+                self.seen.resize(task.id + 1, false);
+            }
+            if !self.seen[task.id] {
+                self.seen[task.id] = true;
+                self.absorbed += 1;
+                fresh.push(task);
+            }
+        }
+        fresh
+    }
+
+    /// Number of distinct finished tasks absorbed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.absorbed
+    }
+
+    /// Whether no task has been absorbed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.absorbed == 0
+    }
+
+    /// Whether task `id` has been absorbed.
+    #[must_use]
+    pub fn contains(&self, id: usize) -> bool {
+        self.seen.get(id).copied().unwrap_or(false)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +226,39 @@ mod tests {
         let mut lat = vec![99.0; 8];
         ckpt.finished_latencies_into(&mut lat);
         assert_eq!(lat, vec![4.0]);
+    }
+
+    #[test]
+    fn finished_delta_yields_each_task_once_in_absorb_order() {
+        let f: Vec<Vec<f64>> = (0..4).map(|i| vec![f64::from(i)]).collect();
+        let fin_task = |id: usize| FinishedTask {
+            id,
+            features: &f[id],
+            latency: id as f64 + 1.0,
+        };
+        let ckpt = |ids: &[usize]| Checkpoint {
+            ordinal: 0,
+            time: 10.0,
+            finished: ids.iter().map(|&i| fin_task(i)).collect(),
+            running: vec![],
+        };
+        let mut delta = FinishedDelta::new();
+        // Checkpoint 1: tasks 1 and 3 finished.
+        let c1 = ckpt(&[1, 3]);
+        let d1 = delta.absorb(&c1);
+        assert_eq!(d1.iter().map(|t| t.id).collect::<Vec<_>>(), vec![1, 3]);
+        // Checkpoint 2: task 2 finished in between — interleaved by id in
+        // the checkpoint view, but the delta only surfaces the new task.
+        let c2 = ckpt(&[1, 2, 3]);
+        let d2 = delta.absorb(&c2);
+        assert_eq!(d2.iter().map(|t| t.id).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(delta.len(), 3);
+        assert!(delta.contains(3) && !delta.contains(0));
+        // Re-feeding an old checkpoint yields nothing new.
+        assert!(delta.absorb(&c1).is_empty());
+        delta.clear();
+        assert!(delta.is_empty());
+        assert_eq!(delta.absorb(&c1).len(), 2);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Job-level trace container.
 
-use crate::{DataError, TaskRecord};
+use crate::{Checkpoint, DataError, FinishedTask, RunningTask, TaskRecord};
 
 /// A complete job trace: the unit the simulator replays.
 ///
@@ -112,6 +112,46 @@ impl JobTrace {
     #[must_use]
     pub fn tasks(&self) -> &[TaskRecord] {
         &self.tasks
+    }
+
+    /// The full checkpoint view at ordinal `k`: every task partitioned
+    /// into finished (`latency <= checkpoint_times[k]`, with latency
+    /// revealed) and running (features only), borrowing feature snapshots
+    /// straight from the trace.
+    ///
+    /// This is the *pre-protocol* view — the replay loop in `nurd-sim`
+    /// additionally removes tasks flagged at earlier checkpoints. Use it
+    /// for benches and tests that need the canonical finished/running
+    /// partition without re-implementing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= checkpoint_count()`.
+    #[must_use]
+    pub fn checkpoint_at(&self, k: usize) -> Checkpoint<'_> {
+        let time = self.checkpoint_times[k];
+        let mut finished = Vec::new();
+        let mut running = Vec::new();
+        for task in &self.tasks {
+            if task.latency() <= time {
+                finished.push(FinishedTask {
+                    id: task.id(),
+                    features: task.snapshot(k),
+                    latency: task.latency(),
+                });
+            } else {
+                running.push(RunningTask {
+                    id: task.id(),
+                    features: task.snapshot(k),
+                });
+            }
+        }
+        Checkpoint {
+            ordinal: k,
+            time,
+            finished,
+            running,
+        }
     }
 
     /// Number of tasks.

@@ -8,6 +8,11 @@
 //! [`OnlinePredictor`], which must flag future stragglers among the running
 //! tasks. This mirrors the problem formulation in §2 of the paper.
 //!
+//! Because the finished set only ever grows (and finished features are
+//! frozen), [`FinishedDelta`] exposes each checkpoint's finished tasks as
+//! a delta against the previous checkpoint — the accessor behind the
+//! incremental (warm-start) refit path in `nurd-core`.
+//!
 //! # Example
 //!
 //! ```
@@ -32,7 +37,7 @@ mod job;
 mod predictor;
 mod task;
 
-pub use checkpoint::{Checkpoint, FinishedTask, RunningTask};
+pub use checkpoint::{Checkpoint, FinishedDelta, FinishedTask, RunningTask};
 pub use csv::{read_job_csv, read_jobs_csv, write_job_csv, write_jobs_csv};
 pub use error::DataError;
 pub use job::JobTrace;

@@ -115,6 +115,48 @@ impl FeatureMatrix {
         Ok(())
     }
 
+    /// Appends rows in place, preserving the existing samples and reusing
+    /// the allocation's spare capacity. This is the storage half of the
+    /// warm-start refit path: consecutive NURD checkpoints share almost all
+    /// of their finished set, so the per-checkpoint design matrix grows by
+    /// a handful of rows instead of being regathered from scratch.
+    ///
+    /// The column-major layout means existing columns must shift to their
+    /// new stride; that is done with one overlapping `memmove` per column
+    /// (back to front), never a re-gather of old row data. Appending to an
+    /// empty matrix behaves like [`FeatureMatrix::fill_from_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when an appended row's width differs from `cols()` (or from
+    /// the first appended row's width when the matrix is empty).
+    pub fn append_rows<'r>(&mut self, rows: impl ExactSizeIterator<Item = &'r [f64]>) {
+        if self.rows == 0 {
+            self.fill_from_rows(rows);
+            return;
+        }
+        let add = rows.len();
+        if add == 0 {
+            return;
+        }
+        let old = self.rows;
+        let new = old + add;
+        let cols = self.cols;
+        self.data.resize(new * cols, 0.0);
+        // Shift columns to the new stride, last column first so every
+        // move lands above the not-yet-moved data it may overlap.
+        for c in (1..cols).rev() {
+            self.data.copy_within(c * old..(c + 1) * old, c * new);
+        }
+        self.rows = new;
+        for (k, row) in rows.enumerate() {
+            assert_eq!(row.len(), cols, "appended row width mismatch");
+            for (c, &v) in row.iter().enumerate() {
+                self.data[c * new + old + k] = v;
+            }
+        }
+    }
+
     fn write_row(&mut self, r: usize, row: &[f64]) -> Result<(), LinalgError> {
         if row.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
@@ -407,6 +449,50 @@ mod tests {
         assert_eq!(m.column(0), &[9.0, 8.0, 7.0]);
         m.fill_from_rows(std::iter::empty());
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn append_rows_preserves_prefix_and_matches_full_rebuild() {
+        let mut grown = FeatureMatrix::from_rows(&sample()).unwrap();
+        let extra = [vec![7.0, 8.0, 9.0], vec![10.0, 11.0, 12.0]];
+        grown.append_rows(extra.iter().map(Vec::as_slice));
+
+        let mut all = sample();
+        all.extend(extra.iter().cloned());
+        let rebuilt = FeatureMatrix::from_rows(&all).unwrap();
+        assert_eq!(grown, rebuilt);
+        assert_eq!(grown.column(0), &[1.0, 4.0, 7.0, 10.0]);
+        assert_eq!(grown.column(2), &[3.0, 6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn append_rows_to_empty_fills() {
+        let mut m = FeatureMatrix::new();
+        let rows = sample();
+        m.append_rows(rows.iter().map(Vec::as_slice));
+        assert_eq!(m, FeatureMatrix::from_rows(&rows).unwrap());
+        m.append_rows(std::iter::empty());
+        assert_eq!(m.rows(), 2);
+    }
+
+    #[test]
+    fn repeated_single_row_appends_match_batch() {
+        let rows: Vec<Vec<f64>> = (0..17)
+            .map(|i| vec![f64::from(i), f64::from(i * i), -f64::from(i)])
+            .collect();
+        let mut incremental = FeatureMatrix::new();
+        for row in &rows {
+            incremental.append_rows(std::iter::once(row.as_slice()));
+        }
+        assert_eq!(incremental, FeatureMatrix::from_rows(&rows).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "appended row width mismatch")]
+    fn append_rows_rejects_ragged() {
+        let mut m = FeatureMatrix::from_rows(&sample()).unwrap();
+        let bad = [vec![1.0]];
+        m.append_rows(bad.iter().map(Vec::as_slice));
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!   rows, zero-copy `&[&[f64]]` row slices, or a `FeatureMatrix`), so
 //!   the ML fitting routines accept any of the three without copying.
 //!
+//! For the warm-start refit path, [`FeatureMatrix::append_rows`] grows
+//! the matrix in place (one `memmove` per column, no re-gather of old
+//! rows) — consecutive NURD checkpoints share almost all of their
+//! finished set, and `nurd-core`'s `WarmRefitState` leans on this to keep
+//! one append-only design matrix alive per job.
+//!
 //! # Example
 //!
 //! ```

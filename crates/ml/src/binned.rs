@@ -86,6 +86,20 @@ impl FeatureBins {
 
 /// A quantized training matrix: per-feature bins plus column-major `u8`
 /// codes, built once per `fit` and shared by every boosting round.
+///
+/// # Incremental rebinning across checkpoints
+///
+/// NURD's online loop rebuilds its training matrix at every checkpoint,
+/// but consecutive checkpoints share almost all of their rows (finished
+/// tasks stay finished and their features are frozen). [`BinnedMatrix::append_from`]
+/// exploits that: it re-quantizes **only the appended rows** against the
+/// existing bin edges — skipping the per-feature sort that dominates
+/// [`BinnedMatrix::build`] — and returns a drift statistic so the caller
+/// can fall back to a full rebin when the feature distribution has moved
+/// past a tolerance. Reusing the edges also keeps bin codes comparable
+/// across checkpoints, which is what lets a warm-started booster keep
+/// predicting through `u8` codes (see
+/// [`crate::RegressionTree::predict_binned`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BinnedMatrix {
     /// Column-major codes: `codes[f * n_rows + i]` is row `i`'s bin for
@@ -94,6 +108,18 @@ pub struct BinnedMatrix {
     n_rows: usize,
     n_features: usize,
     features: Vec<FeatureBins>,
+    /// Current per-bin row counts for each feature (NaNs count toward the
+    /// last bin, mirroring [`FeatureBins::code_of`]); kept up to date by
+    /// [`BinnedMatrix::append_from`].
+    counts: Vec<Vec<u32>>,
+    /// Per-feature empirical CDF at each bin's upper boundary as of the
+    /// last **full** build — the reference the drift check compares
+    /// against. `build_cdf[f][b]` is the fraction of rows with code ≤ `b`.
+    build_cdf: Vec<Vec<f64>>,
+    /// Set when an appended row carried a value a single-bin (constant or
+    /// all-NaN) feature cannot represent; forces the drift statistic to
+    /// `1.0` because the CDF comparison is blind to this case.
+    stale_constant: bool,
 }
 
 impl BinnedMatrix {
@@ -111,6 +137,8 @@ impl BinnedMatrix {
         let max_bins = max_bins.clamp(2, Self::MAX_BINS);
         let mut codes = vec![0u8; n * d];
         let mut features = Vec::with_capacity(d);
+        let mut counts = Vec::with_capacity(d);
+        let mut build_cdf = Vec::with_capacity(d);
         let mut column: Vec<f64> = Vec::with_capacity(n);
         let mut sorted: Vec<f64> = Vec::with_capacity(n);
 
@@ -135,9 +163,13 @@ impl BinnedMatrix {
                 plan_feature(&sorted[..finite_end], max_bins)
             };
             let col_codes = &mut codes[f * n..(f + 1) * n];
+            let mut bin_counts = vec![0u32; bins.n_bins()];
             for (slot, &v) in col_codes.iter_mut().zip(&column) {
                 *slot = bins.code_of(v);
+                bin_counts[*slot as usize] += 1;
             }
+            build_cdf.push(cdf_of(&bin_counts, n));
+            counts.push(bin_counts);
             features.push(bins);
         }
 
@@ -146,7 +178,106 @@ impl BinnedMatrix {
             n_rows: n,
             n_features: d,
             features,
+            counts,
+            build_cdf,
+            stale_constant: false,
         }
+    }
+
+    /// Incrementally absorbs the rows appended to `x` since this matrix was
+    /// last built or appended to: rows `self.rows()..x.rows()` are
+    /// quantized against the **existing** bin edges (the prefix is assumed
+    /// unchanged — the caller owns that invariant) and the per-bin counts
+    /// are updated. No sorting, no re-planning: cost is one binary search
+    /// per appended value.
+    ///
+    /// Returns the **drift** of the updated code distribution: the largest
+    /// absolute difference, over all features and bin boundaries, between
+    /// the current empirical CDF and the CDF recorded at the last full
+    /// build (a Kolmogorov–Smirnov distance against the quantile sketch
+    /// the bins encode). `0.0` means the old edges still cut the data at
+    /// the same quantiles; a value above the caller's tolerance means the
+    /// equal-mass property has degraded and a full [`BinnedMatrix::build`]
+    /// is warranted. A feature that was constant (or all-NaN) at build
+    /// time and has since seen a different value reports a drift of `1.0`,
+    /// because its single inert bin can never expose the new variation.
+    ///
+    /// The appended codes are valid either way — edges are never mutated
+    /// here — so callers may keep the matrix even past their drift
+    /// tolerance; they only forgo split quality, not correctness.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` has fewer rows than this matrix or a different
+    /// feature count.
+    pub fn append_from(&mut self, x: MatrixView<'_>) -> f64 {
+        let old = self.n_rows;
+        let new = x.rows();
+        assert!(new >= old, "append_from: view lost rows ({new} < {old})");
+        assert_eq!(x.cols(), self.n_features, "append_from: feature mismatch");
+        if new > old {
+            // Grow the column-major code store in place: shift each
+            // feature's code column to its new stride, back to front.
+            self.codes.resize(new * self.n_features, 0);
+            for f in (1..self.n_features).rev() {
+                self.codes.copy_within(f * old..(f + 1) * old, f * new);
+            }
+            self.n_rows = new;
+            for f in 0..self.n_features {
+                let bins = &self.features[f];
+                let counts = &mut self.counts[f];
+                // Single-bin feature: every value collapses to code 0, so
+                // record here — while the raw values are still visible —
+                // whether the constant stopped holding.
+                let constant = if bins.n_bins() == 1 {
+                    Some(bins.min_of(0))
+                } else {
+                    None
+                };
+                for i in old..new {
+                    let v = x.get(i, f);
+                    let code = bins.code_of(v);
+                    self.codes[f * new + i] = code;
+                    counts[code as usize] += 1;
+                    if let Some(c) = constant {
+                        // A NaN arrival is never staleness: NaN rides the
+                        // last bin under these edges exactly as a rebuild
+                        // would arrange (plan_feature excludes NaNs from
+                        // planning), even when the build column was
+                        // NaN-free. A non-NaN arrival is staleness unless
+                        // it equals the finite build constant (`c` is NaN
+                        // for an all-NaN build column, so any real value
+                        // trips it there).
+                        if !v.is_nan() && v != c {
+                            self.stale_constant = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.drift()
+    }
+
+    /// The drift statistic of the current counts against the last full
+    /// build (see [`BinnedMatrix::append_from`]); `0.0` right after a
+    /// build.
+    #[must_use]
+    pub fn drift(&self) -> f64 {
+        if self.stale_constant {
+            return 1.0;
+        }
+        let n = self.n_rows as f64;
+        let mut worst: f64 = 0.0;
+        for (f, counts) in self.counts.iter().enumerate() {
+            let mut cum = 0u64;
+            for (b, &c) in counts.iter().take(counts.len() - 1).enumerate() {
+                cum += u64::from(c);
+                let now = cum as f64 / n;
+                let was = self.build_cdf[f][b];
+                worst = worst.max((now - was).abs());
+            }
+        }
+        worst
     }
 
     /// Number of rows (samples).
@@ -183,6 +314,18 @@ impl BinnedMatrix {
             .max()
             .unwrap_or(0)
     }
+}
+
+/// Cumulative distribution over bins from per-bin counts.
+fn cdf_of(counts: &[u32], n: usize) -> Vec<f64> {
+    let mut cum = 0u64;
+    counts
+        .iter()
+        .map(|&c| {
+            cum += u64::from(c);
+            cum as f64 / n as f64
+        })
+        .collect()
 }
 
 /// Plans the bins for one feature from its sorted training values.
@@ -347,6 +490,108 @@ mod tests {
         // All-NaN column collapses to one inert bin.
         assert_eq!(binned.feature_bins(1).n_bins(), 1);
         assert!(binned.codes(1).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn append_from_matches_full_build_codes_when_stationary() {
+        // Same-distribution growth: appended codes must equal what a full
+        // rebuild would assign (same edges survive), and drift stays low.
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|i| vec![f64::from(i % 97), f64::from((i * 13) % 31)])
+            .collect();
+        let mut incremental = BinnedMatrix::build(view(&rows[..300]), 32);
+        let drift = incremental.append_from(view(&rows));
+        assert!(drift < 0.05, "stationary drift {drift}");
+        assert_eq!(incremental.rows(), 400);
+
+        // Edges were kept, so codes for appended rows follow the *old*
+        // quantization; verify against coding rows by hand.
+        let old_edges = BinnedMatrix::build(view(&rows[..300]), 32);
+        for f in 0..2 {
+            let bins = old_edges.feature_bins(f);
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(incremental.codes(f)[i], bins.code_of(row[f]));
+            }
+        }
+    }
+
+    #[test]
+    fn append_from_zero_rows_is_identity() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i)]).collect();
+        let mut binned = BinnedMatrix::build(view(&rows), 16);
+        let before = binned.clone();
+        let drift = binned.append_from(view(&rows));
+        assert_eq!(binned, before);
+        assert!(drift < 1e-12);
+    }
+
+    #[test]
+    fn drift_detects_distribution_shift() {
+        // Build on values in [0, 100); append a flood of values far above
+        // — the old quantile edges pile everything into the last bin.
+        let mut rows: Vec<Vec<f64>> = (0..200).map(|i| vec![f64::from(i % 100)]).collect();
+        let mut binned = BinnedMatrix::build(view(&rows), 16);
+        for i in 0..200 {
+            rows.push(vec![1000.0 + f64::from(i)]);
+        }
+        let drift = binned.append_from(view(&rows));
+        assert!(drift > 0.3, "shift must register, got {drift}");
+        // A fresh build resets the reference.
+        let rebuilt = BinnedMatrix::build(view(&rows), 16);
+        assert!(rebuilt.drift() < 1e-12);
+    }
+
+    #[test]
+    fn constant_feature_turning_variable_reports_full_drift() {
+        let mut rows: Vec<Vec<f64>> = vec![vec![7.0, 1.0]; 30];
+        for (i, row) in rows.iter_mut().enumerate() {
+            row[1] = i as f64; // keep feature 1 multi-bin
+        }
+        let mut binned = BinnedMatrix::build(view(&rows), 16);
+        assert_eq!(binned.feature_bins(0).n_bins(), 1);
+        rows.push(vec![9.0, 3.0]);
+        let drift = binned.append_from(view(&rows));
+        assert_eq!(drift, 1.0, "constant bin cannot represent 9.0");
+    }
+
+    #[test]
+    fn nan_appends_to_constant_features_are_not_drift() {
+        // A single-bin feature stays single-bin under a rebuild even when
+        // NaNs arrive (NaNs are excluded from bin planning), so appended
+        // NaNs must not trip the staleness flag — for a NaN-free constant
+        // build column and for one that already mixed NaNs in.
+        let mut rows: Vec<Vec<f64>> = (0..20).map(|i| vec![7.0, f64::from(i)]).collect();
+        rows[3][0] = f64::NAN;
+        let mut binned = BinnedMatrix::build(view(&rows), 16);
+        assert_eq!(binned.feature_bins(0).n_bins(), 1);
+        rows.push(vec![f64::NAN, 5.0]);
+        rows.push(vec![7.0, 9.0]);
+        let drift = binned.append_from(view(&rows));
+        assert!(drift < 0.2, "NaN append misread as staleness: {drift}");
+        // A genuinely new finite value still registers.
+        rows.push(vec![8.0, 4.0]);
+        assert_eq!(binned.append_from(view(&rows)), 1.0);
+        // All-NaN build column: a real value is new information.
+        let nan_rows: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::NAN, f64::from(i)]).collect();
+        let mut all_nan = BinnedMatrix::build(view(&nan_rows), 16);
+        let mut grown = nan_rows.clone();
+        grown.push(vec![1.0, 3.0]);
+        assert_eq!(all_nan.append_from(view(&grown)), 1.0);
+    }
+
+    #[test]
+    fn incremental_append_accumulates_drift_across_calls() {
+        let mut rows: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i)]).collect();
+        let mut binned = BinnedMatrix::build(view(&rows), 8);
+        let mut last = 0.0;
+        for step in 0..4 {
+            for i in 0..50 {
+                rows.push(vec![200.0 + f64::from(step * 50 + i)]);
+            }
+            last = binned.append_from(view(&rows));
+        }
+        assert!(last > 0.4, "monotone out-of-range growth, drift {last}");
+        assert_eq!(binned.rows(), 300);
     }
 
     #[test]

@@ -13,9 +13,17 @@
 //!   growth, features are quantized into a [`BinnedMatrix`] **once per
 //!   fit** and every round trains on it via
 //!   [`RegressionTree::fit_binned`];
+//! * per-round score updates replay the freshly fit tree over `u8` bin
+//!   codes ([`RegressionTree::predict_binned`]) — raw `f64` features are
+//!   never touched inside a histogram-mode fit;
 //! * row subsampling selects *indices* into the shared binned matrix; the
 //!   `subsample == 1.0` case short-circuits to a precomputed identity
-//!   index list.
+//!   index list;
+//! * across checkpoints, [`GradientBoosting::warm_start`] boosts a few
+//!   new rounds from the previous ensemble over a binned matrix grown in
+//!   place by [`BinnedMatrix::append_from`], instead of refitting from
+//!   scratch ([`GradientBoosting::fit_binned`] covers the cold half of
+//!   that path).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -155,29 +163,7 @@ impl<L: Loss> GradientBoosting<L> {
         config: &GbtConfig,
     ) -> Result<Self, MlError> {
         crate::error::check_view(x, y)?;
-        if !(config.subsample > 0.0 && config.subsample <= 1.0) {
-            return Err(MlError::InvalidConfig(format!(
-                "subsample must be in (0,1], got {}",
-                config.subsample
-            )));
-        }
-        if config.learning_rate <= 0.0 {
-            return Err(MlError::InvalidConfig(format!(
-                "learning_rate must be positive, got {}",
-                config.learning_rate
-            )));
-        }
-        if config.tree.max_depth == 0 {
-            return Err(MlError::InvalidConfig("max_depth must be >= 1".into()));
-        }
-
-        let n = x.rows();
-        let base_score = loss.base_score(y);
-        let mut scores = vec![base_score; n];
-        let mut trees = Vec::with_capacity(config.n_rounds);
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut all_rows: Vec<usize> = (0..n).collect();
-        let sample_size = ((config.subsample * n as f64).round() as usize).clamp(1, n);
+        check_gbt_config(config)?;
 
         // Quantize once; every boosting round (and every node of every
         // tree) trains against this shared binned matrix.
@@ -188,41 +174,214 @@ impl<L: Loss> GradientBoosting<L> {
             _ => None,
         };
 
-        let mut grads = vec![0.0; n];
-        let mut hess = vec![0.0; n];
-        for _round in 0..config.n_rounds {
-            // Subsampling selects indices into the shared matrix — rows
-            // are never materialized. With subsample == 1.0 the identity
-            // index list is reused untouched round over round.
-            let rows: &[usize] = if sample_size < n {
-                all_rows.shuffle(&mut rng);
-                &all_rows[..sample_size]
-            } else {
-                &all_rows
-            };
-            for &i in rows {
-                let (g, h) = loss.gradient_hessian(y[i], scores[i]);
-                grads[i] = g;
-                hess[i] = h.max(1e-12);
-            }
-            let tree = match &binned {
-                Some(binned) => {
-                    RegressionTree::fit_binned(binned, &grads, &hess, rows, &config.tree)?
-                }
-                None => {
-                    RegressionTree::fit_exact_rows(x, &grads, &hess, rows.to_vec(), &config.tree)
-                }
-            };
-            for (i, score) in scores.iter_mut().enumerate() {
-                *score += config.learning_rate * tree.predict_at(x, i);
-            }
-            trees.push(tree);
-        }
+        let base_score = loss.base_score(y);
+        let mut scores = vec![base_score; x.rows()];
+        let mut trees = Vec::with_capacity(config.n_rounds);
+        boost_rounds(
+            binned.as_ref(),
+            Some(x),
+            y,
+            &loss,
+            config,
+            config.n_rounds,
+            config.learning_rate,
+            config.seed,
+            &mut scores,
+            &mut trees,
+        )?;
 
         Ok(GradientBoosting {
             loss,
             base_score,
             learning_rate: config.learning_rate,
+            trees,
+        })
+    }
+
+    /// Fits the ensemble over a pre-quantized [`BinnedMatrix`] (histogram
+    /// growth implied; `config.tree.growth` is ignored). This is the
+    /// warm-refit hot path: across consecutive checkpoints the caller
+    /// keeps one binned matrix alive, grows it in place with
+    /// [`BinnedMatrix::append_from`], and skips re-quantization entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::DimensionMismatch`] when `y` does not match the matrix
+    /// rows, [`MlError::InvalidConfig`] on out-of-range hyperparameters.
+    pub fn fit_binned(
+        binned: &BinnedMatrix,
+        y: &[f64],
+        loss: L,
+        config: &GbtConfig,
+    ) -> Result<Self, MlError> {
+        Self::fit_binned_cached(binned, y, loss, config, &mut Vec::new())
+    }
+
+    /// As [`GradientBoosting::fit_binned`], but additionally leaves the
+    /// fitted ensemble's raw per-row scores in `scores` (cleared and
+    /// refilled), so a later [`GradientBoosting::warm_start_cached`] can
+    /// continue boosting without replaying the whole ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradientBoosting::fit_binned`].
+    pub fn fit_binned_cached(
+        binned: &BinnedMatrix,
+        y: &[f64],
+        loss: L,
+        config: &GbtConfig,
+        scores: &mut Vec<f64>,
+    ) -> Result<Self, MlError> {
+        if binned.rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if y.len() != binned.rows() {
+            return Err(MlError::DimensionMismatch {
+                expected: format!("{} targets", binned.rows()),
+                found: format!("{} targets", y.len()),
+            });
+        }
+        check_gbt_config(config)?;
+        let base_score = loss.base_score(y);
+        scores.clear();
+        scores.resize(binned.rows(), base_score);
+        let mut trees = Vec::with_capacity(config.n_rounds);
+        boost_rounds(
+            Some(binned),
+            None,
+            y,
+            &loss,
+            config,
+            config.n_rounds,
+            config.learning_rate,
+            config.seed,
+            scores,
+            &mut trees,
+        )?;
+        Ok(GradientBoosting {
+            loss,
+            base_score,
+            learning_rate: config.learning_rate,
+            trees,
+        })
+    }
+
+    /// Boosts `extra_rounds` **new** trees on top of `prev` instead of
+    /// refitting from scratch — the warm-start refit path. The previous
+    /// ensemble's base score, learning rate, and trees are kept; new trees
+    /// correct its residuals against the (typically grown) training set in
+    /// `binned`/`y`.
+    ///
+    /// `binned` must carry the same bin edges the previous ensemble was
+    /// trained against (the invariant [`BinnedMatrix::append_from`]
+    /// preserves and a full rebuild breaks): previous trees are replayed
+    /// over `u8` codes to reconstruct the ensemble's scores, and stale
+    /// edges would silently mis-route rows. `config` supplies the new
+    /// trees' structural parameters and subsampling; the learning rate is
+    /// inherited from `prev` so old and new trees stay on one scale.
+    ///
+    /// Warm-starting with `extra_rounds == 0` returns a clone of `prev`.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::DimensionMismatch`] on a `y`/matrix row mismatch,
+    /// [`MlError::InvalidConfig`] on bad hyperparameters or when `prev`
+    /// contains exact-grown trees (no bin-code cache to replay).
+    pub fn warm_start(
+        prev: &Self,
+        binned: &BinnedMatrix,
+        y: &[f64],
+        extra_rounds: usize,
+        config: &GbtConfig,
+    ) -> Result<Self, MlError>
+    where
+        L: Clone,
+    {
+        Self::warm_start_cached(prev, binned, y, extra_rounds, config, &mut Vec::new())
+    }
+
+    /// As [`GradientBoosting::warm_start`], with an externally cached raw
+    /// score vector: on entry `scores[i]` must hold `prev`'s raw score for
+    /// row `i` over however many leading rows the caller has cached (a
+    /// vector left behind by a previous `warm_start_cached` /
+    /// [`GradientBoosting::fit_binned_cached`] on the same binning, or
+    /// empty); only the uncached suffix — typically the handful of rows
+    /// appended since the last checkpoint — is reconstructed by replaying
+    /// `prev` over bin codes. On success `scores` holds the *new*
+    /// ensemble's raw scores for every row, ready for the next call.
+    ///
+    /// This turns the per-checkpoint replay cost from
+    /// `O(ensemble × all rows)` into `O(ensemble × appended rows)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradientBoosting::warm_start`], plus
+    /// [`MlError::DimensionMismatch`] when `scores` is longer than the
+    /// matrix has rows (a stale cache from a different binning).
+    pub fn warm_start_cached(
+        prev: &Self,
+        binned: &BinnedMatrix,
+        y: &[f64],
+        extra_rounds: usize,
+        config: &GbtConfig,
+        scores: &mut Vec<f64>,
+    ) -> Result<Self, MlError>
+    where
+        L: Clone,
+    {
+        if binned.rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if y.len() != binned.rows() {
+            return Err(MlError::DimensionMismatch {
+                expected: format!("{} targets", binned.rows()),
+                found: format!("{} targets", y.len()),
+            });
+        }
+        if scores.len() > binned.rows() {
+            return Err(MlError::DimensionMismatch {
+                expected: format!("at most {} cached scores", binned.rows()),
+                found: format!("{} cached scores", scores.len()),
+            });
+        }
+        check_gbt_config(config)?;
+        if prev.trees.iter().any(|t| !t.supports_binned_predict()) {
+            return Err(MlError::InvalidConfig(
+                "warm_start requires a histogram-grown previous ensemble".into(),
+            ));
+        }
+
+        // Replay the previous ensemble over bin codes — u8 compares, no
+        // f64 feature loads — for the rows the cache does not cover.
+        let cached = scores.len();
+        scores.extend((cached..binned.rows()).map(|i| {
+            let tree_sum: f64 = prev.trees.iter().map(|t| t.predict_binned(binned, i)).sum();
+            prev.base_score + prev.learning_rate * tree_sum
+        }));
+
+        let mut trees = prev.trees.clone();
+        trees.reserve(extra_rounds);
+        // Decorrelate warm-round subsampling from the cold fit's stream
+        // (and from earlier warm stages) while staying deterministic.
+        let seed = config
+            .seed
+            .wrapping_add((trees.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        boost_rounds(
+            Some(binned),
+            None,
+            y,
+            &prev.loss,
+            config,
+            extra_rounds,
+            prev.learning_rate,
+            seed,
+            scores,
+            &mut trees,
+        )?;
+        Ok(GradientBoosting {
+            loss: prev.loss.clone(),
+            base_score: prev.base_score,
+            learning_rate: prev.learning_rate,
             trees,
         })
     }
@@ -276,6 +435,90 @@ impl<L: Loss> GradientBoosting<L> {
     pub fn base_score(&self) -> f64 {
         self.base_score
     }
+}
+
+fn check_gbt_config(config: &GbtConfig) -> Result<(), MlError> {
+    if !(config.subsample > 0.0 && config.subsample <= 1.0) {
+        return Err(MlError::InvalidConfig(format!(
+            "subsample must be in (0,1], got {}",
+            config.subsample
+        )));
+    }
+    if config.learning_rate <= 0.0 {
+        return Err(MlError::InvalidConfig(format!(
+            "learning_rate must be positive, got {}",
+            config.learning_rate
+        )));
+    }
+    if config.tree.max_depth == 0 {
+        return Err(MlError::InvalidConfig("max_depth must be >= 1".into()));
+    }
+    Ok(())
+}
+
+/// The boosting round loop shared by cold fits and warm starts: appends
+/// `rounds` trees to `trees`, keeping `scores` (raw per-row ensemble
+/// scores) in sync. Histogram mode (`binned` present) never touches raw
+/// features — per-round score updates traverse trees over `u8` bin codes
+/// via [`RegressionTree::predict_binned`]; exact mode reads `x`.
+#[allow(clippy::too_many_arguments)]
+fn boost_rounds<L: Loss>(
+    binned: Option<&BinnedMatrix>,
+    x: Option<MatrixView<'_>>,
+    y: &[f64],
+    loss: &L,
+    config: &GbtConfig,
+    rounds: usize,
+    learning_rate: f64,
+    seed: u64,
+    scores: &mut [f64],
+    trees: &mut Vec<RegressionTree>,
+) -> Result<(), MlError> {
+    let n = scores.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all_rows: Vec<usize> = (0..n).collect();
+    let sample_size = ((config.subsample * n as f64).round() as usize).clamp(1, n);
+
+    let mut grads = vec![0.0; n];
+    let mut hess = vec![0.0; n];
+    for _round in 0..rounds {
+        // Subsampling selects indices into the shared matrix — rows
+        // are never materialized. With subsample == 1.0 the identity
+        // index list is reused untouched round over round.
+        let rows: &[usize] = if sample_size < n {
+            all_rows.shuffle(&mut rng);
+            &all_rows[..sample_size]
+        } else {
+            &all_rows
+        };
+        for &i in rows {
+            let (g, h) = loss.gradient_hessian(y[i], scores[i]);
+            grads[i] = g;
+            hess[i] = h.max(1e-12);
+        }
+        let tree = match binned {
+            Some(binned) => RegressionTree::fit_binned(binned, &grads, &hess, rows, &config.tree)?,
+            None => {
+                let x = x.expect("exact growth requires a raw matrix view");
+                RegressionTree::fit_exact_rows(x, &grads, &hess, rows.to_vec(), &config.tree)
+            }
+        };
+        match binned {
+            Some(binned) => {
+                for (i, score) in scores.iter_mut().enumerate() {
+                    *score += learning_rate * tree.predict_binned(binned, i);
+                }
+            }
+            None => {
+                let x = x.expect("exact growth requires a raw matrix view");
+                for (i, score) in scores.iter_mut().enumerate() {
+                    *score += learning_rate * tree.predict_at(x, i);
+                }
+            }
+        }
+        trees.push(tree);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -395,6 +638,177 @@ mod tests {
         assert_eq!(p_rows, by_slices.predict_batch(&x));
         assert_eq!(p_rows, by_columns.predict_batch(&x));
         assert_eq!(p_rows, by_columns.predict_view(m.view()));
+    }
+
+    /// Growing synthetic checkpoint data: `y = 3·x0 − x1` with a mild
+    /// distribution drift in later rows.
+    fn growing_set(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                vec![
+                    ((i * 31) % 53) as f64 / 53.0 + 0.3 * t,
+                    ((i * 17) % 29) as f64 / 29.0,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fit_binned_matches_fit_view_bit_for_bit() {
+        let (x, y) = growing_set(80);
+        let cfg = GbtConfig::default();
+        let by_view = GradientBoosting::fit(&x, &y, SquaredLoss, &cfg).unwrap();
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let by_binned = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        assert_eq!(by_view.predict_batch(&x), by_binned.predict_batch(&x));
+    }
+
+    #[test]
+    fn warm_start_zero_rounds_is_identity() {
+        let (x, y) = growing_set(60);
+        let cfg = GbtConfig::default();
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let prev = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        let same = GradientBoosting::warm_start(&prev, &binned, &y, 0, &cfg).unwrap();
+        assert_eq!(same.tree_count(), prev.tree_count());
+        assert_eq!(prev.predict_batch(&x), same.predict_batch(&x));
+    }
+
+    #[test]
+    fn warm_start_recovers_cold_accuracy_on_grown_data() {
+        // Fit on the first 150 rows, grow to 200, warm-start a few rounds:
+        // MSE on the full set must land within a few percent of a cold
+        // refit — the claim the warm-refit subsystem rests on.
+        let (x, y) = growing_set(200);
+        let cfg = GbtConfig::default();
+        let mut binned = BinnedMatrix::build(MatrixView::Rows(&x[..150]), cfg.tree.max_bins);
+        let prev = GradientBoosting::fit_binned(&binned, &y[..150], SquaredLoss, &cfg).unwrap();
+        let drift = binned.append_from(MatrixView::Rows(&x));
+        assert!(drift < 0.2, "mild drift expected, got {drift}");
+
+        let warm = GradientBoosting::warm_start(&prev, &binned, &y, 10, &cfg).unwrap();
+        let cold = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        let mse_warm = crate::mean_squared_error(&y, &warm.predict_batch(&x));
+        let mse_cold = crate::mean_squared_error(&y, &cold.predict_batch(&x));
+        let var = nurd_linalg::variance(&y);
+        assert!(
+            mse_warm <= mse_cold + 0.01 * var,
+            "warm {mse_warm} vs cold {mse_cold} (var {var})"
+        );
+        assert_eq!(warm.tree_count(), prev.tree_count() + 10);
+    }
+
+    #[test]
+    fn warm_start_cached_matches_uncached_replay() {
+        let (x, y) = growing_set(160);
+        let cfg = GbtConfig::default();
+        let mut binned = BinnedMatrix::build(MatrixView::Rows(&x[..120]), cfg.tree.max_bins);
+        let mut cache = Vec::new();
+        let prev =
+            GradientBoosting::fit_binned_cached(&binned, &y[..120], SquaredLoss, &cfg, &mut cache)
+                .unwrap();
+        assert_eq!(cache.len(), 120);
+        binned.append_from(MatrixView::Rows(&x));
+
+        let uncached = GradientBoosting::warm_start(&prev, &binned, &y, 6, &cfg).unwrap();
+        let cached =
+            GradientBoosting::warm_start_cached(&prev, &binned, &y, 6, &cfg, &mut cache).unwrap();
+        assert_eq!(cache.len(), 160, "cache covers every row after the call");
+        // The cache holds the boosting trajectory's running scores, which
+        // differ from a from-scratch ensemble replay only by float
+        // addition reordering — fitted models must agree to tight
+        // tolerance.
+        let scale = y.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for row in &x {
+            assert!(
+                (uncached.predict(row) - cached.predict(row)).abs() <= 1e-9 * scale,
+                "cached vs uncached warm start diverged"
+            );
+        }
+        // The left-behind cache is the new model's raw score per row.
+        for (i, s) in cache.iter().enumerate() {
+            let replay: f64 = cached.base_score
+                + cached.learning_rate
+                    * cached
+                        .trees
+                        .iter()
+                        .map(|t| t.predict_binned(&binned, i))
+                        .sum::<f64>();
+            assert!((s - replay).abs() <= 1e-9 * scale.max(1.0));
+        }
+        // A cache longer than the matrix is a stale-cache bug: rejected.
+        let mut stale = vec![0.0; 200];
+        assert!(matches!(
+            GradientBoosting::warm_start_cached(&prev, &binned, &y, 2, &cfg, &mut stale),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_start_is_deterministic() {
+        let (x, y) = growing_set(90);
+        let cfg = GbtConfig {
+            subsample: 0.7,
+            ..GbtConfig::default()
+        };
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let prev = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        let a = GradientBoosting::warm_start(&prev, &binned, &y, 5, &cfg).unwrap();
+        let b = GradientBoosting::warm_start(&prev, &binned, &y, 5, &cfg).unwrap();
+        assert_eq!(a.predict_batch(&x), b.predict_batch(&x));
+    }
+
+    #[test]
+    fn warm_start_rejects_exact_grown_ensemble() {
+        let (x, y) = growing_set(40);
+        let exact_cfg = GbtConfig {
+            tree: TreeConfig {
+                growth: TreeGrowth::Exact,
+                ..TreeConfig::default()
+            },
+            ..GbtConfig::default()
+        };
+        let prev = GradientBoosting::fit(&x, &y, SquaredLoss, &exact_cfg).unwrap();
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), 256);
+        assert!(matches!(
+            GradientBoosting::warm_start(&prev, &binned, &y, 4, &GbtConfig::default()),
+            Err(MlError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn binned_fit_paths_reject_empty_matrix() {
+        // An empty binned matrix is constructible; the fit entry points
+        // must error, not panic, as their docs promise.
+        let empty_rows: Vec<Vec<f64>> = Vec::new();
+        let empty = BinnedMatrix::build(MatrixView::Rows(&empty_rows), 256);
+        assert!(matches!(
+            GradientBoosting::fit_binned(&empty, &[], SquaredLoss, &GbtConfig::default()),
+            Err(MlError::EmptyTrainingSet)
+        ));
+        let (x, y) = growing_set(20);
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), 256);
+        let prev =
+            GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &GbtConfig::default()).unwrap();
+        assert!(matches!(
+            GradientBoosting::warm_start(&prev, &empty, &[], 4, &GbtConfig::default()),
+            Err(MlError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn warm_start_rejects_target_length_mismatch() {
+        let (x, y) = growing_set(40);
+        let cfg = GbtConfig::default();
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let prev = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        assert!(matches!(
+            GradientBoosting::warm_start(&prev, &binned, &y[..20], 4, &cfg),
+            Err(MlError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -39,6 +39,25 @@
 //! row slices train zero-copy; see `GradientBoosting::fit_view` and
 //! `RegressionTree::fit_binned` for the hot-path entry points.
 //!
+//! # Warm-start primitives
+//!
+//! Three additions let `nurd-core` refit *incrementally* across
+//! checkpoints instead of from scratch (its `WarmRefitState` is the
+//! orchestrator; these are the mechanisms):
+//!
+//! * [`BinnedMatrix::append_from`] grows a quantized matrix in place —
+//!   only appended rows are re-coded against the existing bin edges, and
+//!   a Kolmogorov–Smirnov drift statistic reports when those edges have
+//!   gone stale;
+//! * [`GradientBoosting::warm_start`] boosts a few new rounds onto a
+//!   previous ensemble over such a grown matrix
+//!   ([`GradientBoosting::fit_binned`] is the matching cold entry);
+//! * [`RegressionTree::predict_binned`] replays trees over contiguous
+//!   `u8` bin codes, which also serves every boosting round's score
+//!   update inside `fit` — raw `f64` features are never touched in a
+//!   histogram-mode fit. Histogram construction itself uses LightGBM-style
+//!   sibling subtraction (see [`TreeConfig::hist_subtraction`]).
+//!
 //! # Example
 //!
 //! ```

@@ -16,9 +16,14 @@
 //!   [`BinnedMatrix`]), then finds splits by accumulating per-bin
 //!   gradient/hessian sums in one linear pass per node and scanning bin
 //!   boundaries. Split finding costs `O(n·d)` per level with sequential
-//!   access over contiguous `u8` codes. When every feature has at most
-//!   `max_bins` distinct values the result is **identical** to exact
-//!   growth (same thresholds, bit for bit); otherwise thresholds are
+//!   access over contiguous `u8` codes — and, with
+//!   [`TreeConfig::hist_subtraction`] (the default), only the smaller
+//!   child of each split is accumulated while the sibling's histogram is
+//!   derived as `parent − child`, LightGBM-style, cutting per-level
+//!   accumulation to `O(min(n_l, n_r) · d)`. When every feature has at
+//!   most `max_bins` distinct values the result is **identical** to exact
+//!   growth (same thresholds, bit for bit, with subtraction disabled; up
+//!   to equal-gain tie-breaks with it); otherwise thresholds are
 //!   restricted to quantile bin boundaries — the standard histogram
 //!   tradeoff.
 //! * [`TreeGrowth::Exact`] — the classic sort-based CART enumeration:
@@ -58,6 +63,15 @@ pub struct TreeConfig {
     /// Maximum bins per feature for histogram growth (clamped to
     /// `[2, 256]`; ignored by exact growth).
     pub max_bins: usize,
+    /// LightGBM-style histogram subtraction (histogram growth only): at
+    /// every split, accumulate only the **smaller** child's histograms and
+    /// derive the sibling's as `parent − child`, halving (or better) the
+    /// per-level accumulation work. Gradient/hessian cells of the derived
+    /// sibling can differ from direct accumulation by float-rounding ulps
+    /// (sample counts stay exact); disable to force direct accumulation
+    /// for both children (the reference the subtraction path is
+    /// property-tested against).
+    pub hist_subtraction: bool,
 }
 
 impl Default for TreeConfig {
@@ -69,6 +83,7 @@ impl Default for TreeConfig {
             min_split_gain: 1e-9,
             growth: TreeGrowth::Histogram,
             max_bins: BinnedMatrix::MAX_BINS,
+            hist_subtraction: true,
         }
     }
 }
@@ -104,9 +119,27 @@ enum Node {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RegressionTree {
     nodes: Vec<Node>,
+    /// Histogram-growth acceleration cache, parallel to `nodes`: for a
+    /// split node, the highest bin code routed left in the
+    /// [`BinnedMatrix`] the tree was trained against (`u8::MAX` at
+    /// leaves). Empty for exact-grown trees. Lets
+    /// [`RegressionTree::predict_binned`] route training-matrix rows by
+    /// comparing `u8` codes instead of dereferencing raw `f64` features.
+    split_bins: Vec<u8>,
+}
+
+/// Structural equality: two trees are equal when their node arrays are —
+/// the `split_bins` cache is derived data tied to one training matrix and
+/// deliberately excluded, so an exact-grown tree can compare equal to the
+/// identical histogram-grown tree (the equivalence the property tests
+/// assert).
+impl PartialEq for RegressionTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+    }
 }
 
 impl RegressionTree {
@@ -211,6 +244,7 @@ impl RegressionTree {
         builder.build(rows, 0);
         RegressionTree {
             nodes: builder.nodes,
+            split_bins: Vec::new(),
         }
     }
 
@@ -221,18 +255,33 @@ impl RegressionTree {
         rows: Vec<usize>,
         config: &TreeConfig,
     ) -> Self {
-        let bins = binned.max_bin_count();
+        // One flat histogram buffer per live node: features laid out at
+        // `offsets[f]`, so the whole node histogram is a single allocation
+        // the subtraction pass can walk linearly.
+        let mut offsets = Vec::with_capacity(binned.features() + 1);
+        let mut total = 0usize;
+        for f in 0..binned.features() {
+            offsets.push(total);
+            total += binned.feature_bins(f).n_bins();
+        }
+        offsets.push(total);
         let mut builder = HistogramBuilder {
             binned,
             gradients,
             hessians,
             config,
             nodes: Vec::new(),
-            hist: vec![HistBin::default(); bins],
+            split_bins: Vec::new(),
+            offsets,
+            total_bins: total,
+            pool: Vec::new(),
         };
-        builder.build(rows, 0);
+        let mut root_hist = builder.acquire();
+        builder.fill_hist(&rows, &mut root_hist);
+        builder.build(rows, 0, root_hist);
         RegressionTree {
             nodes: builder.nodes,
+            split_bins: builder.split_bins,
         }
     }
 
@@ -290,6 +339,57 @@ impl RegressionTree {
                 }
             }
         }
+    }
+
+    /// The tree's output for row `row` of the binned matrix it was trained
+    /// against (or one that has since grown via
+    /// [`BinnedMatrix::append_from`], which preserves the bin edges): the
+    /// traversal compares `u8` bin codes instead of raw `f64` features,
+    /// which is both branch-cheaper and cache-denser. This is the
+    /// boosting-round score-update hot path.
+    ///
+    /// Routing is identical to [`RegressionTree::predict`] for every value
+    /// quantized by the training edges (thresholds sit strictly between
+    /// adjacent bins); rows appended later may differ from raw-feature
+    /// routing only inside bins that were empty at this node during
+    /// training — a tie-break zone where neither routing is more correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tree was not histogram-grown (no code cache), or if
+    /// `row` is out of bounds for `binned`.
+    #[must_use]
+    pub fn predict_binned(&self, binned: &BinnedMatrix, row: usize) -> f64 {
+        assert_eq!(
+            self.split_bins.len(),
+            self.nodes.len(),
+            "predict_binned requires a histogram-grown tree"
+        );
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { weight } => return *weight,
+                Node::Split {
+                    feature,
+                    left,
+                    right,
+                    ..
+                } => {
+                    idx = if binned.codes(*feature)[row] <= self.split_bins[idx] {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Whether [`RegressionTree::predict_binned`] is available (the tree
+    /// was histogram-grown and carries its bin-code cache).
+    #[must_use]
+    pub fn supports_binned_predict(&self) -> bool {
+        self.split_bins.len() == self.nodes.len()
     }
 
     /// Number of nodes (splits + leaves).
@@ -480,29 +580,146 @@ struct HistBin {
     n: u32,
 }
 
-/// The binned builder (`TreeGrowth::Histogram`): one linear pass per
-/// node/feature to fill the histogram, then a scan over bin boundaries.
+/// The binned builder (`TreeGrowth::Histogram`).
+///
+/// Each node owns one flat histogram covering every feature (laid out at
+/// `offsets[f]`). The root's histogram is accumulated directly; below it,
+/// only the **smaller** child of each split is accumulated and the
+/// sibling is derived by the LightGBM subtraction trick
+/// `sibling = parent − child` (sample counts exactly, gradient/hessian
+/// sums up to addition-reordering ulps), so each level costs
+/// `O(min(n_l, n_r) · d)` accumulation instead of `O(n · d)`. Buffers are
+/// recycled through a small pool: at most `depth + 1` histograms are ever
+/// live.
 struct HistogramBuilder<'a> {
     binned: &'a BinnedMatrix,
     gradients: &'a [f64],
     hessians: &'a [f64],
     config: &'a TreeConfig,
     nodes: Vec<Node>,
-    /// Per-bin scratch, reused across nodes and features.
-    hist: Vec<HistBin>,
+    /// Parallel to `nodes`: left-routed bin cap per split (`u8::MAX` at
+    /// leaves); becomes [`RegressionTree::split_bins`].
+    split_bins: Vec<u8>,
+    /// Flat histogram layout: feature `f`'s bins live at
+    /// `offsets[f]..offsets[f + 1]`.
+    offsets: Vec<usize>,
+    total_bins: usize,
+    /// Recycled node-histogram buffers.
+    pool: Vec<Vec<HistBin>>,
 }
 
-impl_build!(HistogramBuilder);
-
 impl HistogramBuilder<'_> {
-    fn partition(&self, indices: Vec<usize>, split: &BestSplit) -> (Vec<usize>, Vec<usize>) {
-        let codes = self.binned.codes(split.feature);
-        indices
-            .into_iter()
-            .partition(|&i| codes[i] <= split.left_bin)
+    fn acquire(&mut self) -> Vec<HistBin> {
+        self.pool
+            .pop()
+            .unwrap_or_else(|| vec![HistBin::default(); self.total_bins])
     }
 
-    fn best_split(&mut self, indices: &[usize], g_sum: f64, h_sum: f64) -> Option<BestSplit> {
+    fn release(&mut self, buf: Vec<HistBin>) {
+        self.pool.push(buf);
+    }
+
+    /// Accumulates the node histogram for every feature in one pass per
+    /// feature over contiguous `u8` codes — the dominant per-node cost the
+    /// subtraction trick halves.
+    fn fill_hist(&self, indices: &[usize], hist: &mut [HistBin]) {
+        hist.fill(HistBin::default());
+        for f in 0..self.binned.features() {
+            // Single-bin (constant / all-NaN) features can never split;
+            // best_split skips them, so their statistics are never read —
+            // don't pay a pass over the rows for them. Their cells stay
+            // zero in every node, which keeps the subtraction pass
+            // (parent − child over the whole buffer) consistent.
+            if self.binned.feature_bins(f).n_bins() < 2 {
+                continue;
+            }
+            let codes = self.binned.codes(f);
+            let cells = &mut hist[self.offsets[f]..self.offsets[f + 1]];
+            for &i in indices {
+                let cell = &mut cells[codes[i] as usize];
+                cell.g += self.gradients[i];
+                cell.h += self.hessians[i];
+                cell.n += 1;
+            }
+        }
+    }
+
+    /// Builds the subtree over `indices`, whose per-feature histograms
+    /// have already been accumulated (or derived) into `hist`; returns the
+    /// node index. Consumes `hist` back into the pool.
+    fn build(&mut self, indices: Vec<usize>, depth: usize, hist: Vec<HistBin>) -> usize {
+        // Node totals are summed in row order (not from histogram cells)
+        // so leaf weights stay bit-identical to the exact builder's.
+        let (g_sum, h_sum) = indices.iter().fold((0.0, 0.0), |(g, h), &i| {
+            (g + self.gradients[i], h + self.hessians[i])
+        });
+        let leaf_weight = -g_sum / (h_sum + self.config.lambda);
+
+        if depth >= self.config.max_depth || indices.len() < 2 {
+            self.release(hist);
+            return self.push_leaf(leaf_weight);
+        }
+        let Some(split) = self.best_split(&hist, g_sum, h_sum) else {
+            self.release(hist);
+            return self.push_leaf(leaf_weight);
+        };
+        if split.gain <= self.config.min_split_gain {
+            self.release(hist);
+            return self.push_leaf(leaf_weight);
+        }
+
+        let codes = self.binned.codes(split.feature);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .into_iter()
+            .partition(|&i| codes[i] <= split.left_bin);
+
+        // Accumulate the smaller child; derive the sibling from the parent
+        // buffer (which the sibling then owns). With subtraction disabled,
+        // both children are accumulated directly — the reference path.
+        let small_is_left = left_idx.len() <= right_idx.len();
+        let small = if small_is_left { &left_idx } else { &right_idx };
+        let large = if small_is_left { &right_idx } else { &left_idx };
+        let mut small_hist = self.acquire();
+        self.fill_hist(small, &mut small_hist);
+        let mut large_hist = hist;
+        if self.config.hist_subtraction {
+            for (cell, s) in large_hist.iter_mut().zip(&small_hist) {
+                cell.g -= s.g;
+                cell.h -= s.h;
+                cell.n -= s.n;
+            }
+        } else {
+            self.fill_hist(large, &mut large_hist);
+        }
+        let (left_hist, right_hist) = if small_is_left {
+            (small_hist, large_hist)
+        } else {
+            (large_hist, small_hist)
+        };
+
+        let placeholder = self.push_leaf(0.0);
+        let left = self.build(left_idx, depth + 1, left_hist);
+        let right = self.build(right_idx, depth + 1, right_hist);
+        self.nodes[placeholder] = Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left,
+            right,
+        };
+        self.split_bins[placeholder] = split.left_bin;
+        placeholder
+    }
+
+    fn push_leaf(&mut self, weight: f64) -> usize {
+        self.nodes.push(Node::Leaf { weight });
+        self.split_bins.push(u8::MAX);
+        self.nodes.len() - 1
+    }
+
+    /// Scans every feature's bin boundaries in the precomputed node
+    /// histogram. Unlike the pre-subtraction builder there is no
+    /// accumulation here — `hist` already holds the node's statistics.
+    fn best_split(&self, hist: &[HistBin], g_sum: f64, h_sum: f64) -> Option<BestSplit> {
         let lambda = self.config.lambda;
         let parent_score = g_sum * g_sum / (h_sum + lambda);
         let mut best: Option<BestSplit> = None;
@@ -513,17 +730,7 @@ impl HistogramBuilder<'_> {
             if n_bins < 2 {
                 continue;
             }
-            let codes = self.binned.codes(feature);
-            let hist = &mut self.hist[..n_bins];
-            hist.fill(HistBin::default());
-            // The node's entire split-finding cost for this feature: one
-            // sequential pass over u8 codes and the gradient arrays.
-            for &i in indices {
-                let cell = &mut hist[codes[i] as usize];
-                cell.g += self.gradients[i];
-                cell.h += self.hessians[i];
-                cell.n += 1;
-            }
+            let cells = &hist[self.offsets[feature]..self.offsets[feature + 1]];
 
             // Scan boundaries between bins *present in this node*: the
             // candidate set (and, in the one-bin-per-value regime, the
@@ -531,7 +738,7 @@ impl HistogramBuilder<'_> {
             let mut g_left = 0.0;
             let mut h_left = 0.0;
             let mut last_present: Option<usize> = None;
-            for (b, cell) in hist.iter().enumerate() {
+            for (b, cell) in cells.iter().enumerate() {
                 if cell.n == 0 {
                     continue;
                 }
@@ -763,6 +970,48 @@ mod tests {
     }
 
     #[test]
+    fn predict_binned_matches_predict_on_training_rows() {
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 13) as f64, ((i * 7) % 11) as f64])
+            .collect();
+        let y: Vec<f64> = (0..60).map(|i| ((i * 3) % 8) as f64).collect();
+        let (g, h) = squared_loss_grads(&y);
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), 256);
+        let rows: Vec<usize> = (0..60).collect();
+        let tree =
+            RegressionTree::fit_binned(&binned, &g, &h, &rows, &TreeConfig::default()).unwrap();
+        assert!(tree.supports_binned_predict());
+        for (i, row) in x.iter().enumerate() {
+            assert_eq!(tree.predict(row), tree.predict_binned(&binned, i));
+        }
+        // Rows appended with preserved edges stay routable.
+        let mut grown = binned.clone();
+        let mut more = x.clone();
+        more.push(vec![6.0, 3.0]);
+        grown.append_from(MatrixView::Rows(&more));
+        assert_eq!(
+            tree.predict(&[6.0, 3.0]),
+            tree.predict_binned(&grown, more.len() - 1)
+        );
+    }
+
+    #[test]
+    fn exact_trees_do_not_support_binned_predict() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let tree = RegressionTree::fit(
+            &x,
+            &[-1.0, 1.0],
+            &[1.0, 1.0],
+            &TreeConfig {
+                growth: TreeGrowth::Exact,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!tree.supports_binned_predict());
+    }
+
+    #[test]
     fn predict_at_matches_predict() {
         let x: Vec<Vec<f64>> = (0..30)
             .map(|i| vec![i as f64, ((i * 7) % 5) as f64])
@@ -812,6 +1061,15 @@ mod tests {
         /// bit-for-bit the same thresholds and leaf weights. Features are
         /// drawn from a small value pool to force that regime while still
         /// exercising ties, duplicates, and multi-feature interaction.
+        ///
+        /// Runs with `hist_subtraction: false`: direct accumulation is the
+        /// reference whose per-bin sums match the exact builder's
+        /// tie-breaking bit-for-bit. The subtraction path derives sibling
+        /// histograms with addition-reordering ulps, which can flip the
+        /// winner between two *equally good* splits (same partition via a
+        /// different feature) — semantically equivalent trees that fail
+        /// structural equality; `prop_subtraction_matches_direct` covers
+        /// that path at prediction level.
         #[test]
         fn prop_histogram_equals_exact_when_bins_cover_values(
             pool_picks in proptest::collection::vec(
@@ -833,12 +1091,49 @@ mod tests {
             };
             let hist_cfg = TreeConfig {
                 growth: TreeGrowth::Histogram,
+                hist_subtraction: false,
                 max_depth: depth,
                 ..TreeConfig::default()
             };
             let exact = RegressionTree::fit(&x, &g, &h, &exact_cfg).unwrap();
             let hist = RegressionTree::fit(&x, &g, &h, &hist_cfg).unwrap();
             prop_assert_eq!(&exact, &hist);
+        }
+
+        /// **Histogram subtraction ≡ direct accumulation**: deriving the
+        /// larger child as `parent − smaller` must train a model whose
+        /// predictions match the direct-accumulation reference on every
+        /// training row. Tolerance (not bitwise) because the derived
+        /// gradient sums carry addition-reordering ulps that may pick a
+        /// different-but-equal split when two candidates tie exactly.
+        #[test]
+        fn prop_subtraction_matches_direct(
+            cols in proptest::collection::vec(
+                proptest::collection::vec(-100.0..100.0f64, 3), 4..64),
+            depth in 1usize..6) {
+            let x: Vec<Vec<f64>> = cols;
+            let ys: Vec<f64> = x.iter().map(|r| r[0] * 0.5 - r[1] + r[2] * r[2] * 0.01).collect();
+            let (g, h) = squared_loss_grads(&ys);
+            let direct_cfg = TreeConfig {
+                hist_subtraction: false,
+                max_depth: depth,
+                max_bins: 16, // force real quantization, not one-bin-per-value
+                ..TreeConfig::default()
+            };
+            let sub_cfg = TreeConfig {
+                hist_subtraction: true,
+                ..direct_cfg.clone()
+            };
+            let direct = RegressionTree::fit(&x, &g, &h, &direct_cfg).unwrap();
+            let sub = RegressionTree::fit(&x, &g, &h, &sub_cfg).unwrap();
+            let scale = ys.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+            for row in &x {
+                let (a, b) = (direct.predict(row), sub.predict(row));
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 * scale,
+                    "direct {a} vs subtraction {b}"
+                );
+            }
         }
     }
 }

@@ -13,6 +13,10 @@
 //! * [`data`], [`ml`], [`linalg`], [`outlier`], [`pu`], [`survival`] — the
 //!   substrates everything above is built from.
 //!
+//! `ARCHITECTURE.md` at the repository root maps paper sections to these
+//! crates, diagrams the online replay loop, and documents the warm-start
+//! refit subsystem ([`core::RefitPolicy`] / [`core::WarmRefitState`]).
+//!
 //! # Example
 //!
 //! ```

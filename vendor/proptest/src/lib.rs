@@ -79,7 +79,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: an exact length or a half-open range.
+    /// Size specification for [`fn@vec`]: an exact length or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
