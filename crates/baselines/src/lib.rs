@@ -1,17 +1,20 @@
 //! Every method evaluated in the NURD paper, behind the common
 //! [`nurd_data::OnlinePredictor`] interface.
 //!
-//! The [`registry`] function returns the full 23-method roster of Table 3:
-//! one supervised regressor (GBTR), fourteen outlier detectors, two PU
-//! learners, three censored/survival regressors, the Wrangler system
-//! baseline, and NURD with its NURD-NC ablation. Each entry builds fresh
-//! per-job predictor instances, as the paper trains one model per job.
+//! The [`registry`] function returns the full Table 3 roster — the
+//! paper's 23 methods (one supervised regressor (GBTR), fourteen outlier
+//! detectors, two PU learners, three censored/survival regressors, the
+//! Wrangler system baseline, and NURD with its NURD-NC ablation) plus
+//! this reproduction's `NURD-WS` row, which runs NURD under the default
+//! warm refit policy so warm-vs-cold accuracy is tracked wherever Table 3
+//! is produced. Each entry builds fresh per-job predictor instances, as
+//! the paper trains one model per job.
 //!
 //! # Example
 //!
 //! ```
 //! let methods = nurd_baselines::registry();
-//! assert_eq!(methods.len(), 23);
+//! assert_eq!(methods.len(), 24);
 //! let nurd = methods.iter().find(|m| m.name == "NURD").unwrap();
 //! let mut predictor = nurd.build();
 //! assert_eq!(predictor.name(), "NURD");

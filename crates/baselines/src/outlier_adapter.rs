@@ -1,6 +1,6 @@
 //! Adapters exposing the fourteen outlier detectors as online predictors.
 
-use nurd_data::{Checkpoint, JobContext, OnlinePredictor};
+use nurd_data::{Checkpoint, OnlinePredictor};
 use nurd_outlier::{contamination_threshold, OutlierDetector, Xgbod};
 
 /// Drives any transductive [`OutlierDetector`] through the online
@@ -90,8 +90,6 @@ impl OnlinePredictor for XgbodPredictor {
     fn name(&self) -> &str {
         "XGBOD"
     }
-
-    fn begin_job(&mut self, _ctx: &JobContext<'_>) {}
 
     fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
         if checkpoint.finished.len() < 2 || checkpoint.running.is_empty() {

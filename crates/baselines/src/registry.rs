@@ -1,6 +1,7 @@
-//! The 23-method roster of Table 3.
+//! The 24-method roster of Table 3 (the paper's 23 plus the `NURD-WS`
+//! warm-refit row this reproduction adds).
 
-use nurd_core::{NurdConfig, NurdPredictor};
+use nurd_core::{NurdConfig, NurdPredictor, RefitPolicy, WarmRefitConfig};
 use nurd_data::OnlinePredictor;
 use nurd_outlier::{
     Abod, Cblof, Cof, Hbos, IsolationForest, Knn, Lof, Lscp, Mcd, OcSvm, PcaDetector, Sod, Sos,
@@ -84,7 +85,11 @@ impl std::fmt::Debug for MethodSpec {
     }
 }
 
-/// All 23 methods of Table 3, in the paper's row order, with NURD at its
+/// All Table 3 methods in the paper's row order — the paper's 23 plus a
+/// `NURD-WS` row (NURD under the default warm [`RefitPolicy`], including
+/// the warm-seeded propensity IRLS) so the warm-refit subsystem's
+/// accuracy claims get standing Table 3 coverage, not just the
+/// `crates/core/tests/warm_refit.rs` tolerances — with NURD at its
 /// Google-tuned `α` (see [`registry_with_nurd_alpha`] for per-dataset
 /// tuning).
 #[must_use]
@@ -166,6 +171,13 @@ pub fn registry_with_nurd_alpha(alpha: f64) -> Vec<MethodSpec> {
         MethodSpec::new("NURD-NC", F::Ours, || {
             Box::new(NurdPredictor::new(NurdConfig::without_calibration()))
         }),
+        MethodSpec::new("NURD-WS", F::Ours, move || {
+            Box::new(NurdPredictor::new(
+                NurdConfig::default()
+                    .with_alpha(alpha)
+                    .with_refit_policy(RefitPolicy::Warm(WarmRefitConfig::default())),
+            ))
+        }),
         MethodSpec::new("NURD", F::Ours, move || {
             Box::new(NurdPredictor::new(NurdConfig::default().with_alpha(alpha)))
         }),
@@ -177,16 +189,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_23_methods_in_table3_order() {
+    fn registry_has_24_methods_in_table3_order() {
         let methods = registry();
-        assert_eq!(methods.len(), 23);
+        assert_eq!(methods.len(), 24);
         assert_eq!(methods[0].name, "GBTR");
-        assert_eq!(methods[22].name, "NURD");
+        assert_eq!(methods[22].name, "NURD-WS");
+        assert_eq!(methods[23].name, "NURD");
         let outliers = methods
             .iter()
             .filter(|m| m.family == MethodFamily::OutlierDetection)
             .count();
         assert_eq!(outliers, 14);
+        let ours = methods
+            .iter()
+            .filter(|m| m.family == MethodFamily::Ours)
+            .count();
+        assert_eq!(ours, 3, "NURD-NC, NURD-WS, NURD");
     }
 
     #[test]

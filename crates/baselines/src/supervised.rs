@@ -1,7 +1,7 @@
 //! GBTR: the plain supervised baseline (§6 "Supervised learning").
 
 use nurd_core::{RefitPolicy, RefitStats, WarmRefitState};
-use nurd_data::{Checkpoint, JobContext, OnlinePredictor};
+use nurd_data::{Checkpoint, OnlinePredictor, StreamContext};
 use nurd_linalg::MatrixView;
 use nurd_ml::{GbtConfig, GradientBoosting, SquaredLoss};
 
@@ -62,7 +62,7 @@ impl OnlinePredictor for GbtrPredictor {
         "GBTR"
     }
 
-    fn begin_job(&mut self, ctx: &JobContext<'_>) {
+    fn begin_stream(&mut self, ctx: &StreamContext) {
         self.threshold = ctx.threshold;
         self.warm.reset();
     }

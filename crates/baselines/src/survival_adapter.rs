@@ -1,6 +1,6 @@
 //! Censored/survival regression adapters.
 
-use nurd_data::{Checkpoint, JobContext, OnlinePredictor};
+use nurd_data::{Checkpoint, OnlinePredictor, StreamContext};
 use nurd_survival::{CoxConfig, CoxPh, Grabit, GrabitConfig, Tobit, TobitConfig};
 
 /// Builds the censored training triples at a checkpoint: finished tasks are
@@ -40,7 +40,7 @@ impl OnlinePredictor for TobitPredictor {
         "Tobit"
     }
 
-    fn begin_job(&mut self, ctx: &JobContext<'_>) {
+    fn begin_stream(&mut self, ctx: &StreamContext) {
         self.threshold = ctx.threshold;
     }
 
@@ -98,7 +98,7 @@ impl OnlinePredictor for GrabitPredictor {
         "Grabit"
     }
 
-    fn begin_job(&mut self, ctx: &JobContext<'_>) {
+    fn begin_stream(&mut self, ctx: &StreamContext) {
         self.threshold = ctx.threshold;
     }
 
@@ -142,7 +142,7 @@ impl OnlinePredictor for CoxPredictor {
         "CoxPH"
     }
 
-    fn begin_job(&mut self, ctx: &JobContext<'_>) {
+    fn begin_stream(&mut self, ctx: &StreamContext) {
         self.threshold = ctx.threshold;
     }
 

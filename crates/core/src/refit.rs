@@ -318,8 +318,9 @@ fn refit_fields(
         None => {
             // Cold: rebuild the quantization from scratch too, so edges,
             // codes, and ensemble all reflect exactly the current data —
-            // what a from-scratch fit would produce.
-            let fresh = BinnedMatrix::build(x.view(), gbt.tree.max_bins);
+            // what a from-scratch fit would produce. `build_for` honors
+            // the `TreeConfig::n_threads` fan-out with identical output.
+            let fresh = BinnedMatrix::build_for(x.view(), &gbt.tree);
             *model = Some(GradientBoosting::fit_binned_cached(
                 &fresh,
                 y,

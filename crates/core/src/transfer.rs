@@ -11,7 +11,7 @@
 //! model takes over. Everything else (propensity, calibration, weighting)
 //! is unchanged NURD.
 
-use nurd_data::{Checkpoint, JobContext, JobTrace, OnlinePredictor};
+use nurd_data::{Checkpoint, JobTrace, OnlinePredictor, StreamContext};
 use nurd_linalg::MatrixView;
 use nurd_ml::{GradientBoosting, LogisticRegression, MlError, SquaredLoss};
 
@@ -105,7 +105,7 @@ impl OnlinePredictor for TransferNurdPredictor {
         "NURD-TL"
     }
 
-    fn begin_job(&mut self, ctx: &JobContext<'_>) {
+    fn begin_stream(&mut self, ctx: &StreamContext) {
         self.threshold = ctx.threshold;
         self.delta = None;
         self.warm.reset();
@@ -227,6 +227,7 @@ impl OnlinePredictor for TransferNurdPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nurd_data::JobContext;
     use nurd_trace::{SuiteConfig, TraceStyle};
 
     fn suite(seed: u64, jobs: usize) -> Vec<JobTrace> {

@@ -1,0 +1,284 @@
+//! The multi-job task-event stream consumed by `nurd-serve`.
+//!
+//! A single replay (`nurd_sim::replay_job`) drives one predictor with one
+//! job's checkpoints. A *fleet* of concurrent jobs is instead described as
+//! one interleaved stream of [`TaskEvent`]s — task submissions, per-
+//! checkpoint feature snapshots, completions — multiplexed across jobs.
+//! The engine's determinism contract rests on one ordering rule:
+//!
+//! > **Events of the same job arrive in checkpoint order; events of
+//! > different jobs may interleave arbitrarily.**
+//!
+//! [`job_events`] lowers a [`JobTrace`] into its canonical per-job stream
+//! (the exact information the replay protocol reveals at each checkpoint,
+//! nothing more); `nurd_trace::fleet_events` merges many jobs into one
+//! time-ordered fleet stream.
+
+use crate::{JobTrace, TaskId};
+
+/// Static, per-job metadata an operator supplies when a job enters the
+/// serving engine — the stream-side analogue of
+/// [`JobContext`](crate::JobContext), minus the oracle trace (an online
+/// service has none).
+///
+/// `threshold` is the straggler latency bound `τ_stra`. The paper treats
+/// threshold selection as out of scope (§4.2) and derives it from the
+/// trace's p90; a production deployment would take it from an SLA. Either
+/// way it is an *input* here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Fleet-unique job identifier.
+    pub job: u64,
+    /// Straggler latency threshold `τ_stra`.
+    pub threshold: f64,
+    /// Number of tasks in the job (task ids are dense `0..task_count`).
+    pub task_count: usize,
+    /// Feature dimensionality of every snapshot.
+    pub feature_dim: usize,
+    /// Number of checkpoints the job will report
+    /// ([`TaskEvent::Barrier`] ordinals are `0..checkpoints`).
+    pub checkpoints: usize,
+}
+
+impl JobSpec {
+    /// Builds the spec for a job trace with `τ_stra` at latency quantile
+    /// `quantile` (the paper's p90 protocol at `0.9`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is outside `[0, 1]` (propagated from
+    /// [`JobTrace::straggler_threshold`]).
+    #[must_use]
+    pub fn of_trace(job: &JobTrace, quantile: f64) -> Self {
+        JobSpec {
+            job: job.job_id(),
+            threshold: job.straggler_threshold(quantile),
+            task_count: job.task_count(),
+            feature_dim: job.feature_dim(),
+            checkpoints: job.checkpoint_count(),
+        }
+    }
+}
+
+/// One event of a fleet stream. See the module docs for the ordering
+/// contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskEvent {
+    /// A task entered the system (before its first checkpoint).
+    Submitted {
+        /// Owning job.
+        job: u64,
+        /// Task id within the job.
+        task: TaskId,
+    },
+    /// Feature snapshot of a still-running task at a checkpoint.
+    Progress {
+        /// Owning job.
+        job: u64,
+        /// Task id within the job.
+        task: TaskId,
+        /// Checkpoint ordinal (0-based).
+        ordinal: usize,
+        /// Elapsed time `τ_run` at the checkpoint.
+        time: f64,
+        /// The task's feature snapshot at this checkpoint.
+        features: Vec<f64>,
+    },
+    /// A task completed; its latency is now observable and its feature
+    /// snapshot is frozen. Emitted exactly once per task, at the first
+    /// checkpoint whose time covers the task's latency.
+    Finished {
+        /// Owning job.
+        job: u64,
+        /// Task id within the job.
+        task: TaskId,
+        /// Checkpoint ordinal at which the completion is observed.
+        ordinal: usize,
+        /// Elapsed time `τ_run` at the checkpoint.
+        time: f64,
+        /// The task's final (frozen) feature snapshot.
+        features: Vec<f64>,
+        /// Observed latency (`latency <= time`).
+        latency: f64,
+    },
+    /// Every `Progress`/`Finished` event of checkpoint `ordinal` for `job`
+    /// has been delivered — the engine scores the job's running tasks now
+    /// (batched scoring at checkpoint boundaries).
+    Barrier {
+        /// Owning job.
+        job: u64,
+        /// Checkpoint ordinal being closed.
+        ordinal: usize,
+        /// Elapsed time `τ_run` at the checkpoint.
+        time: f64,
+    },
+}
+
+impl TaskEvent {
+    /// The job this event belongs to — the engine's sharding key.
+    #[must_use]
+    pub fn job(&self) -> u64 {
+        match self {
+            TaskEvent::Submitted { job, .. }
+            | TaskEvent::Progress { job, .. }
+            | TaskEvent::Finished { job, .. }
+            | TaskEvent::Barrier { job, .. } => *job,
+        }
+    }
+
+    /// Wall-clock position of the event in its job's timeline
+    /// (submissions sort at time zero).
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        match self {
+            TaskEvent::Submitted { .. } => 0.0,
+            TaskEvent::Progress { time, .. }
+            | TaskEvent::Finished { time, .. }
+            | TaskEvent::Barrier { time, .. } => *time,
+        }
+    }
+}
+
+/// Lowers one job trace into its canonical event stream: all submissions,
+/// then per checkpoint the `Progress`/`Finished` events (task-id order)
+/// closed by a `Barrier`. The stream reveals exactly what the replay
+/// protocol reveals — a running task's latency is never visible before
+/// the checkpoint that observes its completion.
+///
+/// A task's features travel in its `Finished` event exactly once, frozen
+/// at the completion checkpoint. The engine-equals-replay determinism
+/// contract therefore assumes the trace's snapshots are **frozen after
+/// completion** — `task.snapshot(k)` constant for every `k` at or past
+/// the finishing checkpoint. That is the same invariant the warm-start
+/// refit subsystem already leans on (see [`crate::FinishedDelta`]), and
+/// every `nurd-trace`-generated trace guarantees it; a hand-built or
+/// CSV-loaded trace whose features keep mutating after completion is
+/// outside both subsystems' contracts (sequential `replay_job` would
+/// re-read the drifting snapshot, this stream cannot).
+#[must_use]
+pub fn job_events(job: &JobTrace, threshold_quantile: f64) -> (JobSpec, Vec<TaskEvent>) {
+    let spec = JobSpec::of_trace(job, threshold_quantile);
+    let mut events = Vec::new();
+    for task in job.tasks() {
+        events.push(TaskEvent::Submitted {
+            job: spec.job,
+            task: task.id(),
+        });
+    }
+    let mut finished = vec![false; job.task_count()];
+    for (k, &time) in job.checkpoint_times().iter().enumerate() {
+        for task in job.tasks() {
+            if task.latency() <= time {
+                if !finished[task.id()] {
+                    finished[task.id()] = true;
+                    events.push(TaskEvent::Finished {
+                        job: spec.job,
+                        task: task.id(),
+                        ordinal: k,
+                        time,
+                        features: task.snapshot(k).to_vec(),
+                        latency: task.latency(),
+                    });
+                }
+            } else {
+                events.push(TaskEvent::Progress {
+                    job: spec.job,
+                    task: task.id(),
+                    ordinal: k,
+                    time,
+                    features: task.snapshot(k).to_vec(),
+                });
+            }
+        }
+        events.push(TaskEvent::Barrier {
+            job: spec.job,
+            ordinal: k,
+            time,
+        });
+    }
+    (spec, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskRecord;
+
+    fn job() -> JobTrace {
+        let tasks = vec![
+            TaskRecord::new(0, 1.0, vec![vec![0.1], vec![0.2], vec![0.2]]),
+            TaskRecord::new(1, 5.0, vec![vec![0.5], vec![0.6], vec![0.7]]),
+            TaskRecord::new(2, 9.0, vec![vec![0.9], vec![1.0], vec![1.1]]),
+        ];
+        JobTrace::new(3, vec!["f".into()], vec![2.0, 6.0, 10.0], tasks).unwrap()
+    }
+
+    #[test]
+    fn stream_reveals_latency_only_after_completion() {
+        let (spec, events) = job_events(&job(), 0.9);
+        assert_eq!(spec.task_count, 3);
+        assert_eq!(spec.checkpoints, 3);
+        let mut finished_seen = std::collections::HashSet::new();
+        for ev in &events {
+            match ev {
+                TaskEvent::Finished {
+                    task,
+                    time,
+                    latency,
+                    ..
+                } => {
+                    assert!(latency <= time, "latency leaked before completion");
+                    assert!(finished_seen.insert(*task), "duplicate Finished");
+                }
+                TaskEvent::Progress { task, time, .. } => {
+                    let true_latency = job().tasks()[*task].latency();
+                    assert!(true_latency > *time, "finished task kept progressing");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(finished_seen.len(), 3, "every task finishes in-stream");
+    }
+
+    #[test]
+    fn barriers_close_each_checkpoint_in_order() {
+        let (_, events) = job_events(&job(), 0.9);
+        let barriers: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                TaskEvent::Barrier { ordinal, .. } => Some(*ordinal),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(barriers, vec![0, 1, 2]);
+        // No event of checkpoint k appears after barrier k.
+        let mut closed = 0usize;
+        for ev in &events {
+            match ev {
+                TaskEvent::Barrier { ordinal, .. } => closed = ordinal + 1,
+                TaskEvent::Progress { ordinal, .. } | TaskEvent::Finished { ordinal, .. } => {
+                    assert!(*ordinal >= closed, "event after its barrier");
+                }
+                TaskEvent::Submitted { .. } => assert_eq!(closed, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn event_accessors_cover_all_variants() {
+        let (_, events) = job_events(&job(), 0.9);
+        for ev in &events {
+            assert_eq!(ev.job(), 3);
+            assert!(ev.time() >= 0.0);
+        }
+        assert_eq!(events[0].time(), 0.0, "submissions sort at time zero");
+    }
+
+    #[test]
+    fn spec_matches_trace_protocol_quantities() {
+        let j = job();
+        let spec = JobSpec::of_trace(&j, 0.9);
+        assert_eq!(spec.threshold, j.straggler_threshold(0.9));
+        assert_eq!(spec.feature_dim, 1);
+    }
+}

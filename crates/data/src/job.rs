@@ -220,15 +220,26 @@ impl JobTrace {
     #[must_use]
     pub fn warmup_checkpoint(&self, fraction: f64) -> usize {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
-        let need = (fraction * self.task_count() as f64).ceil() as usize;
+        let need = warmup_quorum(self.task_count(), fraction);
         for (k, &t) in self.checkpoint_times.iter().enumerate() {
             let finished = self.tasks.iter().filter(|task| task.latency() <= t).count();
-            if finished >= need.max(1) {
+            if finished >= need {
                 return k;
             }
         }
         self.checkpoint_times.len() - 1
     }
+}
+
+/// Number of finished tasks required before prediction starts:
+/// `ceil(fraction · task_count)`, floored at one task. This is the single
+/// definition of the warmup quorum — [`JobTrace::warmup_checkpoint`]
+/// (the replay simulator's side) and the `nurd-serve` engine's online
+/// warmup tracking both call it, which is part of the engine's
+/// bit-for-bit-equals-replay contract.
+#[must_use]
+pub fn warmup_quorum(task_count: usize, fraction: f64) -> usize {
+    ((fraction * task_count as f64).ceil() as usize).max(1)
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@
 mod checkpoint;
 mod csv;
 mod error;
+mod event;
 mod job;
 mod predictor;
 mod task;
@@ -40,6 +41,7 @@ mod task;
 pub use checkpoint::{Checkpoint, FinishedDelta, FinishedTask, RunningTask};
 pub use csv::{read_job_csv, read_jobs_csv, write_job_csv, write_jobs_csv};
 pub use error::DataError;
-pub use job::JobTrace;
-pub use predictor::{JobContext, OnlinePredictor};
+pub use event::{job_events, JobSpec, TaskEvent};
+pub use job::{warmup_quorum, JobTrace};
+pub use predictor::{JobContext, OnlinePredictor, StreamContext};
 pub use task::{TaskId, TaskRecord};

@@ -26,6 +26,36 @@ pub struct JobContext<'a> {
     pub oracle: &'a JobTrace,
 }
 
+impl JobContext<'_> {
+    /// The oracle-free projection of this context — what an online
+    /// serving engine (which has no trace) can provide. The default
+    /// [`OnlinePredictor::begin_job`] forwards here, so a predictor that
+    /// does not need the oracle implements
+    /// [`OnlinePredictor::begin_stream`] once and works in both the
+    /// replay simulator and `nurd-serve`.
+    #[must_use]
+    pub fn stream(&self) -> StreamContext {
+        StreamContext {
+            threshold: self.threshold,
+            task_count: self.task_count,
+            feature_dim: self.feature_dim,
+        }
+    }
+}
+
+/// Job-level context available without an oracle trace: everything in
+/// [`JobContext`] an *online* system can actually know up front. This is
+/// what `nurd-serve` hands to predictors when a job is admitted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamContext {
+    /// The straggler latency threshold `τ_stra`.
+    pub threshold: f64,
+    /// Number of tasks in the job.
+    pub task_count: usize,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+}
+
 /// An online straggler predictor, driven checkpoint-by-checkpoint.
 ///
 /// A fresh instance is created per job (the paper trains one model per job).
@@ -39,8 +69,23 @@ pub trait OnlinePredictor {
     /// "GBTR", "LOF", ...).
     fn name(&self) -> &str;
 
-    /// Called once before the first checkpoint.
-    fn begin_job(&mut self, _ctx: &JobContext<'_>) {}
+    /// Called once before the first checkpoint, with the oracle-free
+    /// context an online serving engine can supply. This is the method
+    /// most predictors should implement: it makes them drivable both by
+    /// `nurd_sim::replay_job` (via the [`OnlinePredictor::begin_job`]
+    /// default, which forwards here) and by the `nurd-serve` engine,
+    /// which calls it directly. Only oracle baselines the paper grants
+    /// offline label access (Wrangler) need [`OnlinePredictor::begin_job`]
+    /// itself.
+    fn begin_stream(&mut self, _ctx: &StreamContext) {}
+
+    /// Called once before the first checkpoint during a simulator replay.
+    /// Defaults to forwarding the oracle-free projection to
+    /// [`OnlinePredictor::begin_stream`]; override only when the oracle
+    /// trace itself is needed.
+    fn begin_job(&mut self, ctx: &JobContext<'_>) {
+        self.begin_stream(&ctx.stream());
+    }
 
     /// Returns the ids of running tasks predicted to straggle at this
     /// checkpoint. Ids not present in `checkpoint.running` are ignored by

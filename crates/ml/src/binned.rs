@@ -126,6 +126,11 @@ impl BinnedMatrix {
     /// Hard upper limit on bins per feature (codes are `u8`).
     pub const MAX_BINS: usize = 256;
 
+    /// Minimum matrix size (`rows × features`) before
+    /// [`BinnedMatrix::build_with_pool`] fans feature quantization out to
+    /// the pool; below this, task overhead beats the sort savings.
+    const PAR_MIN_CELLS: usize = 8192;
+
     /// Quantizes `x` into at most `max_bins` bins per feature.
     ///
     /// `max_bins` is clamped to `[2, 256]`. The view must be non-ragged
@@ -143,32 +148,15 @@ impl BinnedMatrix {
         let mut sorted: Vec<f64> = Vec::with_capacity(n);
 
         for f in 0..d {
-            x.gather_column(f, &mut column);
-            sorted.clear();
-            sorted.extend_from_slice(&column);
-            // A NaN-tolerant total order keeps the pass panic-free
-            // (matching the exact builder): NaNs sort last, are excluded
-            // from bin planning, and `code_of` routes them to the last bin
-            // so they ride the right child in training and prediction alike.
-            sorted.sort_by(|a, b| nan_last_cmp(*a, *b));
-            let finite_end = sorted.partition_point(|v| !v.is_nan());
-            let bins = if finite_end == 0 {
-                // All-NaN column: a single inert bin, never splittable.
-                FeatureBins {
-                    cuts: Vec::new(),
-                    bin_min: vec![f64::NAN],
-                    bin_max: vec![f64::NAN],
-                }
-            } else {
-                plan_feature(&sorted[..finite_end], max_bins)
-            };
-            let col_codes = &mut codes[f * n..(f + 1) * n];
-            let mut bin_counts = vec![0u32; bins.n_bins()];
-            for (slot, &v) in col_codes.iter_mut().zip(&column) {
-                *slot = bins.code_of(v);
-                bin_counts[*slot as usize] += 1;
-            }
-            build_cdf.push(cdf_of(&bin_counts, n));
+            let (bins, bin_counts, cdf) = quantize_column(
+                x,
+                f,
+                max_bins,
+                &mut codes[f * n..(f + 1) * n],
+                &mut column,
+                &mut sorted,
+            );
+            build_cdf.push(cdf);
             counts.push(bin_counts);
             features.push(bins);
         }
@@ -182,6 +170,91 @@ impl BinnedMatrix {
             build_cdf,
             stale_constant: false,
         }
+    }
+
+    /// As [`BinnedMatrix::build`], with the per-feature quantization
+    /// passes (column gather, sort, bin planning, coding) fanned out as at
+    /// most `tasks` chunks on `pool`. Every feature is processed
+    /// independently into its own code column, so the result is
+    /// **bit-for-bit identical** to the sequential build at any task
+    /// count; small matrices (under the internal `PAR_MIN_CELLS` floor of 8192
+    /// cells) and `par = None` fall back to the sequential path. This is
+    /// the knob behind [`crate::TreeConfig::n_threads`] — prefer
+    /// [`BinnedMatrix::build_for`] unless you manage pools yourself.
+    #[must_use]
+    pub fn build_with_pool(
+        x: MatrixView<'_>,
+        max_bins: usize,
+        par: Option<(&nurd_runtime::ThreadPool, usize)>,
+    ) -> Self {
+        let n = x.rows();
+        let d = x.cols();
+        let par = par.filter(|&(_, tasks)| {
+            tasks > 1 && d >= 2 && n.saturating_mul(d) >= Self::PAR_MIN_CELLS
+        });
+        let Some((pool, max_tasks)) = par else {
+            return Self::build(x, max_bins);
+        };
+
+        let max_bins = max_bins.clamp(2, Self::MAX_BINS);
+        let mut codes = vec![0u8; n * d];
+        let mut outs: Vec<Option<ColumnPlan>> = (0..d).map(|_| None).collect();
+        let per = d.div_ceil(max_tasks.min(d));
+        pool.scope(|s| {
+            for (ci, (code_chunk, out_chunk)) in codes
+                .chunks_mut(per * n)
+                .zip(outs.chunks_mut(per))
+                .enumerate()
+            {
+                let f0 = ci * per;
+                s.spawn(move || {
+                    let mut column: Vec<f64> = Vec::with_capacity(n);
+                    let mut sorted: Vec<f64> = Vec::with_capacity(n);
+                    for (j, (col_codes, slot)) in code_chunk
+                        .chunks_mut(n)
+                        .zip(out_chunk.iter_mut())
+                        .enumerate()
+                    {
+                        *slot = Some(quantize_column(
+                            x,
+                            f0 + j,
+                            max_bins,
+                            col_codes,
+                            &mut column,
+                            &mut sorted,
+                        ));
+                    }
+                });
+            }
+        });
+
+        let mut features = Vec::with_capacity(d);
+        let mut counts = Vec::with_capacity(d);
+        let mut build_cdf = Vec::with_capacity(d);
+        for out in outs {
+            let (bins, bin_counts, cdf) = out.expect("every feature chunk quantized");
+            features.push(bins);
+            counts.push(bin_counts);
+            build_cdf.push(cdf);
+        }
+        BinnedMatrix {
+            codes,
+            n_rows: n,
+            n_features: d,
+            features,
+            counts,
+            build_cdf,
+            stale_constant: false,
+        }
+    }
+
+    /// Builds the quantization honoring `config`'s
+    /// [`n_threads`](crate::TreeConfig::n_threads) knob (sequential at the
+    /// default of 1; chunks on the shared [`nurd_runtime::global`] pool
+    /// otherwise). Identical output at every setting.
+    #[must_use]
+    pub fn build_for(x: MatrixView<'_>, config: &crate::TreeConfig) -> Self {
+        Self::build_with_pool(x, config.max_bins, config.parallelism())
     }
 
     /// Incrementally absorbs the rows appended to `x` since this matrix was
@@ -314,6 +387,51 @@ impl BinnedMatrix {
             .max()
             .unwrap_or(0)
     }
+}
+
+/// One quantized column's outputs: planned bins, per-bin counts, CDF.
+type ColumnPlan = (FeatureBins, Vec<u32>, Vec<f64>);
+
+/// Quantizes one feature column: gather, NaN-last sort, bin planning,
+/// coding. Writes the column's codes into `col_codes` (length = rows) and
+/// returns the planned bins with their counts and build-time CDF.
+/// `column`/`sorted` are caller scratch (cleared and refilled) so the
+/// sequential build reuses one allocation across features.
+///
+/// A NaN-tolerant total order keeps the pass panic-free (matching the
+/// exact builder): NaNs sort last, are excluded from bin planning, and
+/// `code_of` routes them to the last bin so they ride the right child in
+/// training and prediction alike. An all-NaN column collapses to a single
+/// inert, never-splittable bin.
+fn quantize_column(
+    x: MatrixView<'_>,
+    f: usize,
+    max_bins: usize,
+    col_codes: &mut [u8],
+    column: &mut Vec<f64>,
+    sorted: &mut Vec<f64>,
+) -> ColumnPlan {
+    x.gather_column(f, column);
+    sorted.clear();
+    sorted.extend_from_slice(column);
+    sorted.sort_by(|a, b| nan_last_cmp(*a, *b));
+    let finite_end = sorted.partition_point(|v| !v.is_nan());
+    let bins = if finite_end == 0 {
+        FeatureBins {
+            cuts: Vec::new(),
+            bin_min: vec![f64::NAN],
+            bin_max: vec![f64::NAN],
+        }
+    } else {
+        plan_feature(&sorted[..finite_end], max_bins)
+    };
+    let mut bin_counts = vec![0u32; bins.n_bins()];
+    for (slot, &v) in col_codes.iter_mut().zip(column.iter()) {
+        *slot = bins.code_of(v);
+        bin_counts[*slot as usize] += 1;
+    }
+    let cdf = cdf_of(&bin_counts, col_codes.len());
+    (bins, bin_counts, cdf)
 }
 
 /// Cumulative distribution over bins from per-bin counts.
@@ -592,6 +710,57 @@ mod tests {
         }
         assert!(last > 0.4, "monotone out-of-range growth, drift {last}");
         assert_eq!(binned.rows(), 300);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        // Big enough to clear PAR_MIN_CELLS; includes ties, NaNs, and a
+        // constant column so every planner branch runs under the fan-out.
+        let rows: Vec<Vec<f64>> = (0..1200)
+            .map(|i| {
+                vec![
+                    f64::from(i % 97),
+                    f64::from((i * 13) % 7),
+                    7.0,
+                    if i % 50 == 3 {
+                        f64::NAN
+                    } else {
+                        f64::from(i) * 0.25
+                    },
+                ]
+            })
+            .collect();
+        let sequential = BinnedMatrix::build(view(&rows), 32);
+        let pool = nurd_runtime::ThreadPool::new(4);
+        for tasks in [2, 3, 8] {
+            let parallel = BinnedMatrix::build_with_pool(view(&rows), 32, Some((&pool, tasks)));
+            assert_eq!(parallel, sequential, "tasks = {tasks}");
+        }
+        // Degenerate fan-outs fall back to the sequential path.
+        assert_eq!(
+            BinnedMatrix::build_with_pool(view(&rows), 32, Some((&pool, 1))),
+            sequential
+        );
+        assert_eq!(
+            BinnedMatrix::build_with_pool(view(&rows), 32, None),
+            sequential
+        );
+    }
+
+    #[test]
+    fn build_for_honors_tree_config_knob() {
+        let rows: Vec<Vec<f64>> = (0..900)
+            .map(|i| (0..10).map(|j| f64::from((i * (j + 3)) % 101)).collect())
+            .collect();
+        let cfg_seq = crate::TreeConfig::default();
+        let cfg_par = crate::TreeConfig {
+            n_threads: 4,
+            ..crate::TreeConfig::default()
+        };
+        assert_eq!(
+            BinnedMatrix::build_for(view(&rows), &cfg_seq),
+            BinnedMatrix::build_for(view(&rows), &cfg_par)
+        );
     }
 
     #[test]

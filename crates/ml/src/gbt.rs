@@ -169,7 +169,7 @@ impl<L: Loss> GradientBoosting<L> {
         // tree) trains against this shared binned matrix.
         let binned = match config.tree.growth {
             TreeGrowth::Histogram if config.n_rounds > 0 => {
-                Some(BinnedMatrix::build(x, config.tree.max_bins))
+                Some(BinnedMatrix::build_for(x, &config.tree))
             }
             _ => None,
         };

@@ -72,6 +72,15 @@ pub struct TreeConfig {
     /// for both children (the reference the subtraction path is
     /// property-tested against).
     pub hist_subtraction: bool,
+    /// Threads used for the embarrassingly parallel per-feature passes of
+    /// histogram growth (feature quantization in [`BinnedMatrix::build`]
+    /// and per-node histogram fills): `1` (the default) is strictly
+    /// sequential, `0` uses every core of the machine, `n > 1` uses up to
+    /// `n` threads of the shared [`nurd_runtime::global`] pool. Features
+    /// are processed independently into disjoint outputs, so the fitted
+    /// model is **bit-for-bit identical** at every setting — this knob
+    /// trades nothing but wall-clock time. Exact growth ignores it.
+    pub n_threads: usize,
 }
 
 impl Default for TreeConfig {
@@ -84,6 +93,26 @@ impl Default for TreeConfig {
             growth: TreeGrowth::Histogram,
             max_bins: BinnedMatrix::MAX_BINS,
             hist_subtraction: true,
+            n_threads: 1,
+        }
+    }
+}
+
+impl TreeConfig {
+    /// Resolves [`TreeConfig::n_threads`] against the shared pool:
+    /// `None` means run sequentially, `Some((pool, tasks))` means fan the
+    /// per-feature passes out as at most `tasks` chunks on `pool`. An
+    /// explicit `n > 1` keeps its fan-out even on a smaller pool (the
+    /// chunks just queue — output is identical either way), so the
+    /// parallel code path stays testable on any machine.
+    pub(crate) fn parallelism(&self) -> Option<(&'static nurd_runtime::ThreadPool, usize)> {
+        match self.n_threads {
+            1 => None,
+            0 => {
+                let pool = nurd_runtime::global();
+                (pool.threads() > 1).then(|| (pool, pool.threads()))
+            }
+            n => Some((nurd_runtime::global(), n)),
         }
     }
 }
@@ -177,7 +206,7 @@ impl RegressionTree {
                 x, gradients, hessians, indices, config,
             )),
             TreeGrowth::Histogram => {
-                let binned = BinnedMatrix::build(x, config.max_bins);
+                let binned = BinnedMatrix::build_for(x, config);
                 Ok(Self::grow_binned(
                     &binned, gradients, hessians, indices, config,
                 ))
@@ -270,6 +299,7 @@ impl RegressionTree {
             gradients,
             hessians,
             config,
+            par: config.parallelism(),
             nodes: Vec::new(),
             split_bins: Vec::new(),
             offsets,
@@ -596,6 +626,9 @@ struct HistogramBuilder<'a> {
     gradients: &'a [f64],
     hessians: &'a [f64],
     config: &'a TreeConfig,
+    /// Per-feature fill fan-out resolved from [`TreeConfig::n_threads`]
+    /// (`None` = sequential fills).
+    par: Option<(&'static nurd_runtime::ThreadPool, usize)>,
     nodes: Vec<Node>,
     /// Parallel to `nodes`: left-routed bin cap per split (`u8::MAX` at
     /// leaves); becomes [`RegressionTree::split_bins`].
@@ -619,11 +652,23 @@ impl HistogramBuilder<'_> {
         self.pool.push(buf);
     }
 
+    /// Node size below which parallel fills are never worth the task
+    /// overhead (a fill is one add per row per feature).
+    const PAR_MIN_ROWS: usize = 4096;
+
     /// Accumulates the node histogram for every feature in one pass per
     /// feature over contiguous `u8` codes — the dominant per-node cost the
-    /// subtraction trick halves.
+    /// subtraction trick halves. Features fill disjoint cell ranges, so
+    /// the parallel fan-out (big nodes, `par` set) produces bit-identical
+    /// histograms to the sequential loop.
     fn fill_hist(&self, indices: &[usize], hist: &mut [HistBin]) {
         hist.fill(HistBin::default());
+        if let Some((pool, tasks)) = self.par {
+            if indices.len() >= Self::PAR_MIN_ROWS && self.binned.features() >= 2 {
+                self.fill_hist_parallel(pool, tasks, indices, hist);
+                return;
+            }
+        }
         for f in 0..self.binned.features() {
             // Single-bin (constant / all-NaN) features can never split;
             // best_split skips them, so their statistics are never read —
@@ -633,15 +678,59 @@ impl HistogramBuilder<'_> {
             if self.binned.feature_bins(f).n_bins() < 2 {
                 continue;
             }
-            let codes = self.binned.codes(f);
-            let cells = &mut hist[self.offsets[f]..self.offsets[f + 1]];
-            for &i in indices {
-                let cell = &mut cells[codes[i] as usize];
-                cell.g += self.gradients[i];
-                cell.h += self.hessians[i];
-                cell.n += 1;
+            self.fill_feature(f, indices, &mut hist[self.offsets[f]..self.offsets[f + 1]]);
+        }
+    }
+
+    /// One feature's accumulation pass into its own cell range.
+    fn fill_feature(&self, f: usize, indices: &[usize], cells: &mut [HistBin]) {
+        let codes = self.binned.codes(f);
+        for &i in indices {
+            let cell = &mut cells[codes[i] as usize];
+            cell.g += self.gradients[i];
+            cell.h += self.hessians[i];
+            cell.n += 1;
+        }
+    }
+
+    /// Splits `hist` into per-feature slices and fans the fills out as at
+    /// most `tasks` chunks on `pool`. Skips single-bin features exactly
+    /// like the sequential loop (their already-zeroed cells are the
+    /// contract the subtraction pass relies on).
+    fn fill_hist_parallel(
+        &self,
+        pool: &nurd_runtime::ThreadPool,
+        tasks: usize,
+        indices: &[usize],
+        hist: &mut [HistBin],
+    ) {
+        let mut per_feature: Vec<(usize, &mut [HistBin])> =
+            Vec::with_capacity(self.binned.features());
+        let mut rest = hist;
+        for f in 0..self.binned.features() {
+            let width = self.offsets[f + 1] - self.offsets[f];
+            let (cells, tail) = rest.split_at_mut(width);
+            rest = tail;
+            if self.binned.feature_bins(f).n_bins() >= 2 {
+                per_feature.push((f, cells));
             }
         }
+        if per_feature.is_empty() {
+            return;
+        }
+        let per = per_feature.len().div_ceil(tasks.min(per_feature.len()));
+        pool.scope(|s| {
+            let mut remaining = per_feature;
+            while !remaining.is_empty() {
+                let chunk: Vec<(usize, &mut [HistBin])> =
+                    remaining.drain(..per.min(remaining.len())).collect();
+                s.spawn(move || {
+                    for (f, cells) in chunk {
+                        self.fill_feature(f, indices, cells);
+                    }
+                });
+            }
+        });
     }
 
     /// Builds the subtree over `indices`, whose per-feature histograms
@@ -1009,6 +1098,60 @@ mod tests {
         )
         .unwrap();
         assert!(!tree.supports_binned_predict());
+    }
+
+    #[test]
+    fn parallel_fills_grow_identical_trees() {
+        // Clears both parallel gates (build cells and fill rows) so the
+        // fan-out actually runs; the fitted tree must be structurally
+        // identical to the sequential one — the n_threads knob may only
+        // change wall-clock time, never the model.
+        let n = 5000;
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                vec![
+                    f64::from(i % 611) * 0.5,
+                    f64::from((i * 31) % 257),
+                    f64::from((i * 7) % 13),
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 0.25 - r[1] * 0.1 + r[2]).collect();
+        let (g, h) = squared_loss_grads(&y);
+        let seq_cfg = TreeConfig {
+            max_depth: 5,
+            max_bins: 64,
+            ..TreeConfig::default()
+        };
+        let par_cfg = TreeConfig {
+            n_threads: 4,
+            ..seq_cfg.clone()
+        };
+        let sequential = RegressionTree::fit(&x, &g, &h, &seq_cfg).unwrap();
+        let parallel = RegressionTree::fit(&x, &g, &h, &par_cfg).unwrap();
+        assert_eq!(sequential, parallel);
+        // And with subtraction disabled (direct fills on both children).
+        let direct_par = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &TreeConfig {
+                hist_subtraction: false,
+                ..par_cfg
+            },
+        )
+        .unwrap();
+        let direct_seq = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &TreeConfig {
+                hist_subtraction: false,
+                ..seq_cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(direct_seq, direct_par);
     }
 
     #[test]

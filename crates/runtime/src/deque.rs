@@ -1,0 +1,114 @@
+//! The work-stealing deque underneath [`crate::ThreadPool`].
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A mutex-guarded work-stealing deque.
+///
+/// The owner works LIFO at the back ([`Deque::push`] / [`Deque::pop`]):
+/// recently spawned tasks are cache-warm and popping them first walks a
+/// fork-join tree depth-first, bounding the number of live tasks. Thieves
+/// take FIFO from the front ([`Deque::steal`]): the oldest task in a
+/// fork-join tree is the root of the largest unstarted subtree, so a
+/// single steal migrates the most work.
+///
+/// Lock-free Chase–Lev deques buy throughput under very fine-grained
+/// tasking; this workspace's tasks are chunky (a feature column to
+/// quantize, a shard of jobs to replay), so an uncontended `Mutex` per
+/// deque is both simple and fast enough — and keeps the crate free of
+/// `unsafe` outside the one lifetime erasure in [`crate::ThreadPool::scope`].
+#[derive(Debug, Default)]
+pub struct Deque<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> Deque<T> {
+    /// An empty deque.
+    #[must_use]
+    pub fn new() -> Self {
+        Deque {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task at the owner end (back).
+    pub fn push(&self, item: T) {
+        self.items.lock().expect("deque poisoned").push_back(item);
+    }
+
+    /// Pops the most recently pushed task (owner end, LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.items.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Steals the oldest task (thief end, FIFO).
+    pub fn steal(&self) -> Option<T> {
+        self.items.lock().expect("deque poisoned").pop_front()
+    }
+
+    /// Number of queued tasks (racy snapshot — informational only).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.lock().expect("deque poisoned").len()
+    }
+
+    /// Whether the deque is currently empty (racy snapshot).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d = Deque::new();
+        for i in 0..4 {
+            d.push(i);
+        }
+        assert_eq!(d.pop(), Some(3), "owner takes newest");
+        assert_eq!(d.steal(), Some(0), "thief takes oldest");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.steal(), Some(1));
+        assert!(d.pop().is_none() && d.steal().is_none());
+    }
+
+    #[test]
+    fn len_tracks_pushes() {
+        let d = Deque::new();
+        assert!(d.is_empty());
+        d.push(1);
+        d.push(2);
+        assert_eq!(d.len(), 2);
+        d.steal();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_stealing_drains_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let d = Arc::new(Deque::new());
+        for i in 0..1000u64 {
+            d.push(i);
+        }
+        let taken = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let d = Arc::clone(&d);
+            let taken = Arc::clone(&taken);
+            handles.push(std::thread::spawn(move || {
+                while d.steal().is_some() {
+                    taken.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(taken.load(Ordering::Relaxed), 1000);
+    }
+}

@@ -1,0 +1,61 @@
+//! A small, dependency-free work-stealing thread pool with scoped
+//! fork-join, shared by every compute layer of the NURD workspace.
+//!
+//! The build container has no crates.io access, so this crate plays the
+//! role rayon would: it is built entirely on `std::thread`,
+//! [`std::sync::Mutex`], and [`std::sync::Condvar`]. The design is the
+//! classic work-stealing shape in its simplest correct form:
+//!
+//! * every worker owns a [`Deque`] of pending tasks — the owner pushes
+//!   and pops LIFO at the back (cache-warm, depth-first), thieves steal
+//!   FIFO from the front (breadth-first, grabs the biggest subtrees);
+//! * an **injector** deque receives tasks spawned from threads outside
+//!   the pool;
+//! * [`ThreadPool::scope`] provides *scoped* fork-join: closures spawned
+//!   inside a scope may borrow from the caller's stack, and the scope
+//!   does not return until every spawned task has finished (panics are
+//!   captured and propagated to the caller). While waiting, the calling
+//!   thread **helps execute** pool tasks, so a pool with `threads == 1`
+//!   degenerates to plain sequential execution with no deadlock and no
+//!   idle spinning;
+//! * [`ThreadPool::par_for_chunks`] is the embarrassingly-parallel loop
+//!   primitive built on `scope`: it splits an index range into contiguous
+//!   chunks and runs them concurrently.
+//!
+//! Determinism note for ML callers: parallelism here is across *disjoint
+//! outputs* (each chunk or spawned closure writes its own region), so the
+//! results of a parallel loop are bit-for-bit those of the sequential
+//! loop — scheduling order affects only wall-clock time. The histogram
+//! training paths in `nurd-ml` and the shard dispatcher in `nurd-serve`
+//! both rely on exactly this property.
+//!
+//! # Example
+//!
+//! ```
+//! use nurd_runtime::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let mut partial = vec![0u64; 4];
+//! pool.scope(|s| {
+//!     for (i, slot) in partial.iter_mut().enumerate() {
+//!         s.spawn(move || *slot = (i as u64 + 1) * 10);
+//!     }
+//! });
+//! assert_eq!(partial.iter().sum::<u64>(), 100);
+//!
+//! // Chunked parallel-for over a shared slice.
+//! let data: Vec<f64> = (0..1000).map(f64::from).collect();
+//! let sums = std::sync::Mutex::new(0.0);
+//! pool.par_for_chunks(data.len(), 4, |range| {
+//!     let s: f64 = data[range].iter().sum();
+//!     *sums.lock().unwrap() += s;
+//! });
+//! assert_eq!(*sums.lock().unwrap(), 499.5 * 1000.0);
+//! ```
+
+mod deque;
+mod pool;
+
+pub use deque::Deque;
+pub use pool::Scope;
+pub use pool::{global, ThreadPool};

@@ -1,0 +1,544 @@
+//! The thread pool, scoped fork-join, and chunked parallel-for.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use crate::Deque;
+
+/// A unit of queued work. Scoped tasks are lifetime-erased into this
+/// `'static` form; soundness is restored by [`ThreadPool::scope`], which
+/// never returns before every task it spawned has run to completion.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Wake-up bookkeeping: every task push bumps `generation` under the
+/// mutex, so a worker that observed empty queues at generation `g` can
+/// sleep until the generation moves — the push-then-notify and
+/// check-then-wait orders can never interleave into a lost wake-up.
+struct SleepState {
+    generation: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    /// Tasks injected from threads outside the pool.
+    injector: Deque<Task>,
+    /// One work-stealing deque per worker.
+    locals: Vec<Deque<Task>>,
+    sleep: Mutex<SleepState>,
+    wake: Condvar,
+}
+
+impl Shared {
+    /// Bumps the generation and wakes sleeping workers.
+    fn notify(&self) {
+        let mut state = self.sleep.lock().expect("sleep state poisoned");
+        state.generation = state.generation.wrapping_add(1);
+        drop(state);
+        self.wake.notify_all();
+    }
+
+    /// Grabs a task as worker `me` would: own deque first (LIFO), then
+    /// the injector, then the other workers' deques (FIFO steals).
+    /// `me == None` is an external helper thread: injector, then steals.
+    fn find_task(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(i) = me {
+            if let Some(t) = self.locals[i].pop() {
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.steal() {
+            return Some(t);
+        }
+        let n = self.locals.len();
+        let start = me.map_or(0, |i| i + 1);
+        for off in 0..n {
+            let j = (start + off) % n;
+            if Some(j) == me {
+                continue;
+            }
+            if let Some(t) = self.locals[j].steal() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` for pool worker threads, so tasks
+    /// spawned from inside a worker land on that worker's own deque.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// `threads` counts **total** concurrency including the thread that calls
+/// [`ThreadPool::scope`] / [`ThreadPool::par_for_chunks`]: the pool spawns
+/// `threads - 1` background workers and the calling thread helps execute
+/// tasks while it waits for a scope to finish. `ThreadPool::new(1)` spawns
+/// no threads at all and runs every task inline — callers can therefore
+/// thread a pool through unconditionally and let size 1 mean "sequential".
+///
+/// Dropping the pool joins all workers. Scopes never leave tasks behind,
+/// so shutdown cannot strand queued work.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` total parallelism (clamped to ≥ 1);
+    /// see the type-level docs for what the count includes.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            injector: Deque::new(),
+            locals: (0..workers).map(|_| Deque::new()).collect(),
+            sleep: Mutex::new(SleepState {
+                generation: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nurd-runtime-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Creates a pool sized to the machine
+    /// ([`std::thread::available_parallelism`], falling back to 1).
+    #[must_use]
+    pub fn with_default_parallelism() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, usize::from);
+        ThreadPool::new(threads)
+    }
+
+    /// Total parallelism of the pool (background workers + the helping
+    /// caller thread).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a scoped fork-join region: `f` receives a [`Scope`] whose
+    /// [`Scope::spawn`] accepts closures that may borrow anything that
+    /// outlives this call. `scope` returns only after every spawned task
+    /// has completed; the calling thread executes pool tasks while it
+    /// waits. The first panic from a spawned task (or from `f` itself) is
+    /// resumed on the caller once all tasks have finished.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let scope = Scope {
+            shared: Arc::clone(&self.shared),
+            state: Arc::new(ScopeState {
+                sync: Mutex::new(0),
+                done: Condvar::new(),
+                panic: Mutex::new(None),
+            }),
+            scope_marker: PhantomData,
+            env_marker: PhantomData,
+        };
+        // Even if `f` panics, already-spawned tasks still borrow the
+        // caller's stack — the wait below must happen before unwinding.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.help_until_done();
+        let task_panic = scope
+            .state
+            .panic
+            .lock()
+            .expect("scope panic slot poisoned")
+            .take();
+        match (result, task_panic) {
+            (Err(payload), _) => resume_unwind(payload),
+            (Ok(_), Some(payload)) => resume_unwind(payload),
+            (Ok(value), None) => value,
+        }
+    }
+
+    /// Splits `0..len` into at most `max_chunks` contiguous, near-equal
+    /// ranges and runs `f` on each concurrently (the calling thread
+    /// participates). Chunk boundaries depend only on `(len, max_chunks)`,
+    /// never on scheduling **or pool size** — a single-thread pool runs
+    /// the identical chunk sequence inline — so a loop whose chunks write
+    /// disjoint outputs (or whose per-chunk results are combined in chunk
+    /// order) is deterministic across pool sizes. With `max_chunks <= 1`
+    /// or an empty range, `f` runs once over `0..len` on the caller.
+    pub fn par_for_chunks<F>(&self, len: usize, max_chunks: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        let chunks = max_chunks.min(len);
+        if chunks <= 1 {
+            f(0..len);
+            return;
+        }
+        let base = len / chunks;
+        let extra = len % chunks;
+        let bounds = (0..chunks).scan(0usize, |start, i| {
+            let end = *start + base + usize::from(i < extra);
+            let range = *start..end;
+            *start = end;
+            Some(range)
+        });
+        if self.threads == 1 {
+            for range in bounds {
+                f(range);
+            }
+            return;
+        }
+        self.scope(|s| {
+            let f = &f;
+            for range in bounds {
+                s.spawn(move || f(range));
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.sleep.lock().expect("sleep state poisoned");
+            state.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(shared) as usize, index))));
+    loop {
+        if let Some(task) = shared.find_task(Some(index)) {
+            task();
+            continue;
+        }
+        // Record the generation *before* re-checking the queues: any push
+        // that raced with the check bumps it and the wait falls through.
+        let seen = {
+            let state = shared.sleep.lock().expect("sleep state poisoned");
+            if state.shutdown {
+                return;
+            }
+            state.generation
+        };
+        if let Some(task) = shared.find_task(Some(index)) {
+            task();
+            continue;
+        }
+        let mut state = shared.sleep.lock().expect("sleep state poisoned");
+        while state.generation == seen && !state.shutdown {
+            state = shared.wake.wait(state).expect("sleep condvar poisoned");
+        }
+        if state.shutdown {
+            return;
+        }
+    }
+}
+
+/// Join-latch shared between a scope and its spawned tasks: the pending
+/// count behind `sync`, a condvar for the final wake, and the first
+/// captured panic.
+struct ScopeState {
+    sync: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn task_finished(&self, payload: Option<Box<dyn Any + Send + 'static>>) {
+        if let Some(p) = payload {
+            let mut slot = self.panic.lock().expect("scope panic slot poisoned");
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+        let mut pending = self.sync.lock().expect("scope latch poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Handle for spawning borrow-carrying tasks inside
+/// [`ThreadPool::scope`]; see there for the lifetime contract.
+pub struct Scope<'scope, 'env: 'scope> {
+    shared: Arc<Shared>,
+    state: Arc<ScopeState>,
+    /// Invariance over `'scope` (mirrors [`std::thread::Scope`]): spawned
+    /// closures must live exactly as long as the scope says, no variance
+    /// shenanigans.
+    scope_marker: PhantomData<&'scope mut &'scope ()>,
+    env_marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` onto the pool. The closure may borrow from the
+    /// environment of the enclosing [`ThreadPool::scope`] call; it is
+    /// guaranteed to have finished when that call returns. A panicking
+    /// task does not tear down the pool — the payload is captured and
+    /// resumed on the scope's caller.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        *self.state.sync.lock().expect("scope latch poisoned") += 1;
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            state.task_finished(outcome.err());
+        });
+        // SAFETY: lifetime erasure only. The task may borrow data from
+        // `'scope`, but `ThreadPool::scope` blocks (helping) until the
+        // pending count this task decrements reaches zero — on the normal
+        // path *and* on the unwind path — so the closure can never run
+        // after its borrows expire. The fat-pointer layout of
+        // `Box<dyn FnOnce>` is lifetime-independent.
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+        let me = WORKER.with(Cell::get);
+        match me {
+            Some((pool, index)) if pool == Arc::as_ptr(&self.shared) as usize => {
+                self.shared.locals[index].push(task);
+            }
+            _ => self.shared.injector.push(task),
+        }
+        self.shared.notify();
+    }
+
+    /// Runs pool tasks on the calling thread until every task spawned in
+    /// this scope has completed.
+    fn help_until_done(&self) {
+        let me = WORKER.with(Cell::get).and_then(|(pool, index)| {
+            (pool == Arc::as_ptr(&self.shared) as usize).then_some(index)
+        });
+        loop {
+            if let Some(task) = self.shared.find_task(me) {
+                task();
+                continue;
+            }
+            let pending = self.state.sync.lock().expect("scope latch poisoned");
+            if *pending == 0 {
+                return;
+            }
+            // Our remaining tasks are running on other threads (queues
+            // are empty): sleep until the last one flips the latch. New
+            // tasks they spawn are executed by awake workers.
+            let _pending = self
+                .state
+                .done
+                .wait(pending)
+                .expect("scope done condvar poisoned");
+        }
+    }
+}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").finish()
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-wide shared pool, lazily created at machine parallelism
+/// ([`ThreadPool::with_default_parallelism`]). Compute layers that take a
+/// thread-count knob rather than a pool handle (e.g.
+/// `nurd_ml::TreeConfig`) schedule their chunks here.
+#[must_use]
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(ThreadPool::with_default_parallelism)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_every_spawn_and_supports_borrows() {
+        let pool = ThreadPool::new(4);
+        let mut out = vec![0usize; 64];
+        pool.scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * i);
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_scopes_from_worker_tasks_complete() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                outer.spawn(|| {
+                    // A task running on a worker opens its own scope; the
+                    // worker helps drain it without deadlocking.
+                    global().scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn par_for_chunks_covers_range_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for (len, chunks) in [(0usize, 3usize), (1, 4), (7, 3), (100, 4), (10, 100)] {
+            let seen: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            pool.par_for_chunks(len, chunks, |range| {
+                for i in range {
+                    seen[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                seen.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "len {len} chunks {chunks}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_for_chunks_matches_sequential_sum() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<f64> = (0..10_000).map(|i| f64::from(i) * 0.25).collect();
+        let partials = Mutex::new(Vec::new());
+        pool.par_for_chunks(data.len(), 8, |range| {
+            let sum: f64 = data[range.clone()].iter().sum();
+            partials.lock().unwrap().push((range.start, sum));
+        });
+        let mut partials = partials.into_inner().unwrap();
+        partials.sort_by_key(|(start, _)| *start);
+        // Chunk boundaries are deterministic, so summing per-chunk in
+        // chunk order reproduces the sequential chunked sum exactly.
+        let par: f64 = partials.iter().map(|(_, s)| s).sum();
+        let seq: f64 = data
+            .chunks(data.len() / 8)
+            .map(|c| c.iter().sum::<f64>())
+            .sum();
+        assert!((par - seq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn panics_propagate_after_all_tasks_finish() {
+        let pool = ThreadPool::new(3);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let fin = Arc::clone(&finished);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..16 {
+                    let fin = Arc::clone(&fin);
+                    s.spawn(move || {
+                        if i == 5 {
+                            panic!("task blew up");
+                        }
+                        fin.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the scope caller");
+        assert_eq!(finished.load(Ordering::Relaxed), 15, "others still ran");
+        // The pool survives a panicked scope.
+        let after = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                after.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stress_many_small_tasks() {
+        let pool = ThreadPool::new(4);
+        let sum = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for i in 0..2000usize {
+                let sum = &sum;
+                s.spawn(move || {
+                    sum.fetch_add(1, Ordering::Relaxed);
+                    std::hint::black_box(i);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = global();
+        let b = global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let mut x = 0;
+        pool.scope(|s| s.spawn(|| x += 1));
+        assert_eq!(x, 1);
+    }
+}

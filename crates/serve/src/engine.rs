@@ -1,0 +1,476 @@
+//! The multi-tenant engine: sharded dispatch, parallel drains, reports.
+
+use nurd_data::{JobSpec, OnlinePredictor, TaskEvent};
+use nurd_runtime::ThreadPool;
+use nurd_sim::ReplayOutcome;
+
+use crate::shard::Shard;
+
+/// Builds a fresh predictor for an admitted job — the serving analogue of
+/// the per-job factories in `nurd-baselines`' method registry.
+pub type PredictorFactory = Box<dyn Fn(&JobSpec) -> Box<dyn OnlinePredictor + Send> + Send + Sync>;
+
+/// Engine tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Number of shards jobs are hashed across. Each shard is drained by
+    /// one pool task, so this bounds the engine's parallelism; it never
+    /// affects its output.
+    pub shards: usize,
+    /// Warmup quorum before a job's predictions start, as a fraction of
+    /// its tasks (the paper's 4% — must match the replay config when
+    /// comparing reports against `nurd_sim::replay_job`).
+    pub warmup_fraction: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 4,
+            warmup_fraction: 0.04,
+        }
+    }
+}
+
+/// Everything the engine measured for one job. `outcome` is bit-for-bit
+/// the [`ReplayOutcome`] a sequential `nurd_sim::replay_job` of the same
+/// job with the same predictor configuration produces — the engine's
+/// central correctness contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Job identifier.
+    pub job: u64,
+    /// Checkpoints at which the predictor was actually invoked.
+    pub checkpoints_scored: usize,
+    /// Protocol scoring, identical to sequential replay.
+    pub outcome: ReplayOutcome,
+}
+
+/// The engine's final output: per-job reports in job-id order. Equal
+/// (`PartialEq`) across *any* shard count and *any* event interleaving of
+/// the same per-job streams — the determinism property test in
+/// `tests/determinism.rs` enforces exactly this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// Per-job results, ascending job id.
+    pub jobs: Vec<JobReport>,
+    /// Total events ingested — including orphans (events for never-
+    /// admitted jobs), which are counted here and in
+    /// [`EngineStats::orphan_events`] but applied to no job.
+    pub events: usize,
+}
+
+impl EngineReport {
+    /// The report of job `job`, if it was admitted.
+    #[must_use]
+    pub fn job(&self, job: u64) -> Option<&JobReport> {
+        self.jobs.iter().find(|r| r.job == job)
+    }
+
+    /// Mean end-of-job F1 across jobs (macro average, as in Table 3).
+    #[must_use]
+    pub fn macro_f1(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs
+            .iter()
+            .map(|r| r.outcome.confusion.f1())
+            .sum::<f64>()
+            / self.jobs.len() as f64
+    }
+}
+
+/// Scheduling-dependent diagnostics — deliberately **not** part of
+/// [`EngineReport`], because per-shard load varies with the shard count
+/// while the report must not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Configured shard count.
+    pub shards: usize,
+    /// Jobs admitted per shard.
+    pub jobs_per_shard: Vec<usize>,
+    /// Events ingested per shard (orphans included).
+    pub events_per_shard: Vec<usize>,
+    /// Events whose job was never admitted (counted, then dropped).
+    pub orphan_events: usize,
+    /// Structurally invalid events rejected during application: unknown
+    /// task id, feature width differing from the job's
+    /// [`JobSpec::feature_dim`], duplicate completion, or a barrier that
+    /// is not the job's next expected ordinal (e.g. a duplicate from
+    /// at-least-once delivery). Rejection protects the contract both
+    /// ways: no malformed event can panic a drain, and no replayed
+    /// barrier can re-score a closed checkpoint.
+    pub rejected_events: usize,
+}
+
+/// A multi-job online straggler-prediction engine.
+///
+/// Jobs are [admitted](Engine::admit) with their [`JobSpec`], events are
+/// [pushed](Engine::push) in any cross-job interleaving (per-job order
+/// must be checkpoint order), and [`Engine::drain`] applies everything
+/// queued — each shard on its own `nurd-runtime` task, in parallel.
+/// Because a job's entire state lives in exactly one shard (job id hash)
+/// and shards share nothing, the engine's output is independent of shard
+/// count, drain batching, and cross-job interleaving.
+///
+/// # Example
+///
+/// ```
+/// use nurd_serve::{Engine, EngineConfig};
+/// use nurd_runtime::ThreadPool;
+/// # use nurd_data::{JobSpec, Checkpoint, OnlinePredictor};
+/// # struct Never;
+/// # impl OnlinePredictor for Never {
+/// #     fn name(&self) -> &str { "NEVER" }
+/// #     fn predict(&mut self, _: &Checkpoint<'_>) -> Vec<usize> { Vec::new() }
+/// # }
+///
+/// let pool = ThreadPool::new(2);
+/// let mut engine = Engine::new(EngineConfig::default(), Box::new(|_| Box::new(Never)));
+/// engine.admit(JobSpec { job: 1, threshold: 100.0, task_count: 2, feature_dim: 1, checkpoints: 1 });
+/// engine.push(nurd_data::TaskEvent::Barrier { job: 1, ordinal: 0, time: 50.0 });
+/// let report = engine.finish(&pool);
+/// assert_eq!(report.jobs.len(), 1);
+/// ```
+pub struct Engine {
+    config: EngineConfig,
+    factory: PredictorFactory,
+    shards: Vec<Shard>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("shards", &self.shards)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine; `factory` builds one fresh predictor per
+    /// admitted job (shard count is clamped to ≥ 1).
+    #[must_use]
+    pub fn new(config: EngineConfig, factory: PredictorFactory) -> Self {
+        let shards = config.shards.max(1);
+        Engine {
+            shards: (0..shards)
+                .map(|_| Shard::new(config.warmup_fraction))
+                .collect(),
+            config,
+            factory,
+        }
+    }
+
+    /// The shard a job id hashes to (SplitMix64 finalizer — job ids are
+    /// often sequential, and a plain modulo would then stripe neighbors
+    /// onto neighboring shards *and* collide under power-of-two counts).
+    #[must_use]
+    pub fn shard_of(&self, job: u64) -> usize {
+        let mut z = job.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.shards.len() as u64) as usize
+    }
+
+    /// Admits a job: builds its predictor (calling
+    /// `OnlinePredictor::begin_stream`) and registers it with its shard.
+    /// Must happen before the job's first event arrives; a job admitted
+    /// twice is reset to a fresh predictor.
+    pub fn admit(&mut self, spec: JobSpec) {
+        let predictor = (self.factory)(&spec);
+        let shard = self.shard_of(spec.job);
+        self.shards[shard].admit(spec, predictor);
+    }
+
+    /// Enqueues one event on its job's shard (cheap: a hash plus a queue
+    /// push; all model work happens in [`Engine::drain`]). The event's
+    /// job must already be [admitted](Engine::admit) — an event that
+    /// reaches a drain before its admission is an orphan (counted,
+    /// dropped, and *not* replayed by a later admission).
+    pub fn push(&mut self, event: TaskEvent) {
+        let shard = self.shard_of(event.job());
+        self.shards[shard].enqueue(event);
+    }
+
+    /// Enqueues a batch of events.
+    pub fn push_all(&mut self, events: impl IntoIterator<Item = TaskEvent>) {
+        for event in events {
+            self.push(event);
+        }
+    }
+
+    /// Applies every queued event: shards with pending work each become
+    /// one pool task (the calling thread participates). May be called any
+    /// number of times at any batching — the final report is identical,
+    /// provided every event was pushed after its job's admission (an
+    /// early push only survives to a later admission while it sits
+    /// undrained; see [`Engine::push`]).
+    pub fn drain(&mut self, pool: &ThreadPool) {
+        let pending: Vec<&mut Shard> = self.shards.iter_mut().filter(|s| s.queued() > 0).collect();
+        if pending.is_empty() {
+            return;
+        }
+        pool.scope(|scope| {
+            for shard in pending {
+                scope.spawn(move || shard.drain());
+            }
+        });
+    }
+
+    /// Scheduling diagnostics (see [`EngineStats`]).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            shards: self.shards.len(),
+            jobs_per_shard: self.shards.iter().map(Shard::job_count).collect(),
+            events_per_shard: self.shards.iter().map(|s| s.events_processed).collect(),
+            orphan_events: self.shards.iter().map(|s| s.orphan_events).sum(),
+            rejected_events: self.shards.iter().map(|s| s.rejected_events).sum(),
+        }
+    }
+
+    /// Drains outstanding events and produces the final report (per-job
+    /// results in ascending job-id order).
+    #[must_use]
+    pub fn finish(mut self, pool: &ThreadPool) -> EngineReport {
+        self.drain(pool);
+        let mut jobs: Vec<JobReport> = self.shards.iter().flat_map(Shard::reports).collect();
+        jobs.sort_by_key(|r| r.job);
+        let events = self.shards.iter().map(|s| s.events_processed).sum();
+        EngineReport { jobs, events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nurd_data::Checkpoint;
+
+    /// Flags every running task at its first scored checkpoint.
+    struct FlagAll;
+    impl OnlinePredictor for FlagAll {
+        fn name(&self) -> &str {
+            "ALL"
+        }
+        fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
+            checkpoint.running.iter().map(|r| r.id).collect()
+        }
+    }
+
+    fn factory() -> PredictorFactory {
+        Box::new(|_| Box::new(FlagAll))
+    }
+
+    fn spec(job: u64) -> JobSpec {
+        JobSpec {
+            job,
+            threshold: 10.0,
+            task_count: 3,
+            feature_dim: 1,
+            checkpoints: 2,
+        }
+    }
+
+    fn tiny_events(job: u64) -> Vec<TaskEvent> {
+        vec![
+            TaskEvent::Submitted { job, task: 0 },
+            TaskEvent::Submitted { job, task: 1 },
+            TaskEvent::Submitted { job, task: 2 },
+            TaskEvent::Finished {
+                job,
+                task: 0,
+                ordinal: 0,
+                time: 4.0,
+                features: vec![0.1],
+                latency: 2.0,
+            },
+            TaskEvent::Progress {
+                job,
+                task: 1,
+                ordinal: 0,
+                time: 4.0,
+                features: vec![0.5],
+            },
+            TaskEvent::Progress {
+                job,
+                task: 2,
+                ordinal: 0,
+                time: 4.0,
+                features: vec![0.9],
+            },
+            TaskEvent::Barrier {
+                job,
+                ordinal: 0,
+                time: 4.0,
+            },
+            TaskEvent::Finished {
+                job,
+                task: 1,
+                ordinal: 1,
+                time: 8.0,
+                features: vec![0.5],
+                latency: 6.0,
+            },
+            TaskEvent::Progress {
+                job,
+                task: 2,
+                ordinal: 1,
+                time: 8.0,
+                features: vec![0.9],
+            },
+            TaskEvent::Barrier {
+                job,
+                ordinal: 1,
+                time: 8.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn flags_stick_and_reports_sort_by_job_id() {
+        let pool = ThreadPool::new(2);
+        let mut engine = Engine::new(
+            EngineConfig {
+                shards: 3,
+                warmup_fraction: 0.04,
+            },
+            factory(),
+        );
+        for job in [9u64, 2, 5] {
+            engine.admit(spec(job));
+            engine.push_all(tiny_events(job));
+        }
+        let report = engine.finish(&pool);
+        assert_eq!(
+            report.jobs.iter().map(|r| r.job).collect::<Vec<_>>(),
+            vec![2, 5, 9]
+        );
+        for r in &report.jobs {
+            // Task 0 finished before warmup (1 task quorum at ckpt 0);
+            // tasks 1 and 2 were running at the first scored checkpoint
+            // and FlagAll flags both, permanently.
+            assert_eq!(r.outcome.flagged_at[0], None);
+            assert_eq!(r.outcome.flagged_at[1], Some(0));
+            assert_eq!(r.outcome.flagged_at[2], Some(0));
+            // Flagged task 1 finished under the threshold: false positive;
+            // task 2 never finished in-stream: counted a straggler.
+            assert_eq!(r.outcome.confusion.false_positives, 1);
+            assert_eq!(r.outcome.confusion.true_positives, 1);
+        }
+        assert_eq!(report.events, 30);
+    }
+
+    #[test]
+    fn orphan_events_are_counted_not_fatal() {
+        let pool = ThreadPool::new(1);
+        let mut engine = Engine::new(EngineConfig::default(), factory());
+        engine.admit(spec(1));
+        engine.push_all(tiny_events(1));
+        engine.push(TaskEvent::Barrier {
+            job: 999,
+            ordinal: 0,
+            time: 1.0,
+        });
+        engine.drain(&pool);
+        assert_eq!(engine.stats().orphan_events, 1);
+        let report = engine.finish(&pool);
+        assert_eq!(report.jobs.len(), 1);
+    }
+
+    #[test]
+    fn malformed_events_are_rejected_not_fatal() {
+        let pool = ThreadPool::new(1);
+        let clean = {
+            let mut engine = Engine::new(EngineConfig::default(), factory());
+            engine.admit(spec(1));
+            engine.push_all(tiny_events(1));
+            engine.finish(&pool)
+        };
+        let mut engine = Engine::new(EngineConfig::default(), factory());
+        engine.admit(spec(1));
+        let mut events = tiny_events(1);
+        // Ragged snapshot (spec says feature_dim = 1), an unknown task
+        // id, a duplicate completion, and a replayed barrier.
+        events.insert(
+            3,
+            TaskEvent::Progress {
+                job: 1,
+                task: 1,
+                ordinal: 0,
+                time: 4.0,
+                features: vec![0.5, 0.5, 0.5],
+            },
+        );
+        events.insert(4, TaskEvent::Submitted { job: 1, task: 99 });
+        events.push(TaskEvent::Finished {
+            job: 1,
+            task: 0,
+            ordinal: 1,
+            time: 8.0,
+            features: vec![0.1],
+            latency: 2.0,
+        });
+        events.push(TaskEvent::Barrier {
+            job: 1,
+            ordinal: 0,
+            time: 4.0,
+        });
+        engine.push_all(events);
+        engine.drain(&pool);
+        assert_eq!(engine.stats().rejected_events, 4);
+        let report = engine.finish(&pool);
+        // The four bad events changed nothing: same outcome as a clean run.
+        assert_eq!(report.jobs[0].outcome, clean.jobs[0].outcome);
+        assert_eq!(
+            report.jobs[0].checkpoints_scored, clean.jobs[0].checkpoints_scored,
+            "replayed barrier must not re-score a closed checkpoint"
+        );
+    }
+
+    #[test]
+    fn shard_hash_is_stable_and_in_range() {
+        let engine = Engine::new(
+            EngineConfig {
+                shards: 8,
+                warmup_fraction: 0.04,
+            },
+            factory(),
+        );
+        for job in 0..100u64 {
+            let s = engine.shard_of(job);
+            assert!(s < 8);
+            assert_eq!(s, engine.shard_of(job));
+        }
+        // The finalizer spreads sequential ids (not all in one shard).
+        let shards: std::collections::HashSet<usize> =
+            (0..100u64).map(|j| engine.shard_of(j)).collect();
+        assert!(shards.len() >= 4, "sequential ids clumped: {shards:?}");
+    }
+
+    #[test]
+    fn drain_batching_does_not_change_the_report() {
+        let pool = ThreadPool::new(2);
+        let build = || {
+            let mut e = Engine::new(EngineConfig::default(), factory());
+            for job in [1u64, 2, 3, 4] {
+                e.admit(spec(job));
+            }
+            e
+        };
+        let mut one_shot = build();
+        let mut batched = build();
+        let events: Vec<TaskEvent> = [1u64, 2, 3, 4]
+            .iter()
+            .flat_map(|&j| tiny_events(j))
+            .collect();
+        one_shot.push_all(events.clone());
+        for chunk in events.chunks(7) {
+            batched.push_all(chunk.to_vec());
+            batched.drain(&pool);
+        }
+        assert_eq!(one_shot.finish(&pool), batched.finish(&pool));
+    }
+}

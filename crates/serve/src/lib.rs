@@ -1,0 +1,70 @@
+//! `nurd-serve` — a multi-job online straggler-prediction engine on the
+//! shared `nurd-runtime` work-stealing pool.
+//!
+//! The paper's Algorithm 1 (and `nurd_sim::replay_job`) is one job,
+//! replayed checkpoint-by-checkpoint on one thread. The ROADMAP's north
+//! star is a *service*: many concurrent jobs streaming task events under
+//! heavy traffic. This crate is that layer:
+//!
+//! * a [`nurd_data::TaskEvent`] stream (`Submitted` / `Progress` /
+//!   `Finished`, with per-checkpoint `Barrier`s) multiplexed across jobs
+//!   — build one from traces with `nurd_trace::fleet_events`;
+//! * per-job predictor state ([`nurd_data::JobSpec`] + any
+//!   [`nurd_data::OnlinePredictor`], e.g. a warm-policy `NurdPredictor`
+//!   whose `WarmRefitState` persists across the job's checkpoints);
+//! * a **sharded dispatcher** ([`Engine`]) hashing job ids to shards,
+//!   each shard drained by its own pool task;
+//! * **batched scoring at checkpoint boundaries**: a job's running tasks
+//!   are scored when its `Barrier` event closes a checkpoint, under the
+//!   replay protocol's warmup and revelation rules;
+//! * an [`EngineReport`] whose per-job [`nurd_sim::ReplayOutcome`] is
+//!   **bit-for-bit identical to sequential replay**, regardless of shard
+//!   count, drain batching, or cross-job event interleaving.
+//!
+//! # Why determinism holds
+//!
+//! A job's entire mutable state — predictor, task features, flags —
+//! lives in exactly one shard, chosen by hashing the job id. Events of
+//! one job are applied in stream order (shard queues are FIFO and the
+//! stream contract keeps per-job order), and no state is shared between
+//! jobs. Parallelism only decides *which thread* applies a job's events,
+//! never their order, so every job's trajectory equals its sequential
+//! replay and the merged, id-sorted report is invariant. The property
+//! test in `tests/determinism.rs` pins this across shard counts
+//! {1, 2, 8}, random interleavings, and drain batchings.
+//!
+//! # Example
+//!
+//! ```
+//! use nurd_runtime::ThreadPool;
+//! use nurd_serve::{Engine, EngineConfig};
+//! # use nurd_data::{Checkpoint, OnlinePredictor};
+//! # struct Never;
+//! # impl OnlinePredictor for Never {
+//! #     fn name(&self) -> &str { "NEVER" }
+//! #     fn predict(&mut self, _: &Checkpoint<'_>) -> Vec<usize> { Vec::new() }
+//! # }
+//!
+//! // Generate a 3-job fleet and replay it through a 2-shard engine.
+//! let cfg = nurd_trace::SuiteConfig::new(nurd_trace::TraceStyle::Google)
+//!     .with_jobs(3).with_task_range(20, 30).with_checkpoints(6).with_seed(1);
+//! let jobs = nurd_trace::generate_suite(&cfg);
+//! let (specs, events) = nurd_trace::fleet_events(&jobs, 0.9);
+//!
+//! let pool = ThreadPool::new(2);
+//! let mut engine = Engine::new(
+//!     EngineConfig { shards: 2, ..EngineConfig::default() },
+//!     Box::new(|_| Box::new(Never)),
+//! );
+//! for spec in specs {
+//!     engine.admit(spec);
+//! }
+//! engine.push_all(events);
+//! let report = engine.finish(&pool);
+//! assert_eq!(report.jobs.len(), 3);
+//! ```
+
+mod engine;
+mod shard;
+
+pub use engine::{Engine, EngineConfig, EngineReport, EngineStats, JobReport, PredictorFactory};

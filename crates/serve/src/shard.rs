@@ -1,0 +1,296 @@
+//! Per-shard job state and the event application logic.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use nurd_data::{
+    Checkpoint, FinishedTask, JobSpec, OnlinePredictor, RunningTask, StreamContext, TaskEvent,
+};
+use nurd_sim::outcome_from_flags;
+
+use crate::engine::JobReport;
+
+/// What the shard knows about one task of one job.
+#[derive(Debug, Default)]
+struct TaskState {
+    /// Latest feature snapshot (frozen once finished).
+    features: Vec<f64>,
+    /// `Some` once the task's `Finished` event arrived.
+    latency: Option<f64>,
+    /// Checkpoint ordinal at which the task was flagged a straggler.
+    flagged_at: Option<usize>,
+    /// Whether any snapshot has arrived (guards scoring a task the
+    /// stream never described).
+    seen: bool,
+}
+
+/// One job's online state inside a shard: the predictor plus exactly the
+/// bookkeeping the replay protocol keeps — flagged tasks leave both the
+/// finished and running views forever (their completions still count for
+/// ground truth and warmup, never for training).
+pub(crate) struct JobState {
+    spec: JobSpec,
+    predictor: Box<dyn OnlinePredictor + Send>,
+    tasks: Vec<TaskState>,
+    /// Tasks whose `Finished` event has arrived (including flagged ones —
+    /// the warmup quorum counts every completion, as the replay does).
+    finished_total: usize,
+    /// First checkpoint at which the warmup quorum held.
+    warmup_at: Option<usize>,
+    /// Barriers processed so far (the next expected ordinal).
+    barriers_seen: usize,
+    /// Checkpoints at which the predictor was actually invoked.
+    pub(crate) checkpoints_scored: usize,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("jobs", &self.jobs.len())
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl JobState {
+    fn new(spec: JobSpec, mut predictor: Box<dyn OnlinePredictor + Send>) -> Self {
+        predictor.begin_stream(&StreamContext {
+            threshold: spec.threshold,
+            task_count: spec.task_count,
+            feature_dim: spec.feature_dim,
+        });
+        let tasks = (0..spec.task_count).map(|_| TaskState::default()).collect();
+        JobState {
+            spec,
+            predictor,
+            tasks,
+            finished_total: 0,
+            warmup_at: None,
+            barriers_seen: 0,
+            checkpoints_scored: 0,
+        }
+    }
+
+    /// The warmup quorum — the one shared definition
+    /// ([`nurd_data::warmup_quorum`]) the replay simulator also uses, so
+    /// engine and replay warmup timing can never drift apart.
+    fn warmup_need(&self, fraction: f64) -> usize {
+        nurd_data::warmup_quorum(self.spec.task_count, fraction)
+    }
+
+    /// Applies one event; returns `false` for a structurally invalid
+    /// event (unknown task id, wrong feature width, duplicate completion,
+    /// out-of-order barrier), which is **rejected** — counted by the
+    /// shard, applied to nothing. Rejection is what keeps one malformed
+    /// event of one job from panicking a drain that holds every job's
+    /// state: a ragged snapshot would otherwise surface as a ragged
+    /// checkpoint matrix deep inside the predictor.
+    fn apply(&mut self, event: TaskEvent, warmup_fraction: f64) -> bool {
+        match event {
+            TaskEvent::Submitted { task, .. } => {
+                let Some(state) = self.tasks.get_mut(task) else {
+                    return false;
+                };
+                state.seen = true;
+            }
+            TaskEvent::Progress { task, features, .. } => {
+                if features.len() != self.spec.feature_dim {
+                    return false;
+                }
+                let Some(state) = self.tasks.get_mut(task) else {
+                    return false;
+                };
+                // Progress for a flagged or finished task is stale
+                // stream noise; the protocol ignores it.
+                if state.flagged_at.is_none() && state.latency.is_none() {
+                    state.features = features;
+                    state.seen = true;
+                }
+            }
+            TaskEvent::Finished {
+                task,
+                features,
+                latency,
+                ..
+            } => {
+                if features.len() != self.spec.feature_dim {
+                    return false;
+                }
+                let Some(state) = self.tasks.get_mut(task) else {
+                    return false;
+                };
+                if state.latency.is_some() {
+                    return false; // duplicate completion
+                }
+                state.latency = Some(latency);
+                self.finished_total += 1;
+                // A flagged task's completion feeds ground truth and the
+                // warmup quorum, but its features never (re-)enter the
+                // training view.
+                if state.flagged_at.is_none() {
+                    state.features = features;
+                    state.seen = true;
+                }
+            }
+            TaskEvent::Barrier { ordinal, time, .. } => {
+                return self.barrier(ordinal, time, warmup_fraction);
+            }
+        }
+        true
+    }
+
+    /// Closes checkpoint `ordinal`: updates the warmup state and, inside
+    /// the prediction window, assembles the checkpoint view and scores
+    /// it. Rejects (returns `false`) any barrier that is not the next
+    /// expected ordinal — re-scoring an already-closed checkpoint (e.g.
+    /// a duplicate from at-least-once delivery) would silently diverge
+    /// from sequential replay.
+    fn barrier(&mut self, ordinal: usize, time: f64, warmup_fraction: f64) -> bool {
+        if ordinal != self.barriers_seen {
+            return false;
+        }
+        self.barriers_seen = ordinal + 1;
+        if self.warmup_at.is_none() {
+            let quorum = self.finished_total >= self.warmup_need(warmup_fraction);
+            // Mirror `JobTrace::warmup_checkpoint`: if the quorum never
+            // holds, the last checkpoint is the warmup point.
+            if quorum || ordinal + 1 == self.spec.checkpoints {
+                self.warmup_at = Some(ordinal);
+            }
+        }
+        // Revelation rule: past `τ_stra`, survivors have revealed
+        // themselves and prediction stops (see `nurd_sim::replay_job`).
+        let predicting = self.warmup_at.is_some_and(|w| ordinal >= w) && time < self.spec.threshold;
+        if !predicting {
+            return true;
+        }
+
+        // Assemble the checkpoint exactly as the simulator does: task-id
+        // order, flagged tasks in neither list, finished features frozen.
+        let JobState {
+            tasks, predictor, ..
+        } = self;
+        let mut finished = Vec::new();
+        let mut running = Vec::new();
+        for (id, state) in tasks.iter().enumerate() {
+            if state.flagged_at.is_some() || !state.seen {
+                continue;
+            }
+            match state.latency {
+                Some(latency) => finished.push(FinishedTask {
+                    id,
+                    features: &state.features,
+                    latency,
+                }),
+                None => running.push(RunningTask {
+                    id,
+                    features: &state.features,
+                }),
+            }
+        }
+        let running_ids: Vec<usize> = running.iter().map(|r| r.id).collect();
+        let checkpoint = Checkpoint {
+            ordinal,
+            time,
+            finished,
+            running,
+        };
+        self.checkpoints_scored += 1;
+        for id in predictor.predict(&checkpoint) {
+            // Same guard as the simulator: only actually-running tasks
+            // can be flagged.
+            if running_ids.contains(&id) {
+                self.tasks[id].flagged_at = Some(ordinal);
+            }
+        }
+        true
+    }
+
+    /// Post-hoc scoring once the stream is exhausted. A task whose
+    /// completion never arrived outlived the stream and is counted as a
+    /// straggler (it certainly outlived `τ_stra` if the stream covered
+    /// the job's horizon).
+    fn report(&self) -> JobReport {
+        let truth: Vec<bool> = self
+            .tasks
+            .iter()
+            .map(|t| t.latency.is_none_or(|l| l >= self.spec.threshold))
+            .collect();
+        let flagged_at: Vec<Option<usize>> = self.tasks.iter().map(|t| t.flagged_at).collect();
+        let outcome = outcome_from_flags(
+            self.spec.threshold,
+            self.warmup_at
+                .unwrap_or_else(|| self.spec.checkpoints.saturating_sub(1)),
+            self.spec.checkpoints,
+            flagged_at,
+            &truth,
+        );
+        JobReport {
+            job: self.spec.job,
+            checkpoints_scored: self.checkpoints_scored,
+            outcome,
+        }
+    }
+}
+
+/// One shard of the engine: a disjoint set of jobs plus the queue of
+/// their not-yet-applied events. Shards share nothing, which is the whole
+/// determinism argument — see [`crate::Engine`].
+pub(crate) struct Shard {
+    jobs: BTreeMap<u64, JobState>,
+    queue: VecDeque<TaskEvent>,
+    warmup_fraction: f64,
+    pub(crate) events_processed: usize,
+    pub(crate) orphan_events: usize,
+    pub(crate) rejected_events: usize,
+}
+
+impl Shard {
+    pub(crate) fn new(warmup_fraction: f64) -> Self {
+        Shard {
+            jobs: BTreeMap::new(),
+            queue: VecDeque::new(),
+            warmup_fraction,
+            events_processed: 0,
+            orphan_events: 0,
+            rejected_events: 0,
+        }
+    }
+
+    pub(crate) fn admit(&mut self, spec: JobSpec, predictor: Box<dyn OnlinePredictor + Send>) {
+        self.jobs.insert(spec.job, JobState::new(spec, predictor));
+    }
+
+    pub(crate) fn enqueue(&mut self, event: TaskEvent) {
+        self.queue.push_back(event);
+    }
+
+    pub(crate) fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub(crate) fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Applies every queued event in arrival order. Events for unknown
+    /// jobs count as orphans; structurally invalid events (see
+    /// [`JobState::apply`]) count as rejected. Neither aborts the drain.
+    pub(crate) fn drain(&mut self) {
+        while let Some(event) = self.queue.pop_front() {
+            self.events_processed += 1;
+            match self.jobs.get_mut(&event.job()) {
+                Some(job) => {
+                    if !job.apply(event, self.warmup_fraction) {
+                        self.rejected_events += 1;
+                    }
+                }
+                None => self.orphan_events += 1,
+            }
+        }
+    }
+
+    /// Reports for every job admitted to this shard, job-id order.
+    pub(crate) fn reports(&self) -> Vec<JobReport> {
+        self.jobs.values().map(JobState::report).collect()
+    }
+}

@@ -1,0 +1,158 @@
+//! The engine's determinism contract, end to end:
+//!
+//! 1. **Engine ≡ sequential replay** — every job's [`nurd_sim::ReplayOutcome`]
+//!    out of the engine is bit-for-bit the outcome of
+//!    `nurd_sim::replay_job` on the same trace with the same predictor
+//!    configuration (NURD itself, warm and cold policies alike).
+//! 2. **Shard-count invariance** — shards {1, 2, 8} produce identical
+//!    [`nurd_serve::EngineReport`]s.
+//! 3. **Interleaving invariance** — any random merge of the per-job
+//!    event streams (per-job order preserved) produces the identical
+//!    report, as does any drain batching.
+
+use nurd_core::{NurdConfig, NurdPredictor, RefitPolicy, WarmRefitConfig};
+use nurd_data::{job_events, JobSpec, TaskEvent};
+use nurd_runtime::ThreadPool;
+use nurd_serve::{Engine, EngineConfig, EngineReport, PredictorFactory};
+use nurd_sim::{replay_job, ReplayConfig};
+use nurd_trace::{SuiteConfig, TraceStyle};
+use proptest::prelude::*;
+
+const QUANTILE: f64 = 0.9;
+const WARMUP: f64 = 0.04;
+
+fn suite(seed: u64, jobs: usize) -> Vec<nurd_data::JobTrace> {
+    let cfg = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(jobs)
+        .with_task_range(50, 70)
+        .with_checkpoints(8)
+        .with_seed(seed);
+    nurd_trace::generate_suite(&cfg)
+}
+
+fn nurd_factory(policy: RefitPolicy) -> PredictorFactory {
+    Box::new(move |_spec: &JobSpec| {
+        Box::new(NurdPredictor::new(
+            NurdConfig::default().with_refit_policy(policy.clone()),
+        ))
+    })
+}
+
+fn run_engine(
+    jobs: &[nurd_data::JobTrace],
+    events: Vec<TaskEvent>,
+    shards: usize,
+    pool: &ThreadPool,
+    policy: &RefitPolicy,
+) -> EngineReport {
+    let mut engine = Engine::new(
+        EngineConfig {
+            shards,
+            warmup_fraction: WARMUP,
+        },
+        nurd_factory(policy.clone()),
+    );
+    for job in jobs {
+        engine.admit(JobSpec::of_trace(job, QUANTILE));
+    }
+    engine.push_all(events);
+    engine.finish(pool)
+}
+
+fn warm_policy() -> RefitPolicy {
+    RefitPolicy::Warm(WarmRefitConfig::default())
+}
+
+#[test]
+fn engine_report_equals_sequential_replay_for_warm_and_cold_nurd() {
+    let jobs = suite(0x5EED, 3);
+    let pool = ThreadPool::new(2);
+    let replay_cfg = ReplayConfig {
+        quantile: QUANTILE,
+        warmup_fraction: WARMUP,
+    };
+    for policy in [RefitPolicy::AlwaysCold, warm_policy()] {
+        let (_, events) = nurd_trace::fleet_events(&jobs, QUANTILE);
+        let report = run_engine(&jobs, events, 4, &pool, &policy);
+        assert_eq!(report.jobs.len(), jobs.len());
+        for job in &jobs {
+            let mut reference =
+                NurdPredictor::new(NurdConfig::default().with_refit_policy(policy.clone()));
+            let expected = replay_job(job, &mut reference, &replay_cfg);
+            let got = report.job(job.job_id()).expect("job reported");
+            assert_eq!(
+                got.outcome,
+                expected,
+                "engine diverged from sequential replay on job {} under {policy:?}",
+                job.job_id()
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_actually_flags_stragglers() {
+    // Guard against vacuous equality (both sides predicting nothing).
+    let jobs = suite(0xACE, 4);
+    let pool = ThreadPool::new(2);
+    let (_, events) = nurd_trace::fleet_events(&jobs, QUANTILE);
+    let report = run_engine(&jobs, events, 2, &pool, &warm_policy());
+    let flagged: usize = report
+        .jobs
+        .iter()
+        .map(|r| r.outcome.flagged_at.iter().flatten().count())
+        .sum();
+    assert!(flagged > 0, "no task was ever flagged — test is vacuous");
+    assert!(report.macro_f1() > 0.0);
+    let scored: usize = report.jobs.iter().map(|r| r.checkpoints_scored).sum();
+    assert!(scored >= jobs.len(), "predictors were never invoked");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Shard counts {1, 2, 8} and any random per-job-order-preserving
+    /// interleaving yield the identical report; drain batching too.
+    #[test]
+    fn prop_report_invariant_to_shards_and_interleaving(
+        seed in 0u64..500,
+        shuffle_seed in 0u64..1000,
+    ) {
+        let jobs = suite(seed, 3);
+        let policy = warm_policy();
+        let pool = ThreadPool::new(2);
+
+        // Canonical time-ordered interleaving, 1 shard: the baseline.
+        let (_, canonical) = nurd_trace::fleet_events(&jobs, QUANTILE);
+        let baseline = run_engine(&jobs, canonical.clone(), 1, &pool, &policy);
+
+        // Same events, more shards.
+        for shards in [2usize, 8] {
+            let report = run_engine(&jobs, canonical.clone(), shards, &pool, &policy);
+            prop_assert_eq!(&report, &baseline, "shard count {} changed the report", shards);
+        }
+
+        // Random interleaving of the raw per-job streams.
+        let streams: Vec<Vec<TaskEvent>> = jobs
+            .iter()
+            .map(|j| job_events(j, QUANTILE).1)
+            .collect();
+        let shuffled = nurd_trace::interleave_events(streams, shuffle_seed);
+        let report = run_engine(&jobs, shuffled.clone(), 8, &pool, &policy);
+        prop_assert_eq!(&report, &baseline, "interleaving changed the report");
+
+        // Incremental drains between small batches.
+        let mut engine = Engine::new(
+            EngineConfig { shards: 2, warmup_fraction: WARMUP },
+            nurd_factory(policy.clone()),
+        );
+        for job in &jobs {
+            engine.admit(JobSpec::of_trace(job, QUANTILE));
+        }
+        for chunk in shuffled.chunks(97) {
+            engine.push_all(chunk.to_vec());
+            engine.drain(&pool);
+        }
+        prop_assert_eq!(&engine.finish(&pool), &baseline, "drain batching changed the report");
+    }
+}

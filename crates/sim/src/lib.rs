@@ -38,5 +38,5 @@ mod replay;
 mod scheduler;
 
 pub use metrics::{Confusion, MethodSummary};
-pub use replay::{replay_job, ReplayConfig, ReplayOutcome};
+pub use replay::{outcome_from_flags, replay_job, ReplayConfig, ReplayOutcome};
 pub use scheduler::{simulate_jct, JctOutcome, SchedulerConfig};

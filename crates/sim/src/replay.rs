@@ -119,8 +119,7 @@ pub fn replay_job(
         .iter()
         .map(|t| t.latency() >= threshold)
         .collect();
-    let mut f1_timeline = Vec::with_capacity(job.checkpoint_count());
-
+    let checkpoint_count = job.checkpoint_count();
     for (k, &time) in job.checkpoint_times().iter().enumerate() {
         // Prediction is only meaningful before stragglers reveal themselves
         // (revelation rule, see the function docs).
@@ -159,11 +158,41 @@ pub fn replay_job(
                 }
             }
         }
-        f1_timeline.push(cumulative_f1(&flagged_at, &truth));
     }
 
+    outcome_from_flags(threshold, warmup, checkpoint_count, flagged_at, &truth)
+}
+
+/// Scores a finished replay from its per-task flag ordinals and ground
+/// truth: end-of-job confusion plus the cumulative-F1 timeline (flags
+/// with ordinal `<= k` count toward checkpoint `k`, exactly as they did
+/// when [`replay_job`] accumulated the timeline inline).
+///
+/// This is the **post-hoc** half of the protocol — everything in it is
+/// computable once all latencies are known, from data (`flagged_at`) that
+/// was collected strictly online. `nurd_serve` relies on that split: its
+/// engine records flags as events stream in and calls this at the end,
+/// which is what makes an `EngineReport` bit-for-bit comparable to a
+/// sequential [`replay_job`] of the same jobs.
+///
+/// # Panics
+///
+/// Panics if `flagged_at` and `truth` have different lengths.
+#[must_use]
+pub fn outcome_from_flags(
+    threshold: f64,
+    warmup_checkpoint: usize,
+    checkpoint_count: usize,
+    flagged_at: Vec<Option<usize>>,
+    truth: &[bool],
+) -> ReplayOutcome {
+    assert_eq!(flagged_at.len(), truth.len(), "flags/truth length mismatch");
+    let f1_timeline: Vec<f64> = (0..checkpoint_count)
+        .map(|k| cumulative_f1_at(&flagged_at, truth, k))
+        .collect();
+
     let mut confusion = Confusion::default();
-    for (flag, &is_straggler) in flagged_at.iter().zip(&truth) {
+    for (flag, &is_straggler) in flagged_at.iter().zip(truth) {
         match (flag.is_some(), is_straggler) {
             (true, true) => confusion.true_positives += 1,
             (true, false) => confusion.false_positives += 1,
@@ -177,14 +206,17 @@ pub fn replay_job(
         flagged_at,
         confusion,
         f1_timeline,
-        warmup_checkpoint: warmup,
+        warmup_checkpoint,
     }
 }
 
-fn cumulative_f1(flagged_at: &[Option<usize>], truth: &[bool]) -> f64 {
+/// F1 of the flag set as it stood at checkpoint `k` (flags are never
+/// unset, so that is exactly the flags with ordinal `<= k`).
+fn cumulative_f1_at(flagged_at: &[Option<usize>], truth: &[bool], k: usize) -> f64 {
     let mut c = Confusion::default();
     for (flag, &is_straggler) in flagged_at.iter().zip(truth) {
-        match (flag.is_some(), is_straggler) {
+        let flagged = flag.is_some_and(|o| o <= k);
+        match (flagged, is_straggler) {
             (true, true) => c.true_positives += 1,
             (true, false) => c.false_positives += 1,
             (false, true) => c.false_negatives += 1,

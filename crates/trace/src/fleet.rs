@@ -1,0 +1,165 @@
+//! Interleaved multi-job event streams — the fleet-scale workload shape
+//! `nurd-serve` ingests.
+//!
+//! One replay drives one job; a datacenter runs many at once. This module
+//! lowers a suite of [`JobTrace`]s into a single stream of
+//! [`TaskEvent`]s whose jobs interleave the way concurrent jobs do on a
+//! shared cluster, while preserving the one ordering guarantee the
+//! serving engine needs: **per-job event order is checkpoint order**.
+//! Cross-job order is irrelevant to the engine's output (that is its
+//! determinism contract, property-tested in `nurd-serve`), so two
+//! interleavings are provided: the canonical time-ordered merge, and a
+//! seeded random merge for adversarial shuffling in tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nurd_data::{job_events, JobSpec, JobTrace, TaskEvent};
+
+/// Lowers every job into events and merges them into one stream ordered
+/// by `(event time, job id, per-job sequence)` — the interleaving a
+/// shared cluster clock would produce, deterministically tie-broken.
+/// Returns the per-job [`JobSpec`]s (admission metadata) alongside.
+///
+/// `threshold_quantile` sets each job's `τ_stra` from its own latency
+/// distribution (the paper's p90 protocol at `0.9`).
+#[must_use]
+pub fn fleet_events(jobs: &[JobTrace], threshold_quantile: f64) -> (Vec<JobSpec>, Vec<TaskEvent>) {
+    let mut specs = Vec::with_capacity(jobs.len());
+    let mut tagged: Vec<(f64, u64, usize, TaskEvent)> = Vec::new();
+    for job in jobs {
+        let (spec, events) = job_events(job, threshold_quantile);
+        specs.push(spec);
+        for (seq, ev) in events.into_iter().enumerate() {
+            tagged.push((ev.time(), ev.job(), seq, ev));
+        }
+    }
+    // Stable key: time, then job id, then the job's own sequence — the
+    // last component keeps per-job order even among equal-time events
+    // (a checkpoint's Progress/Finished batch and its Barrier all carry
+    // the checkpoint time).
+    tagged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    (specs, tagged.into_iter().map(|(_, _, _, ev)| ev).collect())
+}
+
+/// Randomly merges per-job event streams while preserving each stream's
+/// internal order: at every step one nonempty stream is chosen uniformly
+/// and its next event is emitted. Same `seed` ⇒ same interleaving. This
+/// is the adversarial counterpart to [`fleet_events`] — any such merge
+/// must produce the identical `EngineReport`.
+#[must_use]
+pub fn interleave_events(mut streams: Vec<Vec<TaskEvent>>, seed: u64) -> Vec<TaskEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; streams.len()];
+    let mut merged = Vec::with_capacity(total);
+    let mut live: Vec<usize> = (0..streams.len())
+        .filter(|&i| !streams[i].is_empty())
+        .collect();
+    while !live.is_empty() {
+        let pick = rng.gen_range(0..live.len());
+        let s = live[pick];
+        merged.push(std::mem::replace(
+            &mut streams[s][cursors[s]],
+            TaskEvent::Barrier {
+                job: 0,
+                ordinal: 0,
+                time: 0.0,
+            },
+        ));
+        cursors[s] += 1;
+        if cursors[s] == streams[s].len() {
+            live.swap_remove(pick);
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SuiteConfig, TraceStyle};
+
+    fn suite() -> Vec<JobTrace> {
+        let cfg = SuiteConfig::new(TraceStyle::Google)
+            .with_jobs(3)
+            .with_task_range(20, 30)
+            .with_checkpoints(5)
+            .with_seed(77);
+        crate::generate_suite(&cfg)
+    }
+
+    /// Per-job subsequence of `events`, with barrier/checkpoint ordinals.
+    fn per_job_ordinals(events: &[TaskEvent], job: u64) -> Vec<usize> {
+        events
+            .iter()
+            .filter(|e| e.job() == job)
+            .filter_map(|e| match e {
+                TaskEvent::Barrier { ordinal, .. } => Some(*ordinal),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_merge_preserves_per_job_order_and_time_order() {
+        let jobs = suite();
+        let (specs, events) = fleet_events(&jobs, 0.9);
+        assert_eq!(specs.len(), 3);
+        for w in events.windows(2) {
+            assert!(w[0].time() <= w[1].time(), "stream not time-ordered");
+        }
+        for spec in &specs {
+            assert_eq!(
+                per_job_ordinals(&events, spec.job),
+                (0..spec.checkpoints).collect::<Vec<_>>()
+            );
+        }
+        let total: usize = jobs
+            .iter()
+            .map(|j| {
+                // submissions + barriers + one Progress-or-Finished per
+                // task per checkpoint, minus post-completion silence.
+                nurd_data::job_events(j, 0.9).1.len()
+            })
+            .sum();
+        assert_eq!(events.len(), total);
+    }
+
+    #[test]
+    fn random_interleave_preserves_each_stream_order() {
+        let jobs = suite();
+        let streams: Vec<Vec<TaskEvent>> = jobs
+            .iter()
+            .map(|j| nurd_data::job_events(j, 0.9).1)
+            .collect();
+        let originals: Vec<Vec<TaskEvent>> = streams.clone();
+        let merged = interleave_events(streams, 0xFEED);
+        for (i, job) in jobs.iter().enumerate() {
+            let sub: Vec<&TaskEvent> = merged.iter().filter(|e| e.job() == job.job_id()).collect();
+            assert_eq!(sub.len(), originals[i].len());
+            for (a, b) in sub.iter().zip(&originals[i]) {
+                assert_eq!(**a, *b, "job {} order disturbed", job.job_id());
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_is_deterministic_per_seed() {
+        let jobs = suite();
+        let streams = || {
+            jobs.iter()
+                .map(|j| nurd_data::job_events(j, 0.9).1)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            interleave_events(streams(), 7),
+            interleave_events(streams(), 7)
+        );
+        assert_ne!(
+            interleave_events(streams(), 7),
+            interleave_events(streams(), 8),
+            "different seeds should interleave differently"
+        );
+    }
+}

@@ -42,6 +42,6 @@ fn main() {
         );
     }
     println!(
-        "\n(run `cargo run --release -p nurd-bench --bin table3_accuracy` for all 23 methods)"
+        "\n(run `cargo run --release -p nurd-bench --bin table3_accuracy` for all 24 methods)"
     );
 }

@@ -6,10 +6,16 @@
 //!
 //! * [`core`] — the NURD algorithm (Algorithm 1): propensity reweighting
 //!   and distribution compensation.
-//! * [`baselines`] — the full 23-method roster of the paper's Table 3.
+//! * [`baselines`] — the full Table 3 roster (the paper's 23 methods plus
+//!   the `NURD-WS` warm-refit row).
 //! * [`sim`] — the online replay protocol, metrics, and the mitigation
 //!   schedulers of Algorithms 2 and 3.
-//! * [`trace`] — the synthetic Google/Alibaba-style trace substrate.
+//! * [`serve`] — the multi-job online prediction engine: sharded,
+//!   event-driven, bit-for-bit equal to sequential replay.
+//! * [`runtime`] — the dependency-free work-stealing thread pool behind
+//!   [`serve`] and the parallel ML loops (`ml::TreeConfig::n_threads`).
+//! * [`trace`] — the synthetic Google/Alibaba-style trace substrate,
+//!   including interleaved multi-job event streams (`trace::fleet_events`).
 //! * [`data`], [`ml`], [`linalg`], [`outlier`], [`pu`], [`survival`] — the
 //!   substrates everything above is built from.
 //!
@@ -46,6 +52,8 @@ pub use nurd_linalg as linalg;
 pub use nurd_ml as ml;
 pub use nurd_outlier as outlier;
 pub use nurd_pu as pu;
+pub use nurd_runtime as runtime;
+pub use nurd_serve as serve;
 pub use nurd_sim as sim;
 pub use nurd_survival as survival;
 pub use nurd_trace as trace;
