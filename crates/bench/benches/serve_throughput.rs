@@ -1,10 +1,13 @@
-//! Multi-job engine throughput: one interleaved fleet stream replayed
-//! through `nurd-serve` at increasing shard counts.
+//! Streaming-engine throughput: one staggered-arrival fleet stream
+//! replayed through `nurd-serve` at increasing shard counts.
 //!
 //! Workload: a 10-job Google-style fleet (~100–140 tasks each, 12
-//! checkpoints) lowered to a single time-ordered `TaskEvent` stream by
-//! `nurd_trace::fleet_events`, scored by warm-policy NURD predictors.
-//! Each measured iteration builds a fresh engine, admits every job,
+//! checkpoints) lowered to a single streaming `TaskEvent` stream by
+//! `nurd_trace::staggered_fleet_events` — jobs are admitted mid-stream
+//! by their `JobStart` events and finalized individually as their
+//! streams end, so the engine's resident state shrinks while the bench
+//! runs, exactly as in a long-lived service. Scoring is by warm-policy
+//! NURD predictors. Each measured iteration builds a fresh engine,
 //! pushes the whole stream, and drains to a report — i.e. the full
 //! serving cost of the fleet, dominated by per-checkpoint model refits.
 //!
@@ -12,35 +15,39 @@
 //! fixed and scales only the shard count and pool size, so the ratio of
 //! `shards/1` to `shards/N` is the engine's scaling factor on the bench
 //! machine. The determinism property test (`nurd-serve`) guarantees all
-//! four produce bit-identical reports; scaling is therefore free of
-//! accuracy caveats. Note the ratio is bounded by the machine's cores —
-//! on a single-core container every shard count measures roughly the
+//! four produce bit-identical per-job reports; scaling is therefore free
+//! of accuracy caveats. Note the ratio is bounded by the machine's cores
+//! — on a single-core container every shard count measures roughly the
 //! sequential cost plus scheduling overhead; the ≥1.5× at 4 workers
 //! acceptance bar refers to machines with ≥4 cores.
 //!
-//! A correctness line (macro-F1, flags, events/sec at 1 shard) is
+//! A correctness line (macro-F1, flags, events/sec at 1 shard, plus the
+//! overload counters, which must be zero for the unbounded config) is
 //! printed before timing so a silently broken engine can't post good
 //! numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use nurd_core::{NurdConfig, NurdPredictor, RefitPolicy, WarmRefitConfig};
-use nurd_data::{JobSpec, TaskEvent};
+use nurd_data::TaskEvent;
 use nurd_runtime::ThreadPool;
 use nurd_serve::{Engine, EngineConfig, EngineReport, PredictorFactory};
 use nurd_trace::{SuiteConfig, TraceStyle};
 
 const JOBS: usize = 10;
 const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Arrival spread (in stream-clock units) — wide enough that early jobs
+/// finalize while late ones are still arriving.
+const ARRIVAL_SPREAD: f64 = 600.0;
 
-fn fleet() -> (Vec<JobSpec>, Vec<TaskEvent>) {
+fn fleet() -> Vec<TaskEvent> {
     let cfg = SuiteConfig::new(TraceStyle::Google)
         .with_jobs(JOBS)
         .with_task_range(100, 140)
         .with_checkpoints(12)
         .with_seed(0x5E8E);
     let jobs = nurd_trace::generate_suite(&cfg);
-    nurd_trace::fleet_events(&jobs, 0.9)
+    nurd_trace::staggered_fleet_events(&jobs, 0.9, ARRIVAL_SPREAD, 0x5E8E)
 }
 
 fn factory() -> PredictorFactory {
@@ -51,33 +58,26 @@ fn factory() -> PredictorFactory {
     })
 }
 
-fn run_fleet(
-    specs: &[JobSpec],
-    events: &[TaskEvent],
-    shards: usize,
-    pool: &ThreadPool,
-) -> EngineReport {
+fn run_fleet(events: &[TaskEvent], shards: usize, pool: &ThreadPool) -> EngineReport {
     let mut engine = Engine::new(
         EngineConfig {
             shards,
             warmup_fraction: 0.04,
+            ..EngineConfig::default()
         },
         factory(),
     );
-    for spec in specs {
-        engine.admit(spec.clone());
-    }
     engine.push_all(events.iter().cloned());
     engine.finish(pool)
 }
 
 fn bench_serve_throughput(c: &mut Criterion) {
-    let (specs, events) = fleet();
+    let events = fleet();
 
     // Correctness guardrail printed next to the timings.
     let reference_pool = ThreadPool::new(1);
     let start = std::time::Instant::now();
-    let report = run_fleet(&specs, &events, 1, &reference_pool);
+    let report = run_fleet(&events, 1, &reference_pool);
     let elapsed = start.elapsed().as_secs_f64();
     let flagged: usize = report
         .jobs
@@ -85,17 +85,28 @@ fn bench_serve_throughput(c: &mut Criterion) {
         .map(|r| r.outcome.flagged_at.iter().flatten().count())
         .sum();
     eprintln!(
-        "serve_throughput workload: {} jobs, {} events, macro-F1 {:.3}, {} tasks flagged, \
-         {:.0} events/s at 1 shard",
+        "serve_throughput workload: {} jobs (mid-stream admission), {} events, macro-F1 {:.3}, \
+         {} tasks flagged, {:.0} events/s at 1 shard, overload {:?}",
         report.jobs.len(),
         report.events,
         report.macro_f1(),
         flagged,
-        report.events as f64 / elapsed
+        report.events as f64 / elapsed,
+        report.overload,
+    );
+    assert_eq!(
+        report.jobs.len(),
+        JOBS,
+        "streaming admission lost jobs — bench would be vacuous"
     );
     assert!(
         flagged > 0,
         "engine flagged nothing — bench would be vacuous"
+    );
+    assert_eq!(
+        report.overload.lost_events(),
+        0,
+        "unbounded config must not lose events"
     );
 
     let mut group = c.benchmark_group("serve_throughput");
@@ -103,7 +114,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
     for shards in SHARD_SWEEP {
         let pool = ThreadPool::new(shards);
         group.bench_function(BenchmarkId::new("shards", shards), |b| {
-            b.iter(|| run_fleet(&specs, &events, shards, &pool));
+            b.iter(|| run_fleet(&events, shards, &pool));
         });
     }
     group.finish();

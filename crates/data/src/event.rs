@@ -62,8 +62,33 @@ impl JobSpec {
 
 /// One event of a fleet stream. See the module docs for the ordering
 /// contract.
+///
+/// The two *lifecycle* variants bracket a job's stream: [`TaskEvent::JobStart`]
+/// carries the [`JobSpec`] so a streaming engine can admit the job on first
+/// sight (no up-front registry), and [`TaskEvent::JobEnd`] announces that no
+/// further events of the job will arrive, letting the engine finalize it and
+/// release its state. [`job_stream`] emits both; [`job_events`] emits
+/// neither (the pre-streaming shape, kept for callers that admit
+/// explicitly).
 #[derive(Debug, Clone, PartialEq)]
 pub enum TaskEvent {
+    /// A new job's stream begins; carries everything an engine needs to
+    /// admit it. Always the first event of the job (per-job order).
+    JobStart {
+        /// The job's static metadata (id, `τ_stra`, task count, feature
+        /// dimensionality, checkpoint count).
+        spec: JobSpec,
+    },
+    /// The job's stream has ended: no further events of this job will
+    /// arrive, and a streaming engine should finalize it now (emit its
+    /// report, drop its state). Always the last event of the job.
+    JobEnd {
+        /// Owning job.
+        job: u64,
+        /// Elapsed time `τ_run` at which the stream ended (at or after the
+        /// job's last checkpoint).
+        time: f64,
+    },
     /// A task entered the system (before its first checkpoint).
     Submitted {
         /// Owning job.
@@ -119,7 +144,9 @@ impl TaskEvent {
     #[must_use]
     pub fn job(&self) -> u64 {
         match self {
-            TaskEvent::Submitted { job, .. }
+            TaskEvent::JobStart { spec } => spec.job,
+            TaskEvent::JobEnd { job, .. }
+            | TaskEvent::Submitted { job, .. }
             | TaskEvent::Progress { job, .. }
             | TaskEvent::Finished { job, .. }
             | TaskEvent::Barrier { job, .. } => *job,
@@ -127,12 +154,13 @@ impl TaskEvent {
     }
 
     /// Wall-clock position of the event in its job's timeline
-    /// (submissions sort at time zero).
+    /// (job starts and submissions sort at time zero).
     #[must_use]
     pub fn time(&self) -> f64 {
         match self {
-            TaskEvent::Submitted { .. } => 0.0,
-            TaskEvent::Progress { time, .. }
+            TaskEvent::JobStart { .. } | TaskEvent::Submitted { .. } => 0.0,
+            TaskEvent::JobEnd { time, .. }
+            | TaskEvent::Progress { time, .. }
             | TaskEvent::Finished { time, .. }
             | TaskEvent::Barrier { time, .. } => *time,
         }
@@ -199,6 +227,27 @@ pub fn job_events(job: &JobTrace, threshold_quantile: f64) -> (JobSpec, Vec<Task
     (spec, events)
 }
 
+/// Lowers one job trace into its *streaming* event stream: the
+/// [`job_events`] stream bracketed by the lifecycle markers a streaming
+/// engine admits and finalizes on — a leading [`TaskEvent::JobStart`]
+/// carrying the [`JobSpec`] and a trailing [`TaskEvent::JobEnd`] at the
+/// last checkpoint's time. This is the per-job unit
+/// `nurd_trace::staggered_fleet_events` merges into a fleet stream with
+/// staggered arrivals.
+#[must_use]
+pub fn job_stream(job: &JobTrace, threshold_quantile: f64) -> Vec<TaskEvent> {
+    let (spec, events) = job_events(job, threshold_quantile);
+    let end_time = job.checkpoint_times().last().copied().unwrap_or(0.0);
+    let mut stream = Vec::with_capacity(events.len() + 2);
+    stream.push(TaskEvent::JobStart { spec });
+    stream.extend(events);
+    stream.push(TaskEvent::JobEnd {
+        job: job.job_id(),
+        time: end_time,
+    });
+    stream
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +309,9 @@ mod tests {
                     assert!(*ordinal >= closed, "event after its barrier");
                 }
                 TaskEvent::Submitted { .. } => assert_eq!(closed, 0),
+                TaskEvent::JobStart { .. } | TaskEvent::JobEnd { .. } => {
+                    panic!("job_events must not emit lifecycle markers")
+                }
             }
         }
     }
@@ -272,6 +324,24 @@ mod tests {
             assert!(ev.time() >= 0.0);
         }
         assert_eq!(events[0].time(), 0.0, "submissions sort at time zero");
+    }
+
+    #[test]
+    fn job_stream_brackets_events_with_lifecycle_markers() {
+        let j = job();
+        let stream = job_stream(&j, 0.9);
+        let (spec, inner) = job_events(&j, 0.9);
+        assert_eq!(stream.len(), inner.len() + 2);
+        assert_eq!(stream[0], TaskEvent::JobStart { spec });
+        assert_eq!(
+            *stream.last().unwrap(),
+            TaskEvent::JobEnd { job: 3, time: 10.0 }
+        );
+        assert_eq!(&stream[1..stream.len() - 1], &inner[..]);
+        // Lifecycle accessors participate in the merge keys.
+        assert_eq!(stream[0].job(), 3);
+        assert_eq!(stream[0].time(), 0.0);
+        assert_eq!(stream.last().unwrap().time(), 10.0);
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod checkpoint;
 mod csv;
 mod error;
@@ -41,7 +43,7 @@ mod task;
 pub use checkpoint::{Checkpoint, FinishedDelta, FinishedTask, RunningTask};
 pub use csv::{read_job_csv, read_jobs_csv, write_job_csv, write_jobs_csv};
 pub use error::DataError;
-pub use event::{job_events, JobSpec, TaskEvent};
+pub use event::{job_events, job_stream, JobSpec, TaskEvent};
 pub use job::{warmup_quorum, JobTrace};
 pub use predictor::{JobContext, OnlinePredictor, StreamContext};
 pub use task::{TaskId, TaskRecord};

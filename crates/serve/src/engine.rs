@@ -1,13 +1,18 @@
-//! The multi-tenant engine: sharded dispatch, parallel drains, reports.
+//! The streaming engine: sharded dispatch, mid-stream admission,
+//! per-job finalization, back-pressure, parallel drains, reports.
 
 use nurd_data::{JobSpec, OnlinePredictor, TaskEvent};
 use nurd_runtime::ThreadPool;
 use nurd_sim::ReplayOutcome;
 
+use crate::lifecycle::{FinalizeReason, JobPhase, OverloadCounters, OverloadPolicy};
 use crate::shard::Shard;
 
 /// Builds a fresh predictor for an admitted job — the serving analogue of
-/// the per-job factories in `nurd-baselines`' method registry.
+/// the per-job factories in `nurd-baselines`' method registry. Invoked by
+/// a shard drain when it encounters the job's
+/// [`TaskEvent::JobStart`], so it must be `Sync` (drains run in
+/// parallel).
 pub type PredictorFactory = Box<dyn Fn(&JobSpec) -> Box<dyn OnlinePredictor + Send> + Send + Sync>;
 
 /// Engine tuning.
@@ -21,6 +26,13 @@ pub struct EngineConfig {
     /// its tasks (the paper's 4% — must match the replay config when
     /// comparing reports against `nurd_sim::replay_job`).
     pub warmup_fraction: f64,
+    /// Per-shard ingress queue bound. `None` (the default) is unbounded;
+    /// `Some(n)` makes [`Engine::push`] apply the [`OverloadPolicy`] once
+    /// a shard holds `n` undrained events.
+    pub queue_capacity: Option<usize>,
+    /// What to do with a push to a full shard queue (see
+    /// [`OverloadPolicy`]; only the default `Block` is lossless).
+    pub overload: OverloadPolicy,
 }
 
 impl Default for EngineConfig {
@@ -28,20 +40,26 @@ impl Default for EngineConfig {
         EngineConfig {
             shards: 4,
             warmup_fraction: 0.04,
+            queue_capacity: None,
+            overload: OverloadPolicy::Block,
         }
     }
 }
 
-/// Everything the engine measured for one job. `outcome` is bit-for-bit
-/// the [`ReplayOutcome`] a sequential `nurd_sim::replay_job` of the same
-/// job with the same predictor configuration produces — the engine's
-/// central correctness contract.
+/// Everything the engine measured for one job, emitted when the job
+/// finalizes. `outcome` is bit-for-bit the [`ReplayOutcome`] a sequential
+/// `nurd_sim::replay_job` of the same job with the same predictor
+/// configuration produces — the engine's central correctness contract,
+/// preserved for jobs that arrive and depart mid-stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobReport {
     /// Job identifier.
     pub job: u64,
     /// Checkpoints at which the predictor was actually invoked.
     pub checkpoints_scored: usize,
+    /// What ended the job's stream (deterministic per stream — safe to
+    /// compare across shard counts and interleavings).
+    pub finalized: FinalizeReason,
     /// Protocol scoring, identical to sequential replay.
     pub outcome: ReplayOutcome,
 }
@@ -49,19 +67,31 @@ pub struct JobReport {
 /// The engine's final output: per-job reports in job-id order. Equal
 /// (`PartialEq`) across *any* shard count and *any* event interleaving of
 /// the same per-job streams — the determinism property test in
-/// `tests/determinism.rs` enforces exactly this.
+/// `tests/determinism.rs` enforces exactly this (the overload counters
+/// stay zero under the lossless default config; a lossy overload policy
+/// is the one way to forfeit the property, and the counters are how an
+/// operator sees that it happened).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineReport {
-    /// Per-job results, ascending job id.
+    /// Reports of jobs still unreported at [`Engine::finish`] —
+    /// everything not already handed out by [`Engine::take_finalized`] —
+    /// ascending job id.
     pub jobs: Vec<JobReport>,
-    /// Total events ingested — including orphans (events for never-
-    /// admitted jobs), which are counted here and in
-    /// [`EngineStats::orphan_events`] but applied to no job.
+    /// Total events ingested, lifecycle events included. Orphans (events
+    /// for never-admitted jobs) and stale events (events arriving after
+    /// their job finalized) are counted here and in [`EngineStats`] but
+    /// applied to no job.
     pub events: usize,
+    /// Fleet-wide overload *losses* (zero under the unbounded default
+    /// and under the lossless `Block` policy; nonzero exactly when a
+    /// lossy policy dropped events and forfeited determinism for the
+    /// affected jobs). Blocked-push counts are scheduling-dependent and
+    /// therefore live in [`EngineStats::blocked_pushes`], not here.
+    pub overload: OverloadCounters,
 }
 
 impl EngineReport {
-    /// The report of job `job`, if it was admitted.
+    /// The report of job `job`, if this report carries it.
     #[must_use]
     pub fn job(&self, job: u64) -> Option<&JobReport> {
         self.jobs.iter().find(|r| r.job == job)
@@ -83,17 +113,27 @@ impl EngineReport {
 
 /// Scheduling-dependent diagnostics — deliberately **not** part of
 /// [`EngineReport`], because per-shard load varies with the shard count
-/// while the report must not.
+/// while the report must not. `docs/OPERATIONS.md` explains how to read
+/// each counter in production.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineStats {
     /// Configured shard count.
     pub shards: usize,
-    /// Jobs admitted per shard.
+    /// *Live* (admitted, not yet finalized) jobs per shard — this is the
+    /// engine's resident-memory footprint, and it shrinks as jobs
+    /// finalize.
     pub jobs_per_shard: Vec<usize>,
-    /// Events ingested per shard (orphans included).
+    /// Events ingested per shard (orphans and stale events included).
     pub events_per_shard: Vec<usize>,
+    /// Jobs finalized so far, fleet-wide.
+    pub finalized_jobs: usize,
     /// Events whose job was never admitted (counted, then dropped).
     pub orphan_events: usize,
+    /// Events that arrived after their job finalized (counted, then
+    /// dropped). A canonical stream produces a benign tail of these when
+    /// a job finalizes early because every task finished; after an
+    /// explicit `JobEnd` they indicate a misbehaving producer.
+    pub stale_events: usize,
     /// Structurally invalid events rejected during application: unknown
     /// task id, feature width differing from the job's
     /// [`JobSpec::feature_dim`], duplicate completion, or a barrier that
@@ -102,24 +142,38 @@ pub struct EngineStats {
     /// ways: no malformed event can panic a drain, and no replayed
     /// barrier can re-score a closed checkpoint.
     pub rejected_events: usize,
+    /// Pushes that found a full queue under [`OverloadPolicy::Block`]
+    /// and drained the shard inline before enqueueing. Lossless, but
+    /// scheduling-dependent (varies with shard count and drain timing),
+    /// hence here and not in [`EngineReport`].
+    pub blocked_pushes: usize,
+    /// Overload loss accounting (see [`OverloadCounters`]).
+    pub overload: OverloadCounters,
 }
 
-/// A multi-job online straggler-prediction engine.
+/// A multi-job **streaming** straggler-prediction engine.
 ///
-/// Jobs are [admitted](Engine::admit) with their [`JobSpec`], events are
-/// [pushed](Engine::push) in any cross-job interleaving (per-job order
-/// must be checkpoint order), and [`Engine::drain`] applies everything
-/// queued — each shard on its own `nurd-runtime` task, in parallel.
+/// Events are [pushed](Engine::push) in any cross-job interleaving
+/// (per-job order must be checkpoint order, bracketed by
+/// [`TaskEvent::JobStart`] / [`TaskEvent::JobEnd`]), and
+/// [`Engine::drain`] applies everything queued — each shard on its own
+/// `nurd-runtime` task, in parallel. Jobs are admitted *mid-stream* when
+/// a drain first sees their `JobStart` (which carries the [`JobSpec`] —
+/// there is no up-front registry), and finalized individually when their
+/// stream ends, at which point their entire state is dropped and their
+/// [`JobReport`] becomes available to [`Engine::take_finalized`].
 /// Because a job's entire state lives in exactly one shard (job id hash)
 /// and shards share nothing, the engine's output is independent of shard
 /// count, drain batching, and cross-job interleaving.
 ///
 /// # Example
 ///
+/// Admission → drain → finalization, all through the stream:
+///
 /// ```
-/// use nurd_serve::{Engine, EngineConfig};
 /// use nurd_runtime::ThreadPool;
-/// # use nurd_data::{JobSpec, Checkpoint, OnlinePredictor};
+/// use nurd_serve::{Engine, EngineConfig, FinalizeReason, JobPhase};
+/// # use nurd_data::{Checkpoint, JobSpec, OnlinePredictor, TaskEvent};
 /// # struct Never;
 /// # impl OnlinePredictor for Never {
 /// #     fn name(&self) -> &str { "NEVER" }
@@ -128,10 +182,24 @@ pub struct EngineStats {
 ///
 /// let pool = ThreadPool::new(2);
 /// let mut engine = Engine::new(EngineConfig::default(), Box::new(|_| Box::new(Never)));
-/// engine.admit(JobSpec { job: 1, threshold: 100.0, task_count: 2, feature_dim: 1, checkpoints: 1 });
-/// engine.push(nurd_data::TaskEvent::Barrier { job: 1, ordinal: 0, time: 50.0 });
-/// let report = engine.finish(&pool);
-/// assert_eq!(report.jobs.len(), 1);
+///
+/// // 1. Admission travels in the stream — no up-front registry.
+/// engine.push(TaskEvent::JobStart {
+///     spec: JobSpec { job: 1, threshold: 100.0, task_count: 2, feature_dim: 1, checkpoints: 1 },
+/// });
+/// engine.push(TaskEvent::Barrier { job: 1, ordinal: 0, time: 50.0 });
+///
+/// // 2. Drain applies the queued events (admits, scores, finalizes).
+/// engine.drain(&pool);
+/// assert_eq!(engine.job_phase(1), Some(JobPhase::Finalized));
+///
+/// // 3. The job's report is available mid-stream, long before finish.
+/// let done = engine.take_finalized();
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].finalized, FinalizeReason::StreamComplete);
+///
+/// // finish() reports only jobs not already taken.
+/// assert!(engine.finish(&pool).jobs.is_empty());
 /// ```
 pub struct Engine {
     config: EngineConfig,
@@ -175,24 +243,47 @@ impl Engine {
         (z % self.shards.len() as u64) as usize
     }
 
-    /// Admits a job: builds its predictor (calling
-    /// `OnlinePredictor::begin_stream`) and registers it with its shard.
-    /// Must happen before the job's first event arrives; a job admitted
-    /// twice is reset to a fresh predictor.
+    /// Convenience admission for callers that hold specs out of band: it
+    /// simply pushes a [`TaskEvent::JobStart`] carrying `spec`, so
+    /// admission stays FIFO-ordered with the job's other queued events
+    /// (and is subject to the same overload policy). A stream that
+    /// carries its own `JobStart` events does not need this.
     pub fn admit(&mut self, spec: JobSpec) {
-        let predictor = (self.factory)(&spec);
-        let shard = self.shard_of(spec.job);
-        self.shards[shard].admit(spec, predictor);
+        self.push(TaskEvent::JobStart { spec });
     }
 
     /// Enqueues one event on its job's shard (cheap: a hash plus a queue
     /// push; all model work happens in [`Engine::drain`]). The event's
-    /// job must already be [admitted](Engine::admit) — an event that
-    /// reaches a drain before its admission is an orphan (counted,
+    /// job must have a [`TaskEvent::JobStart`] earlier in its stream — an
+    /// event drained before its job's admission is an orphan (counted,
     /// dropped, and *not* replayed by a later admission).
+    ///
+    /// If the shard's queue is at [`EngineConfig::queue_capacity`], the
+    /// configured [`OverloadPolicy`] applies: `Block` drains the shard on
+    /// this thread and then enqueues (lossless back-pressure),
+    /// `ShedOldest` evicts the oldest queued event, `RejectNew` drops
+    /// `event`. All three are counted — losses in
+    /// [`EngineStats::overload`], blocked pushes in
+    /// [`EngineStats::blocked_pushes`].
     pub fn push(&mut self, event: TaskEvent) {
-        let shard = self.shard_of(event.job());
-        self.shards[shard].enqueue(event);
+        let idx = self.shard_of(event.job());
+        if let Some(capacity) = self.config.queue_capacity {
+            if self.shards[idx].queued() >= capacity.max(1) {
+                match self.config.overload {
+                    OverloadPolicy::Block => {
+                        let shard = &mut self.shards[idx];
+                        shard.blocked_pushes += 1;
+                        shard.drain(&self.factory);
+                    }
+                    OverloadPolicy::ShedOldest => self.shards[idx].shed_oldest(),
+                    OverloadPolicy::RejectNew => {
+                        self.shards[idx].overload.rejected_ingress += 1;
+                        return;
+                    }
+                }
+            }
+        }
+        self.shards[idx].enqueue(event);
     }
 
     /// Enqueues a batch of events.
@@ -204,20 +295,41 @@ impl Engine {
 
     /// Applies every queued event: shards with pending work each become
     /// one pool task (the calling thread participates). May be called any
-    /// number of times at any batching — the final report is identical,
-    /// provided every event was pushed after its job's admission (an
+    /// number of times at any batching — per-job results are identical,
+    /// provided every event was pushed after its job's `JobStart` (an
     /// early push only survives to a later admission while it sits
     /// undrained; see [`Engine::push`]).
     pub fn drain(&mut self, pool: &ThreadPool) {
+        let factory = &self.factory;
         let pending: Vec<&mut Shard> = self.shards.iter_mut().filter(|s| s.queued() > 0).collect();
         if pending.is_empty() {
             return;
         }
         pool.scope(|scope| {
             for shard in pending {
-                scope.spawn(move || shard.drain());
+                scope.spawn(move || shard.drain(factory));
             }
         });
+    }
+
+    /// Takes the reports of jobs finalized since the last take (job-id
+    /// order) — the mid-stream observation channel. A report taken here
+    /// is *not* repeated by [`Engine::finish`].
+    pub fn take_finalized(&mut self) -> Vec<JobReport> {
+        let mut reports: Vec<JobReport> = self
+            .shards
+            .iter_mut()
+            .flat_map(Shard::take_finalized)
+            .collect();
+        reports.sort_by_key(|r| r.job);
+        reports
+    }
+
+    /// Where `job` sits in its lifecycle, judging by *drained* state
+    /// (`None` = never admitted, or its `JobStart` is still queued).
+    #[must_use]
+    pub fn job_phase(&self, job: u64) -> Option<JobPhase> {
+        self.shards[self.shard_of(job)].phase_of(job)
     }
 
     /// Scheduling diagnostics (see [`EngineStats`]).
@@ -227,20 +339,40 @@ impl Engine {
             shards: self.shards.len(),
             jobs_per_shard: self.shards.iter().map(Shard::job_count).collect(),
             events_per_shard: self.shards.iter().map(|s| s.events_processed).collect(),
+            finalized_jobs: self.shards.iter().map(Shard::finalized_count).sum(),
             orphan_events: self.shards.iter().map(|s| s.orphan_events).sum(),
+            stale_events: self.shards.iter().map(|s| s.stale_events).sum(),
             rejected_events: self.shards.iter().map(|s| s.rejected_events).sum(),
+            blocked_pushes: self.shards.iter().map(|s| s.blocked_pushes).sum(),
+            overload: self.overload(),
         }
     }
 
-    /// Drains outstanding events and produces the final report (per-job
-    /// results in ascending job-id order).
+    fn overload(&self) -> OverloadCounters {
+        self.shards
+            .iter()
+            .fold(OverloadCounters::default(), |acc, s| acc.merged(s.overload))
+    }
+
+    /// Drains outstanding events, finalizes every still-live job (reason
+    /// [`FinalizeReason::EngineFinish`]) and produces the final report:
+    /// all not-yet-taken per-job results in ascending job-id order.
     #[must_use]
     pub fn finish(mut self, pool: &ThreadPool) -> EngineReport {
         self.drain(pool);
-        let mut jobs: Vec<JobReport> = self.shards.iter().flat_map(Shard::reports).collect();
+        let overload = self.overload();
+        let mut jobs: Vec<JobReport> = self
+            .shards
+            .iter_mut()
+            .flat_map(Shard::finish_reports)
+            .collect();
         jobs.sort_by_key(|r| r.job);
         let events = self.shards.iter().map(|s| s.events_processed).sum();
-        EngineReport { jobs, events }
+        EngineReport {
+            jobs,
+            events,
+            overload,
+        }
     }
 }
 
@@ -335,7 +467,7 @@ mod tests {
         let mut engine = Engine::new(
             EngineConfig {
                 shards: 3,
-                warmup_fraction: 0.04,
+                ..EngineConfig::default()
             },
             factory(),
         );
@@ -359,8 +491,12 @@ mod tests {
             // task 2 never finished in-stream: counted a straggler.
             assert_eq!(r.outcome.confusion.false_positives, 1);
             assert_eq!(r.outcome.confusion.true_positives, 1);
+            // The last declared barrier closed the stream.
+            assert_eq!(r.finalized, FinalizeReason::StreamComplete);
         }
-        assert_eq!(report.events, 30);
+        // 10 task events + 1 JobStart per job.
+        assert_eq!(report.events, 33);
+        assert_eq!(report.overload, OverloadCounters::default());
     }
 
     #[test]
@@ -392,8 +528,8 @@ mod tests {
         let mut engine = Engine::new(EngineConfig::default(), factory());
         engine.admit(spec(1));
         let mut events = tiny_events(1);
-        // Ragged snapshot (spec says feature_dim = 1), an unknown task
-        // id, a duplicate completion, and a replayed barrier.
+        // Ragged snapshot (spec says feature_dim = 1) and an unknown task
+        // id, inserted before the first barrier...
         events.insert(
             3,
             TaskEvent::Progress {
@@ -405,19 +541,28 @@ mod tests {
             },
         );
         events.insert(4, TaskEvent::Submitted { job: 1, task: 99 });
-        events.push(TaskEvent::Finished {
-            job: 1,
-            task: 0,
-            ordinal: 1,
-            time: 8.0,
-            features: vec![0.1],
-            latency: 2.0,
-        });
-        events.push(TaskEvent::Barrier {
-            job: 1,
-            ordinal: 0,
-            time: 4.0,
-        });
+        // ...plus a duplicate completion and a replayed barrier *before*
+        // the final barrier, while the job is still live.
+        let last = events.len() - 1;
+        events.insert(
+            last,
+            TaskEvent::Finished {
+                job: 1,
+                task: 0,
+                ordinal: 1,
+                time: 8.0,
+                features: vec![0.1],
+                latency: 2.0,
+            },
+        );
+        events.insert(
+            last + 1,
+            TaskEvent::Barrier {
+                job: 1,
+                ordinal: 0,
+                time: 4.0,
+            },
+        );
         engine.push_all(events);
         engine.drain(&pool);
         assert_eq!(engine.stats().rejected_events, 4);
@@ -435,7 +580,7 @@ mod tests {
         let engine = Engine::new(
             EngineConfig {
                 shards: 8,
-                warmup_fraction: 0.04,
+                ..EngineConfig::default()
             },
             factory(),
         );
@@ -453,18 +598,16 @@ mod tests {
     #[test]
     fn drain_batching_does_not_change_the_report() {
         let pool = ThreadPool::new(2);
-        let build = || {
-            let mut e = Engine::new(EngineConfig::default(), factory());
-            for job in [1u64, 2, 3, 4] {
-                e.admit(spec(job));
-            }
-            e
-        };
+        let build = || Engine::new(EngineConfig::default(), factory());
         let mut one_shot = build();
         let mut batched = build();
         let events: Vec<TaskEvent> = [1u64, 2, 3, 4]
             .iter()
-            .flat_map(|&j| tiny_events(j))
+            .flat_map(|&j| {
+                let mut stream = vec![TaskEvent::JobStart { spec: spec(j) }];
+                stream.extend(tiny_events(j));
+                stream
+            })
             .collect();
         one_shot.push_all(events.clone());
         for chunk in events.chunks(7) {
@@ -472,5 +615,25 @@ mod tests {
             batched.drain(&pool);
         }
         assert_eq!(one_shot.finish(&pool), batched.finish(&pool));
+    }
+
+    #[test]
+    fn finalization_frees_job_state_and_take_finalized_drains_reports() {
+        let pool = ThreadPool::new(1);
+        let mut engine = Engine::new(EngineConfig::default(), factory());
+        engine.admit(spec(1));
+        engine.push_all(tiny_events(1));
+        engine.drain(&pool);
+        // The last barrier finalized the job: no live state remains.
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_per_shard.iter().sum::<usize>(), 0);
+        assert_eq!(stats.finalized_jobs, 1);
+        assert_eq!(engine.job_phase(1), Some(JobPhase::Finalized));
+        let taken = engine.take_finalized();
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].job, 1);
+        assert!(engine.take_finalized().is_empty(), "take drains");
+        // finish() does not repeat a taken report.
+        assert!(engine.finish(&pool).jobs.is_empty());
     }
 }

@@ -1,37 +1,57 @@
-//! `nurd-serve` — a multi-job online straggler-prediction engine on the
-//! shared `nurd-runtime` work-stealing pool.
+//! `nurd-serve` — a streaming multi-job straggler-prediction engine on
+//! the shared `nurd-runtime` work-stealing pool.
 //!
 //! The paper's Algorithm 1 (and `nurd_sim::replay_job`) is one job,
 //! replayed checkpoint-by-checkpoint on one thread. The ROADMAP's north
 //! star is a *service*: many concurrent jobs streaming task events under
-//! heavy traffic. This crate is that layer:
+//! heavy traffic, arriving and departing at any time. This crate is that
+//! layer:
 //!
-//! * a [`nurd_data::TaskEvent`] stream (`Submitted` / `Progress` /
-//!   `Finished`, with per-checkpoint `Barrier`s) multiplexed across jobs
-//!   — build one from traces with `nurd_trace::fleet_events`;
-//! * per-job predictor state ([`nurd_data::JobSpec`] + any
-//!   [`nurd_data::OnlinePredictor`], e.g. a warm-policy `NurdPredictor`
-//!   whose `WarmRefitState` persists across the job's checkpoints);
+//! * a [`nurd_data::TaskEvent`] stream (`JobStart` / `Submitted` /
+//!   `Progress` / `Finished` / `Barrier` / `JobEnd`) multiplexed across
+//!   jobs — build one from traces with
+//!   `nurd_trace::staggered_fleet_events`;
+//! * **mid-stream admission**: a job is admitted when a drain first sees
+//!   its [`TaskEvent::JobStart`](nurd_data::TaskEvent::JobStart), which
+//!   carries the [`nurd_data::JobSpec`]; the [`PredictorFactory`] builds
+//!   its predictor on the spot — there is no up-front registry;
+//! * **per-job finalization**: an explicit
+//!   [`TaskEvent::JobEnd`](nurd_data::TaskEvent::JobEnd), a job's last
+//!   barrier, or all-tasks-finished detection emits its [`JobReport`]
+//!   (readable mid-stream via [`Engine::take_finalized`]) and drops the
+//!   job's entire state, bounding resident memory to *live* jobs;
+//! * **back-pressure**: per-shard ingress queues can be bounded
+//!   ([`EngineConfig::queue_capacity`]) with a configurable
+//!   [`OverloadPolicy`] (block / shed-oldest / reject-new), accounted in
+//!   [`OverloadCounters`];
 //! * a **sharded dispatcher** ([`Engine`]) hashing job ids to shards,
-//!   each shard drained by its own pool task;
-//! * **batched scoring at checkpoint boundaries**: a job's running tasks
-//!   are scored when its `Barrier` event closes a checkpoint, under the
-//!   replay protocol's warmup and revelation rules;
-//! * an [`EngineReport`] whose per-job [`nurd_sim::ReplayOutcome`] is
-//!   **bit-for-bit identical to sequential replay**, regardless of shard
-//!   count, drain batching, or cross-job event interleaving.
+//!   each shard drained by its own pool task, with **batched scoring at
+//!   checkpoint boundaries** under the replay protocol's warmup and
+//!   revelation rules;
+//! * per-job reports whose [`nurd_sim::ReplayOutcome`] is **bit-for-bit
+//!   identical to sequential replay**, regardless of shard count, drain
+//!   batching, cross-job event interleaving, or when the job arrived and
+//!   departed.
+//!
+//! `docs/OPERATIONS.md` at the repository root is the operator's guide
+//! to running this engine (lifecycle state machine, shard sizing,
+//! overload policies, counter triage).
 //!
 //! # Why determinism holds
 //!
 //! A job's entire mutable state — predictor, task features, flags —
 //! lives in exactly one shard, chosen by hashing the job id. Events of
 //! one job are applied in stream order (shard queues are FIFO and the
-//! stream contract keeps per-job order), and no state is shared between
+//! stream contract keeps per-job order), admission and finalization ride
+//! *in* that stream as ordinary events, and no state is shared between
 //! jobs. Parallelism only decides *which thread* applies a job's events,
 //! never their order, so every job's trajectory equals its sequential
-//! replay and the merged, id-sorted report is invariant. The property
-//! test in `tests/determinism.rs` pins this across shard counts
-//! {1, 2, 8}, random interleavings, and drain batchings.
+//! replay and the merged, id-sorted report is invariant. The one
+//! exception is deliberate: a lossy [`OverloadPolicy`] under saturation
+//! drops events, which the overload counters make visible. The property
+//! test in `tests/determinism.rs` pins the invariance across shard
+//! counts {1, 2, 8}, random interleavings, drain batchings, and
+//! staggered mid-stream arrivals/departures.
 //!
 //! # Example
 //!
@@ -45,26 +65,29 @@
 //! #     fn predict(&mut self, _: &Checkpoint<'_>) -> Vec<usize> { Vec::new() }
 //! # }
 //!
-//! // Generate a 3-job fleet and replay it through a 2-shard engine.
+//! // Generate a 3-job fleet whose jobs arrive and depart mid-stream,
+//! // and serve it through a 2-shard engine. Admission metadata travels
+//! // in the stream's JobStart events.
 //! let cfg = nurd_trace::SuiteConfig::new(nurd_trace::TraceStyle::Google)
 //!     .with_jobs(3).with_task_range(20, 30).with_checkpoints(6).with_seed(1);
 //! let jobs = nurd_trace::generate_suite(&cfg);
-//! let (specs, events) = nurd_trace::fleet_events(&jobs, 0.9);
+//! let events = nurd_trace::staggered_fleet_events(&jobs, 0.9, 50.0, 7);
 //!
 //! let pool = ThreadPool::new(2);
 //! let mut engine = Engine::new(
 //!     EngineConfig { shards: 2, ..EngineConfig::default() },
 //!     Box::new(|_| Box::new(Never)),
 //! );
-//! for spec in specs {
-//!     engine.admit(spec);
-//! }
 //! engine.push_all(events);
 //! let report = engine.finish(&pool);
 //! assert_eq!(report.jobs.len(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 mod engine;
+mod lifecycle;
 mod shard;
 
 pub use engine::{Engine, EngineConfig, EngineReport, EngineStats, JobReport, PredictorFactory};
+pub use lifecycle::{FinalizeReason, JobPhase, OverloadCounters, OverloadPolicy};

@@ -1,0 +1,143 @@
+//! Job lifecycle and overload-control vocabulary for the streaming engine.
+//!
+//! A job served by [`Engine`](crate::Engine) moves through four phases:
+//!
+//! ```text
+//!            JobStart drained          first quorum barrier
+//! (unknown) ────────────────► Admitted ──► Warming ──► Scoring ──► Finalized
+//!                                  │            │           │          ▲
+//!                                  └────────────┴───────────┴──────────┘
+//!                 JobEnd · stream complete (last barrier or all tasks
+//!                 finished at a barrier) · Engine::finish
+//! ```
+//!
+//! Finalization emits the job's [`JobReport`](crate::JobReport) and drops
+//! its entire in-shard state (predictor, task features, flags), which is
+//! what bounds the engine's resident memory to the *live* jobs rather
+//! than every job ever seen. `docs/OPERATIONS.md` walks the state
+//! machine from an operator's perspective.
+
+/// Where a job currently sits in its serving lifecycle (see the module
+/// docs for the state machine). Returned by
+/// [`Engine::job_phase`](crate::Engine::job_phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted (its `JobStart` was drained) but no checkpoint activity
+    /// has been applied yet.
+    Admitted,
+    /// Events are flowing but the warmup quorum has not yet held at a
+    /// barrier — the predictor exists but has never been invoked.
+    Warming,
+    /// The warmup quorum held; the predictor is scored at each barrier
+    /// inside the prediction window.
+    Scoring,
+    /// The job's stream ended; its report is (or was) available and its
+    /// state has been dropped.
+    Finalized,
+}
+
+/// Why a job was finalized. Deterministic for a given event stream — it
+/// depends only on the job's own event prefix, never on shard count or
+/// drain timing — so it is safe to carry inside the determinism-checked
+/// [`JobReport`](crate::JobReport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalizeReason {
+    /// An explicit [`TaskEvent::JobEnd`](nurd_data::TaskEvent::JobEnd)
+    /// arrived.
+    JobEnd,
+    /// The stream completed on its own: the job's last declared barrier
+    /// closed, or every task had finished by a closed barrier (nothing
+    /// was left to score — past the last completion the clock is at or
+    /// beyond `τ_stra`, so the revelation rule has already ended the
+    /// prediction window).
+    StreamComplete,
+    /// The operator called [`Engine::finish`](crate::Engine::finish)
+    /// while the job was still live.
+    EngineFinish,
+}
+
+/// What [`Engine::push`](crate::Engine::push) does when the target
+/// shard's ingress queue is at [`EngineConfig::queue_capacity`](crate::EngineConfig::queue_capacity).
+///
+/// Only [`OverloadPolicy::Block`] preserves the engine's determinism
+/// contract (it loses no events — the producer pays by draining the
+/// shard inline). The shedding policies trade events for bounded memory
+/// and are accounted in [`OverloadCounters`]; any per-job stream they
+/// puncture degrades gracefully (later events of that job may be
+/// rejected by structural validation, never panic a drain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Apply back-pressure: the pushing thread drains the full shard
+    /// in-line, then enqueues. No events are lost; determinism holds.
+    #[default]
+    Block,
+    /// Drop the *oldest* queued event to make room for the new one —
+    /// favors fresh signal under sustained overload.
+    ShedOldest,
+    /// Drop the *incoming* event — favors completing what is already
+    /// queued.
+    RejectNew,
+}
+
+/// Overload *loss* accounting, per shard and summed fleet-wide in
+/// [`EngineReport`](crate::EngineReport) /
+/// [`EngineStats`](crate::EngineStats). Both counters stay zero while
+/// the configured capacity is never hit (the unbounded default) and
+/// under the lossless [`OverloadPolicy::Block`] — nonzero values are
+/// exactly the cases where determinism was forfeited, so carrying them
+/// in the determinism-checked report is sound. The lossless-but-
+/// scheduling-dependent count of blocked pushes lives in
+/// [`EngineStats::blocked_pushes`](crate::EngineStats::blocked_pushes)
+/// instead (like `events_per_shard`, it varies with shard count and
+/// drain timing while the report must not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverloadCounters {
+    /// Queued events dropped under [`OverloadPolicy::ShedOldest`].
+    pub shed_events: usize,
+    /// Incoming events dropped under [`OverloadPolicy::RejectNew`].
+    pub rejected_ingress: usize,
+}
+
+impl OverloadCounters {
+    /// Element-wise sum — used to aggregate shard counters fleet-wide.
+    #[must_use]
+    pub fn merged(self, other: OverloadCounters) -> OverloadCounters {
+        OverloadCounters {
+            shed_events: self.shed_events + other.shed_events,
+            rejected_ingress: self.rejected_ingress + other.rejected_ingress,
+        }
+    }
+
+    /// Total events *lost* to overload (shed + rejected ingress).
+    #[must_use]
+    pub fn lost_events(&self) -> usize {
+        self.shed_events + self.rejected_ingress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_elementwise_and_report_losses() {
+        let a = OverloadCounters {
+            shed_events: 2,
+            rejected_ingress: 3,
+        };
+        let b = OverloadCounters {
+            shed_events: 20,
+            rejected_ingress: 30,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.shed_events, 22);
+        assert_eq!(m.rejected_ingress, 33);
+        assert_eq!(m.lost_events(), 55);
+    }
+
+    #[test]
+    fn default_policy_is_the_lossless_one() {
+        assert_eq!(OverloadPolicy::default(), OverloadPolicy::Block);
+        assert_eq!(OverloadCounters::default().lost_events(), 0);
+    }
+}

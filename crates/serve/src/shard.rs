@@ -1,13 +1,14 @@
 //! Per-shard job state and the event application logic.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use nurd_data::{
     Checkpoint, FinishedTask, JobSpec, OnlinePredictor, RunningTask, StreamContext, TaskEvent,
 };
 use nurd_sim::outcome_from_flags;
 
-use crate::engine::JobReport;
+use crate::engine::{JobReport, PredictorFactory};
+use crate::lifecycle::{FinalizeReason, JobPhase, OverloadCounters};
 
 /// What the shard knows about one task of one job.
 #[derive(Debug, Default)]
@@ -26,7 +27,8 @@ struct TaskState {
 /// One job's online state inside a shard: the predictor plus exactly the
 /// bookkeeping the replay protocol keeps — flagged tasks leave both the
 /// finished and running views forever (their completions still count for
-/// ground truth and warmup, never for training).
+/// ground truth and warmup, never for training). The whole struct is
+/// dropped when the job finalizes; only its [`JobReport`] outlives it.
 pub(crate) struct JobState {
     spec: JobSpec,
     predictor: Box<dyn OnlinePredictor + Send>,
@@ -46,6 +48,7 @@ impl std::fmt::Debug for Shard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shard")
             .field("jobs", &self.jobs.len())
+            .field("finalized", &self.finalized_ids.len())
             .field("queued", &self.queue.len())
             .finish()
     }
@@ -77,6 +80,29 @@ impl JobState {
         nurd_data::warmup_quorum(self.spec.task_count, fraction)
     }
 
+    /// The job's current lifecycle phase (the shard answers `Finalized`
+    /// itself — a finalized job has no `JobState` left).
+    fn phase(&self) -> JobPhase {
+        if self.warmup_at.is_some() {
+            JobPhase::Scoring
+        } else if self.barriers_seen > 0 || self.finished_total > 0 {
+            JobPhase::Warming
+        } else {
+            JobPhase::Admitted
+        }
+    }
+
+    /// Whether the job's stream has nothing left that could change its
+    /// outcome. Checked only right after a barrier closes, which is what
+    /// keeps it equivalent to sequential replay: at a barrier where every
+    /// task has finished, the clock is at or past the slowest latency and
+    /// therefore at or past `τ_stra`, so replay's revelation rule has
+    /// already shut the prediction window — the remaining barriers (if
+    /// any) are no-ops on both paths.
+    fn stream_complete(&self) -> bool {
+        self.barriers_seen == self.spec.checkpoints || self.finished_total == self.spec.task_count
+    }
+
     /// Applies one event; returns `false` for a structurally invalid
     /// event (unknown task id, wrong feature width, duplicate completion,
     /// out-of-order barrier), which is **rejected** — counted by the
@@ -86,6 +112,9 @@ impl JobState {
     /// checkpoint matrix deep inside the predictor.
     fn apply(&mut self, event: TaskEvent, warmup_fraction: f64) -> bool {
         match event {
+            TaskEvent::JobStart { .. } | TaskEvent::JobEnd { .. } => {
+                unreachable!("lifecycle events are handled by the shard drain")
+            }
             TaskEvent::Submitted { task, .. } => {
                 let Some(state) = self.tasks.get_mut(task) else {
                     return false;
@@ -209,7 +238,7 @@ impl JobState {
     /// completion never arrived outlived the stream and is counted as a
     /// straggler (it certainly outlived `τ_stra` if the stream covered
     /// the job's horizon).
-    fn report(&self) -> JobReport {
+    fn report(&self, finalized: FinalizeReason) -> JobReport {
         let truth: Vec<bool> = self
             .tasks
             .iter()
@@ -227,70 +256,162 @@ impl JobState {
         JobReport {
             job: self.spec.job,
             checkpoints_scored: self.checkpoints_scored,
+            finalized,
             outcome,
         }
     }
 }
 
-/// One shard of the engine: a disjoint set of jobs plus the queue of
-/// their not-yet-applied events. Shards share nothing, which is the whole
-/// determinism argument — see [`crate::Engine`].
+/// One shard of the engine: a disjoint set of *live* jobs, the reports of
+/// jobs already finalized, and the queue of not-yet-applied events.
+/// Shards share nothing, which is the whole determinism argument — see
+/// [`crate::Engine`].
 pub(crate) struct Shard {
     jobs: BTreeMap<u64, JobState>,
+    /// Reports of finalized jobs not yet taken by
+    /// [`crate::Engine::take_finalized`] or `finish`.
+    finalized: BTreeMap<u64, JobReport>,
+    /// Every job id this shard ever finalized — distinguishes *stale*
+    /// events (job known, stream already closed) from orphans (job never
+    /// admitted). A `BTreeSet<u64>` per job is the only state that
+    /// survives finalization.
+    finalized_ids: BTreeSet<u64>,
     queue: VecDeque<TaskEvent>,
     warmup_fraction: f64,
     pub(crate) events_processed: usize,
     pub(crate) orphan_events: usize,
     pub(crate) rejected_events: usize,
+    pub(crate) stale_events: usize,
+    pub(crate) blocked_pushes: usize,
+    pub(crate) overload: OverloadCounters,
 }
 
 impl Shard {
     pub(crate) fn new(warmup_fraction: f64) -> Self {
         Shard {
             jobs: BTreeMap::new(),
+            finalized: BTreeMap::new(),
+            finalized_ids: BTreeSet::new(),
             queue: VecDeque::new(),
             warmup_fraction,
             events_processed: 0,
             orphan_events: 0,
             rejected_events: 0,
+            stale_events: 0,
+            blocked_pushes: 0,
+            overload: OverloadCounters::default(),
         }
-    }
-
-    pub(crate) fn admit(&mut self, spec: JobSpec, predictor: Box<dyn OnlinePredictor + Send>) {
-        self.jobs.insert(spec.job, JobState::new(spec, predictor));
     }
 
     pub(crate) fn enqueue(&mut self, event: TaskEvent) {
         self.queue.push_back(event);
     }
 
+    /// Drops the oldest queued event (`OverloadPolicy::ShedOldest`).
+    pub(crate) fn shed_oldest(&mut self) {
+        if self.queue.pop_front().is_some() {
+            self.overload.shed_events += 1;
+        }
+    }
+
     pub(crate) fn queued(&self) -> usize {
         self.queue.len()
     }
 
+    /// Live (admitted, not yet finalized) jobs.
     pub(crate) fn job_count(&self) -> usize {
         self.jobs.len()
     }
 
-    /// Applies every queued event in arrival order. Events for unknown
-    /// jobs count as orphans; structurally invalid events (see
-    /// [`JobState::apply`]) count as rejected. Neither aborts the drain.
-    pub(crate) fn drain(&mut self) {
+    /// Jobs this shard has finalized over its lifetime.
+    pub(crate) fn finalized_count(&self) -> usize {
+        self.finalized_ids.len()
+    }
+
+    /// Lifecycle phase of `job`, if this shard has ever admitted it.
+    pub(crate) fn phase_of(&self, job: u64) -> Option<JobPhase> {
+        if self.finalized_ids.contains(&job) {
+            return Some(JobPhase::Finalized);
+        }
+        self.jobs.get(&job).map(JobState::phase)
+    }
+
+    /// Moves `job` from live to finalized: emits its report and drops its
+    /// entire state — this is what bounds resident memory to live jobs.
+    fn finalize(&mut self, job: u64, reason: FinalizeReason) {
+        if let Some(state) = self.jobs.remove(&job) {
+            self.finalized_ids.insert(job);
+            self.finalized.insert(job, state.report(reason));
+        }
+    }
+
+    /// Applies every queued event in arrival order.
+    ///
+    /// * `JobStart` admits an unseen job through `factory` (a restart of a
+    ///   *live* job resets it to a fresh predictor; a restart of a
+    ///   finalized job id is stale — ids are fleet-unique).
+    /// * `JobEnd` (or a barrier completing the stream) finalizes the job.
+    /// * Events for unknown jobs count as orphans; events for finalized
+    ///   jobs count as stale; structurally invalid events (see
+    ///   [`JobState::apply`]) count as rejected. None aborts the drain.
+    pub(crate) fn drain(&mut self, factory: &PredictorFactory) {
         while let Some(event) = self.queue.pop_front() {
             self.events_processed += 1;
-            match self.jobs.get_mut(&event.job()) {
-                Some(job) => {
-                    if !job.apply(event, self.warmup_fraction) {
-                        self.rejected_events += 1;
+            match event {
+                TaskEvent::JobStart { spec } => {
+                    if self.finalized_ids.contains(&spec.job) {
+                        self.stale_events += 1;
+                    } else {
+                        let predictor = factory(&spec);
+                        self.jobs.insert(spec.job, JobState::new(spec, predictor));
                     }
                 }
-                None => self.orphan_events += 1,
+                TaskEvent::JobEnd { job, .. } => {
+                    if self.jobs.contains_key(&job) {
+                        self.finalize(job, FinalizeReason::JobEnd);
+                    } else if self.finalized_ids.contains(&job) {
+                        self.stale_events += 1;
+                    } else {
+                        self.orphan_events += 1;
+                    }
+                }
+                event => {
+                    let job_id = event.job();
+                    let at_barrier = matches!(event, TaskEvent::Barrier { .. });
+                    match self.jobs.get_mut(&job_id) {
+                        Some(job) => {
+                            let applied = job.apply(event, self.warmup_fraction);
+                            if !applied {
+                                self.rejected_events += 1;
+                            } else if at_barrier && job.stream_complete() {
+                                // Only a *closed barrier* may trigger
+                                // all-tasks-finished finalization — see
+                                // `JobState::stream_complete`.
+                                self.finalize(job_id, FinalizeReason::StreamComplete);
+                            }
+                        }
+                        None if self.finalized_ids.contains(&job_id) => self.stale_events += 1,
+                        None => self.orphan_events += 1,
+                    }
+                }
             }
         }
     }
 
-    /// Reports for every job admitted to this shard, job-id order.
-    pub(crate) fn reports(&self) -> Vec<JobReport> {
-        self.jobs.values().map(JobState::report).collect()
+    /// Takes the reports of jobs finalized since the last take — the
+    /// mid-stream observation channel.
+    pub(crate) fn take_finalized(&mut self) -> Vec<JobReport> {
+        std::mem::take(&mut self.finalized).into_values().collect()
+    }
+
+    /// Finalizes every still-live job (reason
+    /// [`FinalizeReason::EngineFinish`]) and returns all not-yet-taken
+    /// reports, job-id order.
+    pub(crate) fn finish_reports(&mut self) -> Vec<JobReport> {
+        let live: Vec<u64> = self.jobs.keys().copied().collect();
+        for job in live {
+            self.finalize(job, FinalizeReason::EngineFinish);
+        }
+        self.take_finalized()
     }
 }

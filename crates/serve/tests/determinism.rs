@@ -9,11 +9,15 @@
 //! 3. **Interleaving invariance** — any random merge of the per-job
 //!    event streams (per-job order preserved) produces the identical
 //!    report, as does any drain batching.
+//! 4. **Lifecycle invariance** — all of the above survive *streaming*
+//!    operation: jobs admitted mid-stream by their `JobStart`, finalized
+//!    individually by `JobEnd`/stream completion, reports taken
+//!    mid-stream — at staggered, seeded arrival/departure orders.
 
 use nurd_core::{NurdConfig, NurdPredictor, RefitPolicy, WarmRefitConfig};
-use nurd_data::{job_events, JobSpec, TaskEvent};
+use nurd_data::{job_events, job_stream, JobSpec, TaskEvent};
 use nurd_runtime::ThreadPool;
-use nurd_serve::{Engine, EngineConfig, EngineReport, PredictorFactory};
+use nurd_serve::{Engine, EngineConfig, EngineReport, JobReport, PredictorFactory};
 use nurd_sim::{replay_job, ReplayConfig};
 use nurd_trace::{SuiteConfig, TraceStyle};
 use proptest::prelude::*;
@@ -49,6 +53,7 @@ fn run_engine(
         EngineConfig {
             shards,
             warmup_fraction: WARMUP,
+            ..EngineConfig::default()
         },
         nurd_factory(policy.clone()),
     );
@@ -143,7 +148,7 @@ proptest! {
 
         // Incremental drains between small batches.
         let mut engine = Engine::new(
-            EngineConfig { shards: 2, warmup_fraction: WARMUP },
+            EngineConfig { shards: 2, warmup_fraction: WARMUP, ..EngineConfig::default() },
             nurd_factory(policy.clone()),
         );
         for job in &jobs {
@@ -154,5 +159,83 @@ proptest! {
             engine.drain(&pool);
         }
         prop_assert_eq!(&engine.finish(&pool), &baseline, "drain batching changed the report");
+    }
+
+    /// The determinism contract re-proven for the *streaming* lifecycle:
+    /// jobs arrive mid-stream (`JobStart` at staggered, seeded offsets),
+    /// end individually (`JobEnd` / stream completion), and reports are
+    /// taken mid-stream — yet every job's `ReplayOutcome` stays
+    /// bit-for-bit the sequential `replay_job` result, across shard
+    /// counts {1, 2, 8} and seeded interleavings.
+    #[test]
+    fn prop_streaming_lifecycle_preserves_per_job_outcomes(
+        seed in 0u64..500,
+        stagger_seed in 0u64..1000,
+    ) {
+        let jobs = suite(seed, 3);
+        let policy = warm_policy();
+        let pool = ThreadPool::new(2);
+        let replay_cfg = ReplayConfig { quantile: QUANTILE, warmup_fraction: WARMUP };
+
+        // Sequential reference, one isolated replay per job.
+        let expected: Vec<(u64, nurd_sim::ReplayOutcome)> = jobs
+            .iter()
+            .map(|job| {
+                let mut reference =
+                    NurdPredictor::new(NurdConfig::default().with_refit_policy(policy.clone()));
+                (job.job_id(), replay_job(job, &mut reference, &replay_cfg))
+            })
+            .collect();
+
+        // Two streaming workload shapes: a seeded staggered-arrival merge
+        // (spread far beyond any job's duration, so arrivals and
+        // departures genuinely overlap mid-stream) and a seeded random
+        // merge of the lifecycle-bracketed per-job streams.
+        let staggered = nurd_trace::staggered_fleet_events(&jobs, QUANTILE, 1e5, stagger_seed);
+        let shuffled = nurd_trace::interleave_events(
+            jobs.iter().map(|j| job_stream(j, QUANTILE)).collect(),
+            stagger_seed,
+        );
+
+        let mut baseline: Option<Vec<JobReport>> = None;
+        for (stream, shards) in [
+            (&staggered, 1usize),
+            (&staggered, 2),
+            (&staggered, 8),
+            (&shuffled, 8),
+        ] {
+            let mut engine = Engine::new(
+                EngineConfig { shards, warmup_fraction: WARMUP, ..EngineConfig::default() },
+                nurd_factory(policy.clone()),
+            );
+            // Chunked pushes with mid-stream report taking — the
+            // long-lived-service usage pattern.
+            let mut reports: Vec<JobReport> = Vec::new();
+            for chunk in stream.chunks(137) {
+                engine.push_all(chunk.to_vec());
+                engine.drain(&pool);
+                reports.extend(engine.take_finalized());
+            }
+            reports.extend(engine.finish(&pool).jobs);
+            reports.sort_by_key(|r| r.job);
+            prop_assert_eq!(reports.len(), jobs.len(), "every job reported exactly once");
+
+            for (job_id, outcome) in &expected {
+                let got = reports.iter().find(|r| r.job == *job_id).expect("job reported");
+                prop_assert_eq!(
+                    &got.outcome,
+                    outcome,
+                    "streaming engine diverged from sequential replay on job {} at {} shards",
+                    job_id,
+                    shards
+                );
+            }
+            // Full per-job reports (scored counts, finalize reasons)
+            // are themselves invariant across shard counts and merges.
+            match &baseline {
+                Some(base) => prop_assert_eq!(&reports, base, "{} shards changed reports", shards),
+                None => baseline = Some(reports),
+            }
+        }
     }
 }

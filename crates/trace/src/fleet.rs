@@ -7,14 +7,17 @@
 //! shared cluster, while preserving the one ordering guarantee the
 //! serving engine needs: **per-job event order is checkpoint order**.
 //! Cross-job order is irrelevant to the engine's output (that is its
-//! determinism contract, property-tested in `nurd-serve`), so two
-//! interleavings are provided: the canonical time-ordered merge, and a
-//! seeded random merge for adversarial shuffling in tests.
+//! determinism contract, property-tested in `nurd-serve`), so three
+//! interleavings are provided: the canonical time-ordered merge
+//! ([`fleet_events`]), a streaming merge with staggered job arrivals and
+//! departures carrying `JobStart`/`JobEnd` lifecycle markers
+//! ([`staggered_fleet_events`]), and a seeded random merge for
+//! adversarial shuffling in tests ([`interleave_events`]).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use nurd_data::{job_events, JobSpec, JobTrace, TaskEvent};
+use nurd_data::{job_events, job_stream, JobSpec, JobTrace, TaskEvent};
 
 /// Lowers every job into events and merges them into one stream ordered
 /// by `(event time, job id, per-job sequence)` — the interleaving a
@@ -40,6 +43,50 @@ pub fn fleet_events(jobs: &[JobTrace], threshold_quantile: f64) -> (Vec<JobSpec>
     // the checkpoint time).
     tagged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     (specs, tagged.into_iter().map(|(_, _, _, ev)| ev).collect())
+}
+
+/// Lowers every job into its *streaming* form ([`job_stream`]: events
+/// bracketed by `JobStart` / `JobEnd`) and merges them into one fleet
+/// stream with **staggered arrivals and departures**: each job is given
+/// a seeded arrival offset drawn uniformly from `[0, spread)`, and the
+/// merge orders events by `(arrival offset + event time, job id, per-job
+/// sequence)`. Jobs therefore enter the stream at different times — a
+/// job's `JobStart` may arrive long after another job finalized — which
+/// is exactly the workload shape a long-lived `nurd-serve` engine
+/// ingests (mid-stream admission, per-job finalization).
+///
+/// Offsets shift only the *merge order*, never the events themselves:
+/// every event keeps its job-relative `τ_run` time, so per-job replay
+/// semantics (thresholds, warmup, revelation) are untouched and the
+/// engine's determinism contract applies verbatim. Same `seed` ⇒ same
+/// stream; `spread = 0.0` degenerates to simultaneous arrivals.
+///
+/// `threshold_quantile` sets each job's `τ_stra` from its own latency
+/// distribution (the paper's p90 protocol at `0.9`). Admission metadata
+/// travels in the stream's `JobStart` events, so unlike [`fleet_events`]
+/// no spec list is returned — a consumer that needs specs out of band
+/// can build them with [`JobSpec::of_trace`].
+#[must_use]
+pub fn staggered_fleet_events(
+    jobs: &[JobTrace],
+    threshold_quantile: f64,
+    spread: f64,
+    seed: u64,
+) -> Vec<TaskEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tagged: Vec<(f64, u64, usize, TaskEvent)> = Vec::new();
+    for job in jobs {
+        let offset = if spread > 0.0 {
+            rng.gen_range(0.0..spread)
+        } else {
+            0.0
+        };
+        for (seq, ev) in job_stream(job, threshold_quantile).into_iter().enumerate() {
+            tagged.push((offset + ev.time(), ev.job(), seq, ev));
+        }
+    }
+    tagged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    tagged.into_iter().map(|(_, _, _, ev)| ev).collect()
 }
 
 /// Randomly merges per-job event streams while preserving each stream's
@@ -142,6 +189,53 @@ mod tests {
                 assert_eq!(**a, *b, "job {} order disturbed", job.job_id());
             }
         }
+    }
+
+    #[test]
+    fn staggered_stream_carries_lifecycle_markers_in_per_job_order() {
+        let jobs = suite();
+        let events = staggered_fleet_events(&jobs, 0.9, 100.0, 42);
+        for job in &jobs {
+            let sub: Vec<&TaskEvent> = events.iter().filter(|e| e.job() == job.job_id()).collect();
+            assert!(
+                matches!(sub.first(), Some(TaskEvent::JobStart { spec }) if spec.job == job.job_id()),
+                "job {} does not open with JobStart",
+                job.job_id()
+            );
+            assert!(
+                matches!(sub.last(), Some(TaskEvent::JobEnd { .. })),
+                "job {} does not close with JobEnd",
+                job.job_id()
+            );
+            // Per-job order is exactly the canonical job_stream.
+            let canonical = nurd_data::job_stream(job, 0.9);
+            assert_eq!(sub.len(), canonical.len());
+            for (a, b) in sub.iter().zip(&canonical) {
+                assert_eq!(**a, *b, "job {} order disturbed", job.job_id());
+            }
+        }
+    }
+
+    #[test]
+    fn staggered_arrivals_actually_stagger_and_are_seed_deterministic() {
+        let jobs = suite();
+        let staggered = staggered_fleet_events(&jobs, 0.9, 1e6, 7);
+        // With a spread dwarfing every job duration, streams barely
+        // overlap: some job's JobStart comes after another's JobEnd.
+        let first_end = staggered
+            .iter()
+            .position(|e| matches!(e, TaskEvent::JobEnd { .. }))
+            .expect("some job ends");
+        let late_start = staggered[first_end..]
+            .iter()
+            .any(|e| matches!(e, TaskEvent::JobStart { .. }));
+        assert!(late_start, "spread 1e6 produced no mid-stream arrival");
+        assert_eq!(staggered, staggered_fleet_events(&jobs, 0.9, 1e6, 7));
+        assert_ne!(staggered, staggered_fleet_events(&jobs, 0.9, 1e6, 8));
+        // Zero spread degenerates to simultaneous arrivals and still
+        // carries every event.
+        let simultaneous = staggered_fleet_events(&jobs, 0.9, 0.0, 7);
+        assert_eq!(simultaneous.len(), staggered.len());
     }
 
     #[test]

@@ -1,6 +1,11 @@
-//! Fleet-scale serving: an interleaved multi-job event stream replayed
-//! through the sharded `nurd-serve` engine, with a per-job scorecard and
-//! a cross-check against sequential replay.
+//! Fleet-scale streaming: jobs arriving and departing mid-stream through
+//! the sharded `nurd-serve` engine under bounded-queue back-pressure,
+//! with per-job scorecards printed as each job finalizes and a
+//! cross-check against sequential replay.
+//!
+//! CI runs this example as an end-to-end gate on the streaming path: it
+//! exits nonzero on any panic or on nonzero malformed-event counts
+//! (orphans, rejections, overload losses).
 //!
 //! ```sh
 //! cargo run --release --example fleet_monitor
@@ -9,12 +14,17 @@
 use nurd::core::{NurdConfig, NurdPredictor, RefitPolicy, WarmRefitConfig};
 use nurd::data::JobSpec;
 use nurd::runtime::ThreadPool;
-use nurd::serve::{Engine, EngineConfig};
+use nurd::serve::{Engine, EngineConfig, OverloadPolicy};
 use nurd::sim::{replay_job, ReplayConfig};
 use nurd::trace::{SuiteConfig, TraceStyle};
 
 const SHARDS: usize = 4;
 const QUANTILE: f64 = 0.9;
+/// Small on purpose: saturates under the burst so the Block policy's
+/// lossless back-pressure is actually exercised (and counted).
+const QUEUE_CAPACITY: usize = 512;
+/// Ingest granularity — the service pattern of push / drain / collect.
+const BATCH: usize = 1024;
 
 fn nurd_warm() -> NurdPredictor {
     NurdPredictor::new(
@@ -23,82 +33,130 @@ fn nurd_warm() -> NurdPredictor {
 }
 
 fn main() {
-    // A small fleet of concurrent jobs, interleaved on one event clock.
+    // A small fleet of jobs arriving at staggered times on one stream.
     let cfg = SuiteConfig::new(TraceStyle::Google)
         .with_jobs(6)
         .with_task_range(80, 140)
         .with_checkpoints(12)
         .with_seed(0xF1EE7);
     let jobs = nurd::trace::generate_suite(&cfg);
-    let (specs, events) = nurd::trace::fleet_events(&jobs, QUANTILE);
+    let specs: Vec<JobSpec> = jobs
+        .iter()
+        .map(|j| JobSpec::of_trace(j, QUANTILE))
+        .collect();
+    let events = nurd::trace::staggered_fleet_events(&jobs, QUANTILE, 400.0, 0xF1EE7);
 
     let pool = ThreadPool::new(SHARDS);
     let mut engine = Engine::new(
         EngineConfig {
             shards: SHARDS,
             warmup_fraction: 0.04,
+            queue_capacity: Some(QUEUE_CAPACITY),
+            overload: OverloadPolicy::Block,
         },
         Box::new(|_spec: &JobSpec| Box::new(nurd_warm())),
     );
-    for spec in &specs {
-        engine.admit(spec.clone());
-    }
-    let n_events = events.len();
-    let start = std::time::Instant::now();
-    engine.push_all(events);
-    engine.drain(&pool);
-    let stats = engine.stats();
-    let report = engine.finish(&pool);
-    let elapsed = start.elapsed();
 
+    let n_events = events.len();
     println!(
-        "fleet of {} jobs · {} events · {SHARDS} shards on a {}-thread pool\n",
-        report.jobs.len(),
+        "streaming {} jobs · {} events · {SHARDS} shards on a {}-thread pool · \
+         queue capacity {QUEUE_CAPACITY} (Block)\n",
+        jobs.len(),
         n_events,
         pool.threads()
     );
     println!(
-        "{:>5} {:>6} {:>9} {:>9} {:>7} {:>7} {:>7}",
-        "job", "tasks", "τ_stra(s)", "flagged", "TPR", "FPR", "F1"
+        "{:>5} {:>6} {:>9} {:>13} {:>9} {:>7} {:>7} {:>7}",
+        "job", "tasks", "τ_stra(s)", "finalized", "flagged", "TPR", "FPR", "F1"
     );
-    for (r, spec) in report.jobs.iter().zip(&specs) {
-        let c = &r.outcome.confusion;
-        println!(
-            "{:>5} {:>6} {:>9.0} {:>9} {:>7.2} {:>7.2} {:>7.2}",
-            r.job,
-            spec.task_count,
-            spec.threshold,
-            r.outcome.flagged_at.iter().flatten().count(),
-            c.tpr(),
-            c.fpr(),
-            c.f1()
-        );
+
+    // The service loop: ingest a batch, drain, report whatever finalized.
+    let start = std::time::Instant::now();
+    let mut reports = Vec::new();
+    let mut batches = events.into_iter().peekable();
+    while batches.peek().is_some() {
+        let chunk: Vec<_> = batches.by_ref().take(BATCH).collect();
+        engine.push_all(chunk);
+        engine.drain(&pool);
+        for r in engine.take_finalized() {
+            let spec = specs.iter().find(|s| s.job == r.job).expect("spec");
+            let c = &r.outcome.confusion;
+            println!(
+                "{:>5} {:>6} {:>9.0} {:>13} {:>9} {:>7.2} {:>7.2} {:>7.2}",
+                r.job,
+                spec.task_count,
+                spec.threshold,
+                format!("{:?}", r.finalized),
+                r.outcome.flagged_at.iter().flatten().count(),
+                c.tpr(),
+                c.fpr(),
+                c.f1()
+            );
+            reports.push(r);
+        }
     }
+    let stats = engine.stats();
+    let live: usize = stats.jobs_per_shard.iter().sum();
+    let final_report = engine.finish(&pool);
+    reports.extend(final_report.jobs.iter().cloned());
+    let elapsed = start.elapsed();
+
+    let macro_f1 = reports
+        .iter()
+        .map(|r| r.outcome.confusion.f1())
+        .sum::<f64>()
+        / reports.len() as f64;
     println!(
-        "\nmacro-F1 {:.3} · {:.0} events/s · shard loads (events) {:?} · orphans {}",
-        report.macro_f1(),
+        "\nmacro-F1 {:.3} · {:.0} events/s · shard loads (events) {:?} · {} live at finish",
+        macro_f1,
         n_events as f64 / elapsed.as_secs_f64(),
         stats.events_per_shard,
-        stats.orphan_events
+        live,
+    );
+    println!(
+        "lifecycle: {} finalized mid-stream · stale tail {} · orphans {} · rejected {}",
+        stats.finalized_jobs, stats.stale_events, stats.orphan_events, stats.rejected_events,
+    );
+    println!(
+        "back-pressure: {} blocked pushes · {} shed · {} rejected ingress",
+        stats.blocked_pushes,
+        final_report.overload.shed_events,
+        final_report.overload.rejected_ingress,
+    );
+
+    // ---- CI gates: a clean canonical stream must stay clean. ----
+    assert_eq!(reports.len(), jobs.len(), "every job must finalize");
+    assert_eq!(stats.orphan_events, 0, "canonical stream produced orphans");
+    assert_eq!(stats.rejected_events, 0, "canonical stream was rejected");
+    assert_eq!(
+        final_report.overload.lost_events(),
+        0,
+        "Block policy must not lose events"
     );
 
     // The engine's contract: per-job results are bit-for-bit those of a
-    // sequential replay. Spot-check the first job.
-    let reference = replay_job(
-        &jobs[0],
-        &mut nurd_warm(),
-        &ReplayConfig {
-            quantile: QUANTILE,
-            warmup_fraction: 0.04,
-        },
-    );
-    let served = &report.job(jobs[0].job_id()).expect("job reported").outcome;
-    assert_eq!(
-        served, &reference,
-        "engine must equal sequential replay bit-for-bit"
-    );
+    // sequential replay, even though jobs were admitted and finalized
+    // mid-stream under back-pressure. Check every job.
+    let replay_cfg = ReplayConfig {
+        quantile: QUANTILE,
+        warmup_fraction: 0.04,
+    };
+    for job in &jobs {
+        let reference = replay_job(job, &mut nurd_warm(), &replay_cfg);
+        let served = &reports
+            .iter()
+            .find(|r| r.job == job.job_id())
+            .expect("job reported")
+            .outcome;
+        assert_eq!(
+            served,
+            &reference,
+            "engine must equal sequential replay bit-for-bit (job {})",
+            job.job_id()
+        );
+    }
     println!(
-        "determinism cross-check vs sequential replay: OK (job {})",
-        jobs[0].job_id()
+        "determinism cross-check vs sequential replay: OK ({} jobs)",
+        jobs.len()
     );
 }

@@ -10,12 +10,15 @@
 //!   the `NURD-WS` warm-refit row).
 //! * [`sim`] — the online replay protocol, metrics, and the mitigation
 //!   schedulers of Algorithms 2 and 3.
-//! * [`serve`] — the multi-job online prediction engine: sharded,
-//!   event-driven, bit-for-bit equal to sequential replay.
+//! * [`serve`] — the streaming multi-job prediction engine: sharded,
+//!   event-driven, jobs admitted and finalized mid-stream under
+//!   back-pressure, bit-for-bit equal to sequential replay (see
+//!   `docs/OPERATIONS.md` for running it).
 //! * [`runtime`] — the dependency-free work-stealing thread pool behind
 //!   [`serve`] and the parallel ML loops (`ml::TreeConfig::n_threads`).
 //! * [`trace`] — the synthetic Google/Alibaba-style trace substrate,
-//!   including interleaved multi-job event streams (`trace::fleet_events`).
+//!   including interleaved multi-job event streams (`trace::fleet_events`,
+//!   `trace::staggered_fleet_events`).
 //! * [`data`], [`ml`], [`linalg`], [`outlier`], [`pu`], [`survival`] — the
 //!   substrates everything above is built from.
 //!
