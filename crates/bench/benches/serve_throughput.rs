@@ -1,53 +1,76 @@
-//! Streaming-engine throughput: one staggered-arrival fleet stream
-//! replayed through `nurd-serve` at increasing shard counts.
+//! Streaming-engine throughput, two sweeps over one staggered-arrival
+//! fleet workload:
+//!
+//! * `serve_throughput/shards/{1,2,4,8}` — the caller-driven engine
+//!   (single pushing thread, `drain_sync` parallelism only), scaling
+//!   shard count and pool size. The PR-3/PR-4-era baseline.
+//! * `serve_throughput/producers/{1,2,4}` — **service mode**: the same
+//!   events partitioned across N real producer threads pushing through
+//!   cloned `EngineHandle`s into the background drain service (4 shards,
+//!   machine-sized drain workers, bounded queues under `Block`). This
+//!   measures the concurrent ingestion path end to end: blocking sends,
+//!   per-shard MPSC channels, drain workers parking/unparking.
 //!
 //! Workload: a 10-job Google-style fleet (~100–140 tasks each, 12
-//! checkpoints) lowered to a single streaming `TaskEvent` stream by
-//! `nurd_trace::staggered_fleet_events` — jobs are admitted mid-stream
-//! by their `JobStart` events and finalized individually as their
-//! streams end, so the engine's resident state shrinks while the bench
-//! runs, exactly as in a long-lived service. Scoring is by warm-policy
-//! NURD predictors. Each measured iteration builds a fresh engine,
-//! pushes the whole stream, and drains to a report — i.e. the full
-//! serving cost of the fleet, dominated by per-checkpoint model refits.
+//! checkpoints) lowered to streaming `TaskEvent`s — jobs admitted
+//! mid-stream by their `JobStart`, finalized individually as their
+//! streams end, exactly as in a long-lived service. Scoring is by
+//! warm-policy NURD predictors; each measured iteration serves the whole
+//! fleet to a final report (the full serving cost, dominated by
+//! per-checkpoint model refits).
 //!
-//! The sweep (`serve_throughput/shards/{1,2,4,8}`) holds the workload
-//! fixed and scales only the shard count and pool size, so the ratio of
-//! `shards/1` to `shards/N` is the engine's scaling factor on the bench
-//! machine. The determinism property test (`nurd-serve`) guarantees all
-//! four produce bit-identical per-job reports; scaling is therefore free
-//! of accuracy caveats. Note the ratio is bounded by the machine's cores
-//! — on a single-core container every shard count measures roughly the
-//! sequential cost plus scheduling overhead; the ≥1.5× at 4 workers
-//! acceptance bar refers to machines with ≥4 cores.
+//! The determinism property tests (`nurd-serve`) guarantee every
+//! configuration produces bit-identical per-job reports; scaling is
+//! therefore free of accuracy caveats. Ratios are bounded by the
+//! machine's cores — on a single-core container every variant measures
+//! roughly the sequential cost plus scheduling overhead.
 //!
 //! A correctness line (macro-F1, flags, events/sec at 1 shard, plus the
 //! overload counters, which must be zero for the unbounded config) is
 //! printed before timing so a silently broken engine can't post good
-//! numbers.
+//! numbers; the producers variant additionally asserts zero lost events
+//! under `Block`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use nurd_core::{NurdConfig, NurdPredictor, RefitPolicy, WarmRefitConfig};
 use nurd_data::TaskEvent;
 use nurd_runtime::ThreadPool;
-use nurd_serve::{Engine, EngineConfig, EngineReport, PredictorFactory};
+use nurd_serve::{
+    Engine, EngineConfig, EngineReport, EngineService, OverloadPolicy, PredictorFactory,
+    ServiceConfig,
+};
 use nurd_trace::{SuiteConfig, TraceStyle};
 
 const JOBS: usize = 10;
 const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const PRODUCER_SWEEP: [usize; 3] = [1, 2, 4];
+/// Shards for the producer sweep (the shard sweep's sweet spot).
+const SERVICE_SHARDS: usize = 4;
+/// Bounded ingress for the producer sweep: small enough that the burst
+/// saturates it, so blocking sends are part of what is measured.
+const SERVICE_QUEUE: usize = 1024;
 /// Arrival spread (in stream-clock units) — wide enough that early jobs
 /// finalize while late ones are still arriving.
 const ARRIVAL_SPREAD: f64 = 600.0;
 
-fn fleet() -> Vec<TaskEvent> {
+fn fleet_jobs() -> Vec<nurd_data::JobTrace> {
     let cfg = SuiteConfig::new(TraceStyle::Google)
         .with_jobs(JOBS)
         .with_task_range(100, 140)
         .with_checkpoints(12)
         .with_seed(0x5E8E);
-    let jobs = nurd_trace::generate_suite(&cfg);
-    nurd_trace::staggered_fleet_events(&jobs, 0.9, ARRIVAL_SPREAD, 0x5E8E)
+    nurd_trace::generate_suite(&cfg)
+}
+
+fn fleet() -> Vec<TaskEvent> {
+    nurd_trace::staggered_fleet_events(&fleet_jobs(), 0.9, ARRIVAL_SPREAD, 0x5E8E)
+}
+
+/// The producer partition: jobs split round-robin, each producer's
+/// stream a seeded interleave of its own jobs (per-job order intact).
+fn producer_streams(producers: usize) -> Vec<Vec<TaskEvent>> {
+    nurd_trace::producer_streams(&fleet_jobs(), producers, 0.9, 0x5E8E)
 }
 
 fn factory() -> PredictorFactory {
@@ -59,7 +82,7 @@ fn factory() -> PredictorFactory {
 }
 
 fn run_fleet(events: &[TaskEvent], shards: usize, pool: &ThreadPool) -> EngineReport {
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         EngineConfig {
             shards,
             warmup_fraction: 0.04,
@@ -67,8 +90,34 @@ fn run_fleet(events: &[TaskEvent], shards: usize, pool: &ThreadPool) -> EngineRe
         },
         factory(),
     );
-    engine.push_all(events.iter().cloned());
+    engine.push_all_sync(events.iter().cloned());
     engine.finish(pool)
+}
+
+fn run_service(streams: &[Vec<TaskEvent>]) -> EngineReport {
+    let service = EngineService::start(
+        EngineConfig {
+            shards: SERVICE_SHARDS,
+            warmup_fraction: 0.04,
+            queue_capacity: Some(SERVICE_QUEUE),
+            overload: OverloadPolicy::Block,
+            ..EngineConfig::default()
+        },
+        ServiceConfig::default(),
+        factory(),
+    );
+    let producers: Vec<_> = streams
+        .iter()
+        .map(|stream| {
+            let handle = service.handle();
+            let stream = stream.clone();
+            std::thread::spawn(move || handle.push_all(stream))
+        })
+        .collect();
+    let accepted: usize = producers.into_iter().map(|p| p.join().unwrap()).sum();
+    let report = service.close();
+    assert_eq!(accepted, report.events, "service lost events");
+    report
 }
 
 fn bench_serve_throughput(c: &mut Criterion) {
@@ -115,6 +164,19 @@ fn bench_serve_throughput(c: &mut Criterion) {
         let pool = ThreadPool::new(shards);
         group.bench_function(BenchmarkId::new("shards", shards), |b| {
             b.iter(|| run_fleet(&events, shards, &pool));
+        });
+    }
+
+    // Service mode: N producer threads vs the background drain loop.
+    for producers in PRODUCER_SWEEP {
+        let streams = producer_streams(producers);
+        // One unmeasured run to assert the mode is healthy at this
+        // producer count (zero losses, every job reported).
+        let check = run_service(&streams);
+        assert_eq!(check.jobs.len(), JOBS, "service mode lost jobs");
+        assert_eq!(check.overload.lost_events(), 0, "Block lost events");
+        group.bench_function(BenchmarkId::new("producers", producers), |b| {
+            b.iter(|| run_service(&streams));
         });
     }
     group.finish();

@@ -250,6 +250,14 @@ impl OnlinePredictor for NurdPredictor {
         self.warm.reset();
     }
 
+    /// Routes the serving engine's hint to [`nurd_ml::TreeConfig::n_threads`],
+    /// which fans the latency head's quantization and histogram fills onto
+    /// the shared pool with bit-identical output at every thread count —
+    /// so honoring the hint can never change a prediction.
+    fn set_parallelism(&mut self, threads: usize) {
+        self.config.gbt.tree.n_threads = threads;
+    }
+
     fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
         let threshold = self.threshold;
         self.score_running(checkpoint)

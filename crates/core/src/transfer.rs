@@ -113,6 +113,13 @@ impl OnlinePredictor for TransferNurdPredictor {
         self.resid_buf.clear();
     }
 
+    /// Same routing as `NurdPredictor`: the hint lands on the residual
+    /// head's [`nurd_ml::TreeConfig::n_threads`], bit-identical at every
+    /// thread count.
+    fn set_parallelism(&mut self, threads: usize) {
+        self.config.gbt.tree.n_threads = threads;
+    }
+
     fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize> {
         if checkpoint.finished.len() < 2 || checkpoint.running.is_empty() {
             return Vec::new();

@@ -91,6 +91,19 @@ pub trait OnlinePredictor {
     /// checkpoint. Ids not present in `checkpoint.running` are ignored by
     /// the simulator.
     fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize>;
+
+    /// Scheduling hint from the serving layer: this job may fan its
+    /// internal model fits across up to `threads` worker threads (`1` =
+    /// stay sequential, `0` = use every core). The engine flips this on
+    /// adaptively for oversized jobs whose shard is backlogged — see
+    /// `nurd_serve::BalanceConfig` — and may flip it back off.
+    ///
+    /// **Contract:** honoring the hint must not change any prediction —
+    /// only wall-clock time. Implementations should route it to
+    /// parallelism knobs that are proven bit-identical across thread
+    /// counts (e.g. `nurd_ml::TreeConfig::n_threads`); predictors without
+    /// such a knob keep this default no-op.
+    fn set_parallelism(&mut self, _threads: usize) {}
 }
 
 #[cfg(test)]

@@ -20,7 +20,13 @@
 //!   idle spinning;
 //! * [`ThreadPool::par_for_chunks`] is the embarrassingly-parallel loop
 //!   primitive built on `scope`: it splits an index range into contiguous
-//!   chunks and runs them concurrently.
+//!   chunks and runs them concurrently;
+//! * [`Channel`] is a bounded MPSC ingress queue with **blocking**,
+//!   **non-blocking**, and **evicting** sends (the three overload
+//!   policies a service boundary needs), and [`Notifier`] is the
+//!   epoch-counting park/unpark primitive for workers that watch many
+//!   such channels — together they are the substrate of `nurd-serve`'s
+//!   concurrent ingestion service.
 //!
 //! Determinism note for ML callers: parallelism here is across *disjoint
 //! outputs* (each chunk or spawned closure writes its own region), so the
@@ -53,9 +59,13 @@
 //! assert_eq!(*sums.lock().unwrap(), 499.5 * 1000.0);
 //! ```
 
+mod channel;
 mod deque;
+mod notify;
 mod pool;
 
+pub use channel::{Channel, SendError, TrySendError};
 pub use deque::Deque;
+pub use notify::Notifier;
 pub use pool::Scope;
 pub use pool::{global, ThreadPool};

@@ -1,38 +1,101 @@
-//! The streaming engine: sharded dispatch, mid-stream admission,
+//! The streaming engine: sharded MPSC ingress, mid-stream admission,
 //! per-job finalization, back-pressure, parallel drains, reports.
+//!
+//! The concurrency split (see [`crate`] docs for the full picture):
+//!
+//! * [`EngineCore`] *(crate-private)* — the shared state: one
+//!   [`nurd_runtime::Channel`] ingress queue, one `Mutex<Shard>`, and one
+//!   atomic [`ShardStats`](crate::shard::ShardStats) block per shard,
+//!   plus the [`nurd_runtime::Notifier`] idle drain workers park on.
+//! * [`EngineHandle`] — cloneable, `Send + Sync` producer handle;
+//!   [`EngineHandle::push`] takes `&self` and is safe from any thread.
+//! * [`Engine`] — the single-threaded compatibility shim over the same
+//!   core (caller-driven [`Engine::drain_sync`] instead of a background
+//!   service). New code should prefer [`EngineService`](crate::EngineService).
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use nurd_data::{JobSpec, OnlinePredictor, TaskEvent};
-use nurd_runtime::ThreadPool;
+use nurd_runtime::{Channel, Notifier, ThreadPool, TrySendError};
 use nurd_sim::ReplayOutcome;
 
 use crate::lifecycle::{FinalizeReason, JobPhase, OverloadCounters, OverloadPolicy};
-use crate::shard::Shard;
+use crate::shard::{Shard, ShardStats};
 
 /// Builds a fresh predictor for an admitted job — the serving analogue of
 /// the per-job factories in `nurd-baselines`' method registry. Invoked by
 /// a shard drain when it encounters the job's
 /// [`TaskEvent::JobStart`], so it must be `Sync` (drains run in
-/// parallel).
+/// parallel, on background service workers and producer threads alike).
 pub type PredictorFactory = Box<dyn Fn(&JobSpec) -> Box<dyn OnlinePredictor + Send> + Send + Sync>;
+
+/// Adaptive shard balancing: when a shard's ingress backlog stays above
+/// [`BalanceConfig::backlog_threshold`], the drain loop grants that
+/// shard's *oversized* jobs (≥ [`BalanceConfig::min_tasks`] tasks)
+/// within-job parallelism via [`OnlinePredictor::set_parallelism`] —
+/// fanning their model refits across [`BalanceConfig::threads`] workers
+/// of the shared [`nurd_runtime::global`] pool. This attacks the skew a
+/// shard count cannot: one giant job pins one shard (a job never spans
+/// shards — that is the determinism argument), so the only lever left is
+/// making *that job's* checkpoint refits faster.
+///
+/// Safe by construction: the parallel fit paths are bit-identical across
+/// thread counts (property-tested in `nurd-ml`), so flipping the grant on
+/// or off — at any moment, even mid-job — changes wall-clock only, never
+/// a report. The grant is withdrawn (with hysteresis, at half the
+/// threshold) once the backlog subsides, so a healthy fleet pays nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BalanceConfig {
+    /// Ingress backlog (queued, undrained events on the shard) at or
+    /// above which the grant switches on. Switches back off when the
+    /// backlog falls to half this value. With a bounded queue
+    /// ([`EngineConfig::queue_capacity`]) the backlog can never exceed
+    /// the capacity, so the engine clamps this to half the capacity —
+    /// otherwise a threshold above the bound would silently disable the
+    /// feature. Balancing engages from the background drain loop; the
+    /// [`Engine`] shim's caller-driven drains empty a shard in one pop
+    /// and so observe no backlog to react to.
+    pub backlog_threshold: usize,
+    /// Only jobs with at least this many tasks receive the grant — tiny
+    /// jobs' refits are too small to amortize fan-out overhead.
+    pub min_tasks: usize,
+    /// Threads granted per boosted job (`0` = every core of the machine,
+    /// as in `nurd_ml::TreeConfig::n_threads`).
+    pub threads: usize,
+}
+
+impl Default for BalanceConfig {
+    fn default() -> Self {
+        BalanceConfig {
+            backlog_threshold: 4096,
+            min_tasks: 128,
+            threads: 0,
+        }
+    }
+}
 
 /// Engine tuning.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Number of shards jobs are hashed across. Each shard is drained by
-    /// one pool task, so this bounds the engine's parallelism; it never
-    /// affects its output.
+    /// at most one worker at a time, so this bounds the engine's drain
+    /// parallelism; it never affects its output.
     pub shards: usize,
     /// Warmup quorum before a job's predictions start, as a fraction of
     /// its tasks (the paper's 4% — must match the replay config when
     /// comparing reports against `nurd_sim::replay_job`).
     pub warmup_fraction: f64,
     /// Per-shard ingress queue bound. `None` (the default) is unbounded;
-    /// `Some(n)` makes [`Engine::push`] apply the [`OverloadPolicy`] once
-    /// a shard holds `n` undrained events.
+    /// `Some(n)` makes pushes apply the [`OverloadPolicy`] once a shard
+    /// holds `n` undrained events (clamped to ≥ 1).
     pub queue_capacity: Option<usize>,
     /// What to do with a push to a full shard queue (see
     /// [`OverloadPolicy`]; only the default `Block` is lossless).
     pub overload: OverloadPolicy,
+    /// Adaptive within-job parallelism for oversized jobs on backlogged
+    /// shards. `None` (the default) never grants extra threads.
+    pub balance: Option<BalanceConfig>,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +105,7 @@ impl Default for EngineConfig {
             warmup_fraction: 0.04,
             queue_capacity: None,
             overload: OverloadPolicy::Block,
+            balance: None,
         }
     }
 }
@@ -50,7 +114,8 @@ impl Default for EngineConfig {
 /// finalizes. `outcome` is bit-for-bit the [`ReplayOutcome`] a sequential
 /// `nurd_sim::replay_job` of the same job with the same predictor
 /// configuration produces — the engine's central correctness contract,
-/// preserved for jobs that arrive and depart mid-stream.
+/// preserved for jobs that arrive and depart mid-stream and for events
+/// pushed from many producer threads at once.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobReport {
     /// Job identifier.
@@ -65,22 +130,26 @@ pub struct JobReport {
 }
 
 /// The engine's final output: per-job reports in job-id order. Equal
-/// (`PartialEq`) across *any* shard count and *any* event interleaving of
-/// the same per-job streams — the determinism property test in
-/// `tests/determinism.rs` enforces exactly this (the overload counters
-/// stay zero under the lossless default config; a lossy overload policy
-/// is the one way to forfeit the property, and the counters are how an
+/// (`PartialEq`) across *any* shard count, *any* drain-worker count, and
+/// *any* cross-job interleaving of the same per-job streams — the
+/// determinism property tests in `tests/determinism.rs` and
+/// `tests/service.rs` enforce exactly this (the overload counters stay
+/// zero under the lossless default config; a lossy overload policy is
+/// the one way to forfeit the property, and the counters are how an
 /// operator sees that it happened).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineReport {
-    /// Reports of jobs still unreported at [`Engine::finish`] —
-    /// everything not already handed out by [`Engine::take_finalized`] —
-    /// ascending job id.
+    /// Reports of jobs still unreported at shutdown ([`Engine::finish`] /
+    /// [`EngineService::close`](crate::EngineService::close)) —
+    /// everything not already handed out by `take_finalized` — ascending
+    /// job id.
     pub jobs: Vec<JobReport>,
-    /// Total events ingested, lifecycle events included. Orphans (events
-    /// for never-admitted jobs) and stale events (events arriving after
-    /// their job finalized) are counted here and in [`EngineStats`] but
-    /// applied to no job.
+    /// Total events *applied* by drains, lifecycle events included.
+    /// Orphans (events for never-admitted jobs) and stale events (events
+    /// arriving after their job finalized) are counted here and in
+    /// [`EngineStats`] but applied to no job; events a lossy overload
+    /// policy dropped before any drain are **not** counted here — they
+    /// are exactly [`OverloadCounters::lost_events`].
     pub events: usize,
     /// Fleet-wide overload *losses* (zero under the unbounded default
     /// and under the lossless `Block` policy; nonzero exactly when a
@@ -113,8 +182,11 @@ impl EngineReport {
 
 /// Scheduling-dependent diagnostics — deliberately **not** part of
 /// [`EngineReport`], because per-shard load varies with the shard count
-/// while the report must not. `docs/OPERATIONS.md` explains how to read
-/// each counter in production.
+/// while the report must not. Snapshotted **without stopping the
+/// service**: every counter is an atomic the push and drain paths bump
+/// as they go, so [`EngineHandle::stats`] can be polled from a monitor
+/// thread while producers push and drain workers drain.
+/// `docs/OPERATIONS.md` explains how to read each counter in production.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineStats {
     /// Configured shard count.
@@ -123,8 +195,13 @@ pub struct EngineStats {
     /// engine's resident-memory footprint, and it shrinks as jobs
     /// finalize.
     pub jobs_per_shard: Vec<usize>,
-    /// Events ingested per shard (orphans and stale events included).
+    /// Events *applied* per shard (orphans and stale events included).
     pub events_per_shard: Vec<usize>,
+    /// Events pushed but not yet drained, per shard — the ingress
+    /// backlog. This is the signal adaptive balancing watches
+    /// ([`BalanceConfig`]) and the first thing to graph for a service:
+    /// a monotonically growing backlog means drain capacity is short.
+    pub backlog_per_shard: Vec<usize>,
     /// Jobs finalized so far, fleet-wide.
     pub finalized_jobs: usize,
     /// Events whose job was never admitted (counted, then dropped).
@@ -142,29 +219,494 @@ pub struct EngineStats {
     /// ways: no malformed event can panic a drain, and no replayed
     /// barrier can re-score a closed checkpoint.
     pub rejected_events: usize,
-    /// Pushes that found a full queue under [`OverloadPolicy::Block`]
-    /// and drained the shard inline before enqueueing. Lossless, but
-    /// scheduling-dependent (varies with shard count and drain timing),
+    /// Pushes that found a full queue under [`OverloadPolicy::Block`].
+    /// In service mode the producer then *slept* until a drain made room
+    /// (a true blocking send); under the [`Engine`] shim it drained the
+    /// shard inline. Lossless either way, but scheduling-dependent,
     /// hence here and not in [`EngineReport`].
     pub blocked_pushes: usize,
+    /// Times adaptive balancing switched within-job parallelism on for
+    /// a backlogged shard (see [`BalanceConfig`]; zero when disabled).
+    pub balance_boosts: usize,
     /// Overload loss accounting (see [`OverloadCounters`]).
     pub overload: OverloadCounters,
 }
 
-/// A multi-job **streaming** straggler-prediction engine.
-///
-/// Events are [pushed](Engine::push) in any cross-job interleaving
-/// (per-job order must be checkpoint order, bracketed by
-/// [`TaskEvent::JobStart`] / [`TaskEvent::JobEnd`]), and
-/// [`Engine::drain`] applies everything queued — each shard on its own
-/// `nurd-runtime` task, in parallel. Jobs are admitted *mid-stream* when
-/// a drain first sees their `JobStart` (which carries the [`JobSpec`] —
-/// there is no up-front registry), and finalized individually when their
-/// stream ends, at which point their entire state is dropped and their
-/// [`JobReport`] becomes available to [`Engine::take_finalized`].
-/// Because a job's entire state lives in exactly one shard (job id hash)
-/// and shards share nothing, the engine's output is independent of shard
-/// count, drain batching, and cross-job interleaving.
+/// How a push behaves when [`OverloadPolicy::Block`] meets a full queue:
+/// sleep on the channel (service mode — a background drain worker will
+/// make room) or drain the shard on the pushing thread (shim mode —
+/// there is no one else to do it).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockMode {
+    Sleep,
+    DrainInline,
+}
+
+/// One shard's triple: the MPSC ingress queue, the guarded state, and
+/// the live counters. Producers touch `ingress` and the push-side stats;
+/// whichever worker wins `state` applies events — popping and applying
+/// under the lock is what keeps per-shard application order equal to
+/// channel FIFO order no matter how many workers drain.
+struct ShardCell {
+    ingress: Channel<TaskEvent>,
+    state: Mutex<Shard>,
+    stats: ShardStats,
+}
+
+/// The shared heart of the engine — everything [`EngineHandle`],
+/// [`Engine`], and [`EngineService`](crate::EngineService) operate on.
+/// Crate-private: users hold it only through those three types.
+pub(crate) struct EngineCore {
+    config: EngineConfig,
+    factory: PredictorFactory,
+    cells: Vec<ShardCell>,
+    /// Idle drain workers (and quiescence waiters) park here; every
+    /// accepted push and every productive drain batch unparks.
+    notifier: Notifier,
+}
+
+impl EngineCore {
+    pub(crate) fn new(mut config: EngineConfig, factory: PredictorFactory) -> Self {
+        let shards = config.shards.max(1);
+        if let (Some(capacity), Some(balance)) = (config.queue_capacity, &mut config.balance) {
+            // A bounded shard's backlog is capped at `capacity`, so an
+            // over-threshold would never fire: clamp to half capacity
+            // (engage while the queue is filling, not only when full).
+            balance.backlog_threshold = balance.backlog_threshold.min((capacity.max(1) / 2).max(1));
+        }
+        let cells = (0..shards)
+            .map(|_| ShardCell {
+                ingress: match config.queue_capacity {
+                    Some(capacity) => Channel::bounded(capacity),
+                    None => Channel::unbounded(),
+                },
+                state: Mutex::new(Shard::new(config.warmup_fraction)),
+                stats: ShardStats::default(),
+            })
+            .collect();
+        EngineCore {
+            config,
+            factory,
+            cells,
+            notifier: Notifier::new(),
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The shard a job id hashes to (SplitMix64 finalizer — job ids are
+    /// often sequential, and a plain modulo would then stripe neighbors
+    /// onto neighboring shards *and* collide under power-of-two counts).
+    pub(crate) fn shard_of(&self, job: u64) -> usize {
+        let mut z = job.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.cells.len() as u64) as usize
+    }
+
+    /// Enqueues one event on its job's shard, applying the configured
+    /// overload policy when the queue is bounded and full. Returns
+    /// whether the event was accepted (`false`: the ingress is closed,
+    /// or `RejectNew` dropped it — which is also counted).
+    ///
+    /// Wake-up discipline: the steady-state push touches only its target
+    /// shard's channel mutex. The global [`Notifier`] is bumped only on
+    /// an **empty→non-empty transition** of the channel — a non-empty
+    /// channel is already pending work no correctly parked worker can
+    /// have missed (workers snapshot the epoch *before* scanning, and
+    /// drains/observers unpark when they release a shard) — so producers
+    /// do not serialize on the notifier or thundering-herd the workers.
+    pub(crate) fn ingest(&self, event: TaskEvent, block: BlockMode) -> bool {
+        let idx = self.shard_of(event.job());
+        let cell = &self.cells[idx];
+        // `None` = rejected; `Some(wake)` = accepted, `wake` is the
+        // channel's empty→non-empty transition report.
+        let accepted: Option<bool> = if self.config.queue_capacity.is_none() {
+            // Unbounded: a send only fails once the ingress is closed.
+            cell.ingress.send(event).ok()
+        } else {
+            match self.config.overload {
+                OverloadPolicy::Block => match cell.ingress.try_send(event) {
+                    Ok(wake) => Some(wake),
+                    Err(TrySendError::Closed(_)) => None,
+                    Err(TrySendError::Full(event)) => {
+                        cell.stats.add(&cell.stats.blocked_pushes, 1);
+                        match block {
+                            // Real back-pressure: sleep until a drain
+                            // worker pops; the channel wakes us. The
+                            // defensive unpark costs nothing on this
+                            // already-slow path.
+                            BlockMode::Sleep => {
+                                self.notifier.unpark();
+                                cell.ingress.send(event).ok()
+                            }
+                            // Shim semantics (PR-4): the pushing thread
+                            // does the shard's drain work itself.
+                            BlockMode::DrainInline => {
+                                let mut event = event;
+                                let mut batch = Vec::new();
+                                loop {
+                                    self.drain_shard(idx, usize::MAX, true, &mut batch);
+                                    match cell.ingress.try_send(event) {
+                                        Ok(wake) => break Some(wake),
+                                        Err(TrySendError::Closed(_)) => break None,
+                                        Err(TrySendError::Full(back)) => event = back,
+                                    }
+                                }
+                            }
+                        }
+                    }
+                },
+                OverloadPolicy::ShedOldest => match cell.ingress.send_evicting(event) {
+                    Ok((wake, evicted)) => {
+                        if evicted.is_some() {
+                            cell.stats.add(&cell.stats.shed_events, 1);
+                        }
+                        Some(wake)
+                    }
+                    Err(_) => None,
+                },
+                OverloadPolicy::RejectNew => match cell.ingress.try_send(event) {
+                    Ok(wake) => Some(wake),
+                    Err(TrySendError::Full(_)) => {
+                        cell.stats.add(&cell.stats.rejected_ingress, 1);
+                        None
+                    }
+                    Err(TrySendError::Closed(_)) => None,
+                },
+            }
+        };
+        if accepted == Some(true) {
+            self.notifier.unpark();
+        }
+        accepted.is_some()
+    }
+
+    /// Pops up to `max` events from shard `idx`'s ingress and applies
+    /// them while holding the shard lock; returns how many were applied.
+    /// `wait` selects a blocking lock (caller-driven drains, which must
+    /// make progress) vs `try_lock` (service workers, which skip a shard
+    /// another worker already holds and move on). Also runs the adaptive
+    /// balancing decision against the backlog left behind.
+    /// `batch` is the caller's reusable pop buffer (always left empty on
+    /// return) — drain loops hand the same one in for every visit, so
+    /// the hot path does no per-batch allocation after warm-up.
+    pub(crate) fn drain_shard(
+        &self,
+        idx: usize,
+        max: usize,
+        wait: bool,
+        batch: &mut Vec<TaskEvent>,
+    ) -> usize {
+        let cell = &self.cells[idx];
+        if cell.ingress.is_empty() {
+            return 0;
+        }
+        let mut shard: MutexGuard<'_, Shard> = if wait {
+            cell.state.lock().expect("shard poisoned")
+        } else {
+            match cell.state.try_lock() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::WouldBlock) => return 0,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard poisoned"),
+            }
+        };
+        debug_assert!(batch.is_empty());
+        let taken = cell.ingress.recv_batch(batch, max);
+        if taken == 0 {
+            return 0;
+        }
+        if let Some(balance) = &self.config.balance {
+            // Decide on the backlog *left behind* after this pop: a queue
+            // that refills faster than a whole batch drains is the
+            // sustained-overload signal worth spending threads on.
+            let backlog = cell.ingress.len();
+            if backlog >= balance.backlog_threshold.max(1) {
+                shard.set_parallelism(
+                    if balance.threads == 0 {
+                        nurd_runtime::global().threads()
+                    } else {
+                        balance.threads
+                    },
+                    balance.min_tasks,
+                    &cell.stats,
+                );
+            } else if backlog <= balance.backlog_threshold / 2 {
+                shard.set_parallelism(1, balance.min_tasks, &cell.stats);
+            }
+        }
+        shard.apply_batch(batch.drain(..), &self.factory, &cell.stats);
+        drop(shard);
+        // Unpark peers and quiescence waiters: more work may remain on
+        // this shard, and watchers re-evaluate their condition on every
+        // epoch bump.
+        self.notifier.unpark();
+        taken
+    }
+
+    /// Caller-driven drain of every shard to empty — the shim path. Each
+    /// dirty shard becomes one pool task (the calling thread
+    /// participates); blocking locks guarantee the post-condition
+    /// `total_backlog() == 0` absent concurrent producers.
+    pub(crate) fn drain_all(&self, pool: &ThreadPool) {
+        let dirty: Vec<usize> = (0..self.cells.len())
+            .filter(|&i| !self.cells[i].ingress.is_empty())
+            .collect();
+        if dirty.is_empty() {
+            return;
+        }
+        pool.scope(|scope| {
+            for idx in dirty {
+                scope.spawn(move || {
+                    let mut batch = Vec::new();
+                    while self.drain_shard(idx, usize::MAX, true, &mut batch) > 0 {}
+                });
+            }
+        });
+    }
+
+    /// Events pushed but not yet popped by any drain, fleet-wide.
+    pub(crate) fn total_backlog(&self) -> usize {
+        self.cells.iter().map(|c| c.ingress.len()).sum()
+    }
+
+    /// Closes every ingress channel: all later pushes fail, producers
+    /// blocked in a send wake immediately, and queued events remain
+    /// drainable. First step of every shutdown.
+    pub(crate) fn close_ingress(&self) {
+        for cell in &self.cells {
+            cell.ingress.close();
+        }
+        self.notifier.unpark();
+    }
+
+    pub(crate) fn notifier(&self) -> &Notifier {
+        &self.notifier
+    }
+
+    /// Observer-side shard lock: **poison-tolerant**. A drain worker
+    /// that panicked mid-apply poisons its shard; observers
+    /// (`take_finalized`, `job_phase`, quiescence settling, the final
+    /// report) still want the readable parts — finalized reports,
+    /// phases — rather than killing a monitor thread with a generic
+    /// poisoned-lock panic. The *drain* paths in [`EngineCore::drain_shard`]
+    /// deliberately stay poison-fatal: applying further events to a
+    /// half-mutated `JobState` could silently corrupt reports, and the
+    /// resulting worker death is what makes the failure observable.
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, Shard> {
+        self.cells[idx]
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Waits on each shard's lock once, so any event batch popped before
+    /// this call has finished applying by the time it returns (used by
+    /// quiescence checks after the channels report empty).
+    pub(crate) fn settle_shards(&self) {
+        for idx in 0..self.cells.len() {
+            drop(self.lock_shard(idx));
+        }
+        // Same re-open as `take_finalized`.
+        self.notifier.unpark();
+    }
+
+    pub(crate) fn take_finalized(&self) -> Vec<JobReport> {
+        let mut reports: Vec<JobReport> = (0..self.cells.len())
+            .flat_map(|i| self.lock_shard(i).take_finalized())
+            .collect();
+        reports.sort_by_key(|r| r.job);
+        // A worker whose try_lock lost to this observer may have parked
+        // believing the shard was unavailable; re-open the race now that
+        // the locks are released (see `drain_shard`'s try_lock path).
+        self.notifier.unpark();
+        reports
+    }
+
+    pub(crate) fn job_phase(&self, job: u64) -> Option<JobPhase> {
+        let phase = self.lock_shard(self.shard_of(job)).phase_of(job);
+        // Same re-open as `take_finalized`: observers must not strand a
+        // worker that lost its try_lock to them.
+        self.notifier.unpark();
+        phase
+    }
+
+    pub(crate) fn stats(&self) -> EngineStats {
+        let load = |f: fn(&ShardStats) -> &std::sync::atomic::AtomicUsize| -> usize {
+            self.cells
+                .iter()
+                .map(|c| f(&c.stats).load(Ordering::Relaxed))
+                .sum()
+        };
+        EngineStats {
+            shards: self.cells.len(),
+            jobs_per_shard: self
+                .cells
+                .iter()
+                .map(|c| c.stats.live_jobs.load(Ordering::Relaxed))
+                .collect(),
+            events_per_shard: self
+                .cells
+                .iter()
+                .map(|c| c.stats.events_processed.load(Ordering::Relaxed))
+                .collect(),
+            backlog_per_shard: self.cells.iter().map(|c| c.ingress.len()).collect(),
+            finalized_jobs: load(|s| &s.finalized_jobs),
+            orphan_events: load(|s| &s.orphan_events),
+            stale_events: load(|s| &s.stale_events),
+            rejected_events: load(|s| &s.rejected_events),
+            blocked_pushes: load(|s| &s.blocked_pushes),
+            balance_boosts: load(|s| &s.balance_boosts),
+            overload: self.overload(),
+        }
+    }
+
+    fn overload(&self) -> OverloadCounters {
+        self.cells
+            .iter()
+            .fold(OverloadCounters::default(), |acc, c| {
+                acc.merged(c.stats.overload())
+            })
+    }
+
+    /// Finalizes every still-live job ([`FinalizeReason::EngineFinish`])
+    /// and assembles the final report. The caller must have reached
+    /// quiescence first (no queued events, no drain in flight) — both
+    /// shutdown paths guarantee it.
+    pub(crate) fn finish_report(&self) -> EngineReport {
+        let overload = self.overload();
+        let mut jobs: Vec<JobReport> = (0..self.cells.len())
+            .flat_map(|i| {
+                let stats = &self.cells[i].stats;
+                self.lock_shard(i).finish_reports(stats)
+            })
+            .collect();
+        jobs.sort_by_key(|r| r.job);
+        let events = self
+            .cells
+            .iter()
+            .map(|c| c.stats.events_processed.load(Ordering::Relaxed))
+            .sum();
+        EngineReport {
+            jobs,
+            events,
+            overload,
+        }
+    }
+}
+
+impl std::fmt::Debug for EngineCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCore")
+            .field("config", &self.config)
+            .field("backlog", &self.total_backlog())
+            .finish()
+    }
+}
+
+/// A cloneable, thread-safe handle onto a running engine — the producer
+/// side of the ingestion service. Every method takes `&self`; clone one
+/// handle per producer thread and push away. Obtained from
+/// [`Engine::handle`] or [`EngineService::handle`](crate::EngineService::handle)
+/// (the two differ only in what a full queue does under
+/// [`OverloadPolicy::Block`]: the service handle sleeps — a true
+/// blocking send — while the shim handle drains the shard inline,
+/// because a shim engine has no background workers to make room).
+#[derive(Clone)]
+pub struct EngineHandle {
+    core: Arc<EngineCore>,
+    block: BlockMode,
+}
+
+impl std::fmt::Debug for EngineHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineHandle").finish()
+    }
+}
+
+impl EngineHandle {
+    pub(crate) fn new(core: Arc<EngineCore>, block: BlockMode) -> Self {
+        EngineHandle { core, block }
+    }
+
+    /// Enqueues one event on its job's shard (cheap: a hash plus a queue
+    /// push; all model work happens in drains). Safe from any thread.
+    /// The event's job must have a [`TaskEvent::JobStart`] earlier in
+    /// *its own* stream, and one producer must own each job's stream (or
+    /// producers must otherwise preserve per-job order) — cross-job
+    /// interleaving across producers is unrestricted and cannot affect
+    /// reports.
+    ///
+    /// Returns whether the event was accepted: `false` once the engine
+    /// is closing, or when [`OverloadPolicy::RejectNew`] drops it at a
+    /// full queue (also counted in [`EngineStats`]). Under
+    /// [`OverloadPolicy::Block`] a push to a full shard *blocks* until a
+    /// drain makes room — the lossless policy never returns `false` for
+    /// capacity.
+    pub fn push(&self, event: TaskEvent) -> bool {
+        self.core.ingest(event, self.block)
+    }
+
+    /// Pushes a batch of events in order; returns how many were accepted.
+    pub fn push_all(&self, events: impl IntoIterator<Item = TaskEvent>) -> usize {
+        let mut accepted = 0;
+        for event in events {
+            accepted += usize::from(self.push(event));
+        }
+        accepted
+    }
+
+    /// Convenience admission for callers that hold specs out of band:
+    /// pushes a [`TaskEvent::JobStart`] carrying `spec`, so admission
+    /// stays FIFO-ordered with the job's other pushed events (and is
+    /// subject to the same overload policy).
+    pub fn admit(&self, spec: JobSpec) -> bool {
+        self.push(TaskEvent::JobStart { spec })
+    }
+
+    /// Takes the reports of jobs finalized since the last take (job-id
+    /// order) — the mid-stream observation channel. Concurrent takers
+    /// partition the reports: each report is handed out exactly once,
+    /// and none is repeated by the shutdown report.
+    pub fn take_finalized(&self) -> Vec<JobReport> {
+        self.core.take_finalized()
+    }
+
+    /// Where `job` sits in its lifecycle, judging by *drained* state
+    /// (`None` = never admitted, or its `JobStart` is still queued).
+    #[must_use]
+    pub fn job_phase(&self, job: u64) -> Option<JobPhase> {
+        self.core.job_phase(job)
+    }
+
+    /// Live scheduling diagnostics (see [`EngineStats`]) — lock-free
+    /// atomic reads, safe to poll from a monitor thread at any rate
+    /// without stopping producers or drains.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.core.stats()
+    }
+
+    /// The shard a job id hashes to (stable across the engine's life).
+    #[must_use]
+    pub fn shard_of(&self, job: u64) -> usize {
+        self.core.shard_of(job)
+    }
+}
+
+/// The single-threaded engine shim: the PR-4-era caller-driven API over
+/// the concurrent `EngineCore`. Prefer
+/// [`EngineService`](crate::EngineService) for new code — it runs the
+/// drain loop for you on background workers and gives every producer a
+/// blocking [`EngineHandle::push`]. This wrapper remains for call sites
+/// and tests written against the synchronous push → drain → observe
+/// cycle; the migration is mechanical (`push` → [`Engine::push_sync`],
+/// `drain` → [`Engine::drain_sync`]), and all state-observing methods
+/// ([`Engine::stats`], [`Engine::job_phase`], [`Engine::take_finalized`])
+/// are unchanged.
 ///
 /// # Example
 ///
@@ -181,16 +723,16 @@ pub struct EngineStats {
 /// # }
 ///
 /// let pool = ThreadPool::new(2);
-/// let mut engine = Engine::new(EngineConfig::default(), Box::new(|_| Box::new(Never)));
+/// let engine = Engine::new(EngineConfig::default(), Box::new(|_| Box::new(Never)));
 ///
 /// // 1. Admission travels in the stream — no up-front registry.
-/// engine.push(TaskEvent::JobStart {
+/// engine.push_sync(TaskEvent::JobStart {
 ///     spec: JobSpec { job: 1, threshold: 100.0, task_count: 2, feature_dim: 1, checkpoints: 1 },
 /// });
-/// engine.push(TaskEvent::Barrier { job: 1, ordinal: 0, time: 50.0 });
+/// engine.push_sync(TaskEvent::Barrier { job: 1, ordinal: 0, time: 50.0 });
 ///
 /// // 2. Drain applies the queued events (admits, scores, finalizes).
-/// engine.drain(&pool);
+/// engine.drain_sync(&pool);
 /// assert_eq!(engine.job_phase(1), Some(JobPhase::Finalized));
 ///
 /// // 3. The job's report is available mid-stream, long before finish.
@@ -202,95 +744,60 @@ pub struct EngineStats {
 /// assert!(engine.finish(&pool).jobs.is_empty());
 /// ```
 pub struct Engine {
-    config: EngineConfig,
-    factory: PredictorFactory,
-    shards: Vec<Shard>,
+    core: Arc<EngineCore>,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Engine")
-            .field("config", &self.config)
-            .field("shards", &self.shards)
-            .finish()
+        f.debug_struct("Engine").field("core", &self.core).finish()
     }
 }
 
 impl Engine {
-    /// Creates an engine; `factory` builds one fresh predictor per
-    /// admitted job (shard count is clamped to ≥ 1).
+    /// Creates an engine in caller-driven mode; `factory` builds one
+    /// fresh predictor per admitted job (shard count is clamped to ≥ 1).
     #[must_use]
     pub fn new(config: EngineConfig, factory: PredictorFactory) -> Self {
-        let shards = config.shards.max(1);
         Engine {
-            shards: (0..shards)
-                .map(|_| Shard::new(config.warmup_fraction))
-                .collect(),
-            config,
-            factory,
+            core: Arc::new(EngineCore::new(config, factory)),
         }
     }
 
-    /// The shard a job id hashes to (SplitMix64 finalizer — job ids are
-    /// often sequential, and a plain modulo would then stripe neighbors
-    /// onto neighboring shards *and* collide under power-of-two counts).
+    /// A cloneable producer handle onto this engine. Even the shim is
+    /// multi-producer capable — handle pushes are `&self` and
+    /// thread-safe; under `Block` at capacity the *pushing* thread
+    /// drains the shard inline (there are no background workers here).
+    #[must_use]
+    pub fn handle(&self) -> EngineHandle {
+        EngineHandle::new(Arc::clone(&self.core), BlockMode::DrainInline)
+    }
+
+    /// The shard a job id hashes to.
     #[must_use]
     pub fn shard_of(&self, job: u64) -> usize {
-        let mut z = job.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        (z % self.shards.len() as u64) as usize
+        self.core.shard_of(job)
     }
 
-    /// Convenience admission for callers that hold specs out of band: it
-    /// simply pushes a [`TaskEvent::JobStart`] carrying `spec`, so
-    /// admission stays FIFO-ordered with the job's other queued events
-    /// (and is subject to the same overload policy). A stream that
-    /// carries its own `JobStart` events does not need this.
-    pub fn admit(&mut self, spec: JobSpec) {
-        self.push(TaskEvent::JobStart { spec });
+    /// Convenience admission: see [`EngineHandle::admit`].
+    pub fn admit(&self, spec: JobSpec) {
+        self.push_sync(TaskEvent::JobStart { spec });
     }
 
-    /// Enqueues one event on its job's shard (cheap: a hash plus a queue
-    /// push; all model work happens in [`Engine::drain`]). The event's
-    /// job must have a [`TaskEvent::JobStart`] earlier in its stream — an
-    /// event drained before its job's admission is an orphan (counted,
-    /// dropped, and *not* replayed by a later admission).
-    ///
-    /// If the shard's queue is at [`EngineConfig::queue_capacity`], the
-    /// configured [`OverloadPolicy`] applies: `Block` drains the shard on
-    /// this thread and then enqueues (lossless back-pressure),
-    /// `ShedOldest` evicts the oldest queued event, `RejectNew` drops
-    /// `event`. All three are counted — losses in
-    /// [`EngineStats::overload`], blocked pushes in
-    /// [`EngineStats::blocked_pushes`].
-    pub fn push(&mut self, event: TaskEvent) {
-        let idx = self.shard_of(event.job());
-        if let Some(capacity) = self.config.queue_capacity {
-            if self.shards[idx].queued() >= capacity.max(1) {
-                match self.config.overload {
-                    OverloadPolicy::Block => {
-                        let shard = &mut self.shards[idx];
-                        shard.blocked_pushes += 1;
-                        shard.drain(&self.factory);
-                    }
-                    OverloadPolicy::ShedOldest => self.shards[idx].shed_oldest(),
-                    OverloadPolicy::RejectNew => {
-                        self.shards[idx].overload.rejected_ingress += 1;
-                        return;
-                    }
-                }
-            }
-        }
-        self.shards[idx].enqueue(event);
+    /// Enqueues one event (see [`EngineHandle::push`] for the stream
+    /// contract). If the shard's queue is at capacity, the configured
+    /// [`OverloadPolicy`] applies; `Block` drains the shard on this
+    /// thread and then enqueues (lossless back-pressure, shim-style).
+    pub fn push_sync(&self, event: TaskEvent) -> bool {
+        self.core.ingest(event, BlockMode::DrainInline)
     }
 
-    /// Enqueues a batch of events.
-    pub fn push_all(&mut self, events: impl IntoIterator<Item = TaskEvent>) {
+    /// Enqueues a batch of events; returns how many were accepted.
+    pub fn push_all_sync(&self, events: impl IntoIterator<Item = TaskEvent>) -> usize {
+        let mut accepted = 0;
         for event in events {
-            self.push(event);
+            accepted += usize::from(self.push_sync(event));
         }
+        accepted
     }
 
     /// Applies every queued event: shards with pending work each become
@@ -298,81 +805,59 @@ impl Engine {
     /// number of times at any batching — per-job results are identical,
     /// provided every event was pushed after its job's `JobStart` (an
     /// early push only survives to a later admission while it sits
-    /// undrained; see [`Engine::push`]).
+    /// undrained; see [`EngineHandle::push`]).
+    pub fn drain_sync(&self, pool: &ThreadPool) {
+        self.core.drain_all(pool);
+    }
+
+    /// Deprecated alias of [`Engine::push_sync`].
+    #[deprecated(note = "use push_sync, or EngineService + EngineHandle::push for service mode")]
+    pub fn push(&mut self, event: TaskEvent) {
+        self.push_sync(event);
+    }
+
+    /// Deprecated alias of [`Engine::push_all_sync`].
+    #[deprecated(note = "use push_all_sync, or EngineService + EngineHandle for service mode")]
+    pub fn push_all(&mut self, events: impl IntoIterator<Item = TaskEvent>) {
+        self.push_all_sync(events);
+    }
+
+    /// Deprecated alias of [`Engine::drain_sync`].
+    #[deprecated(note = "use drain_sync, or EngineService's background drain loop")]
     pub fn drain(&mut self, pool: &ThreadPool) {
-        let factory = &self.factory;
-        let pending: Vec<&mut Shard> = self.shards.iter_mut().filter(|s| s.queued() > 0).collect();
-        if pending.is_empty() {
-            return;
-        }
-        pool.scope(|scope| {
-            for shard in pending {
-                scope.spawn(move || shard.drain(factory));
-            }
-        });
+        self.drain_sync(pool);
     }
 
     /// Takes the reports of jobs finalized since the last take (job-id
     /// order) — the mid-stream observation channel. A report taken here
     /// is *not* repeated by [`Engine::finish`].
-    pub fn take_finalized(&mut self) -> Vec<JobReport> {
-        let mut reports: Vec<JobReport> = self
-            .shards
-            .iter_mut()
-            .flat_map(Shard::take_finalized)
-            .collect();
-        reports.sort_by_key(|r| r.job);
-        reports
+    pub fn take_finalized(&self) -> Vec<JobReport> {
+        self.core.take_finalized()
     }
 
     /// Where `job` sits in its lifecycle, judging by *drained* state
     /// (`None` = never admitted, or its `JobStart` is still queued).
     #[must_use]
     pub fn job_phase(&self, job: u64) -> Option<JobPhase> {
-        self.shards[self.shard_of(job)].phase_of(job)
+        self.core.job_phase(job)
     }
 
     /// Scheduling diagnostics (see [`EngineStats`]).
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        EngineStats {
-            shards: self.shards.len(),
-            jobs_per_shard: self.shards.iter().map(Shard::job_count).collect(),
-            events_per_shard: self.shards.iter().map(|s| s.events_processed).collect(),
-            finalized_jobs: self.shards.iter().map(Shard::finalized_count).sum(),
-            orphan_events: self.shards.iter().map(|s| s.orphan_events).sum(),
-            stale_events: self.shards.iter().map(|s| s.stale_events).sum(),
-            rejected_events: self.shards.iter().map(|s| s.rejected_events).sum(),
-            blocked_pushes: self.shards.iter().map(|s| s.blocked_pushes).sum(),
-            overload: self.overload(),
-        }
-    }
-
-    fn overload(&self) -> OverloadCounters {
-        self.shards
-            .iter()
-            .fold(OverloadCounters::default(), |acc, s| acc.merged(s.overload))
+        self.core.stats()
     }
 
     /// Drains outstanding events, finalizes every still-live job (reason
     /// [`FinalizeReason::EngineFinish`]) and produces the final report:
     /// all not-yet-taken per-job results in ascending job-id order.
+    /// Outstanding [`EngineHandle`]s see their pushes rejected from here
+    /// on (the ingress closes first).
     #[must_use]
-    pub fn finish(mut self, pool: &ThreadPool) -> EngineReport {
-        self.drain(pool);
-        let overload = self.overload();
-        let mut jobs: Vec<JobReport> = self
-            .shards
-            .iter_mut()
-            .flat_map(Shard::finish_reports)
-            .collect();
-        jobs.sort_by_key(|r| r.job);
-        let events = self.shards.iter().map(|s| s.events_processed).sum();
-        EngineReport {
-            jobs,
-            events,
-            overload,
-        }
+    pub fn finish(self, pool: &ThreadPool) -> EngineReport {
+        self.core.close_ingress();
+        self.core.drain_all(pool);
+        self.core.finish_report()
     }
 }
 
@@ -464,7 +949,7 @@ mod tests {
     #[test]
     fn flags_stick_and_reports_sort_by_job_id() {
         let pool = ThreadPool::new(2);
-        let mut engine = Engine::new(
+        let engine = Engine::new(
             EngineConfig {
                 shards: 3,
                 ..EngineConfig::default()
@@ -473,7 +958,7 @@ mod tests {
         );
         for job in [9u64, 2, 5] {
             engine.admit(spec(job));
-            engine.push_all(tiny_events(job));
+            engine.push_all_sync(tiny_events(job));
         }
         let report = engine.finish(&pool);
         assert_eq!(
@@ -502,15 +987,15 @@ mod tests {
     #[test]
     fn orphan_events_are_counted_not_fatal() {
         let pool = ThreadPool::new(1);
-        let mut engine = Engine::new(EngineConfig::default(), factory());
+        let engine = Engine::new(EngineConfig::default(), factory());
         engine.admit(spec(1));
-        engine.push_all(tiny_events(1));
-        engine.push(TaskEvent::Barrier {
+        engine.push_all_sync(tiny_events(1));
+        engine.push_sync(TaskEvent::Barrier {
             job: 999,
             ordinal: 0,
             time: 1.0,
         });
-        engine.drain(&pool);
+        engine.drain_sync(&pool);
         assert_eq!(engine.stats().orphan_events, 1);
         let report = engine.finish(&pool);
         assert_eq!(report.jobs.len(), 1);
@@ -520,12 +1005,12 @@ mod tests {
     fn malformed_events_are_rejected_not_fatal() {
         let pool = ThreadPool::new(1);
         let clean = {
-            let mut engine = Engine::new(EngineConfig::default(), factory());
+            let engine = Engine::new(EngineConfig::default(), factory());
             engine.admit(spec(1));
-            engine.push_all(tiny_events(1));
+            engine.push_all_sync(tiny_events(1));
             engine.finish(&pool)
         };
-        let mut engine = Engine::new(EngineConfig::default(), factory());
+        let engine = Engine::new(EngineConfig::default(), factory());
         engine.admit(spec(1));
         let mut events = tiny_events(1);
         // Ragged snapshot (spec says feature_dim = 1) and an unknown task
@@ -563,8 +1048,8 @@ mod tests {
                 time: 4.0,
             },
         );
-        engine.push_all(events);
-        engine.drain(&pool);
+        engine.push_all_sync(events);
+        engine.drain_sync(&pool);
         assert_eq!(engine.stats().rejected_events, 4);
         let report = engine.finish(&pool);
         // The four bad events changed nothing: same outcome as a clean run.
@@ -599,8 +1084,8 @@ mod tests {
     fn drain_batching_does_not_change_the_report() {
         let pool = ThreadPool::new(2);
         let build = || Engine::new(EngineConfig::default(), factory());
-        let mut one_shot = build();
-        let mut batched = build();
+        let one_shot = build();
+        let batched = build();
         let events: Vec<TaskEvent> = [1u64, 2, 3, 4]
             .iter()
             .flat_map(|&j| {
@@ -609,10 +1094,10 @@ mod tests {
                 stream
             })
             .collect();
-        one_shot.push_all(events.clone());
+        one_shot.push_all_sync(events.clone());
         for chunk in events.chunks(7) {
-            batched.push_all(chunk.to_vec());
-            batched.drain(&pool);
+            batched.push_all_sync(chunk.to_vec());
+            batched.drain_sync(&pool);
         }
         assert_eq!(one_shot.finish(&pool), batched.finish(&pool));
     }
@@ -620,10 +1105,10 @@ mod tests {
     #[test]
     fn finalization_frees_job_state_and_take_finalized_drains_reports() {
         let pool = ThreadPool::new(1);
-        let mut engine = Engine::new(EngineConfig::default(), factory());
+        let engine = Engine::new(EngineConfig::default(), factory());
         engine.admit(spec(1));
-        engine.push_all(tiny_events(1));
-        engine.drain(&pool);
+        engine.push_all_sync(tiny_events(1));
+        engine.drain_sync(&pool);
         // The last barrier finalized the job: no live state remains.
         let stats = engine.stats();
         assert_eq!(stats.jobs_per_shard.iter().sum::<usize>(), 0);
@@ -635,5 +1120,58 @@ mod tests {
         assert!(engine.take_finalized().is_empty(), "take drains");
         // finish() does not repeat a taken report.
         assert!(engine.finish(&pool).jobs.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_work() {
+        let pool = ThreadPool::new(1);
+        let mut engine = Engine::new(EngineConfig::default(), factory());
+        engine.push(TaskEvent::JobStart { spec: spec(1) });
+        engine.push_all(tiny_events(1));
+        engine.drain(&pool);
+        assert_eq!(engine.job_phase(1), Some(JobPhase::Finalized));
+    }
+
+    #[test]
+    fn shim_handle_pushes_from_other_threads() {
+        let pool = ThreadPool::new(2);
+        let engine = Engine::new(
+            EngineConfig {
+                shards: 2,
+                ..EngineConfig::default()
+            },
+            factory(),
+        );
+        let producers: Vec<_> = [1u64, 2, 3]
+            .into_iter()
+            .map(|job| {
+                let handle = engine.handle();
+                std::thread::spawn(move || {
+                    let mut stream = vec![TaskEvent::JobStart { spec: spec(job) }];
+                    stream.extend(tiny_events(job));
+                    handle.push_all(stream)
+                })
+            })
+            .collect();
+        let accepted: usize = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        assert_eq!(accepted, 33);
+        let report = engine.finish(&pool);
+        assert_eq!(report.jobs.len(), 3);
+        assert_eq!(report.events, 33);
+    }
+
+    #[test]
+    fn handle_pushes_fail_after_finish_closed_the_ingress() {
+        let pool = ThreadPool::new(1);
+        let engine = Engine::new(EngineConfig::default(), factory());
+        let handle = engine.handle();
+        assert!(handle.admit(spec(1)));
+        let _ = engine.finish(&pool);
+        assert!(!handle.push(TaskEvent::Barrier {
+            job: 1,
+            ordinal: 0,
+            time: 1.0,
+        }));
     }
 }

@@ -1,63 +1,67 @@
-//! `nurd-serve` — a streaming multi-job straggler-prediction engine on
-//! the shared `nurd-runtime` work-stealing pool.
+//! `nurd-serve` — a **concurrent** streaming multi-job straggler-prediction
+//! engine on the shared `nurd-runtime` substrate.
 //!
 //! The paper's Algorithm 1 (and `nurd_sim::replay_job`) is one job,
 //! replayed checkpoint-by-checkpoint on one thread. The ROADMAP's north
-//! star is a *service*: many concurrent jobs streaming task events under
-//! heavy traffic, arriving and departing at any time. This crate is that
-//! layer:
+//! star is a *service*: many concurrent jobs streaming task events from
+//! many producer threads under heavy traffic, arriving and departing at
+//! any time. This crate is that layer, in three pieces:
 //!
-//! * a [`nurd_data::TaskEvent`] stream (`JobStart` / `Submitted` /
-//!   `Progress` / `Finished` / `Barrier` / `JobEnd`) multiplexed across
-//!   jobs — build one from traces with
-//!   `nurd_trace::staggered_fleet_events`;
-//! * **mid-stream admission**: a job is admitted when a drain first sees
-//!   its [`TaskEvent::JobStart`](nurd_data::TaskEvent::JobStart), which
-//!   carries the [`nurd_data::JobSpec`]; the [`PredictorFactory`] builds
-//!   its predictor on the spot — there is no up-front registry;
-//! * **per-job finalization**: an explicit
-//!   [`TaskEvent::JobEnd`](nurd_data::TaskEvent::JobEnd), a job's last
-//!   barrier, or all-tasks-finished detection emits its [`JobReport`]
-//!   (readable mid-stream via [`Engine::take_finalized`]) and drops the
-//!   job's entire state, bounding resident memory to *live* jobs;
-//! * **back-pressure**: per-shard ingress queues can be bounded
-//!   ([`EngineConfig::queue_capacity`]) with a configurable
-//!   [`OverloadPolicy`] (block / shed-oldest / reject-new), accounted in
-//!   [`OverloadCounters`];
-//! * a **sharded dispatcher** ([`Engine`]) hashing job ids to shards,
-//!   each shard drained by its own pool task, with **batched scoring at
-//!   checkpoint boundaries** under the replay protocol's warmup and
-//!   revelation rules;
-//! * per-job reports whose [`nurd_sim::ReplayOutcome`] is **bit-for-bit
-//!   identical to sequential replay**, regardless of shard count, drain
-//!   batching, cross-job event interleaving, or when the job arrived and
-//!   departed.
+//! * a crate-private **`EngineCore`** — per-shard
+//!   [`nurd_runtime::Channel`] MPSC ingress queues, per-shard job state
+//!   behind per-shard locks, and live counters as atomics;
+//! * a cloneable **[`EngineHandle`]** whose [`EngineHandle::push`] takes
+//!   `&self` — producers live on any thread, and under the lossless
+//!   [`OverloadPolicy::Block`] a push to a full shard is a *true
+//!   blocking send* (the producer sleeps until a drain makes room);
+//! * an **[`EngineService`]** that runs the drain loop as a background
+//!   service (a pool of drain workers parking on a
+//!   [`nurd_runtime::Notifier`] when idle), with
+//!   [`EngineService::take_finalized`] as the mid-stream report channel
+//!   and [`EngineService::close`] as drain-to-quiescence shutdown. The
+//!   caller-driven [`Engine`] (push → [`Engine::drain_sync`] → observe)
+//!   remains as the single-threaded shim over the same core.
+//!
+//! Everything PR 4 established rides along unchanged: **mid-stream
+//! admission** ([`nurd_data::TaskEvent::JobStart`] carries the
+//! [`nurd_data::JobSpec`]; the [`PredictorFactory`] builds the predictor
+//! on the spot — no up-front registry), **per-job finalization**
+//! (`JobEnd` / last barrier / all-tasks-finished ⇒ [`JobReport`], state
+//! dropped, memory bounded to *live* jobs), **back-pressure**
+//! ([`EngineConfig::queue_capacity`] + [`OverloadPolicy`], losses
+//! counted in [`OverloadCounters`]), and **adaptive shard balancing**
+//! (new — [`BalanceConfig`]: a backlogged shard's oversized jobs get
+//! within-job parallelism via [`nurd_data::OnlinePredictor::set_parallelism`],
+//! attacking the one-giant-job skew that shard counts cannot).
 //!
 //! `docs/OPERATIONS.md` at the repository root is the operator's guide
-//! to running this engine (lifecycle state machine, shard sizing,
-//! overload policies, counter triage).
+//! (thread topology, worker sizing, shutdown semantics, counter triage).
 //!
 //! # Why determinism holds
 //!
 //! A job's entire mutable state — predictor, task features, flags —
-//! lives in exactly one shard, chosen by hashing the job id. Events of
-//! one job are applied in stream order (shard queues are FIFO and the
-//! stream contract keeps per-job order), admission and finalization ride
-//! *in* that stream as ordinary events, and no state is shared between
-//! jobs. Parallelism only decides *which thread* applies a job's events,
-//! never their order, so every job's trajectory equals its sequential
-//! replay and the merged, id-sorted report is invariant. The one
-//! exception is deliberate: a lossy [`OverloadPolicy`] under saturation
-//! drops events, which the overload counters make visible. The property
-//! test in `tests/determinism.rs` pins the invariance across shard
-//! counts {1, 2, 8}, random interleavings, drain batchings, and
-//! staggered mid-stream arrivals/departures.
+//! lives in exactly one shard, chosen by hashing the job id. Per-shard
+//! ingress channels are FIFO, and a drain pops and applies under that
+//! shard's lock, so per-shard application order **is** channel order no
+//! matter which worker (or how many workers, or which producer thread
+//! under the shim's inline-drain) does the draining. Admission and
+//! finalization ride *in* the stream as ordinary events, and no state is
+//! shared between jobs. Parallelism — shard count, drain-worker count,
+//! producer count, within-job balancing threads — only decides *which
+//! thread* applies a job's events or fits its models, never their order
+//! or result, so every job's trajectory equals its sequential replay and
+//! the merged, id-sorted report is invariant. The one exception is
+//! deliberate: a lossy [`OverloadPolicy`] under saturation drops events,
+//! which the overload counters make visible. The property tests pin all
+//! of this: `tests/determinism.rs` across shard counts {1, 2, 8}, random
+//! interleavings, drain batchings, and staggered mid-stream
+//! arrivals/departures; `tests/service.rs` with *real producer threads*
+//! against the background drain service on a saturated, blocking engine.
 //!
 //! # Example
 //!
 //! ```
-//! use nurd_runtime::ThreadPool;
-//! use nurd_serve::{Engine, EngineConfig};
+//! use nurd_serve::{EngineConfig, EngineService, ServiceConfig};
 //! # use nurd_data::{Checkpoint, OnlinePredictor};
 //! # struct Never;
 //! # impl OnlinePredictor for Never {
@@ -66,20 +70,28 @@
 //! # }
 //!
 //! // Generate a 3-job fleet whose jobs arrive and depart mid-stream,
-//! // and serve it through a 2-shard engine. Admission metadata travels
-//! // in the stream's JobStart events.
+//! // and serve it through a 2-shard service from 3 producer threads.
 //! let cfg = nurd_trace::SuiteConfig::new(nurd_trace::TraceStyle::Google)
 //!     .with_jobs(3).with_task_range(20, 30).with_checkpoints(6).with_seed(1);
 //! let jobs = nurd_trace::generate_suite(&cfg);
-//! let events = nurd_trace::staggered_fleet_events(&jobs, 0.9, 50.0, 7);
 //!
-//! let pool = ThreadPool::new(2);
-//! let mut engine = Engine::new(
+//! let service = EngineService::start(
 //!     EngineConfig { shards: 2, ..EngineConfig::default() },
+//!     ServiceConfig::default(),
 //!     Box::new(|_| Box::new(Never)),
 //! );
-//! engine.push_all(events);
-//! let report = engine.finish(&pool);
+//! let producers: Vec<_> = jobs
+//!     .iter()
+//!     .map(|job| {
+//!         let handle = service.handle();
+//!         let stream = nurd_data::job_stream(job, 0.9);
+//!         std::thread::spawn(move || handle.push_all(stream))
+//!     })
+//!     .collect();
+//! for p in producers {
+//!     p.join().unwrap();
+//! }
+//! let report = service.close();
 //! assert_eq!(report.jobs.len(), 3);
 //! ```
 
@@ -87,7 +99,12 @@
 
 mod engine;
 mod lifecycle;
+mod service;
 mod shard;
 
-pub use engine::{Engine, EngineConfig, EngineReport, EngineStats, JobReport, PredictorFactory};
+pub use engine::{
+    BalanceConfig, Engine, EngineConfig, EngineHandle, EngineReport, EngineStats, JobReport,
+    PredictorFactory,
+};
 pub use lifecycle::{FinalizeReason, JobPhase, OverloadCounters, OverloadPolicy};
+pub use service::{EngineService, ServiceConfig};

@@ -1,0 +1,396 @@
+//! The background ingestion service: a [`DrainService`] of workers on a
+//! dedicated [`nurd_runtime::ThreadPool`] that continuously drains the
+//! engine's shards, so producers only ever push.
+//!
+//! Thread topology (see `docs/OPERATIONS.md` for sizing guidance):
+//!
+//! ```text
+//!  producer threads (yours, any number)          EngineService
+//!  ───────────────────────────────────          ─────────────
+//!  EngineHandle::push(&self) ──hash──► per-shard Channel (bounded:
+//!    Block = true blocking send          OverloadPolicy on full)
+//!    • sleeps on the channel                 │
+//!    • woken by the next drain pop           ▼
+//!                                    DrainService (coordinator thread
+//!                                      + ThreadPool of drain workers):
+//!                                      scan shards, try_lock, pop a
+//!                                      batch, apply; park on the
+//!                                      engine's Notifier when idle
+//!                                          │
+//!  take_finalized(&self) ◄───────── finalized JobReports
+//!  close(self) ─► close ingress, drain to quiescence, join, finalize
+//! ```
+//!
+//! A shard is drained by at most one worker at a time (popping and
+//! applying happen under the shard's lock), so per-shard application
+//! order is channel FIFO order and the determinism contract is the same
+//! as the caller-driven engine's — worker count, like shard count,
+//! changes wall-clock only.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use nurd_runtime::ThreadPool;
+
+use crate::engine::{BlockMode, EngineCore, EngineHandle, EngineReport};
+use crate::{EngineConfig, EngineStats, JobPhase, JobReport, PredictorFactory};
+
+/// Tuning for the background drain loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Drain workers (total pool parallelism, coordinator included).
+    /// `0` resolves to the machine's parallelism; either way the count
+    /// is capped at the shard count (a shard is drained by one worker at
+    /// a time, so extra workers could only idle) and clamped to ≥ 1.
+    pub drain_workers: usize,
+    /// Maximum events a worker pops from one shard per lock hold.
+    /// Smaller batches bound the latency until a blocked producer wakes
+    /// and until another worker can win the shard; larger batches
+    /// amortize locking. The report is identical at any value.
+    pub drain_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            drain_workers: 0,
+            drain_batch: 256,
+        }
+    }
+}
+
+/// The background drain loop: a coordinator thread running
+/// `drain_workers` worker loops on a dedicated [`ThreadPool`] scope.
+/// Dropping it performs the full shutdown sequence (close ingress, let
+/// the workers drain to quiescence, join them) — [`EngineService::close`]
+/// is that plus the final report.
+struct DrainService {
+    core: Arc<EngineCore>,
+    shutdown: Arc<AtomicBool>,
+    /// Set by the coordinator if any drain worker panicked (a predictor
+    /// bug, a poisoned shard). The ingress is closed at the same moment
+    /// so blocked producers wake with their push rejected instead of
+    /// sleeping forever; [`EngineService::close`]/`quiesce` re-raise the
+    /// original panic payload rather than a generic poisoned-lock one.
+    failed: Arc<AtomicBool>,
+    coordinator: Option<JoinHandle<()>>,
+}
+
+impl DrainService {
+    fn start(core: Arc<EngineCore>, config: &ServiceConfig) -> Self {
+        let machine = std::thread::available_parallelism().map_or(1, usize::from);
+        let workers = if config.drain_workers == 0 {
+            machine
+        } else {
+            config.drain_workers
+        }
+        .min(core.shard_count())
+        .max(1);
+        let batch = config.drain_batch.max(1);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let failed = Arc::new(AtomicBool::new(false));
+        let coordinator = {
+            let core = Arc::clone(&core);
+            let shutdown = Arc::clone(&shutdown);
+            let failed = Arc::clone(&failed);
+            std::thread::Builder::new()
+                .name("nurd-serve-drain".into())
+                .spawn(move || {
+                    // `workers` total parallelism: `workers − 1` pool
+                    // threads plus this coordinator helping inside the
+                    // scope — every spawned loop runs concurrently.
+                    let pool = ThreadPool::new(workers);
+                    pool.scope(|scope| {
+                        for worker in 0..workers {
+                            let core = &core;
+                            let shutdown = &shutdown;
+                            let failed = &failed;
+                            scope.spawn(move || {
+                                let run = catch_unwind(AssertUnwindSafe(|| {
+                                    drain_worker(core, worker, batch, shutdown, failed);
+                                }));
+                                if let Err(payload) = run {
+                                    // This worker died (predictor panic,
+                                    // poisoned shard). Break the whole
+                                    // service *immediately and
+                                    // observably* — peers exit on the
+                                    // flag, blocked producers wake with
+                                    // a clean rejection, quiesce()
+                                    // trips — rather than letting the
+                                    // survivors serve a half-dead
+                                    // engine. The re-raise hands the
+                                    // payload to the scope, which
+                                    // propagates the first one to the
+                                    // coordinator for close() to
+                                    // surface.
+                                    failed.store(true, Ordering::Release);
+                                    core.close_ingress();
+                                    resume_unwind(payload);
+                                }
+                            });
+                        }
+                    });
+                })
+                .expect("spawning drain coordinator")
+        };
+        DrainService {
+            core,
+            shutdown,
+            failed,
+            coordinator: Some(coordinator),
+        }
+    }
+
+    fn failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for DrainService {
+    /// Shutdown sequence: stop accepting (blocked producers wake with
+    /// their push rejected), tell the workers, wake everyone, wait.
+    /// Workers exit only at quiescence (ingress closed *and* empty), so
+    /// after the join every accepted event has been applied. Returns the
+    /// coordinator's panic payload (if a worker died) via `join_panic`;
+    /// `Drop` itself must not unwind, so a bare drop records the failure
+    /// in `failed` and discards the payload — `EngineService::close`
+    /// goes through [`DrainService::join_panic`] to re-raise it.
+    fn drop(&mut self) {
+        if self.join_panic().is_some() {
+            self.failed.store(true, Ordering::Release);
+        }
+    }
+}
+
+impl DrainService {
+    /// Runs the shutdown sequence (idempotent) and hands back the
+    /// coordinator's panic payload, if any worker panicked.
+    fn join_panic(&mut self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.core.close_ingress();
+        self.shutdown.store(true, Ordering::Release);
+        self.core.notifier().unpark();
+        self.coordinator.take().and_then(|c| c.join().err())
+    }
+}
+
+/// One worker's loop: scan all shards (start offset staggered per worker
+/// so workers fan out instead of convoying), drain whatever it can win,
+/// and park on the engine's notifier when a full scan finds nothing. The
+/// epoch is snapshotted *before* the scan, so a push or a peer's drain
+/// that races the scan un-parks immediately — no lost wake-ups, no
+/// polling loops.
+fn drain_worker(
+    core: &EngineCore,
+    worker: usize,
+    batch: usize,
+    shutdown: &AtomicBool,
+    failed: &AtomicBool,
+) {
+    let shards = core.shard_count();
+    // One pop buffer per worker, reused for every batch it ever drains.
+    let mut buffer = Vec::with_capacity(batch);
+    loop {
+        // A peer died: the service is broken (its shard may be poisoned
+        // mid-apply); stop serving rather than present a half-dead
+        // engine as healthy.
+        if failed.load(Ordering::Acquire) {
+            return;
+        }
+        let epoch = core.notifier().epoch();
+        let mut drained = 0;
+        for offset in 0..shards {
+            drained += core.drain_shard((worker + offset) % shards, batch, false, &mut buffer);
+        }
+        if drained > 0 {
+            continue;
+        }
+        // Nothing won this scan. Quiescent shutdown: the ingress is
+        // closed (no new work can arrive) and every channel is empty
+        // (in-flight batches are someone else's, and that worker exits
+        // after applying them).
+        if shutdown.load(Ordering::Acquire) && core.total_backlog() == 0 {
+            return;
+        }
+        core.notifier().park(epoch);
+    }
+}
+
+/// A multi-job streaming engine run as a **concurrent service**:
+/// producers on any number of threads push through cloned
+/// [`EngineHandle`]s while the background `DrainService` continuously
+/// applies, scores, and finalizes. This is the deployment shape the
+/// ROADMAP's "heavy traffic" north star asks for; the caller-driven
+/// [`Engine`](crate::Engine) remains as the single-threaded shim.
+///
+/// Under [`OverloadPolicy::Block`](crate::OverloadPolicy::Block) a push
+/// to a full shard is a **true blocking send** — the producer sleeps
+/// until a drain worker makes room — so saturation costs latency, never
+/// events; the service-mode property test in `tests/service.rs` proves
+/// per-job outcomes stay bit-for-bit equal to sequential replay with
+/// real producer threads hammering a saturated engine.
+///
+/// # Example
+///
+/// ```
+/// use nurd_data::{Checkpoint, JobSpec, OnlinePredictor, TaskEvent};
+/// use nurd_serve::{EngineConfig, EngineService, ServiceConfig};
+/// # struct Never;
+/// # impl OnlinePredictor for Never {
+/// #     fn name(&self) -> &str { "NEVER" }
+/// #     fn predict(&mut self, _: &Checkpoint<'_>) -> Vec<usize> { Vec::new() }
+/// # }
+///
+/// let service = EngineService::start(
+///     EngineConfig::default(),
+///     ServiceConfig::default(),
+///     Box::new(|_| Box::new(Never)),
+/// );
+///
+/// // Producers push from their own threads through cloned handles.
+/// let producer = {
+///     let handle = service.handle();
+///     std::thread::spawn(move || {
+///         handle.push(TaskEvent::JobStart {
+///             spec: JobSpec { job: 7, threshold: 100.0, task_count: 1, feature_dim: 1, checkpoints: 1 },
+///         });
+///         handle.push(TaskEvent::Barrier { job: 7, ordinal: 0, time: 50.0 })
+///     })
+/// };
+/// assert!(producer.join().unwrap(), "push accepted");
+///
+/// // close(): drain to quiescence, then the final report.
+/// let report = service.close();
+/// assert_eq!(report.jobs.len(), 1);
+/// assert_eq!(report.events, 2);
+/// ```
+pub struct EngineService {
+    core: Arc<EngineCore>,
+    /// The service's own producer handle — the convenience `push`/`admit`
+    /// methods below delegate here, so the accept/wake logic exists once.
+    handle: EngineHandle,
+    service: DrainService,
+}
+
+impl std::fmt::Debug for EngineService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineService")
+            .field("core", &self.core)
+            .finish()
+    }
+}
+
+impl EngineService {
+    /// Builds the engine and starts its background drain loop; events
+    /// pushed through [`EngineService::handle`]s are applied without any
+    /// further caller involvement, until [`EngineService::close`].
+    #[must_use]
+    pub fn start(config: EngineConfig, service: ServiceConfig, factory: PredictorFactory) -> Self {
+        let core = Arc::new(EngineCore::new(config, factory));
+        let service = DrainService::start(Arc::clone(&core), &service);
+        let handle = EngineHandle::new(Arc::clone(&core), BlockMode::Sleep);
+        EngineService {
+            core,
+            handle,
+            service,
+        }
+    }
+
+    /// A cloneable producer handle; make one per producer thread. Under
+    /// [`OverloadPolicy::Block`](crate::OverloadPolicy::Block) its
+    /// [`push`](EngineHandle::push) is a true blocking send.
+    #[must_use]
+    pub fn handle(&self) -> EngineHandle {
+        self.handle.clone()
+    }
+
+    /// Pushes one event from the current thread (see
+    /// [`EngineHandle::push`]).
+    pub fn push(&self, event: nurd_data::TaskEvent) -> bool {
+        self.handle.push(event)
+    }
+
+    /// Pushes a batch of events in order; returns how many were accepted.
+    pub fn push_all(&self, events: impl IntoIterator<Item = nurd_data::TaskEvent>) -> usize {
+        self.handle.push_all(events)
+    }
+
+    /// Convenience admission (see [`EngineHandle::admit`]).
+    pub fn admit(&self, spec: nurd_data::JobSpec) -> bool {
+        self.handle.admit(spec)
+    }
+
+    /// Takes the reports of jobs finalized since the last take — safe
+    /// while the service is running (see [`EngineHandle::take_finalized`]).
+    pub fn take_finalized(&self) -> Vec<JobReport> {
+        self.handle.take_finalized()
+    }
+
+    /// Live scheduling diagnostics, polled without stopping the service
+    /// (see [`EngineStats`]).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.handle.stats()
+    }
+
+    /// Where `job` sits in its lifecycle, judging by *drained* state.
+    /// In service mode drains run in the background, so a just-pushed
+    /// `JobStart` may briefly report `None`; [`EngineService::quiesce`]
+    /// first if the test or caller needs the settled answer.
+    #[must_use]
+    pub fn job_phase(&self, job: u64) -> Option<JobPhase> {
+        self.handle.job_phase(job)
+    }
+
+    /// Blocks until every event pushed *before this call* has been
+    /// applied (ingress empty and no drain in flight). With producers
+    /// still pushing concurrently this is a moving target — the method
+    /// promises only that the pre-call backlog is gone; it is the
+    /// settle-then-observe primitive for monitors and tests.
+    pub fn quiesce(&self) {
+        loop {
+            let epoch = self.core.notifier().epoch();
+            assert!(
+                !self.service.failed(),
+                "drain service died: a drain worker panicked (see the \
+                 coordinator thread's panic output); the backlog will \
+                 never settle"
+            );
+            if self.core.total_backlog() == 0 {
+                // Channels are empty; popped-but-unapplied batches are
+                // finished by waiting on each shard's lock once.
+                self.core.settle_shards();
+                if self.core.total_backlog() == 0 {
+                    return;
+                }
+            } else {
+                // Progress signal: workers unpark after every batch.
+                self.core.notifier().park(epoch);
+            }
+        }
+    }
+
+    /// Shuts the service down and returns the final report: closes the
+    /// ingress (later pushes fail; producers blocked in a send wake with
+    /// their push rejected), lets the drain workers run the backlog down
+    /// to quiescence, joins them, finalizes every still-live job
+    /// ([`crate::FinalizeReason::EngineFinish`]), and reports everything
+    /// not already handed out by [`EngineService::take_finalized`].
+    #[must_use]
+    pub fn close(self) -> EngineReport {
+        let EngineService {
+            core, mut service, ..
+        } = self;
+        // Run the full shutdown sequence and join the workers;
+        // afterwards the core is quiescent by construction. If a drain
+        // worker panicked, re-raise the *original* payload here — the
+        // root cause — instead of tripping over a poisoned shard lock
+        // inside finish_report with a generic message.
+        if let Some(payload) = service.join_panic() {
+            std::panic::resume_unwind(payload);
+        }
+        drop(service);
+        core.finish_report()
+    }
+}

@@ -1,6 +1,8 @@
-//! Per-shard job state and the event application logic.
+//! Per-shard job state, the event application logic, and the live
+//! counters a concurrent service publishes.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nurd_data::{
     Checkpoint, FinishedTask, JobSpec, OnlinePredictor, RunningTask, StreamContext, TaskEvent,
@@ -9,6 +11,55 @@ use nurd_sim::outcome_from_flags;
 
 use crate::engine::{JobReport, PredictorFactory};
 use crate::lifecycle::{FinalizeReason, JobPhase, OverloadCounters};
+
+/// One shard's live counters, published as atomics so
+/// [`EngineStats`](crate::EngineStats) can be snapshotted from any thread
+/// *while drains are running* — no lock is taken, no drain is paused.
+/// Push-side counters (blocked/shed/rejected ingress) are bumped by
+/// producer threads; drain-side counters by whichever worker holds the
+/// shard. All loads/stores are `Relaxed`: each counter is an independent
+/// monotone tally, and a snapshot only promises per-counter atomicity,
+/// not a cross-counter consistent cut.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStats {
+    /// Events applied by drains (lifecycle events included).
+    pub(crate) events_processed: AtomicUsize,
+    /// Events whose job was never admitted.
+    pub(crate) orphan_events: AtomicUsize,
+    /// Structurally invalid events rejected during application.
+    pub(crate) rejected_events: AtomicUsize,
+    /// Events that arrived after their job finalized.
+    pub(crate) stale_events: AtomicUsize,
+    /// Pushes that found this shard's ingress full under
+    /// [`OverloadPolicy::Block`](crate::OverloadPolicy::Block).
+    pub(crate) blocked_pushes: AtomicUsize,
+    /// Queued events evicted under
+    /// [`OverloadPolicy::ShedOldest`](crate::OverloadPolicy::ShedOldest).
+    pub(crate) shed_events: AtomicUsize,
+    /// Incoming events dropped under
+    /// [`OverloadPolicy::RejectNew`](crate::OverloadPolicy::RejectNew).
+    pub(crate) rejected_ingress: AtomicUsize,
+    /// Live (admitted, not yet finalized) jobs resident in this shard.
+    pub(crate) live_jobs: AtomicUsize,
+    /// Jobs this shard has finalized over its lifetime.
+    pub(crate) finalized_jobs: AtomicUsize,
+    /// Times adaptive balancing switched within-job parallelism **on**
+    /// for this shard (see [`BalanceConfig`](crate::BalanceConfig)).
+    pub(crate) balance_boosts: AtomicUsize,
+}
+
+impl ShardStats {
+    pub(crate) fn add(&self, counter: &AtomicUsize, n: usize) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn overload(&self) -> OverloadCounters {
+        OverloadCounters {
+            shed_events: self.shed_events.load(Ordering::Relaxed),
+            rejected_ingress: self.rejected_ingress.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// What the shard knows about one task of one job.
 #[derive(Debug, Default)]
@@ -49,7 +100,7 @@ impl std::fmt::Debug for Shard {
         f.debug_struct("Shard")
             .field("jobs", &self.jobs.len())
             .field("finalized", &self.finalized_ids.len())
-            .field("queued", &self.queue.len())
+            .field("granted_threads", &self.granted_threads)
             .finish()
     }
 }
@@ -262,28 +313,30 @@ impl JobState {
     }
 }
 
-/// One shard of the engine: a disjoint set of *live* jobs, the reports of
-/// jobs already finalized, and the queue of not-yet-applied events.
-/// Shards share nothing, which is the whole determinism argument — see
+/// One shard of the engine: a disjoint set of *live* jobs and the reports
+/// of jobs already finalized. The not-yet-applied events live **outside**
+/// this struct, in the shard's [`nurd_runtime::Channel`] ingress queue —
+/// a drain worker pops a batch from the channel and applies it here while
+/// holding the shard's lock, so per-shard application order is the
+/// channel's FIFO order no matter which worker drains. Shards share
+/// nothing, which is the whole determinism argument — see
 /// [`crate::Engine`].
 pub(crate) struct Shard {
     jobs: BTreeMap<u64, JobState>,
     /// Reports of finalized jobs not yet taken by
-    /// [`crate::Engine::take_finalized`] or `finish`.
+    /// [`crate::EngineHandle::take_finalized`] or `finish`.
     finalized: BTreeMap<u64, JobReport>,
     /// Every job id this shard ever finalized — distinguishes *stale*
     /// events (job known, stream already closed) from orphans (job never
     /// admitted). A `BTreeSet<u64>` per job is the only state that
     /// survives finalization.
     finalized_ids: BTreeSet<u64>,
-    queue: VecDeque<TaskEvent>,
     warmup_fraction: f64,
-    pub(crate) events_processed: usize,
-    pub(crate) orphan_events: usize,
-    pub(crate) rejected_events: usize,
-    pub(crate) stale_events: usize,
-    pub(crate) blocked_pushes: usize,
-    pub(crate) overload: OverloadCounters,
+    /// Within-job parallelism currently granted to this shard's oversized
+    /// jobs by adaptive balancing (1 = sequential, the default).
+    granted_threads: usize,
+    /// Only jobs with at least this many tasks receive the grant.
+    grant_min_tasks: usize,
 }
 
 impl Shard {
@@ -292,40 +345,10 @@ impl Shard {
             jobs: BTreeMap::new(),
             finalized: BTreeMap::new(),
             finalized_ids: BTreeSet::new(),
-            queue: VecDeque::new(),
             warmup_fraction,
-            events_processed: 0,
-            orphan_events: 0,
-            rejected_events: 0,
-            stale_events: 0,
-            blocked_pushes: 0,
-            overload: OverloadCounters::default(),
+            granted_threads: 1,
+            grant_min_tasks: usize::MAX,
         }
-    }
-
-    pub(crate) fn enqueue(&mut self, event: TaskEvent) {
-        self.queue.push_back(event);
-    }
-
-    /// Drops the oldest queued event (`OverloadPolicy::ShedOldest`).
-    pub(crate) fn shed_oldest(&mut self) {
-        if self.queue.pop_front().is_some() {
-            self.overload.shed_events += 1;
-        }
-    }
-
-    pub(crate) fn queued(&self) -> usize {
-        self.queue.len()
-    }
-
-    /// Live (admitted, not yet finalized) jobs.
-    pub(crate) fn job_count(&self) -> usize {
-        self.jobs.len()
-    }
-
-    /// Jobs this shard has finalized over its lifetime.
-    pub(crate) fn finalized_count(&self) -> usize {
-        self.finalized_ids.len()
     }
 
     /// Lifecycle phase of `job`, if this shard has ever admitted it.
@@ -336,16 +359,48 @@ impl Shard {
         self.jobs.get(&job).map(JobState::phase)
     }
 
-    /// Moves `job` from live to finalized: emits its report and drops its
-    /// entire state — this is what bounds resident memory to live jobs.
-    fn finalize(&mut self, job: u64, reason: FinalizeReason) {
-        if let Some(state) = self.jobs.remove(&job) {
-            self.finalized_ids.insert(job);
-            self.finalized.insert(job, state.report(reason));
+    /// Adjusts the within-job parallelism grant (adaptive balancing).
+    /// Propagates to every live job at or above `min_tasks` tasks and is
+    /// remembered for jobs admitted while the grant holds. Counted in
+    /// [`ShardStats::balance_boosts`] on each off→on transition. Safe at
+    /// any moment: [`OnlinePredictor::set_parallelism`] is contractually
+    /// bit-identical across thread counts, so flipping it mid-job changes
+    /// wall-clock only.
+    pub(crate) fn set_parallelism(&mut self, threads: usize, min_tasks: usize, stats: &ShardStats) {
+        let threads = threads.max(1);
+        if threads == self.granted_threads && (threads == 1 || min_tasks == self.grant_min_tasks) {
+            return;
+        }
+        if self.granted_threads == 1 && threads > 1 {
+            stats.add(&stats.balance_boosts, 1);
+        }
+        self.granted_threads = threads;
+        self.grant_min_tasks = if threads == 1 { usize::MAX } else { min_tasks };
+        for job in self.jobs.values_mut() {
+            if job.spec.task_count >= self.grant_min_tasks {
+                job.predictor.set_parallelism(threads);
+            } else if threads == 1 {
+                job.predictor.set_parallelism(1);
+            }
         }
     }
 
-    /// Applies every queued event in arrival order.
+    /// Moves `job` from live to finalized: emits its report and drops its
+    /// entire state — this is what bounds resident memory to live jobs.
+    fn finalize(&mut self, job: u64, reason: FinalizeReason, stats: &ShardStats) {
+        if let Some(state) = self.jobs.remove(&job) {
+            self.finalized_ids.insert(job);
+            self.finalized.insert(job, state.report(reason));
+            stats
+                .live_jobs
+                .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            stats.add(&stats.finalized_jobs, 1);
+        }
+    }
+
+    /// Applies a batch of events in the order given (the caller pops them
+    /// FIFO from the shard's ingress channel while holding this shard's
+    /// lock, so batch order **is** stream order).
     ///
     /// * `JobStart` admits an unseen job through `factory` (a restart of a
     ///   *live* job resets it to a fresh predictor; a restart of a
@@ -354,25 +409,39 @@ impl Shard {
     /// * Events for unknown jobs count as orphans; events for finalized
     ///   jobs count as stale; structurally invalid events (see
     ///   [`JobState::apply`]) count as rejected. None aborts the drain.
-    pub(crate) fn drain(&mut self, factory: &PredictorFactory) {
-        while let Some(event) = self.queue.pop_front() {
-            self.events_processed += 1;
+    pub(crate) fn apply_batch(
+        &mut self,
+        events: impl IntoIterator<Item = TaskEvent>,
+        factory: &PredictorFactory,
+        stats: &ShardStats,
+    ) {
+        for event in events {
+            stats.add(&stats.events_processed, 1);
             match event {
                 TaskEvent::JobStart { spec } => {
                     if self.finalized_ids.contains(&spec.job) {
-                        self.stale_events += 1;
+                        stats.add(&stats.stale_events, 1);
                     } else {
-                        let predictor = factory(&spec);
-                        self.jobs.insert(spec.job, JobState::new(spec, predictor));
+                        let mut predictor = factory(&spec);
+                        if spec.task_count >= self.grant_min_tasks {
+                            predictor.set_parallelism(self.granted_threads);
+                        }
+                        if self
+                            .jobs
+                            .insert(spec.job, JobState::new(spec, predictor))
+                            .is_none()
+                        {
+                            stats.add(&stats.live_jobs, 1);
+                        }
                     }
                 }
                 TaskEvent::JobEnd { job, .. } => {
                     if self.jobs.contains_key(&job) {
-                        self.finalize(job, FinalizeReason::JobEnd);
+                        self.finalize(job, FinalizeReason::JobEnd, stats);
                     } else if self.finalized_ids.contains(&job) {
-                        self.stale_events += 1;
+                        stats.add(&stats.stale_events, 1);
                     } else {
-                        self.orphan_events += 1;
+                        stats.add(&stats.orphan_events, 1);
                     }
                 }
                 event => {
@@ -382,16 +451,18 @@ impl Shard {
                         Some(job) => {
                             let applied = job.apply(event, self.warmup_fraction);
                             if !applied {
-                                self.rejected_events += 1;
+                                stats.add(&stats.rejected_events, 1);
                             } else if at_barrier && job.stream_complete() {
                                 // Only a *closed barrier* may trigger
                                 // all-tasks-finished finalization — see
                                 // `JobState::stream_complete`.
-                                self.finalize(job_id, FinalizeReason::StreamComplete);
+                                self.finalize(job_id, FinalizeReason::StreamComplete, stats);
                             }
                         }
-                        None if self.finalized_ids.contains(&job_id) => self.stale_events += 1,
-                        None => self.orphan_events += 1,
+                        None if self.finalized_ids.contains(&job_id) => {
+                            stats.add(&stats.stale_events, 1);
+                        }
+                        None => stats.add(&stats.orphan_events, 1),
                     }
                 }
             }
@@ -407,10 +478,10 @@ impl Shard {
     /// Finalizes every still-live job (reason
     /// [`FinalizeReason::EngineFinish`]) and returns all not-yet-taken
     /// reports, job-id order.
-    pub(crate) fn finish_reports(&mut self) -> Vec<JobReport> {
+    pub(crate) fn finish_reports(&mut self, stats: &ShardStats) -> Vec<JobReport> {
         let live: Vec<u64> = self.jobs.keys().copied().collect();
         for job in live {
-            self.finalize(job, FinalizeReason::EngineFinish);
+            self.finalize(job, FinalizeReason::EngineFinish, stats);
         }
         self.take_finalized()
     }

@@ -49,7 +49,7 @@ fn run_engine(
     pool: &ThreadPool,
     policy: &RefitPolicy,
 ) -> EngineReport {
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         EngineConfig {
             shards,
             warmup_fraction: WARMUP,
@@ -60,7 +60,7 @@ fn run_engine(
     for job in jobs {
         engine.admit(JobSpec::of_trace(job, QUANTILE));
     }
-    engine.push_all(events);
+    engine.push_all_sync(events);
     engine.finish(pool)
 }
 
@@ -147,7 +147,7 @@ proptest! {
         prop_assert_eq!(&report, &baseline, "interleaving changed the report");
 
         // Incremental drains between small batches.
-        let mut engine = Engine::new(
+        let engine = Engine::new(
             EngineConfig { shards: 2, warmup_fraction: WARMUP, ..EngineConfig::default() },
             nurd_factory(policy.clone()),
         );
@@ -155,8 +155,8 @@ proptest! {
             engine.admit(JobSpec::of_trace(job, QUANTILE));
         }
         for chunk in shuffled.chunks(97) {
-            engine.push_all(chunk.to_vec());
-            engine.drain(&pool);
+            engine.push_all_sync(chunk.to_vec());
+            engine.drain_sync(&pool);
         }
         prop_assert_eq!(&engine.finish(&pool), &baseline, "drain batching changed the report");
     }
@@ -204,7 +204,7 @@ proptest! {
             (&staggered, 8),
             (&shuffled, 8),
         ] {
-            let mut engine = Engine::new(
+            let engine = Engine::new(
                 EngineConfig { shards, warmup_fraction: WARMUP, ..EngineConfig::default() },
                 nurd_factory(policy.clone()),
             );
@@ -212,8 +212,8 @@ proptest! {
             // long-lived-service usage pattern.
             let mut reports: Vec<JobReport> = Vec::new();
             for chunk in stream.chunks(137) {
-                engine.push_all(chunk.to_vec());
-                engine.drain(&pool);
+                engine.push_all_sync(chunk.to_vec());
+                engine.drain_sync(&pool);
                 reports.extend(engine.take_finalized());
             }
             reports.extend(engine.finish(&pool).jobs);

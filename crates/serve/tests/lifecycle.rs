@@ -86,24 +86,24 @@ fn full_stream(job: u64) -> Vec<TaskEvent> {
 fn events_for_a_finalized_job_are_stale_not_fatal() {
     let pool = ThreadPool::new(1);
     let clean = {
-        let mut engine = Engine::new(EngineConfig::default(), factory());
-        engine.push_all(full_stream(1));
+        let engine = Engine::new(EngineConfig::default(), factory());
+        engine.push_all_sync(full_stream(1));
         engine.finish(&pool)
     };
 
-    let mut engine = Engine::new(EngineConfig::default(), factory());
-    engine.push_all(full_stream(1));
-    engine.drain(&pool);
+    let engine = Engine::new(EngineConfig::default(), factory());
+    engine.push_all_sync(full_stream(1));
+    engine.drain_sync(&pool);
     assert_eq!(engine.job_phase(1), Some(JobPhase::Finalized));
     // A whole burst after finalization: progress, a barrier, a second
     // JobEnd, even a JobStart restart of the dead id.
-    engine.push_all([
+    engine.push_all_sync([
         progress(1, 2, 1, 8.0),
         barrier(1, 1, 8.0),
         TaskEvent::JobEnd { job: 1, time: 9.0 },
         TaskEvent::JobStart { spec: spec(1, 2) },
     ]);
-    engine.drain(&pool);
+    engine.drain_sync(&pool);
     let stats = engine.stats();
     // The last barrier already finalized the job, so the stream's own
     // JobEnd is stale too: 1 (in-stream JobEnd) + 4 late events.
@@ -118,7 +118,7 @@ fn events_for_a_finalized_job_are_stale_not_fatal() {
 #[test]
 fn job_end_before_warmup_quorum_finalizes_cleanly() {
     let pool = ThreadPool::new(1);
-    let mut engine = Engine::new(EngineConfig::default(), factory());
+    let engine = Engine::new(EngineConfig::default(), factory());
     let mut events = vec![TaskEvent::JobStart { spec: spec(7, 4) }];
     events.extend(submissions(7));
     // One checkpoint of pure progress — nothing finished, quorum
@@ -130,8 +130,8 @@ fn job_end_before_warmup_quorum_finalizes_cleanly() {
         barrier(7, 0, 2.0),
         TaskEvent::JobEnd { job: 7, time: 2.5 },
     ]);
-    engine.push_all(events);
-    engine.drain(&pool);
+    engine.push_all_sync(events);
+    engine.drain_sync(&pool);
     let reports = engine.take_finalized();
     assert_eq!(reports.len(), 1);
     let r = &reports[0];
@@ -147,36 +147,36 @@ fn job_end_before_warmup_quorum_finalizes_cleanly() {
 #[test]
 fn jobs_walk_the_phase_state_machine() {
     let pool = ThreadPool::new(1);
-    let mut engine = Engine::new(EngineConfig::default(), factory());
+    let engine = Engine::new(EngineConfig::default(), factory());
     assert_eq!(engine.job_phase(5), None, "unknown before admission");
 
-    engine.push(TaskEvent::JobStart { spec: spec(5, 3) });
-    engine.push_all(submissions(5));
-    engine.drain(&pool);
+    engine.push_sync(TaskEvent::JobStart { spec: spec(5, 3) });
+    engine.push_all_sync(submissions(5));
+    engine.drain_sync(&pool);
     assert_eq!(engine.job_phase(5), Some(JobPhase::Admitted));
 
     // A closed checkpoint with no completions: warming, not scoring.
-    engine.push_all([
+    engine.push_all_sync([
         progress(5, 0, 0, 1.0),
         progress(5, 1, 0, 1.0),
         progress(5, 2, 0, 1.0),
         barrier(5, 0, 1.0),
     ]);
-    engine.drain(&pool);
+    engine.drain_sync(&pool);
     assert_eq!(engine.job_phase(5), Some(JobPhase::Warming));
 
     // A completion satisfies the quorum at the next barrier: scoring.
-    engine.push_all([
+    engine.push_all_sync([
         finished(5, 0, 1, 4.0, 2.0),
         progress(5, 1, 1, 4.0),
         progress(5, 2, 1, 4.0),
         barrier(5, 1, 4.0),
     ]);
-    engine.drain(&pool);
+    engine.drain_sync(&pool);
     assert_eq!(engine.job_phase(5), Some(JobPhase::Scoring));
 
-    engine.push(TaskEvent::JobEnd { job: 5, time: 5.0 });
-    engine.drain(&pool);
+    engine.push_sync(TaskEvent::JobEnd { job: 5, time: 5.0 });
+    engine.drain_sync(&pool);
     assert_eq!(engine.job_phase(5), Some(JobPhase::Finalized));
     assert_eq!(engine.take_finalized().len(), 1);
 }
@@ -184,14 +184,14 @@ fn jobs_walk_the_phase_state_machine() {
 #[test]
 fn mid_stream_admission_after_another_job_finalized() {
     let pool = ThreadPool::new(1);
-    let mut engine = Engine::new(EngineConfig::default(), factory());
+    let engine = Engine::new(EngineConfig::default(), factory());
     // Job 1 lives and dies...
-    engine.push_all(full_stream(1));
-    engine.drain(&pool);
+    engine.push_all_sync(full_stream(1));
+    engine.drain_sync(&pool);
     assert_eq!(engine.job_phase(1), Some(JobPhase::Finalized));
     // ...then job 2 arrives, long after, with no registry anywhere.
-    engine.push_all(full_stream(2));
-    engine.drain(&pool);
+    engine.push_all_sync(full_stream(2));
+    engine.drain_sync(&pool);
     let reports = engine.take_finalized();
     assert_eq!(
         reports.iter().map(|r| r.job).collect::<Vec<_>>(),
@@ -204,7 +204,7 @@ fn mid_stream_admission_after_another_job_finalized() {
 #[test]
 fn shed_oldest_counts_and_survives_a_saturated_shard() {
     let pool = ThreadPool::new(1);
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         EngineConfig {
             shards: 1,
             queue_capacity: Some(4),
@@ -215,7 +215,7 @@ fn shed_oldest_counts_and_survives_a_saturated_shard() {
     );
     let stream = full_stream(1);
     let pushed = stream.len();
-    engine.push_all(stream);
+    engine.push_all_sync(stream);
     let report = engine.finish(&pool);
     // Capacity 4: every push past the fourth shed the oldest event.
     assert_eq!(report.overload.shed_events, pushed - 4);
@@ -230,7 +230,7 @@ fn shed_oldest_counts_and_survives_a_saturated_shard() {
 #[test]
 fn reject_new_counts_and_keeps_the_oldest_window() {
     let pool = ThreadPool::new(1);
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         EngineConfig {
             shards: 1,
             queue_capacity: Some(6),
@@ -241,7 +241,7 @@ fn reject_new_counts_and_keeps_the_oldest_window() {
     );
     let stream = full_stream(1);
     let pushed = stream.len();
-    engine.push_all(stream);
+    engine.push_all_sync(stream);
     let stats_mid = engine.stats();
     assert_eq!(stats_mid.overload.rejected_ingress, pushed - 6);
     let report = engine.finish(&pool);
@@ -257,7 +257,7 @@ fn reject_new_counts_and_keeps_the_oldest_window() {
 fn block_policy_is_lossless_backpressure() {
     let pool = ThreadPool::new(1);
     let run = |capacity: Option<usize>| {
-        let mut engine = Engine::new(
+        let engine = Engine::new(
             EngineConfig {
                 shards: 1,
                 queue_capacity: capacity,
@@ -266,7 +266,7 @@ fn block_policy_is_lossless_backpressure() {
             },
             factory(),
         );
-        engine.push_all(full_stream(1));
+        engine.push_all_sync(full_stream(1));
         let blocked = engine.stats().blocked_pushes;
         (engine.finish(&pool), blocked)
     };

@@ -122,6 +122,37 @@ pub fn interleave_events(mut streams: Vec<Vec<TaskEvent>>, seed: u64) -> Vec<Tas
     merged
 }
 
+/// Partitions a fleet across `producers` **producer threads**: jobs are
+/// split round-robin into disjoint groups, and each group's
+/// lifecycle-bracketed streams ([`nurd_data::job_stream`]) are merged by
+/// a seeded [`interleave_events`] (seed offset per producer), so even a
+/// single producer's stream is multiplexed. This is the workload shape
+/// `nurd-serve`'s concurrent ingestion expects: one producer owns each
+/// job's stream (per-job order is the engine's contract), while
+/// cross-producer interleaving is left to the thread scheduler. Used by
+/// the service-mode property tests, the `serve_throughput` producers
+/// sweep, and `examples/fleet_monitor`.
+#[must_use]
+pub fn producer_streams(
+    jobs: &[JobTrace],
+    producers: usize,
+    threshold_quantile: f64,
+    seed: u64,
+) -> Vec<Vec<TaskEvent>> {
+    let producers = producers.max(1);
+    (0..producers)
+        .map(|p| {
+            let mine: Vec<Vec<TaskEvent>> = jobs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % producers == p)
+                .map(|(_, job)| job_stream(job, threshold_quantile))
+                .collect();
+            interleave_events(mine, seed.wrapping_add(p as u64))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +220,39 @@ mod tests {
                 assert_eq!(**a, *b, "job {} order disturbed", job.job_id());
             }
         }
+    }
+
+    #[test]
+    fn producer_streams_partition_jobs_and_preserve_per_job_order() {
+        let jobs = suite();
+        let streams = producer_streams(&jobs, 2, 0.9, 7);
+        assert_eq!(streams.len(), 2);
+        // Disjoint cover: every job's full bracketed stream appears in
+        // exactly one producer's stream, in original order.
+        for job in &jobs {
+            let reference = job_stream(job, 0.9);
+            let owners: Vec<&Vec<TaskEvent>> = streams
+                .iter()
+                .filter(|s| s.iter().any(|e| e.job() == job.job_id()))
+                .collect();
+            assert_eq!(
+                owners.len(),
+                1,
+                "job {} not owned by exactly one",
+                job.job_id()
+            );
+            let sub: Vec<&TaskEvent> = owners[0]
+                .iter()
+                .filter(|e| e.job() == job.job_id())
+                .collect();
+            assert_eq!(sub.len(), reference.len());
+            for (a, b) in sub.iter().zip(&reference) {
+                assert_eq!(**a, *b, "job {} order disturbed", job.job_id());
+            }
+        }
+        // producers > jobs leaves the extras empty, never panics.
+        let wide = producer_streams(&jobs, 5, 0.9, 7);
+        assert_eq!(wide.iter().filter(|s| !s.is_empty()).count(), 3);
     }
 
     #[test]

@@ -39,6 +39,6 @@ mod latency;
 pub use config::{CauseMix, SuiteConfig, TraceStyle};
 pub use dist::{lognormal, normal, pareto, uniform};
 pub use features::{ALIBABA_FEATURES, GOOGLE_FEATURES};
-pub use fleet::{fleet_events, interleave_events, staggered_fleet_events};
+pub use fleet::{fleet_events, interleave_events, producer_streams, staggered_fleet_events};
 pub use generator::{generate_job, generate_job_detailed, generate_suite};
 pub use latency::{LatencyFamily, StragglerCause, TaskPlan};

@@ -1,30 +1,35 @@
-//! Fleet-scale streaming: jobs arriving and departing mid-stream through
-//! the sharded `nurd-serve` engine under bounded-queue back-pressure,
-//! with per-job scorecards printed as each job finalizes and a
-//! cross-check against sequential replay.
+//! Fleet-scale streaming **as a concurrent service**: N producer threads
+//! push jobs through cloned `EngineHandle`s into the background drain
+//! loop, under bounded-queue back-pressure with adaptive shard
+//! balancing, while a monitor loop polls lock-free stats and harvests
+//! per-job scorecards as jobs finalize — then every outcome is
+//! cross-checked against sequential replay.
 //!
-//! CI runs this example as an end-to-end gate on the streaming path: it
-//! exits nonzero on any panic or on nonzero malformed-event counts
-//! (orphans, rejections, overload losses).
+//! CI runs this example as the end-to-end gate on the service-mode
+//! path: it exits nonzero on any panic, on nonzero malformed-event
+//! counts (orphans, rejections, overload losses), or on any event lost
+//! under the `Block` policy.
 //!
 //! ```sh
 //! cargo run --release --example fleet_monitor
 //! ```
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use nurd::core::{NurdConfig, NurdPredictor, RefitPolicy, WarmRefitConfig};
-use nurd::data::JobSpec;
-use nurd::runtime::ThreadPool;
-use nurd::serve::{Engine, EngineConfig, OverloadPolicy};
+use nurd::data::{JobSpec, TaskEvent};
+use nurd::serve::{BalanceConfig, EngineConfig, EngineService, OverloadPolicy, ServiceConfig};
 use nurd::sim::{replay_job, ReplayConfig};
 use nurd::trace::{SuiteConfig, TraceStyle};
 
 const SHARDS: usize = 4;
+const PRODUCERS: usize = 3;
 const QUANTILE: f64 = 0.9;
 /// Small on purpose: saturates under the burst so the Block policy's
-/// lossless back-pressure is actually exercised (and counted).
+/// *blocking sends* are actually exercised (and counted) — producers
+/// sleep inside `push` until the drain workers make room.
 const QUEUE_CAPACITY: usize = 512;
-/// Ingest granularity — the service pattern of push / drain / collect.
-const BATCH: usize = 1024;
 
 fn nurd_warm() -> NurdPredictor {
     NurdPredictor::new(
@@ -33,7 +38,9 @@ fn nurd_warm() -> NurdPredictor {
 }
 
 fn main() {
-    // A small fleet of jobs arriving at staggered times on one stream.
+    // A small fleet of jobs, split round-robin across producer threads;
+    // each producer interleaves its own jobs' streams (per-job order is
+    // the stream contract, cross-job order is free).
     let cfg = SuiteConfig::new(TraceStyle::Google)
         .with_jobs(6)
         .with_task_range(80, 140)
@@ -44,41 +51,59 @@ fn main() {
         .iter()
         .map(|j| JobSpec::of_trace(j, QUANTILE))
         .collect();
-    let events = nurd::trace::staggered_fleet_events(&jobs, QUANTILE, 400.0, 0xF1EE7);
+    let streams: Vec<Vec<TaskEvent>> =
+        nurd::trace::producer_streams(&jobs, PRODUCERS, QUANTILE, 0xF1EE7);
+    let n_events: usize = streams.iter().map(Vec::len).sum();
 
-    let pool = ThreadPool::new(SHARDS);
-    let mut engine = Engine::new(
+    let service = EngineService::start(
         EngineConfig {
             shards: SHARDS,
             warmup_fraction: 0.04,
             queue_capacity: Some(QUEUE_CAPACITY),
             overload: OverloadPolicy::Block,
+            // One oversized job pinning a shard gets its refits fanned
+            // out once that shard's backlog crosses the threshold (the
+            // engine clamps the threshold to half the queue capacity).
+            balance: Some(BalanceConfig {
+                min_tasks: 64,
+                ..BalanceConfig::default()
+            }),
         },
+        ServiceConfig::default(),
         Box::new(|_spec: &JobSpec| Box::new(nurd_warm())),
     );
 
-    let n_events = events.len();
     println!(
-        "streaming {} jobs · {} events · {SHARDS} shards on a {}-thread pool · \
-         queue capacity {QUEUE_CAPACITY} (Block)\n",
+        "streaming {} jobs · {} events · {PRODUCERS} producer threads → {SHARDS} shards \
+         → background drain service · queue capacity {QUEUE_CAPACITY} (Block, blocking sends)\n",
         jobs.len(),
         n_events,
-        pool.threads()
     );
     println!(
         "{:>5} {:>6} {:>9} {:>13} {:>9} {:>7} {:>7} {:>7}",
         "job", "tasks", "τ_stra(s)", "finalized", "flagged", "TPR", "FPR", "F1"
     );
 
-    // The service loop: ingest a batch, drain, report whatever finalized.
+    // Producers: push-only threads; the drain service does the rest.
     let start = std::time::Instant::now();
+    let accepted = Arc::new(AtomicUsize::new(0));
+    let producers: Vec<_> = streams
+        .into_iter()
+        .map(|stream| {
+            let handle = service.handle();
+            let accepted = Arc::clone(&accepted);
+            std::thread::spawn(move || {
+                accepted.fetch_add(handle.push_all(stream), Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    // The monitor loop: poll the atomics (no locks, no drain pauses),
+    // print scorecards as jobs finalize, until the producers are done.
     let mut reports = Vec::new();
-    let mut batches = events.into_iter().peekable();
-    while batches.peek().is_some() {
-        let chunk: Vec<_> = batches.by_ref().take(BATCH).collect();
-        engine.push_all(chunk);
-        engine.drain(&pool);
-        for r in engine.take_finalized() {
+    let mut peak_backlog = 0usize;
+    let harvest = |reports: &mut Vec<nurd::serve::JobReport>| {
+        for r in service.take_finalized() {
             let spec = specs.iter().find(|s| s.job == r.job).expect("spec");
             let c = &r.outcome.confusion;
             println!(
@@ -94,10 +119,22 @@ fn main() {
             );
             reports.push(r);
         }
+    };
+    while producers.iter().any(|p| !p.is_finished()) {
+        peak_backlog = peak_backlog.max(service.stats().backlog_per_shard.iter().sum::<usize>());
+        harvest(&mut reports);
+        std::thread::sleep(std::time::Duration::from_millis(2));
     }
-    let stats = engine.stats();
+    for producer in producers {
+        producer.join().expect("producer panicked");
+    }
+    // Everything is pushed; settle the backlog, harvest the remainder,
+    // then shut down.
+    service.quiesce();
+    harvest(&mut reports);
+    let stats = service.stats();
     let live: usize = stats.jobs_per_shard.iter().sum();
-    let final_report = engine.finish(&pool);
+    let final_report = service.close();
     reports.extend(final_report.jobs.iter().cloned());
     let elapsed = start.elapsed();
 
@@ -107,10 +144,11 @@ fn main() {
         .sum::<f64>()
         / reports.len() as f64;
     println!(
-        "\nmacro-F1 {:.3} · {:.0} events/s · shard loads (events) {:?} · {} live at finish",
+        "\nmacro-F1 {:.3} · {:.0} events/s · shard loads (events) {:?} · peak backlog {} · {} live at close",
         macro_f1,
         n_events as f64 / elapsed.as_secs_f64(),
         stats.events_per_shard,
+        peak_backlog,
         live,
     );
     println!(
@@ -118,13 +156,23 @@ fn main() {
         stats.finalized_jobs, stats.stale_events, stats.orphan_events, stats.rejected_events,
     );
     println!(
-        "back-pressure: {} blocked pushes · {} shed · {} rejected ingress",
+        "back-pressure: {} blocked (sleeping) pushes · {} balance boosts · {} shed · {} rejected ingress",
         stats.blocked_pushes,
+        stats.balance_boosts,
         final_report.overload.shed_events,
         final_report.overload.rejected_ingress,
     );
 
     // ---- CI gates: a clean canonical stream must stay clean. ----
+    assert_eq!(
+        accepted.load(Ordering::Relaxed),
+        n_events,
+        "Block policy rejected a push"
+    );
+    assert_eq!(
+        final_report.events, n_events,
+        "events lost between producers and drains"
+    );
     assert_eq!(reports.len(), jobs.len(), "every job must finalize");
     assert_eq!(stats.orphan_events, 0, "canonical stream produced orphans");
     assert_eq!(stats.rejected_events, 0, "canonical stream was rejected");
@@ -135,8 +183,9 @@ fn main() {
     );
 
     // The engine's contract: per-job results are bit-for-bit those of a
-    // sequential replay, even though jobs were admitted and finalized
-    // mid-stream under back-pressure. Check every job.
+    // sequential replay, even though events were pushed by racing
+    // producer threads and drained by background workers under
+    // back-pressure and adaptive balancing. Check every job.
     let replay_cfg = ReplayConfig {
         quantile: QUANTILE,
         warmup_fraction: 0.04,

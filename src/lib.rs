@@ -10,12 +10,15 @@
 //!   the `NURD-WS` warm-refit row).
 //! * [`sim`] — the online replay protocol, metrics, and the mitigation
 //!   schedulers of Algorithms 2 and 3.
-//! * [`serve`] — the streaming multi-job prediction engine: sharded,
-//!   event-driven, jobs admitted and finalized mid-stream under
-//!   back-pressure, bit-for-bit equal to sequential replay (see
-//!   `docs/OPERATIONS.md` for running it).
-//! * [`runtime`] — the dependency-free work-stealing thread pool behind
-//!   [`serve`] and the parallel ML loops (`ml::TreeConfig::n_threads`).
+//! * [`serve`] — the concurrent streaming prediction service: producers
+//!   push from any thread through cloneable `EngineHandle`s into
+//!   per-shard MPSC ingress queues, a background drain service scores
+//!   and finalizes jobs mid-stream under back-pressure (blocking sends
+//!   under `Block`) with adaptive shard balancing, bit-for-bit equal to
+//!   sequential replay (see `docs/OPERATIONS.md` for running it).
+//! * [`runtime`] — the dependency-free concurrency substrate behind
+//!   [`serve`] and the parallel ML loops: work-stealing thread pool,
+//!   bounded MPSC `Channel`, park/unpark `Notifier`.
 //! * [`trace`] — the synthetic Google/Alibaba-style trace substrate,
 //!   including interleaved multi-job event streams (`trace::fleet_events`,
 //!   `trace::staggered_fleet_events`).
