@@ -37,8 +37,8 @@ use nurd_core::{NurdConfig, NurdPredictor, RefitPolicy, WarmRefitConfig};
 use nurd_data::TaskEvent;
 use nurd_runtime::ThreadPool;
 use nurd_serve::{
-    Engine, EngineConfig, EngineReport, EngineService, OverloadPolicy, PredictorFactory,
-    ServiceConfig,
+    Engine, EngineConfig, EngineReport, EngineService, FsyncPolicy, OverloadPolicy,
+    PersistenceConfig, PredictorFactory, ServiceConfig,
 };
 use nurd_trace::{SuiteConfig, TraceStyle};
 
@@ -182,5 +182,97 @@ fn bench_serve_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve_throughput);
+/// Persistence-path latency, swept over resident (live, mid-stream)
+/// jobs:
+///
+/// * `snapshot_restore/snapshot/{2,5,10}jobs` — one full engine
+///   checkpoint: every live job's state (spec, task bookkeeping, warm
+///   NURD predictor blob) CRC-framed and fsynced to a new snapshot
+///   generation, WALs rotated, old generations pruned.
+/// * `snapshot_restore/restore/{2,5,10}jobs` — cold recovery: scan the
+///   directory, load the newest valid snapshot, rebuild every resident
+///   predictor from its blob, replay the WAL tail, and stand the
+///   service up (the measured iteration includes the post-recovery
+///   snapshot and clean shutdown — the full restart cost an operator
+///   waits through).
+///
+/// Each resident job is mid-stream (half its events applied), so the
+/// snapshots carry genuinely warm predictor state rather than empty
+/// shells.
+fn bench_snapshot_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_restore");
+    group.sample_size(10);
+    for resident in [2usize, 5, 10] {
+        let cfg = SuiteConfig::new(TraceStyle::Google)
+            .with_jobs(resident)
+            .with_task_range(100, 140)
+            .with_checkpoints(12)
+            .with_seed(0x5E8E);
+        let traces = nurd_trace::generate_suite(&cfg);
+        let half_streams: Vec<Vec<TaskEvent>> = traces
+            .iter()
+            .map(|job| {
+                let mut events = nurd_data::job_stream(job, 0.9);
+                events.truncate(events.len() / 2);
+                events
+            })
+            .collect();
+        let dir = std::env::temp_dir().join(format!(
+            "nurd-bench-snapshot-{}-{resident}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let engine_cfg = EngineConfig {
+            shards: SERVICE_SHARDS,
+            warmup_fraction: 0.04,
+            ..EngineConfig::default()
+        };
+        // WAL fsync cost is the drain path's; `Never` isolates what this
+        // group measures (snapshot write / recovery read).
+        let mut persistence = PersistenceConfig::new(&dir);
+        persistence.fsync = FsyncPolicy::Never;
+        let service = EngineService::start_persistent(
+            engine_cfg.clone(),
+            ServiceConfig::default(),
+            persistence,
+            factory(),
+        )
+        .expect("start_persistent");
+        for stream in &half_streams {
+            let handle = service.handle();
+            handle.push_all(stream.iter().cloned());
+        }
+        service.quiesce();
+        group.bench_function(
+            BenchmarkId::new("snapshot", format!("{resident}jobs")),
+            |b| {
+                b.iter(|| service.checkpoint().expect("checkpoint"));
+            },
+        );
+        let _ = service.close(); // shutdown snapshot: live jobs persist resumable
+        group.bench_function(
+            BenchmarkId::new("restore", format!("{resident}jobs")),
+            |b| {
+                b.iter(|| {
+                    let (revived, report) = EngineService::recover(
+                        PersistenceConfig::new(&dir),
+                        engine_cfg.clone(),
+                        ServiceConfig::default(),
+                        factory(),
+                    )
+                    .expect("recover");
+                    assert_eq!(
+                        report.resumed_jobs, resident,
+                        "a resident job failed to resume"
+                    );
+                    let _ = revived.close();
+                });
+            },
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput, bench_snapshot_restore);
 criterion_main!(benches);

@@ -266,6 +266,54 @@ impl OnlinePredictor for NurdPredictor {
             .map(|p| p.id)
             .collect()
     }
+
+    /// Serializes every fitted quantity — δ, both models, the warm-refit
+    /// scratch, and the checkpoint counters. Configuration, threshold, and
+    /// the scratch buffers are *not* serialized: the factory recreates the
+    /// config and [`OnlinePredictor::begin_stream`] restores the
+    /// threshold, while the scratch matrices are refilled in place at the
+    /// next checkpoint regardless.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        use nurd_codec::Checkpointable;
+        let mut enc = nurd_codec::Encoder::new();
+        self.delta.encode(&mut enc);
+        self.latency_model.encode(&mut enc);
+        self.propensity_model.encode(&mut enc);
+        enc.put_usize(self.checkpoints_seen);
+        enc.put_usize(self.fit_failures);
+        self.warm.encode(&mut enc);
+        Some(enc.into_bytes())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        use nurd_codec::Checkpointable;
+        let mut dec = nurd_codec::Decoder::new(bytes);
+        let Ok(delta) = Option::<f64>::decode(&mut dec) else {
+            return false;
+        };
+        let Ok(latency_model) = Option::<GradientBoosting<SquaredLoss>>::decode(&mut dec) else {
+            return false;
+        };
+        let Ok(propensity_model) = Option::<LogisticRegression>::decode(&mut dec) else {
+            return false;
+        };
+        let (Ok(checkpoints_seen), Ok(fit_failures)) = (dec.take_usize(), dec.take_usize()) else {
+            return false;
+        };
+        let Ok(warm) = WarmRefitState::decode(&mut dec) else {
+            return false;
+        };
+        if !dec.is_empty() {
+            return false;
+        }
+        self.delta = delta;
+        self.latency_model = latency_model;
+        self.propensity_model = propensity_model;
+        self.checkpoints_seen = checkpoints_seen;
+        self.fit_failures = fit_failures;
+        self.warm = warm;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -337,6 +337,93 @@ fn refit_fields(
     Ok(())
 }
 
+/// Encodes a column-major [`FeatureMatrix`] (dims + columns, bit-exact).
+/// Lives here rather than in `nurd-linalg` so the linear-algebra crate
+/// stays codec-free; `nurd-serve` reuses it via [`WarmRefitState`].
+pub(crate) fn encode_feature_matrix(m: &FeatureMatrix, enc: &mut nurd_codec::Encoder) {
+    enc.put_usize(m.rows());
+    enc.put_usize(m.cols());
+    for c in 0..m.cols() {
+        for &v in m.column(c) {
+            enc.put_f64(v);
+        }
+    }
+}
+
+/// Inverse of [`encode_feature_matrix`].
+pub(crate) fn decode_feature_matrix(
+    dec: &mut nurd_codec::Decoder<'_>,
+) -> Result<FeatureMatrix, nurd_codec::CodecError> {
+    let rows = dec.take_usize()?;
+    let cols = dec.take_usize()?;
+    let cells = rows.checked_mul(cols).unwrap_or(u64::MAX as usize);
+    let need = cells.saturating_mul(8);
+    if need > dec.remaining() {
+        return Err(nurd_codec::CodecError::LengthOverrun {
+            declared: cells as u64,
+            remaining: dec.remaining(),
+        });
+    }
+    let mut m = FeatureMatrix::zeros(rows, cols);
+    for c in 0..cols {
+        for r in 0..rows {
+            m.set(r, c, dec.take_f64()?);
+        }
+    }
+    Ok(m)
+}
+
+impl nurd_codec::Checkpointable for RefitStats {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        enc.put_usize(self.cold_fits);
+        enc.put_usize(self.warm_fits);
+        enc.put_usize(self.reuses);
+        enc.put_usize(self.drift_rebins);
+        enc.put_usize(self.cap_resets);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        Ok(RefitStats {
+            cold_fits: dec.take_usize()?,
+            warm_fits: dec.take_usize()?,
+            reuses: dec.take_usize()?,
+            drift_rebins: dec.take_usize()?,
+            cap_resets: dec.take_usize()?,
+        })
+    }
+}
+
+/// The whole warm-start scratch travels — design matrix, quantization,
+/// ensemble, score cache, counters — so a restored predictor's next refit
+/// takes exactly the warm/cold branch an uninterrupted run would take.
+impl nurd_codec::Checkpointable for WarmRefitState {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        encode_feature_matrix(&self.x, enc);
+        self.latencies.encode(enc);
+        self.delta.encode(enc);
+        self.binned.encode(enc);
+        self.model.encode(enc);
+        self.scores.encode(enc);
+        enc.put_usize(self.fitted_rows);
+        enc.put_usize(self.refits);
+        self.stats.encode(enc);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        Ok(WarmRefitState {
+            x: decode_feature_matrix(dec)?,
+            latencies: nurd_codec::Checkpointable::decode(dec)?,
+            delta: nurd_codec::Checkpointable::decode(dec)?,
+            binned: nurd_codec::Checkpointable::decode(dec)?,
+            model: nurd_codec::Checkpointable::decode(dec)?,
+            scores: nurd_codec::Checkpointable::decode(dec)?,
+            fitted_rows: dec.take_usize()?,
+            refits: dec.take_usize()?,
+            stats: nurd_codec::Checkpointable::decode(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -229,6 +229,40 @@ impl OnlinePredictor for TransferNurdPredictor {
             .map(|task| task.id)
             .collect()
     }
+
+    /// Serializes the per-job fitted state: δ, the warm scratch, and the
+    /// cached donor relative predictions. The donor model itself is
+    /// *frozen* and comes from the factory, so it does not travel; the
+    /// `resid_buf` scratch is rebuilt on the next refit regardless.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        use nurd_codec::Checkpointable;
+        let mut enc = nurd_codec::Encoder::new();
+        self.delta.encode(&mut enc);
+        self.warm.encode(&mut enc);
+        self.donor_rel.encode(&mut enc);
+        Some(enc.into_bytes())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        use nurd_codec::Checkpointable;
+        let mut dec = nurd_codec::Decoder::new(bytes);
+        let Ok(delta) = Option::<f64>::decode(&mut dec) else {
+            return false;
+        };
+        let Ok(warm) = WarmRefitState::decode(&mut dec) else {
+            return false;
+        };
+        let Ok(donor_rel) = Vec::<f64>::decode(&mut dec) else {
+            return false;
+        };
+        if !dec.is_empty() {
+            return false;
+        }
+        self.delta = delta;
+        self.warm = warm;
+        self.donor_rel = donor_rel;
+        true
+    }
 }
 
 #[cfg(test)]

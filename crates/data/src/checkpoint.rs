@@ -165,6 +165,20 @@ impl FinishedDelta {
     }
 }
 
+impl nurd_codec::Checkpointable for FinishedDelta {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        self.seen.encode(enc);
+        enc.put_usize(self.absorbed);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        Ok(FinishedDelta {
+            seen: nurd_codec::Checkpointable::decode(dec)?,
+            absorbed: dec.take_usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

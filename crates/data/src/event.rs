@@ -167,6 +167,128 @@ impl TaskEvent {
     }
 }
 
+impl nurd_codec::Checkpointable for JobSpec {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        enc.put_u64(self.job);
+        enc.put_f64(self.threshold);
+        enc.put_usize(self.task_count);
+        enc.put_usize(self.feature_dim);
+        enc.put_usize(self.checkpoints);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        Ok(JobSpec {
+            job: dec.take_u64()?,
+            threshold: dec.take_f64()?,
+            task_count: dec.take_usize()?,
+            feature_dim: dec.take_usize()?,
+            checkpoints: dec.take_usize()?,
+        })
+    }
+}
+
+/// Events serialize with a one-byte variant tag; feature vectors travel
+/// bit-exactly (`f64::to_bits`), so a WAL replay feeds the engine the
+/// *identical* floats the live stream carried.
+impl nurd_codec::Checkpointable for TaskEvent {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        match self {
+            TaskEvent::JobStart { spec } => {
+                enc.put_u8(0);
+                spec.encode(enc);
+            }
+            TaskEvent::JobEnd { job, time } => {
+                enc.put_u8(1);
+                enc.put_u64(*job);
+                enc.put_f64(*time);
+            }
+            TaskEvent::Submitted { job, task } => {
+                enc.put_u8(2);
+                enc.put_u64(*job);
+                enc.put_usize(*task);
+            }
+            TaskEvent::Progress {
+                job,
+                task,
+                ordinal,
+                time,
+                features,
+            } => {
+                enc.put_u8(3);
+                enc.put_u64(*job);
+                enc.put_usize(*task);
+                enc.put_usize(*ordinal);
+                enc.put_f64(*time);
+                features.encode(enc);
+            }
+            TaskEvent::Finished {
+                job,
+                task,
+                ordinal,
+                time,
+                features,
+                latency,
+            } => {
+                enc.put_u8(4);
+                enc.put_u64(*job);
+                enc.put_usize(*task);
+                enc.put_usize(*ordinal);
+                enc.put_f64(*time);
+                features.encode(enc);
+                enc.put_f64(*latency);
+            }
+            TaskEvent::Barrier { job, ordinal, time } => {
+                enc.put_u8(5);
+                enc.put_u64(*job);
+                enc.put_usize(*ordinal);
+                enc.put_f64(*time);
+            }
+        }
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        Ok(match dec.take_u8()? {
+            0 => TaskEvent::JobStart {
+                spec: JobSpec::decode(dec)?,
+            },
+            1 => TaskEvent::JobEnd {
+                job: dec.take_u64()?,
+                time: dec.take_f64()?,
+            },
+            2 => TaskEvent::Submitted {
+                job: dec.take_u64()?,
+                task: dec.take_usize()?,
+            },
+            3 => TaskEvent::Progress {
+                job: dec.take_u64()?,
+                task: dec.take_usize()?,
+                ordinal: dec.take_usize()?,
+                time: dec.take_f64()?,
+                features: nurd_codec::Checkpointable::decode(dec)?,
+            },
+            4 => TaskEvent::Finished {
+                job: dec.take_u64()?,
+                task: dec.take_usize()?,
+                ordinal: dec.take_usize()?,
+                time: dec.take_f64()?,
+                features: nurd_codec::Checkpointable::decode(dec)?,
+                latency: dec.take_f64()?,
+            },
+            5 => TaskEvent::Barrier {
+                job: dec.take_u64()?,
+                ordinal: dec.take_usize()?,
+                time: dec.take_f64()?,
+            },
+            tag => {
+                return Err(nurd_codec::CodecError::InvalidTag {
+                    what: "TaskEvent",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
 /// Lowers one job trace into its canonical event stream: all submissions,
 /// then per checkpoint the `Progress`/`Finished` events (task-id order)
 /// closed by a `Barrier`. The stream reveals exactly what the replay

@@ -104,6 +104,30 @@ pub trait OnlinePredictor {
     /// counts (e.g. `nurd_ml::TreeConfig::n_threads`); predictors without
     /// such a knob keep this default no-op.
     fn set_parallelism(&mut self, _threads: usize) {}
+
+    /// Serializes the predictor's fitted state for a crash-recovery
+    /// snapshot, or `None` if the predictor does not support state
+    /// snapshots (the default). A serving engine falls back to retaining
+    /// the job's accepted events and replaying them through a fresh
+    /// predictor when this returns `None`.
+    ///
+    /// **Contract:** a fresh instance from the same factory, taken through
+    /// [`OnlinePredictor::begin_stream`] with the same context and then
+    /// [`OnlinePredictor::restore_state`] with these bytes, must predict
+    /// bit-for-bit identically to this instance on every future
+    /// checkpoint.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`OnlinePredictor::snapshot_state`].
+    /// Called after [`OnlinePredictor::begin_stream`] on a fresh instance.
+    /// Returns `false` (the default) when the predictor does not support
+    /// restoration or the bytes are malformed — the caller then treats the
+    /// predictor as unrecoverable from a blob.
+    fn restore_state(&mut self, _bytes: &[u8]) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

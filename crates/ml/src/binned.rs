@@ -506,6 +506,58 @@ fn plan_feature(sorted: &[f64], max_bins: usize) -> FeatureBins {
     }
 }
 
+impl nurd_codec::Checkpointable for FeatureBins {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        self.cuts.encode(enc);
+        self.bin_min.encode(enc);
+        self.bin_max.encode(enc);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        Ok(FeatureBins {
+            cuts: nurd_codec::Checkpointable::decode(dec)?,
+            bin_min: nurd_codec::Checkpointable::decode(dec)?,
+            bin_max: nurd_codec::Checkpointable::decode(dec)?,
+        })
+    }
+}
+
+/// Every field travels — including the per-bin `counts` and the
+/// full-build CDF reference — so the drift statistic computed after a
+/// restore is identical to one computed by an uninterrupted process.
+impl nurd_codec::Checkpointable for BinnedMatrix {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        enc.put_bytes(&self.codes);
+        enc.put_usize(self.n_rows);
+        enc.put_usize(self.n_features);
+        self.features.encode(enc);
+        self.counts.encode(enc);
+        self.build_cdf.encode(enc);
+        enc.put_bool(self.stale_constant);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        let codes = dec.take_bytes()?.to_vec();
+        let n_rows = dec.take_usize()?;
+        let n_features = dec.take_usize()?;
+        if n_rows.checked_mul(n_features) != Some(codes.len()) {
+            return Err(nurd_codec::CodecError::LengthOverrun {
+                declared: codes.len() as u64,
+                remaining: dec.remaining(),
+            });
+        }
+        Ok(BinnedMatrix {
+            codes,
+            n_rows,
+            n_features,
+            features: nurd_codec::Checkpointable::decode(dec)?,
+            counts: nurd_codec::Checkpointable::decode(dec)?,
+            build_cdf: nurd_codec::Checkpointable::decode(dec)?,
+            stale_constant: dec.take_bool()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -521,6 +521,27 @@ fn boost_rounds<L: Loss>(
     Ok(())
 }
 
+/// Only ensembles over stateless (`Default`) losses are checkpointable —
+/// which covers every loss in this workspace; the loss itself carries no
+/// fitted state, so only `base_score`, `learning_rate`, and the trees
+/// travel.
+impl<L: Loss + Default> nurd_codec::Checkpointable for GradientBoosting<L> {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        enc.put_f64(self.base_score);
+        enc.put_f64(self.learning_rate);
+        self.trees.encode(enc);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        Ok(GradientBoosting {
+            loss: L::default(),
+            base_score: dec.take_f64()?,
+            learning_rate: dec.take_f64()?,
+            trees: nurd_codec::Checkpointable::decode(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

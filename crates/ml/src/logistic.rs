@@ -406,6 +406,26 @@ fn penalized_log_likelihood(
     ll - 0.5 * l2 * nurd_linalg::dot(&beta[..d], &beta[..d])
 }
 
+impl nurd_codec::Checkpointable for LogisticRegression {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        self.weights.encode(enc);
+        enc.put_f64(self.intercept);
+        self.feature_means.encode(enc);
+        self.feature_stds.encode(enc);
+        enc.put_usize(self.iterations);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        Ok(LogisticRegression {
+            weights: nurd_codec::Checkpointable::decode(dec)?,
+            intercept: dec.take_f64()?,
+            feature_means: nurd_codec::Checkpointable::decode(dec)?,
+            feature_stds: nurd_codec::Checkpointable::decode(dec)?,
+            iterations: dec.take_usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

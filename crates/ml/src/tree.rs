@@ -450,6 +450,62 @@ impl RegressionTree {
     }
 }
 
+/// Nodes serialize with a one-byte tag (`0` leaf, `1` split); the
+/// `split_bins` cache rides along verbatim so a histogram-grown tree keeps
+/// [`RegressionTree::predict_binned`] after a restore.
+impl nurd_codec::Checkpointable for RegressionTree {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        enc.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { weight } => {
+                    enc.put_u8(0);
+                    enc.put_f64(*weight);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    enc.put_u8(1);
+                    enc.put_usize(*feature);
+                    enc.put_f64(*threshold);
+                    enc.put_usize(*left);
+                    enc.put_usize(*right);
+                }
+            }
+        }
+        enc.put_bytes(&self.split_bins);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        let n = dec.take_len(9)?; // tag + at least an f64 per node
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            nodes.push(match dec.take_u8()? {
+                0 => Node::Leaf {
+                    weight: dec.take_f64()?,
+                },
+                1 => Node::Split {
+                    feature: dec.take_usize()?,
+                    threshold: dec.take_f64()?,
+                    left: dec.take_usize()?,
+                    right: dec.take_usize()?,
+                },
+                tag => {
+                    return Err(nurd_codec::CodecError::InvalidTag {
+                        what: "tree::Node",
+                        tag,
+                    })
+                }
+            });
+        }
+        let split_bins = dec.take_bytes()?.to_vec();
+        Ok(RegressionTree { nodes, split_bins })
+    }
+}
+
 fn check_tree_inputs(
     x: MatrixView<'_>,
     gradients: &[f64],

@@ -1,0 +1,86 @@
+//! Bit-for-bit codec round-trips for every checkpointable ML model.
+//!
+//! The serving engine's recovery contract is *bit-for-bit* equality with
+//! an uninterrupted run, so an encode/decode cycle may not perturb a
+//! single prediction bit.
+
+use nurd_codec::{Checkpointable, Decoder, Encoder};
+use nurd_linalg::MatrixView;
+use nurd_ml::{
+    BinnedMatrix, GbtConfig, GradientBoosting, LogisticConfig, LogisticRegression, SquaredLoss,
+};
+
+fn roundtrip<T: Checkpointable>(value: &T) -> T {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    let bytes = enc.into_bytes();
+    let mut dec = Decoder::new(&bytes);
+    let out = T::decode(&mut dec).expect("decode");
+    assert!(
+        dec.is_empty(),
+        "decode must consume exactly what encode wrote"
+    );
+    out
+}
+
+fn training_rows(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| vec![(i % 17) as f64, ((i * 7) % 13) as f64 * 0.5])
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r[0] * 0.3 - r[1] + 1.0).collect();
+    (x, y)
+}
+
+#[test]
+fn gbt_ensemble_predictions_survive_bit_for_bit() {
+    let (x, y) = training_rows(120);
+    let cfg = GbtConfig {
+        n_rounds: 12,
+        ..GbtConfig::default()
+    };
+    let model = GradientBoosting::fit(&x, &y, SquaredLoss, &cfg).unwrap();
+    let restored = roundtrip(&model);
+    for row in &x {
+        assert_eq!(
+            model.predict(row).to_bits(),
+            restored.predict(row).to_bits(),
+            "prediction drifted through the codec"
+        );
+    }
+}
+
+#[test]
+fn logistic_regression_probabilities_survive_bit_for_bit() {
+    let (x, y) = training_rows(80);
+    let labels: Vec<f64> = y.iter().map(|&v| f64::from(v > 2.0)).collect();
+    let model = LogisticRegression::fit(&x, &labels, &LogisticConfig::default()).unwrap();
+    let restored = roundtrip(&model);
+    for row in &x {
+        assert_eq!(
+            model.predict_proba(row).to_bits(),
+            restored.predict_proba(row).to_bits()
+        );
+    }
+}
+
+#[test]
+fn binned_matrix_round_trips_structurally_equal() {
+    let (x, _) = training_rows(200);
+    let binned = BinnedMatrix::build(MatrixView::Rows(&x), 16);
+    let restored = roundtrip(&binned);
+    assert_eq!(binned, restored);
+}
+
+#[test]
+fn corrupt_gbt_bytes_yield_typed_errors_not_panics() {
+    let (x, y) = training_rows(40);
+    let model = GradientBoosting::fit(&x, &y, SquaredLoss, &GbtConfig::default()).unwrap();
+    let mut enc = Encoder::new();
+    model.encode(&mut enc);
+    let bytes = enc.into_bytes();
+    // Truncation at every prefix length must error, never panic.
+    for cut in 0..bytes.len() {
+        let mut dec = Decoder::new(&bytes[..cut]);
+        assert!(GradientBoosting::<SquaredLoss>::decode(&mut dec).is_err());
+    }
+}

@@ -13,15 +13,20 @@
 //!   core (caller-driven [`Engine::drain_sync`] instead of a background
 //!   service). New code should prefer [`EngineService`](crate::EngineService).
 
-use std::sync::atomic::Ordering;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use nurd_codec::Checkpointable;
 use nurd_data::{JobSpec, OnlinePredictor, TaskEvent};
 use nurd_runtime::{Channel, Notifier, ThreadPool, TrySendError};
 use nurd_sim::ReplayOutcome;
 
 use crate::lifecycle::{FinalizeReason, JobPhase, OverloadCounters, OverloadPolicy};
-use crate::shard::{Shard, ShardStats};
+use crate::persist::{snapshot_path, wal_path, DonorSeed, PersistenceConfig, RecoverError};
+use crate::shard::{JobState, Shard, ShardStats};
+use crate::snapshot::{write_snapshot_file, SnapshotData};
+use crate::wal::WalWriter;
 
 /// Builds a fresh predictor for an admitted job — the serving analogue of
 /// the per-job factories in `nurd-baselines`' method registry. Invoked by
@@ -129,6 +134,24 @@ pub struct JobReport {
     pub outcome: ReplayOutcome,
 }
 
+impl Checkpointable for JobReport {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        enc.put_u64(self.job);
+        enc.put_usize(self.checkpoints_scored);
+        self.finalized.encode(enc);
+        self.outcome.encode(enc);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        Ok(JobReport {
+            job: dec.take_u64()?,
+            checkpoints_scored: dec.take_usize()?,
+            finalized: Checkpointable::decode(dec)?,
+            outcome: Checkpointable::decode(dec)?,
+        })
+    }
+}
+
 /// The engine's final output: per-job reports in job-id order. Equal
 /// (`PartialEq`) across *any* shard count, *any* drain-worker count, and
 /// *any* cross-job interleaving of the same per-job streams — the
@@ -228,6 +251,23 @@ pub struct EngineStats {
     /// Times adaptive balancing switched within-job parallelism on for
     /// a backlogged shard (see [`BalanceConfig`]; zero when disabled).
     pub balance_boosts: usize,
+    /// Jobs quarantined because their predictor panicked during event
+    /// application (see [`FinalizeReason::Poisoned`]). Any nonzero value
+    /// is a predictor bug worth a page.
+    pub poisoned_jobs: usize,
+    /// Events appended to the write-ahead log by drains (zero on a
+    /// non-persistent engine).
+    pub wal_appended: usize,
+    /// Events replayed from WAL segments at the last recovery (zero on a
+    /// non-persistent engine or a fresh start).
+    pub wal_replayed: usize,
+    /// Snapshots written since this process started (close, explicit
+    /// checkpoints, and the post-recovery snapshot all count).
+    pub snapshots_written: usize,
+    /// Invalid snapshot files skipped by the last recovery before a
+    /// valid one was found. Nonzero means the newest snapshot was
+    /// corrupt — triage with the runbook in `docs/OPERATIONS.md`.
+    pub recovery_fallbacks: usize,
     /// Overload loss accounting (see [`OverloadCounters`]).
     pub overload: OverloadCounters,
 }
@@ -253,6 +293,20 @@ struct ShardCell {
     stats: ShardStats,
 }
 
+/// The persistence half of a durable engine: its configuration, the
+/// current snapshot/WAL generation, and the persistence counters
+/// surfaced through [`EngineStats`].
+pub(crate) struct PersistHandle {
+    pub(crate) config: PersistenceConfig,
+    /// Generation the live WAL segments write to; the next snapshot is
+    /// `generation + 1` and rotates the WALs there with it.
+    generation: AtomicU64,
+    pub(crate) wal_appended: AtomicUsize,
+    pub(crate) wal_replayed: AtomicUsize,
+    pub(crate) snapshots_written: AtomicUsize,
+    pub(crate) recovery_fallbacks: AtomicUsize,
+}
+
 /// The shared heart of the engine — everything [`EngineHandle`],
 /// [`Engine`], and [`EngineService`](crate::EngineService) operate on.
 /// Crate-private: users hold it only through those three types.
@@ -263,6 +317,8 @@ pub(crate) struct EngineCore {
     /// Idle drain workers (and quiescence waiters) park here; every
     /// accepted push and every productive drain batch unparks.
     notifier: Notifier,
+    /// `Some` on durable engines (see [`PersistHandle`]).
+    persist: Option<PersistHandle>,
 }
 
 impl EngineCore {
@@ -289,7 +345,50 @@ impl EngineCore {
             factory,
             cells,
             notifier: Notifier::new(),
+            persist: None,
         }
+    }
+
+    /// A core whose shards write-ahead-log every drained event into
+    /// `<dir>/wal-<generation>-<shard>.log` before applying it. The
+    /// caller picks `generation` past every artifact already on disk
+    /// (`File::create` truncates — a stale generation would eat history).
+    pub(crate) fn new_persistent(
+        config: EngineConfig,
+        factory: PredictorFactory,
+        persistence: PersistenceConfig,
+        generation: u64,
+    ) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&persistence.dir)?;
+        let mut core = EngineCore::new(config, factory);
+        for (idx, cell) in core.cells.iter().enumerate() {
+            let writer = WalWriter::create(
+                wal_path(&persistence.dir, generation, idx),
+                persistence.fsync,
+                persistence.fault.clone(),
+            )?;
+            cell.state
+                .lock()
+                .expect("fresh shard lock")
+                .install_wal(writer);
+        }
+        core.persist = Some(PersistHandle {
+            config: persistence,
+            generation: AtomicU64::new(generation),
+            wal_appended: AtomicUsize::new(0),
+            wal_replayed: AtomicUsize::new(0),
+            snapshots_written: AtomicUsize::new(0),
+            recovery_fallbacks: AtomicUsize::new(0),
+        });
+        Ok(core)
+    }
+
+    pub(crate) fn persist(&self) -> Option<&PersistHandle> {
+        self.persist.as_ref()
+    }
+
+    pub(crate) fn is_persistent(&self) -> bool {
+        self.persist.is_some()
     }
 
     pub(crate) fn shard_count(&self) -> usize {
@@ -418,6 +517,18 @@ impl EngineCore {
         let taken = cell.ingress.recv_batch(batch, max);
         if taken == 0 {
             return 0;
+        }
+        if let Some(persist) = &self.persist {
+            // Write-ahead: the batch reaches the log *before* any of it
+            // is applied, under the same lock that orders application —
+            // so WAL record order is exactly apply order. A failing disk
+            // panics the drain worker on purpose: silently continuing
+            // would un-log accepted events, and worker death is the
+            // engine's observable-failure channel.
+            let appended = shard
+                .append_wal(&batch[..])
+                .unwrap_or_else(|e| panic!("WAL append failed on shard {idx}: {e}"));
+            persist.wal_appended.fetch_add(appended, Ordering::Relaxed);
         }
         if let Some(balance) = &self.config.balance {
             // Decide on the backlog *left behind* after this pop: a queue
@@ -560,6 +671,23 @@ impl EngineCore {
             rejected_events: load(|s| &s.rejected_events),
             blocked_pushes: load(|s| &s.blocked_pushes),
             balance_boosts: load(|s| &s.balance_boosts),
+            poisoned_jobs: load(|s| &s.poisoned_jobs),
+            wal_appended: self
+                .persist
+                .as_ref()
+                .map_or(0, |p| p.wal_appended.load(Ordering::Relaxed)),
+            wal_replayed: self
+                .persist
+                .as_ref()
+                .map_or(0, |p| p.wal_replayed.load(Ordering::Relaxed)),
+            snapshots_written: self
+                .persist
+                .as_ref()
+                .map_or(0, |p| p.snapshots_written.load(Ordering::Relaxed)),
+            recovery_fallbacks: self
+                .persist
+                .as_ref()
+                .map_or(0, |p| p.recovery_fallbacks.load(Ordering::Relaxed)),
             overload: self.overload(),
         }
     }
@@ -595,6 +723,146 @@ impl EngineCore {
             events,
             overload,
         }
+    }
+
+    // ---- persistence operations (no-ops / errors on a non-persistent
+    // core; see `crate::persist` for the on-disk layout) ----
+
+    /// Flushes + fsyncs every shard's WAL segment.
+    pub(crate) fn flush_wals(&self) -> std::io::Result<()> {
+        for idx in 0..self.cells.len() {
+            self.lock_shard(idx).flush_wal()?;
+        }
+        self.notifier.unpark();
+        Ok(())
+    }
+
+    /// Writes a new snapshot generation and rotates every WAL with it:
+    /// each shard, under its lock, seals its current segment and opens
+    /// `wal-<G+1>-<S>.log` at the same instant its state is captured —
+    /// so the snapshot holds exactly the events of generations ≤ G and
+    /// the new segments hold exactly the events after it. Then prunes
+    /// generations beyond the retention window (snapshot-then-truncate
+    /// compaction). Returns the new generation.
+    pub(crate) fn write_snapshot(&self) -> std::io::Result<u64> {
+        let persist = self
+            .persist
+            .as_ref()
+            .expect("write_snapshot on a non-persistent engine");
+        let new_gen = persist.generation.load(Ordering::Relaxed) + 1;
+        let mut data = SnapshotData::default();
+        for idx in 0..self.cells.len() {
+            let cell = &self.cells[idx];
+            let mut shard = self.lock_shard(idx);
+            shard.rotate_wal(wal_path(&persist.config.dir, new_gen, idx))?;
+            shard.capture_into(&mut data, &cell.stats);
+        }
+        write_snapshot_file(&snapshot_path(&persist.config.dir, new_gen), &data)?;
+        persist.generation.store(new_gen, Ordering::Relaxed);
+        persist.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        crate::persist::prune_dir(&persist.config.dir, persist.config.retain_generations)?;
+        self.notifier.unpark();
+        Ok(new_gen)
+    }
+
+    /// Decodes a snapshot's job records and installs everything into the
+    /// shards (jobs and ledgers routed by this engine's `shard_of`, so a
+    /// recovery may change the shard count freely; fleet-wide counters
+    /// land on shard 0). Returns `(resumed live jobs, finalized reports,
+    /// donor seeds)`. Must run before drain workers start.
+    pub(crate) fn install_snapshot(
+        &self,
+        data: SnapshotData,
+    ) -> Result<(usize, usize, usize), RecoverError> {
+        let mut jobs = Vec::with_capacity(data.jobs.len());
+        for record in &data.jobs {
+            let mut dec = nurd_codec::Decoder::new(record);
+            jobs.push(JobState::decode(
+                &mut dec,
+                &self.factory,
+                self.config.warmup_fraction,
+            )?);
+        }
+        let resumed = jobs.len();
+        for state in jobs {
+            let idx = self.shard_of(state.job());
+            let cell = &self.cells[idx];
+            self.lock_shard(idx).adopt_job(state, &cell.stats);
+        }
+        let finalized = data.finalized.len();
+        for report in data.finalized {
+            let idx = self.shard_of(report.job);
+            self.lock_shard(idx).adopt_finalized(report);
+        }
+        for job in data.finalized_ids {
+            self.lock_shard(self.shard_of(job)).adopt_finalized_id(job);
+        }
+        for (job, count) in data.events_seen {
+            self.lock_shard(self.shard_of(job))
+                .adopt_events_seen(job, count);
+        }
+        let donors = data.donors.len();
+        for seed in data.donors {
+            self.lock_shard(0).adopt_donor(seed);
+        }
+        let stats = &self.cells[0].stats;
+        let c = data.counters;
+        let put = |counter: &AtomicUsize, v: u64| {
+            counter.fetch_add(v as usize, Ordering::Relaxed);
+        };
+        put(&stats.events_processed, c.events_processed);
+        put(&stats.orphan_events, c.orphan_events);
+        put(&stats.rejected_events, c.rejected_events);
+        put(&stats.stale_events, c.stale_events);
+        put(&stats.finalized_jobs, c.finalized_jobs);
+        put(&stats.poisoned_jobs, c.poisoned_jobs);
+        put(&stats.shed_events, c.shed_events);
+        put(&stats.rejected_ingress, c.rejected_ingress);
+        Ok((resumed, finalized, donors))
+    }
+
+    /// Applies recovered WAL events in segment order (generation-major,
+    /// the order the crashed engine applied them). Per-job order is
+    /// preserved because each job's events land in exactly one shard's
+    /// segment per generation. Must run before drain workers start.
+    pub(crate) fn replay_recovered(&self, events: Vec<TaskEvent>) -> usize {
+        let replayed = events.len();
+        for event in events {
+            let idx = self.shard_of(event.job());
+            let cell = &self.cells[idx];
+            self.lock_shard(idx)
+                .apply_batch(std::iter::once(event), &self.factory, &cell.stats);
+        }
+        if let Some(persist) = &self.persist {
+            persist.wal_replayed.fetch_add(replayed, Ordering::Relaxed);
+        }
+        replayed
+    }
+
+    /// Per-job durable-event counts, merged across shards — how much of
+    /// each job's stream has been popped by drains (and is therefore in
+    /// the WAL/snapshot trail on a persistent engine).
+    pub(crate) fn events_seen(&self) -> BTreeMap<u64, u64> {
+        let mut merged = BTreeMap::new();
+        for idx in 0..self.cells.len() {
+            let shard = self.lock_shard(idx);
+            for (&job, &count) in shard.events_seen() {
+                *merged.entry(job).or_insert(0) += count;
+            }
+        }
+        merged
+    }
+
+    /// Donor-cache seeds currently held, merged across shards,
+    /// signature order.
+    pub(crate) fn donor_seeds(&self) -> Vec<DonorSeed> {
+        let mut seeds: BTreeMap<u64, DonorSeed> = BTreeMap::new();
+        for idx in 0..self.cells.len() {
+            for seed in self.lock_shard(idx).donor_seeds() {
+                seeds.insert(seed.signature, seed);
+            }
+        }
+        seeds.into_values().collect()
     }
 }
 

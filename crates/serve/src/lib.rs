@@ -34,8 +34,23 @@
 //! within-job parallelism via [`nurd_data::OnlinePredictor::set_parallelism`],
 //! attacking the one-giant-job skew that shard counts cannot).
 //!
+//! New in this layer: **crash safety**. A service started with
+//! [`EngineService::start_persistent`] write-ahead-logs every drained
+//! event (per shard, under the same lock that orders application) and
+//! writes versioned, CRC-framed snapshots
+//! ([`EngineService::checkpoint`] and at [`EngineService::close`]);
+//! [`EngineService::recover`] rebuilds a running service from the
+//! directory — newest valid snapshot plus the WAL tail — with per-job
+//! state bit-for-bit equal to a never-crashed run (`tests/recovery.rs`
+//! proves it under random fault injection: crash-before-fsync, torn
+//! records, bit flips, corrupted snapshots). [`PersistenceConfig`] holds
+//! the durability knobs ([`FsyncPolicy`]), [`FaultInjector`] the test
+//! harness, and every corrupt artifact surfaces as a typed
+//! [`RecoverError`] — never a panic, never a silent partial load.
+//!
 //! `docs/OPERATIONS.md` at the repository root is the operator's guide
-//! (thread topology, worker sizing, shutdown semantics, counter triage).
+//! (thread topology, worker sizing, shutdown semantics, counter triage,
+//! and the crash recovery runbook).
 //!
 //! # Why determinism holds
 //!
@@ -99,12 +114,20 @@
 
 mod engine;
 mod lifecycle;
+mod persist;
 mod service;
 mod shard;
+mod snapshot;
+mod wal;
 
 pub use engine::{
     BalanceConfig, Engine, EngineConfig, EngineHandle, EngineReport, EngineStats, JobReport,
     PredictorFactory,
 };
 pub use lifecycle::{FinalizeReason, JobPhase, OverloadCounters, OverloadPolicy};
+pub use persist::{
+    job_signature, DonorSeed, FaultInjector, FsyncPolicy, PersistenceConfig, RecoverError,
+    RecoverReport,
+};
 pub use service::{EngineService, ServiceConfig};
+pub use snapshot::{read_snapshot, SnapshotStats};

@@ -54,6 +54,39 @@ pub enum FinalizeReason {
     /// The operator called [`Engine::finish`](crate::Engine::finish)
     /// while the job was still live.
     EngineFinish,
+    /// The job's predictor panicked during event application. The job is
+    /// *quarantined*: its state up to the panic is reported, every later
+    /// event of its stream counts as stale, and the drain worker (and
+    /// every other job on the shard) keeps running. Counted in
+    /// [`EngineStats::poisoned_jobs`](crate::EngineStats::poisoned_jobs).
+    /// The one lifecycle reason that is **not** deterministic protocol
+    /// output — it marks a predictor bug, so its report carries whatever
+    /// flags stood when the predictor died.
+    Poisoned,
+}
+
+impl nurd_codec::Checkpointable for FinalizeReason {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        enc.put_u8(match self {
+            FinalizeReason::JobEnd => 0,
+            FinalizeReason::StreamComplete => 1,
+            FinalizeReason::EngineFinish => 2,
+            FinalizeReason::Poisoned => 3,
+        });
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        match dec.take_u8()? {
+            0 => Ok(FinalizeReason::JobEnd),
+            1 => Ok(FinalizeReason::StreamComplete),
+            2 => Ok(FinalizeReason::EngineFinish),
+            3 => Ok(FinalizeReason::Poisoned),
+            tag => Err(nurd_codec::CodecError::InvalidTag {
+                what: "FinalizeReason",
+                tag,
+            }),
+        }
+    }
 }
 
 /// What [`Engine::push`](crate::Engine::push) does when the target

@@ -1,0 +1,430 @@
+//! Persistence vocabulary for the crash-safe engine: durability tuning,
+//! fault injection, typed recovery errors, and the on-disk directory
+//! layout shared by the snapshot ([`crate::snapshot`]) and write-ahead
+//! log ([`crate::wal`]) machinery.
+//!
+//! On-disk layout (one directory per engine):
+//!
+//! ```text
+//! <dir>/snap-<G>.bin      versioned snapshot, generation G
+//! <dir>/wal-<G>-<S>.log   WAL segment for shard S, generation G
+//! ```
+//!
+//! A snapshot at generation `G` captures every event the engine applied
+//! while logging to WAL generations `< G`; the WALs rotate to `G` at the
+//! same instant (under every shard lock), so recovery is exactly: load
+//! the newest *valid* `snap-G.bin`, then replay every `wal-G'-S.log`
+//! with `G' ≥ G` in ascending generation order. `docs/OPERATIONS.md`
+//! has the operator runbook.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use nurd_codec::{CodecError, FrameError};
+use nurd_data::JobSpec;
+
+/// When WAL appends reach the disk (the durability/throughput dial; see
+/// the crash-recovery runbook in `docs/OPERATIONS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Flush + fsync after every drained batch. Maximum durability: an
+    /// accepted-and-drained event survives any crash. Pays one fsync per
+    /// batch on the drain path.
+    Always,
+    /// A background flush worker fsyncs every
+    /// [`PersistenceConfig::flush_interval`] (and at shutdown). A crash
+    /// loses at most the last interval's tail — the default trade.
+    #[default]
+    OnIdle,
+    /// Flush + fsync only at snapshots,
+    /// [`EngineService::close`](crate::EngineService::close), and the
+    /// `Drop` guard. A hard kill can lose everything since the last
+    /// snapshot.
+    Never,
+}
+
+/// Where and how the engine persists (see the module docs for the
+/// directory layout). Passed to
+/// [`EngineService::start_persistent`](crate::EngineService::start_persistent)
+/// and [`EngineService::recover`](crate::EngineService::recover).
+#[derive(Debug, Clone)]
+pub struct PersistenceConfig {
+    /// Directory holding snapshots and WAL segments (created if absent).
+    pub dir: PathBuf,
+    /// Durability of WAL appends.
+    pub fsync: FsyncPolicy,
+    /// Snapshot generations kept on disk (clamped to ≥ 2 so recovery can
+    /// always fall back past a corrupted newest snapshot; WAL segments
+    /// older than the oldest retained snapshot are pruned with it).
+    pub retain_generations: usize,
+    /// Cadence of the background flush worker under
+    /// [`FsyncPolicy::OnIdle`] — the bound on how much a hard kill can
+    /// lose.
+    pub flush_interval: Duration,
+    /// Fault injection for crash tests (`None` in production).
+    pub fault: Option<Arc<FaultInjector>>,
+}
+
+impl PersistenceConfig {
+    /// Defaults rooted at `dir`: [`FsyncPolicy::OnIdle`] with a 2 ms
+    /// flush cadence, two retained snapshot generations, no faults.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistenceConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::default(),
+            retain_generations: 2,
+            flush_interval: Duration::from_millis(2),
+            fault: None,
+        }
+    }
+}
+
+/// Deterministic crash/fault injection for the recovery property tests:
+/// a budget of WAL records that are allowed to reach the operating
+/// system, after which every write is silently discarded — exactly what
+/// a crash does to the unsynced tail. With
+/// [`FaultInjector::with_torn_tail`],
+/// the first record past the budget is half-written instead of dropped,
+/// leaving the torn frame a real crash mid-`write` leaves.
+///
+/// Dropping the [`EngineService`](crate::EngineService) *without*
+/// closing it then simulates the kill; the WAL holds precisely the
+/// budgeted prefix, and recovery must reconstruct exactly that much.
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// Records still allowed to be written (negative = exhausted).
+    budget: AtomicI64,
+    /// Whether exhaustion tears the next record instead of dropping it.
+    torn: AtomicBool,
+}
+
+/// What the injector lets one WAL append do.
+pub(crate) enum WalWrite {
+    /// Write the whole record.
+    Full,
+    /// Write roughly half the record's bytes, then go dead.
+    Torn,
+    /// Write nothing (the crash already "happened").
+    Dropped,
+}
+
+impl FaultInjector {
+    /// An injector that crashes the WAL after `records` appends have
+    /// reached it (fleet-wide, across all shards).
+    #[must_use]
+    pub fn crash_after_wal_records(records: u64) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            budget: AtomicI64::new(i64::try_from(records).unwrap_or(i64::MAX)),
+            torn: AtomicBool::new(false),
+        })
+    }
+
+    /// Tear the first record past the budget (a half-written frame)
+    /// instead of dropping it cleanly.
+    #[must_use]
+    pub fn with_torn_tail(self: Arc<Self>) -> Arc<Self> {
+        self.torn.store(true, Ordering::Relaxed);
+        self
+    }
+
+    /// Records the injector has allowed so far never exceed the
+    /// configured budget; this is how many remain (for test assertions).
+    #[must_use]
+    pub fn remaining(&self) -> i64 {
+        self.budget.load(Ordering::Relaxed).max(0)
+    }
+
+    pub(crate) fn admit(&self) -> WalWrite {
+        let before = self.budget.fetch_sub(1, Ordering::Relaxed);
+        if before > 0 {
+            WalWrite::Full
+        } else if before == 0 && self.torn.load(Ordering::Relaxed) {
+            WalWrite::Torn
+        } else {
+            WalWrite::Dropped
+        }
+    }
+}
+
+/// Why a recovery attempt (or a [`read_snapshot`](crate::read_snapshot))
+/// failed. Every corrupt-artifact shape maps to a typed variant — never
+/// a panic, never a silent partial load.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The filesystem failed.
+    Io(std::io::Error),
+    /// A snapshot file does not begin with the snapshot magic — it is
+    /// not a snapshot at all (or its header was overwritten).
+    WrongMagic,
+    /// The snapshot declares a format version this build does not know
+    /// (carries the declared version).
+    UnsupportedVersion(u32),
+    /// A snapshot ended mid-record (torn write / truncation).
+    Truncated,
+    /// A snapshot record's CRC32 does not match its payload (bit flip or
+    /// overwrite, not a clean truncation).
+    ChecksumMismatch,
+    /// The snapshot payload passed its checksum but did not decode —
+    /// format drift or an internal bug, surfaced rather than half-loaded.
+    Codec(CodecError),
+    /// A job's persisted predictor blob was rejected by the freshly
+    /// built predictor's `restore_state` (carries the job id).
+    PredictorRestore(u64),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recovery I/O error: {e}"),
+            RecoverError::WrongMagic => write!(f, "snapshot has wrong magic bytes"),
+            RecoverError::UnsupportedVersion(v) => {
+                write!(f, "snapshot format version {v} is newer than this build")
+            }
+            RecoverError::Truncated => write!(f, "snapshot is truncated (torn write)"),
+            RecoverError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            RecoverError::Codec(e) => write!(f, "snapshot payload failed to decode: {e}"),
+            RecoverError::PredictorRestore(job) => {
+                write!(f, "predictor for job {job} rejected its persisted state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<std::io::Error> for RecoverError {
+    fn from(e: std::io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+impl From<CodecError> for RecoverError {
+    fn from(e: CodecError) -> Self {
+        RecoverError::Codec(e)
+    }
+}
+
+impl From<FrameError> for RecoverError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => RecoverError::Io(e),
+            FrameError::Torn => RecoverError::Truncated,
+            FrameError::Corrupt => RecoverError::ChecksumMismatch,
+        }
+    }
+}
+
+/// What [`EngineService::recover`](crate::EngineService::recover)
+/// reconstructed — the operator's receipt for a restart.
+#[derive(Debug, Clone)]
+pub struct RecoverReport {
+    /// Generation of the snapshot actually loaded (`None` = no valid
+    /// snapshot existed; recovery started empty and replayed every WAL).
+    pub snapshot_generation: Option<u64>,
+    /// Snapshot files that had to be skipped as invalid before a valid
+    /// one (or emptiness) was reached — also in
+    /// [`EngineStats::recovery_fallbacks`](crate::EngineStats::recovery_fallbacks).
+    pub recovery_fallbacks: usize,
+    /// Events replayed from WAL segments on top of the snapshot.
+    pub wal_events_replayed: usize,
+    /// WAL segments whose tail was cut short by a torn or
+    /// checksum-corrupt record (the valid prefix was still replayed).
+    pub wal_truncated_tails: usize,
+    /// Live jobs resumed mid-stream (predictors restored or re-derived).
+    pub resumed_jobs: usize,
+    /// Finalized-job reports carried over (not yet taken before the
+    /// crash).
+    pub finalized_jobs: usize,
+    /// Per-job count of *durable* events — how many of each job's stream
+    /// survived, so a producer can resume pushing from exactly the next
+    /// event (see `examples/recovery_smoke.rs`).
+    pub events_seen: BTreeMap<u64, u64>,
+    /// Donor-cache seeds carried over (see [`DonorSeed`]).
+    pub donor_seeds: usize,
+}
+
+/// A finalized job's predictor state, kept in the snapshot keyed by
+/// [`job_signature`] — the storage half of the ROADMAP's transfer-
+/// learning donor cache. Nothing reads these back into factories yet;
+/// they ride the snapshot so a later PR can serve warm donors from disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DonorSeed {
+    /// [`job_signature`] of the finalized job's spec.
+    pub signature: u64,
+    /// The finalized job's id.
+    pub job: u64,
+    /// [`OnlinePredictor::name`](nurd_data::OnlinePredictor::name) of
+    /// the predictor that produced the state.
+    pub predictor: String,
+    /// The predictor's `snapshot_state` blob at finalization.
+    pub state: Vec<u8>,
+}
+
+impl nurd_codec::Checkpointable for DonorSeed {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        enc.put_u64(self.signature);
+        enc.put_u64(self.job);
+        enc.put_str(&self.predictor);
+        enc.put_bytes(&self.state);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(DonorSeed {
+            signature: dec.take_u64()?,
+            job: dec.take_u64()?,
+            predictor: dec.take_str()?.to_owned(),
+            state: dec.take_bytes()?.to_vec(),
+        })
+    }
+}
+
+/// A shape signature for donor matching: jobs with the same task count,
+/// feature width, checkpoint count, and threshold hash alike (job id
+/// deliberately excluded — the whole point is matching *across* jobs).
+#[must_use]
+pub fn job_signature(spec: &JobSpec) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+    for word in [
+        spec.task_count as u64,
+        spec.feature_dim as u64,
+        spec.checkpoints as u64,
+        spec.threshold.to_bits(),
+    ] {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// `<dir>/snap-<gen>.bin`
+pub(crate) fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snap-{generation}.bin"))
+}
+
+/// `<dir>/wal-<gen>-<shard>.log`
+pub(crate) fn wal_path(dir: &Path, generation: u64, shard: usize) -> PathBuf {
+    dir.join(format!("wal-{generation}-{shard}.log"))
+}
+
+/// Everything persistence-shaped found in an engine directory.
+#[derive(Debug, Default)]
+pub(crate) struct DirScan {
+    /// Snapshot generations, ascending.
+    pub(crate) snapshots: Vec<u64>,
+    /// WAL segments as `(generation, shard)`, generation-major ascending.
+    pub(crate) wals: Vec<(u64, usize)>,
+}
+
+impl DirScan {
+    /// The highest generation any artifact mentions.
+    pub(crate) fn max_generation(&self) -> Option<u64> {
+        self.snapshots
+            .last()
+            .copied()
+            .into_iter()
+            .chain(self.wals.iter().map(|&(g, _)| g))
+            .max()
+    }
+}
+
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .ok()
+}
+
+fn parse_wal_name(name: &str) -> Option<(u64, usize)> {
+    let body = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    let (generation, shard) = body.split_once('-')?;
+    Some((generation.parse().ok()?, shard.parse().ok()?))
+}
+
+pub(crate) fn scan_dir(dir: &Path) -> std::io::Result<DirScan> {
+    let mut scan = DirScan::default();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        if let Some(generation) = parse_snapshot_name(&name) {
+            scan.snapshots.push(generation);
+        } else if let Some(segment) = parse_wal_name(&name) {
+            scan.wals.push(segment);
+        }
+    }
+    scan.snapshots.sort_unstable();
+    scan.wals.sort_unstable();
+    Ok(scan)
+}
+
+/// Deletes snapshots beyond the newest `retain` generations, plus every
+/// WAL segment older than the oldest snapshot kept. Nothing is pruned
+/// while fewer than two snapshots exist: the fallback target would then
+/// be the *empty* state, which needs every WAL generation to replay.
+pub(crate) fn prune_dir(dir: &Path, retain: usize) -> std::io::Result<()> {
+    let retain = retain.max(2);
+    let scan = scan_dir(dir)?;
+    if scan.snapshots.len() < 2 {
+        return Ok(());
+    }
+    let keep_from = scan.snapshots[scan.snapshots.len().saturating_sub(retain)];
+    for &generation in &scan.snapshots {
+        if generation < keep_from {
+            std::fs::remove_file(snapshot_path(dir, generation))?;
+        }
+    }
+    for &(generation, shard) in &scan.wals {
+        if generation < keep_from {
+            std::fs::remove_file(wal_path(dir, generation, shard))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_names_round_trip_through_the_scanner() {
+        assert_eq!(parse_snapshot_name("snap-17.bin"), Some(17));
+        assert_eq!(parse_snapshot_name("snap-x.bin"), None);
+        assert_eq!(parse_snapshot_name("wal-1-2.log"), None);
+        assert_eq!(parse_wal_name("wal-3-11.log"), Some((3, 11)));
+        assert_eq!(parse_wal_name("wal-3.log"), None);
+        assert_eq!(parse_wal_name("snap-3.bin"), None);
+    }
+
+    #[test]
+    fn job_signature_ignores_job_id_but_not_shape() {
+        let spec = |job, tasks| JobSpec {
+            job,
+            threshold: 10.0,
+            task_count: tasks,
+            feature_dim: 3,
+            checkpoints: 5,
+        };
+        assert_eq!(job_signature(&spec(1, 50)), job_signature(&spec(2, 50)));
+        assert_ne!(job_signature(&spec(1, 50)), job_signature(&spec(1, 51)));
+    }
+
+    #[test]
+    fn fault_injector_budget_admits_then_drops() {
+        let fault = FaultInjector::crash_after_wal_records(2);
+        assert!(matches!(fault.admit(), WalWrite::Full));
+        assert!(matches!(fault.admit(), WalWrite::Full));
+        assert!(matches!(fault.admit(), WalWrite::Dropped));
+        assert!(matches!(fault.admit(), WalWrite::Dropped));
+        let torn = FaultInjector::crash_after_wal_records(1).with_torn_tail();
+        assert!(matches!(torn.admit(), WalWrite::Full));
+        assert!(matches!(torn.admit(), WalWrite::Torn));
+        assert!(matches!(torn.admit(), WalWrite::Dropped));
+    }
+}

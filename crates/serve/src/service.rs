@@ -29,12 +29,19 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use nurd_runtime::ThreadPool;
 
 use crate::engine::{BlockMode, EngineCore, EngineHandle, EngineReport};
+use crate::persist::{
+    scan_dir, snapshot_path, wal_path, DonorSeed, FsyncPolicy, PersistenceConfig, RecoverError,
+    RecoverReport,
+};
+use crate::snapshot::read_snapshot_data;
+use crate::wal::{read_wal_segment, WalTail};
 use crate::{EngineConfig, EngineStats, JobPhase, JobReport, PredictorFactory};
 
 /// Tuning for the background drain loop.
@@ -79,7 +86,7 @@ struct DrainService {
 }
 
 impl DrainService {
-    fn start(core: Arc<EngineCore>, config: &ServiceConfig) -> Self {
+    fn start(core: Arc<EngineCore>, config: &ServiceConfig, flush_every: Option<Duration>) -> Self {
         let machine = std::thread::available_parallelism().map_or(1, usize::from);
         let workers = if config.drain_workers == 0 {
             machine
@@ -91,6 +98,9 @@ impl DrainService {
         let batch = config.drain_batch.max(1);
         let shutdown = Arc::new(AtomicBool::new(false));
         let failed = Arc::new(AtomicBool::new(false));
+        // The background WAL flusher (FsyncPolicy::OnIdle) rides the same
+        // pool as one extra scope task.
+        let extra = usize::from(flush_every.is_some());
         let coordinator = {
             let core = Arc::clone(&core);
             let shutdown = Arc::clone(&shutdown);
@@ -98,11 +108,17 @@ impl DrainService {
             std::thread::Builder::new()
                 .name("nurd-serve-drain".into())
                 .spawn(move || {
-                    // `workers` total parallelism: `workers − 1` pool
+                    // `workers` (+ flusher) total parallelism: pool
                     // threads plus this coordinator helping inside the
                     // scope — every spawned loop runs concurrently.
-                    let pool = ThreadPool::new(workers);
+                    let pool = ThreadPool::new(workers + extra);
                     pool.scope(|scope| {
+                        if let Some(interval) = flush_every {
+                            let core = &core;
+                            let shutdown = &shutdown;
+                            let failed = &failed;
+                            scope.spawn(move || flush_worker(core, interval, shutdown, failed));
+                        }
                         for worker in 0..workers {
                             let core = &core;
                             let shutdown = &shutdown;
@@ -217,6 +233,26 @@ fn drain_worker(
     }
 }
 
+/// The background WAL flusher ([`FsyncPolicy::OnIdle`]): fsyncs every
+/// shard's segment each `interval`, bounding what a hard kill can lose
+/// to one interval's tail. A plain timed sleep, *not* a notifier park —
+/// the notifier's epoch churns on every push and drain, so parking on it
+/// with a timeout would busy-spin exactly when the engine is busiest.
+/// Exits on shutdown (with one final flush) and on peer failure (the
+/// failed flag — a panicked drain worker must not leave the flusher
+/// keeping the coordinator scope alive forever). A flush I/O error stops
+/// the flusher; the next *append* surfaces the failing disk as a worker
+/// panic, which is the engine's observable-failure channel.
+fn flush_worker(core: &EngineCore, interval: Duration, shutdown: &AtomicBool, failed: &AtomicBool) {
+    while !shutdown.load(Ordering::Acquire) && !failed.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        if core.flush_wals().is_err() {
+            return;
+        }
+    }
+    let _ = core.flush_wals();
+}
+
 /// A multi-job streaming engine run as a **concurrent service**:
 /// producers on any number of threads push through cloned
 /// [`EngineHandle`]s while the background `DrainService` continuously
@@ -270,7 +306,12 @@ pub struct EngineService {
     /// The service's own producer handle — the convenience `push`/`admit`
     /// methods below delegate here, so the accept/wake logic exists once.
     handle: EngineHandle,
-    service: DrainService,
+    /// `Some` while the drain loop runs; [`EngineService::close`] takes
+    /// it (joining the workers) exactly once.
+    service: Mutex<Option<DrainService>>,
+    /// The first close's report — later closes return a clone instead of
+    /// re-running shutdown (idempotence).
+    closed: Mutex<Option<EngineReport>>,
 }
 
 impl std::fmt::Debug for EngineService {
@@ -281,19 +322,147 @@ impl std::fmt::Debug for EngineService {
     }
 }
 
+/// Lock that shrugs off poisoning: the guarded state here (an `Option`
+/// being taken / a cached report) has no invariant a panicked peer can
+/// have broken halfway.
+fn relock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl EngineService {
     /// Builds the engine and starts its background drain loop; events
     /// pushed through [`EngineService::handle`]s are applied without any
     /// further caller involvement, until [`EngineService::close`].
     #[must_use]
     pub fn start(config: EngineConfig, service: ServiceConfig, factory: PredictorFactory) -> Self {
-        let core = Arc::new(EngineCore::new(config, factory));
-        let service = DrainService::start(Arc::clone(&core), &service);
+        Self::launch(Arc::new(EngineCore::new(config, factory)), &service)
+    }
+
+    /// Like [`EngineService::start`], but durable: every drained event is
+    /// write-ahead-logged under `persistence.dir` before it is applied,
+    /// [`EngineService::checkpoint`] / [`EngineService::close`] write
+    /// versioned snapshots, and [`EngineService::recover`] can later
+    /// rebuild the engine from that directory. Existing artifacts in the
+    /// directory are left untouched (the new WAL generation starts past
+    /// them); to actually *resume* from them, use `recover`.
+    pub fn start_persistent(
+        config: EngineConfig,
+        service: ServiceConfig,
+        persistence: PersistenceConfig,
+        factory: PredictorFactory,
+    ) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&persistence.dir)?;
+        let generation = scan_dir(&persistence.dir)?
+            .max_generation()
+            .map_or(0, |g| g + 1);
+        let core = Arc::new(EngineCore::new_persistent(
+            config,
+            factory,
+            persistence,
+            generation,
+        )?);
+        Ok(Self::launch(core, &service))
+    }
+
+    /// Rebuilds a running service from a persistence directory: loads the
+    /// newest snapshot that validates end to end (falling back past
+    /// corrupt ones — counted in [`RecoverReport::recovery_fallbacks`]),
+    /// replays every WAL segment at or past that snapshot's generation in
+    /// ascending generation order, writes a fresh post-recovery snapshot,
+    /// and only then starts the drain loop. The recovered engine's
+    /// per-job state is bit-for-bit the state of an engine that applied
+    /// the same durable prefix without ever crashing — the
+    /// restart-equals-uninterrupted property `tests/recovery.rs` proves
+    /// under random fault injection.
+    ///
+    /// Producers resume each job's stream from
+    /// [`RecoverReport::events_seen`]: the count is how many of the job's
+    /// events are already inside the recovered state.
+    pub fn recover(
+        persistence: PersistenceConfig,
+        config: EngineConfig,
+        service: ServiceConfig,
+        factory: PredictorFactory,
+    ) -> Result<(Self, RecoverReport), RecoverError> {
+        std::fs::create_dir_all(&persistence.dir)?;
+        let scan = scan_dir(&persistence.dir)?;
+        let new_gen = scan.max_generation().map_or(0, |g| g + 1);
+        let core = EngineCore::new_persistent(config, factory, persistence.clone(), new_gen)?;
+
+        // Newest snapshot that both reads (framing, CRCs) and decodes
+        // (every job record through the factory) wins; everything newer
+        // is a fallback. `install_snapshot` mutates shard state, so a
+        // decode failure must surface *before* installing anything —
+        // read + decode errors both just advance to the next candidate.
+        let mut fallbacks = 0usize;
+        let mut loaded = None;
+        for &generation in scan.snapshots.iter().rev() {
+            match read_snapshot_data(&snapshot_path(&persistence.dir, generation))
+                .and_then(|data| core.install_snapshot(data))
+            {
+                Ok(counts) => {
+                    loaded = Some((generation, counts));
+                    break;
+                }
+                Err(_) => fallbacks += 1,
+            }
+        }
+        let snapshot_generation = loaded.map(|(generation, _)| generation);
+        let (resumed_jobs, finalized_jobs, donor_seeds) =
+            loaded.map_or((0, 0, 0), |(_, counts)| counts);
+
+        // Replay the WAL trail on top: all segments at or past the loaded
+        // snapshot's generation (all of them when starting empty),
+        // generation-major — the order the crashed engine applied them.
+        // Torn or corrupt tails are crash damage, not errors: the valid
+        // prefix replays and the tail is counted.
+        let min_generation = snapshot_generation.unwrap_or(0);
+        let mut wal_events_replayed = 0;
+        let mut wal_truncated_tails = 0;
+        for &(generation, shard) in &scan.wals {
+            if generation < min_generation {
+                continue;
+            }
+            let (events, tail) = read_wal_segment(&wal_path(&persistence.dir, generation, shard))?;
+            if tail != WalTail::Clean {
+                wal_truncated_tails += 1;
+            }
+            wal_events_replayed += core.replay_recovered(events);
+        }
+        if let Some(persist) = core.persist() {
+            persist
+                .recovery_fallbacks
+                .store(fallbacks, Ordering::Relaxed);
+        }
+
+        // Seal the recovery with a fresh snapshot (also rotates the WALs
+        // and prunes pre-retention generations), then start serving.
+        core.write_snapshot()?;
+        let events_seen = core.events_seen();
+        let report = RecoverReport {
+            snapshot_generation,
+            recovery_fallbacks: fallbacks,
+            wal_events_replayed,
+            wal_truncated_tails,
+            resumed_jobs,
+            finalized_jobs,
+            events_seen,
+            donor_seeds,
+        };
+        Ok((Self::launch(Arc::new(core), &service), report))
+    }
+
+    fn launch(core: Arc<EngineCore>, service: &ServiceConfig) -> Self {
+        let flush_every = core.persist().and_then(|p| {
+            (p.config.fsync == FsyncPolicy::OnIdle).then_some(p.config.flush_interval)
+        });
+        let service = DrainService::start(Arc::clone(&core), service, flush_every);
         let handle = EngineHandle::new(Arc::clone(&core), BlockMode::Sleep);
         EngineService {
             core,
             handle,
-            service,
+            service: Mutex::new(Some(service)),
+            closed: Mutex::new(None),
         }
     }
 
@@ -351,8 +520,11 @@ impl EngineService {
     pub fn quiesce(&self) {
         loop {
             let epoch = self.core.notifier().epoch();
+            let failed = relock(&self.service)
+                .as_ref()
+                .is_some_and(DrainService::failed);
             assert!(
-                !self.service.failed(),
+                !failed,
                 "drain service died: a drain worker panicked (see the \
                  coordinator thread's panic output); the backlog will \
                  never settle"
@@ -371,26 +543,113 @@ impl EngineService {
         }
     }
 
+    /// On a persistent service: writes a snapshot *now* and compacts the
+    /// WAL trail behind it (snapshot-then-truncate; see the crash
+    /// recovery runbook in `docs/OPERATIONS.md` for cadence guidance).
+    /// Safe while producers push and drains drain — each shard is
+    /// captured under its lock at its own WAL rotation instant. Returns
+    /// the new snapshot generation.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the underlying I/O error; the engine keeps running and
+    /// the previous snapshot generation remains the recovery target.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-persistent service — there is nowhere to write.
+    pub fn checkpoint(&self) -> std::io::Result<u64> {
+        self.core.write_snapshot()
+    }
+
+    /// The donor-cache seeds currently held (finalized jobs' predictor
+    /// states keyed by [`crate::job_signature`]), signature order. Empty
+    /// on a non-persistent service. Storage-only for now: nothing feeds
+    /// these back into factories yet (ROADMAP: transfer learning).
+    #[must_use]
+    pub fn donor_seeds(&self) -> Vec<DonorSeed> {
+        self.core.donor_seeds()
+    }
+
     /// Shuts the service down and returns the final report: closes the
     /// ingress (later pushes fail; producers blocked in a send wake with
     /// their push rejected), lets the drain workers run the backlog down
-    /// to quiescence, joins them, finalizes every still-live job
-    /// ([`crate::FinalizeReason::EngineFinish`]), and reports everything
-    /// not already handed out by [`EngineService::take_finalized`].
+    /// to quiescence, joins them, persists (flushes every WAL and writes
+    /// a shutdown snapshot, on a persistent service), finalizes every
+    /// still-live job ([`crate::FinalizeReason::EngineFinish`]), and
+    /// reports everything not already handed out by
+    /// [`EngineService::take_finalized`].
+    ///
+    /// **Idempotent**: the first call runs the shutdown; every later call
+    /// returns a clone of the first call's report — no panic, no hang.
+    /// The shutdown snapshot is written *before* jobs are close-finalized,
+    /// so the directory holds every live job in its suspended state and a
+    /// later [`EngineService::recover`] resumes them mid-stream.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a drain worker's panic payload (the root cause) if one
+    /// died while the service ran.
     #[must_use]
-    pub fn close(self) -> EngineReport {
-        let EngineService {
-            core, mut service, ..
-        } = self;
-        // Run the full shutdown sequence and join the workers;
-        // afterwards the core is quiescent by construction. If a drain
-        // worker panicked, re-raise the *original* payload here — the
-        // root cause — instead of tripping over a poisoned shard lock
-        // inside finish_report with a generic message.
-        if let Some(payload) = service.join_panic() {
-            std::panic::resume_unwind(payload);
+    pub fn close(&self) -> EngineReport {
+        let mut closed = relock(&self.closed);
+        if let Some(report) = closed.as_ref() {
+            return report.clone();
         }
-        drop(service);
-        core.finish_report()
+        if let Some(mut service) = relock(&self.service).take() {
+            if let Some(payload) = service.join_panic() {
+                // The workers are joined and the engine is broken: salvage
+                // the durable trail (the WAL holds everything accepted up
+                // to the poison), then re-raise the *original* payload —
+                // the root cause — instead of tripping over a poisoned
+                // shard lock inside finish_report with a generic message.
+                let _ = self.core.flush_wals();
+                drop(service);
+                drop(closed);
+                resume_unwind(payload);
+            }
+        }
+        if self.core.is_persistent() {
+            // Durability before reporting: seal the WALs and write the
+            // shutdown snapshot while every job is still in its live,
+            // resumable state. Best-effort by design — a failing disk at
+            // shutdown must not turn a clean close into a panic, and the
+            // flushed WAL already carries everything the snapshot would.
+            let _ = self.core.flush_wals();
+            let _ = self.core.write_snapshot();
+        }
+        let report = self.core.finish_report();
+        *closed = Some(report.clone());
+        report
+    }
+}
+
+impl Drop for EngineService {
+    /// The unclosed-service guard: joins the drain loop (applying any
+    /// backlog) and flushes the WALs, so dropping a persistent service
+    /// without closing it loses at most the tail past the last fsync —
+    /// and an explicit crash simulation (fault injection) still works,
+    /// because a budget-exhausted WAL writer is already dead and flushes
+    /// nothing. After a normal [`EngineService::close`] this is a no-op.
+    fn drop(&mut self) {
+        let closed = self
+            .closed
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some();
+        if closed {
+            return;
+        }
+        // Joining DrainService (its own Drop) applies the backlog and
+        // swallows any worker panic payload — Drop must not unwind.
+        drop(
+            self.service
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take(),
+        );
+        if self.core.is_persistent() {
+            let _ = self.core.flush_wals();
+        }
     }
 }

@@ -2,8 +2,10 @@
 //! counters a concurrent service publishes.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use nurd_codec::{Checkpointable, Decoder, Encoder};
 use nurd_data::{
     Checkpoint, FinishedTask, JobSpec, OnlinePredictor, RunningTask, StreamContext, TaskEvent,
 };
@@ -11,6 +13,9 @@ use nurd_sim::outcome_from_flags;
 
 use crate::engine::{JobReport, PredictorFactory};
 use crate::lifecycle::{FinalizeReason, JobPhase, OverloadCounters};
+use crate::persist::{job_signature, DonorSeed, RecoverError};
+use crate::snapshot::SnapshotData;
+use crate::wal::WalWriter;
 
 /// One shard's live counters, published as atomics so
 /// [`EngineStats`](crate::EngineStats) can be snapshotted from any thread
@@ -46,6 +51,9 @@ pub(crate) struct ShardStats {
     /// Times adaptive balancing switched within-job parallelism **on**
     /// for this shard (see [`BalanceConfig`](crate::BalanceConfig)).
     pub(crate) balance_boosts: AtomicUsize,
+    /// Jobs quarantined because their predictor panicked during apply
+    /// (see [`FinalizeReason::Poisoned`]).
+    pub(crate) poisoned_jobs: AtomicUsize,
 }
 
 impl ShardStats {
@@ -93,6 +101,13 @@ pub(crate) struct JobState {
     barriers_seen: usize,
     /// Checkpoints at which the predictor was actually invoked.
     pub(crate) checkpoints_scored: usize,
+    /// `Some` iff this job persists in *history mode*: its predictor
+    /// cannot serialize itself (`snapshot_state()` probed `None` at
+    /// admission), so the shard retains every accepted event and a
+    /// snapshot re-derives the predictor by replaying them through a
+    /// fresh factory instance. `None` on non-persistent engines and for
+    /// blob-capable predictors — the zero-overhead common case.
+    history: Option<Vec<TaskEvent>>,
 }
 
 impl std::fmt::Debug for Shard {
@@ -106,12 +121,21 @@ impl std::fmt::Debug for Shard {
 }
 
 impl JobState {
-    fn new(spec: JobSpec, mut predictor: Box<dyn OnlinePredictor + Send>) -> Self {
+    /// Admits a job. `persistent` engines probe the predictor's
+    /// serialization support here, once, at admission: a predictor whose
+    /// `snapshot_state()` is `None` switches this job to history-mode
+    /// persistence (see [`JobState::history`]).
+    fn new(
+        spec: JobSpec,
+        mut predictor: Box<dyn OnlinePredictor + Send>,
+        persistent: bool,
+    ) -> Self {
         predictor.begin_stream(&StreamContext {
             threshold: spec.threshold,
             task_count: spec.task_count,
             feature_dim: spec.feature_dim,
         });
+        let history = (persistent && predictor.snapshot_state().is_none()).then(Vec::new);
         let tasks = (0..spec.task_count).map(|_| TaskState::default()).collect();
         JobState {
             spec,
@@ -121,7 +145,13 @@ impl JobState {
             warmup_at: None,
             barriers_seen: 0,
             checkpoints_scored: 0,
+            history,
         }
+    }
+
+    /// The job's fleet-unique id.
+    pub(crate) fn job(&self) -> u64 {
+        self.spec.job
     }
 
     /// The warmup quorum — the one shared definition
@@ -311,6 +341,94 @@ impl JobState {
             outcome,
         }
     }
+
+    /// Serializes the job for a snapshot. Mode tag 0 = *blob*: the
+    /// predictor's own `snapshot_state` plus the shard-side task
+    /// bookkeeping. Mode tag 1 = *history*: the job's accepted event
+    /// stream (the bookkeeping is re-derived by replaying it).
+    fn encode(&self, enc: &mut Encoder) {
+        match &self.history {
+            Some(history) => {
+                enc.put_u8(1);
+                self.spec.encode(enc);
+                history.encode(enc);
+            }
+            None => {
+                enc.put_u8(0);
+                self.spec.encode(enc);
+                let blob = self.predictor.snapshot_state().unwrap_or_default();
+                enc.put_bytes(&blob);
+                enc.put_usize(self.tasks.len());
+                for task in &self.tasks {
+                    task.features.encode(enc);
+                    task.latency.encode(enc);
+                    task.flagged_at.encode(enc);
+                    enc.put_bool(task.seen);
+                }
+                enc.put_usize(self.finished_total);
+                self.warmup_at.encode(enc);
+                enc.put_usize(self.barriers_seen);
+                enc.put_usize(self.checkpoints_scored);
+            }
+        }
+    }
+
+    /// Rebuilds a job from its snapshot record: blob mode restores the
+    /// predictor bit-for-bit via `restore_state` (rejection is the typed
+    /// [`RecoverError::PredictorRestore`], never a half-restored job);
+    /// history mode replays the retained events through a fresh factory
+    /// predictor — deterministic, so it lands in the identical state.
+    pub(crate) fn decode(
+        dec: &mut Decoder<'_>,
+        factory: &PredictorFactory,
+        warmup_fraction: f64,
+    ) -> Result<Self, RecoverError> {
+        let mode = dec.take_u8()?;
+        let spec = JobSpec::decode(dec)?;
+        match mode {
+            0 => {
+                let blob = dec.take_bytes()?.to_vec();
+                let predictor = factory(&spec);
+                let job = spec.job;
+                let mut state = JobState::new(spec, predictor, true);
+                if !state.predictor.restore_state(&blob) {
+                    return Err(RecoverError::PredictorRestore(job));
+                }
+                let task_count = dec.take_len(16)?;
+                let mut tasks = Vec::with_capacity(task_count);
+                for _ in 0..task_count {
+                    tasks.push(TaskState {
+                        features: Checkpointable::decode(dec)?,
+                        latency: Checkpointable::decode(dec)?,
+                        flagged_at: Checkpointable::decode(dec)?,
+                        seen: dec.take_bool()?,
+                    });
+                }
+                state.tasks = tasks;
+                state.finished_total = dec.take_usize()?;
+                state.warmup_at = Checkpointable::decode(dec)?;
+                state.barriers_seen = dec.take_usize()?;
+                state.checkpoints_scored = dec.take_usize()?;
+                Ok(state)
+            }
+            1 => {
+                let history: Vec<TaskEvent> = Checkpointable::decode(dec)?;
+                let predictor = factory(&spec);
+                let mut state = JobState::new(spec, predictor, true);
+                for event in &history {
+                    let applied = state.apply(event.clone(), warmup_fraction);
+                    debug_assert!(applied, "history events were accepted when retained");
+                }
+                state.history = Some(history);
+                Ok(state)
+            }
+            tag => Err(nurd_codec::CodecError::InvalidTag {
+                what: "JobState mode",
+                tag,
+            }
+            .into()),
+        }
+    }
 }
 
 /// One shard of the engine: a disjoint set of *live* jobs and the reports
@@ -337,6 +455,18 @@ pub(crate) struct Shard {
     granted_threads: usize,
     /// Only jobs with at least this many tasks receive the grant.
     grant_min_tasks: usize,
+    /// This shard's live WAL segment (`None` on non-persistent engines).
+    /// Owned here so appends share the lock that orders application.
+    wal: Option<WalWriter>,
+    /// Per-job count of events this shard has popped from its ingress —
+    /// the event's position in its producer stream, counted for *every*
+    /// popped event (accepted, rejected, stale, or orphan alike), so a
+    /// recovered producer knows exactly which suffix to re-push.
+    events_seen: BTreeMap<u64, u64>,
+    /// Donor-cache seeds captured at finalization, keyed by
+    /// [`job_signature`] (latest finalization of a shape wins). Only
+    /// populated on persistent engines.
+    donors: BTreeMap<u64, DonorSeed>,
 }
 
 impl Shard {
@@ -348,7 +478,111 @@ impl Shard {
             warmup_fraction,
             granted_threads: 1,
             grant_min_tasks: usize::MAX,
+            wal: None,
+            events_seen: BTreeMap::new(),
+            donors: BTreeMap::new(),
         }
+    }
+
+    /// Arms write-ahead logging (makes this shard persistent).
+    pub(crate) fn install_wal(&mut self, wal: WalWriter) {
+        self.wal = Some(wal);
+    }
+
+    /// Appends a batch to the WAL ahead of application; returns how many
+    /// records were appended (0 on non-persistent shards).
+    pub(crate) fn append_wal(&mut self, events: &[TaskEvent]) -> std::io::Result<usize> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(0);
+        };
+        for event in events {
+            wal.append(event)?;
+        }
+        Ok(events.len())
+    }
+
+    /// Flushes + fsyncs this shard's WAL segment (no-op when absent).
+    pub(crate) fn flush_wal(&mut self) -> std::io::Result<()> {
+        match self.wal.as_mut() {
+            Some(wal) => wal.flush_and_sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Seals the current WAL segment and starts a fresh one at `path`
+    /// (the per-shard half of snapshot rotation).
+    pub(crate) fn rotate_wal(&mut self, path: std::path::PathBuf) -> std::io::Result<()> {
+        match self.wal.as_mut() {
+            Some(wal) => wal.rotate(path),
+            None => Ok(()),
+        }
+    }
+
+    /// Serializes this shard's checkpointable state into `data` (live
+    /// jobs, finalized ledger, durable-event counts, donor seeds) and
+    /// folds its deterministic counters into `data.counters`.
+    pub(crate) fn capture_into(&self, data: &mut SnapshotData, stats: &ShardStats) {
+        for state in self.jobs.values() {
+            let mut enc = Encoder::new();
+            state.encode(&mut enc);
+            data.jobs.push(enc.into_bytes());
+        }
+        data.finalized.extend(self.finalized.values().cloned());
+        data.finalized_ids
+            .extend(self.finalized_ids.iter().copied());
+        for (&job, &count) in &self.events_seen {
+            *data.events_seen.entry(job).or_insert(0) += count;
+        }
+        data.donors.extend(self.donors.values().cloned());
+        let load = |c: &AtomicUsize| c.load(Ordering::Relaxed) as u64;
+        let counters = &mut data.counters;
+        counters.events_processed += load(&stats.events_processed);
+        counters.orphan_events += load(&stats.orphan_events);
+        counters.rejected_events += load(&stats.rejected_events);
+        counters.stale_events += load(&stats.stale_events);
+        counters.finalized_jobs += load(&stats.finalized_jobs);
+        counters.poisoned_jobs += load(&stats.poisoned_jobs);
+        counters.shed_events += load(&stats.shed_events);
+        counters.rejected_ingress += load(&stats.rejected_ingress);
+    }
+
+    /// Installs a recovered live job (routing already done by the caller).
+    pub(crate) fn adopt_job(&mut self, state: JobState, stats: &ShardStats) {
+        if self.jobs.insert(state.job(), state).is_none() {
+            stats.add(&stats.live_jobs, 1);
+        }
+    }
+
+    /// Installs a recovered finalized report (and its ledger entry).
+    pub(crate) fn adopt_finalized(&mut self, report: JobReport) {
+        self.finalized_ids.insert(report.job);
+        self.finalized.insert(report.job, report);
+    }
+
+    /// Installs a recovered finalized-ledger id (report already taken
+    /// before the crash — only stale-event detection needs it).
+    pub(crate) fn adopt_finalized_id(&mut self, job: u64) {
+        self.finalized_ids.insert(job);
+    }
+
+    /// Installs a recovered durable-event count for `job`.
+    pub(crate) fn adopt_events_seen(&mut self, job: u64, count: u64) {
+        *self.events_seen.entry(job).or_insert(0) += count;
+    }
+
+    /// Installs a recovered donor seed (keyed by its signature).
+    pub(crate) fn adopt_donor(&mut self, seed: DonorSeed) {
+        self.donors.insert(seed.signature, seed);
+    }
+
+    /// This shard's donor seeds, signature order (observability/tests).
+    pub(crate) fn donor_seeds(&self) -> Vec<DonorSeed> {
+        self.donors.values().cloned().collect()
+    }
+
+    /// This shard's per-job durable-event counts.
+    pub(crate) fn events_seen(&self) -> &BTreeMap<u64, u64> {
+        &self.events_seen
     }
 
     /// Lifecycle phase of `job`, if this shard has ever admitted it.
@@ -387,8 +621,25 @@ impl Shard {
 
     /// Moves `job` from live to finalized: emits its report and drops its
     /// entire state — this is what bounds resident memory to live jobs.
+    /// On persistent engines a healthy finalized job additionally leaves
+    /// its predictor state behind as a [`DonorSeed`] for the snapshot's
+    /// donor cache (poisoned predictors are never donated).
     fn finalize(&mut self, job: u64, reason: FinalizeReason, stats: &ShardStats) {
         if let Some(state) = self.jobs.remove(&job) {
+            if self.wal.is_some() && reason != FinalizeReason::Poisoned {
+                if let Some(blob) = state.predictor.snapshot_state() {
+                    let signature = job_signature(&state.spec);
+                    self.donors.insert(
+                        signature,
+                        DonorSeed {
+                            signature,
+                            job,
+                            predictor: state.predictor.name().to_owned(),
+                            state: blob,
+                        },
+                    );
+                }
+            }
             self.finalized_ids.insert(job);
             self.finalized.insert(job, state.report(reason));
             stats
@@ -417,6 +668,7 @@ impl Shard {
     ) {
         for event in events {
             stats.add(&stats.events_processed, 1);
+            *self.events_seen.entry(event.job()).or_insert(0) += 1;
             match event {
                 TaskEvent::JobStart { spec } => {
                     if self.finalized_ids.contains(&spec.job) {
@@ -426,11 +678,8 @@ impl Shard {
                         if spec.task_count >= self.grant_min_tasks {
                             predictor.set_parallelism(self.granted_threads);
                         }
-                        if self
-                            .jobs
-                            .insert(spec.job, JobState::new(spec, predictor))
-                            .is_none()
-                        {
+                        let state = JobState::new(spec, predictor, self.wal.is_some());
+                        if self.jobs.insert(state.job(), state).is_none() {
                             stats.add(&stats.live_jobs, 1);
                         }
                     }
@@ -449,14 +698,38 @@ impl Shard {
                     let at_barrier = matches!(event, TaskEvent::Barrier { .. });
                     match self.jobs.get_mut(&job_id) {
                         Some(job) => {
-                            let applied = job.apply(event, self.warmup_fraction);
-                            if !applied {
-                                stats.add(&stats.rejected_events, 1);
-                            } else if at_barrier && job.stream_complete() {
-                                // Only a *closed barrier* may trigger
-                                // all-tasks-finished finalization — see
-                                // `JobState::stream_complete`.
-                                self.finalize(job_id, FinalizeReason::StreamComplete, stats);
+                            // History-mode jobs retain accepted events;
+                            // clone before apply consumes the event.
+                            let retained = job.history.is_some().then(|| event.clone());
+                            let warmup_fraction = self.warmup_fraction;
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                job.apply(event, warmup_fraction)
+                            })) {
+                                Err(_) => {
+                                    // Predictor panic: quarantine *this*
+                                    // job; every other job on the shard —
+                                    // and the drain worker — lives on.
+                                    stats.add(&stats.poisoned_jobs, 1);
+                                    self.finalize(job_id, FinalizeReason::Poisoned, stats);
+                                }
+                                Ok(false) => stats.add(&stats.rejected_events, 1),
+                                Ok(true) => {
+                                    if let (Some(history), Some(event)) =
+                                        (job.history.as_mut(), retained)
+                                    {
+                                        history.push(event);
+                                    }
+                                    if at_barrier && job.stream_complete() {
+                                        // Only a *closed barrier* may trigger
+                                        // all-tasks-finished finalization — see
+                                        // `JobState::stream_complete`.
+                                        self.finalize(
+                                            job_id,
+                                            FinalizeReason::StreamComplete,
+                                            stats,
+                                        );
+                                    }
+                                }
                             }
                         }
                         None if self.finalized_ids.contains(&job_id) => {

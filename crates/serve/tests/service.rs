@@ -354,16 +354,6 @@ fn close_during_in_flight_pushes_loses_no_accepted_event() {
     }
 }
 
-#[test]
-fn drain_worker_panic_unblocks_producers_and_resurfaces_at_close() {
-    // One worker on one shard: the simplest death.
-    drain_worker_panic_scenario(1, 1);
-    // Two workers on two shards: the panic of ONE worker must still
-    // break the whole service promptly (peers exit on the failed flag;
-    // the coordinator must not wait for a second organic death).
-    drain_worker_panic_scenario(2, 2);
-}
-
 /// Panics at its first scored checkpoint — a buggy user predictor.
 struct Bomb;
 impl OnlinePredictor for Bomb {
@@ -375,7 +365,47 @@ impl OnlinePredictor for Bomb {
     }
 }
 
-fn drain_worker_panic_scenario(shards: usize, drain_workers: usize) {
+fn four_event_stream(job: u64) -> Vec<TaskEvent> {
+    vec![
+        TaskEvent::JobStart {
+            spec: JobSpec {
+                job,
+                threshold: 1e9,
+                task_count: 1,
+                feature_dim: 1,
+                checkpoints: 2,
+            },
+        },
+        TaskEvent::Submitted { job, task: 0 },
+        TaskEvent::Finished {
+            job,
+            task: 0,
+            ordinal: 0,
+            time: 1.0,
+            features: vec![0.1],
+            latency: 1.0,
+        },
+        TaskEvent::Barrier {
+            job,
+            ordinal: 0,
+            time: 1.0,
+        },
+    ]
+}
+
+#[test]
+fn predictor_panic_quarantines_the_job_not_the_service() {
+    // One worker on one shard — the panic and its neighbors share a
+    // drain — and two workers on two shards.
+    predictor_panic_scenario(1, 1);
+    predictor_panic_scenario(2, 2);
+}
+
+/// A drain-time predictor panic must be *contained*: the job is
+/// finalized as [`FinalizeReason::Poisoned`] and counted, the drain
+/// worker survives, unrelated jobs keep streaming, and `close()` returns
+/// a normal report.
+fn predictor_panic_scenario(shards: usize, drain_workers: usize) {
     let service = EngineService::start(
         EngineConfig {
             shards,
@@ -387,9 +417,99 @@ fn drain_worker_panic_scenario(shards: usize, drain_workers: usize) {
             drain_workers,
             drain_batch: 4,
         },
-        Box::new(|_| Box::new(Bomb)),
+        // Job 1 gets the bomb; every other job a healthy predictor.
+        Box::new(|spec: &JobSpec| {
+            if spec.job == 1 {
+                Box::new(Bomb)
+            } else {
+                Box::new(FlagAll)
+            }
+        }),
     );
-    // The producer's fourth event (the barrier) detonates the predictor;
+    let handle = service.handle();
+    // The fourth event (the barrier) detonates job 1's predictor.
+    for event in four_event_stream(1) {
+        assert!(handle.push(event), "ingress must stay open");
+    }
+    service.quiesce();
+    let stats = service.stats();
+    assert_eq!(
+        stats.poisoned_jobs, 1,
+        "the panicking predictor must quarantine exactly its own job"
+    );
+    assert_eq!(service.job_phase(1), Some(nurd_serve::JobPhase::Finalized));
+    // Post-quarantine events for the poisoned job are stale, not fatal.
+    assert!(handle.push(TaskEvent::Progress {
+        job: 1,
+        task: 0,
+        ordinal: 1,
+        time: 2.0,
+        features: vec![0.1],
+    }));
+    // An unrelated job admitted *after* the panic streams to a normal
+    // finish through the same (still-alive) drain workers.
+    for event in four_event_stream(2) {
+        assert!(
+            handle.push(event),
+            "service must keep serving after a quarantine"
+        );
+    }
+    assert!(handle.push(TaskEvent::Barrier {
+        job: 2,
+        ordinal: 1,
+        time: 2.0,
+    }));
+    service.quiesce();
+    assert!(
+        service.stats().stale_events >= 1,
+        "post-quarantine events must count stale"
+    );
+    // close() returns normally; the report records the quarantine.
+    let report = service.close();
+    let poisoned = report
+        .jobs
+        .iter()
+        .find(|j| j.job == 1)
+        .expect("poisoned job must still be reported");
+    assert_eq!(
+        poisoned.finalized,
+        FinalizeReason::Poisoned,
+        "at {shards} shards / {drain_workers} workers"
+    );
+    let healthy = report
+        .jobs
+        .iter()
+        .find(|j| j.job == 2)
+        .expect("healthy job must be reported");
+    assert_eq!(healthy.finalized, FinalizeReason::StreamComplete);
+}
+
+#[test]
+fn factory_panic_unblocks_producers_and_resurfaces_at_close() {
+    // Admission (the factory call) is *not* quarantined — a panic there
+    // means the service itself is broken, and the original worker-death
+    // machinery must fire. One worker on one shard, then two on two (one
+    // worker's death must break the whole service promptly; peers exit
+    // on the failed flag).
+    factory_panic_scenario(1, 1);
+    factory_panic_scenario(2, 2);
+}
+
+fn factory_panic_scenario(shards: usize, drain_workers: usize) {
+    let service = EngineService::start(
+        EngineConfig {
+            shards,
+            queue_capacity: Some(4),
+            overload: OverloadPolicy::Block,
+            ..EngineConfig::default()
+        },
+        ServiceConfig {
+            drain_workers,
+            drain_batch: 4,
+        },
+        Box::new(|_| -> Box<dyn OnlinePredictor + Send> { panic!("factory exploded") }),
+    );
+    // The producer's first event (the admission) detonates the factory;
     // the producer then keeps pushing into a capacity-4 queue that no
     // one will ever drain again. The dying service must close the
     // ingress so the blocked sends come back rejected instead of
@@ -405,20 +525,6 @@ fn drain_worker_panic_scenario(shards: usize, drain_workers: usize) {
                     feature_dim: 1,
                     checkpoints: 2,
                 },
-            });
-            handle.push(TaskEvent::Submitted { job: 1, task: 0 });
-            handle.push(TaskEvent::Finished {
-                job: 1,
-                task: 0,
-                ordinal: 0,
-                time: 1.0,
-                features: vec![0.1],
-                latency: 1.0,
-            });
-            handle.push(TaskEvent::Barrier {
-                job: 1,
-                ordinal: 0,
-                time: 1.0,
             });
             let mut rejected = false;
             for ordinal in 0..10_000usize {
@@ -455,7 +561,7 @@ fn drain_worker_panic_scenario(shards: usize, drain_workers: usize) {
         .or_else(|| payload.downcast_ref::<String>().cloned())
         .unwrap_or_default();
     assert!(
-        message.contains("predictor exploded"),
+        message.contains("factory exploded"),
         "root cause lost at {shards} shards / {drain_workers} workers: {message:?}"
     );
 }

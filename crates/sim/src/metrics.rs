@@ -14,6 +14,24 @@ pub struct Confusion {
     pub true_negatives: usize,
 }
 
+impl nurd_codec::Checkpointable for Confusion {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        enc.put_usize(self.true_positives);
+        enc.put_usize(self.false_positives);
+        enc.put_usize(self.false_negatives);
+        enc.put_usize(self.true_negatives);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        Ok(Confusion {
+            true_positives: dec.take_usize()?,
+            false_positives: dec.take_usize()?,
+            false_negatives: dec.take_usize()?,
+            true_negatives: dec.take_usize()?,
+        })
+    }
+}
+
 impl Confusion {
     /// Total tasks accounted for.
     #[must_use]

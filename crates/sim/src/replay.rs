@@ -41,6 +41,26 @@ pub struct ReplayOutcome {
     pub warmup_checkpoint: usize,
 }
 
+impl nurd_codec::Checkpointable for ReplayOutcome {
+    fn encode(&self, enc: &mut nurd_codec::Encoder) {
+        enc.put_f64(self.threshold);
+        self.flagged_at.encode(enc);
+        self.confusion.encode(enc);
+        self.f1_timeline.encode(enc);
+        enc.put_usize(self.warmup_checkpoint);
+    }
+
+    fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
+        Ok(ReplayOutcome {
+            threshold: dec.take_f64()?,
+            flagged_at: nurd_codec::Checkpointable::decode(dec)?,
+            confusion: nurd_codec::Checkpointable::decode(dec)?,
+            f1_timeline: nurd_codec::Checkpointable::decode(dec)?,
+            warmup_checkpoint: dec.take_usize()?,
+        })
+    }
+}
+
 impl ReplayOutcome {
     /// Task ids flagged as stragglers.
     #[must_use]
