@@ -1,6 +1,6 @@
 //! The online NURD predictor (Algorithm 1's outer loop).
 
-use nurd_data::{Checkpoint, OnlinePredictor, StreamContext};
+use nurd_data::{Checkpoint, OnlinePredictor, ScoredPrediction, StreamContext, TaskScore};
 use nurd_linalg::{FeatureMatrix, MatrixView};
 use nurd_ml::{GradientBoosting, LogisticRegression, SquaredLoss};
 
@@ -265,6 +265,35 @@ impl OnlinePredictor for NurdPredictor {
             .filter(|p| p.adjusted >= threshold)
             .map(|p| p.id)
             .collect()
+    }
+
+    /// Exposes the continuous adjusted predictions as normalized scores
+    /// (`adjusted / τ_stra`, so `>= 1.0` ⇔ flagged) from a *single*
+    /// [`NurdPredictor::score_running`] pass — the flag set and the model
+    /// refits are bit-identical to [`OnlinePredictor::predict`] on the
+    /// same checkpoint.
+    fn predict_scored(&mut self, checkpoint: &Checkpoint<'_>) -> ScoredPrediction {
+        let threshold = self.threshold;
+        let predictions = self.score_running(checkpoint);
+        let scores = predictions
+            .iter()
+            .map(|p| TaskScore {
+                task: p.id,
+                score: if threshold > 0.0 && threshold.is_finite() {
+                    p.adjusted / threshold
+                } else if p.adjusted >= threshold {
+                    1.0
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        let flagged = predictions
+            .into_iter()
+            .filter(|p| p.adjusted >= threshold)
+            .map(|p| p.id)
+            .collect();
+        ScoredPrediction { flagged, scores }
     }
 
     /// Serializes every fitted quantity — δ, both models, the warm-refit

@@ -37,6 +37,7 @@ mod csv;
 mod error;
 mod event;
 mod job;
+mod mitigation;
 mod predictor;
 mod task;
 
@@ -45,5 +46,9 @@ pub use csv::{read_job_csv, read_jobs_csv, write_job_csv, write_jobs_csv};
 pub use error::DataError;
 pub use event::{job_events, job_stream, JobSpec, TaskEvent};
 pub use job::{warmup_quorum, JobTrace};
+pub use mitigation::{
+    ActionRecord, BarrierView, JobPhase, MitigationAction, MitigationPolicy, ScoredPrediction,
+    TaskScore,
+};
 pub use predictor::{JobContext, OnlinePredictor, StreamContext};
 pub use task::{TaskId, TaskRecord};

@@ -1,6 +1,6 @@
 //! The trait every evaluated method implements.
 
-use crate::{Checkpoint, JobTrace};
+use crate::{Checkpoint, JobTrace, ScoredPrediction, TaskScore};
 
 /// Job-level context available to a predictor before replay starts.
 ///
@@ -91,6 +91,33 @@ pub trait OnlinePredictor {
     /// checkpoint. Ids not present in `checkpoint.running` are ignored by
     /// the simulator.
     fn predict(&mut self, checkpoint: &Checkpoint<'_>) -> Vec<usize>;
+
+    /// Like [`OnlinePredictor::predict`], but additionally reports a
+    /// normalized straggler score per running task (see
+    /// [`TaskScore`]) for consumers — such as mitigation policies — that
+    /// want confidence, not just the flag set.
+    ///
+    /// **Contract:** the returned `flagged` set must be exactly what
+    /// [`OnlinePredictor::predict`] would have returned on this
+    /// checkpoint, and the predictor's internal state must advance
+    /// identically — a caller invokes *one* of the two methods per
+    /// checkpoint, never both, and replay determinism relies on the two
+    /// paths being interchangeable. The default calls `predict` once and
+    /// synthesizes binary scores (`1.0` flagged / `0.0` not); predictors
+    /// with a continuous score (NURD's adjusted predictions) override
+    /// this to expose it without scoring twice.
+    fn predict_scored(&mut self, checkpoint: &Checkpoint<'_>) -> ScoredPrediction {
+        let flagged = self.predict(checkpoint);
+        let scores = checkpoint
+            .running
+            .iter()
+            .map(|r| TaskScore {
+                task: r.id,
+                score: if flagged.contains(&r.id) { 1.0 } else { 0.0 },
+            })
+            .collect();
+        ScoredPrediction { flagged, scores }
+    }
 
     /// Scheduling hint from the serving layer: this job may fan its
     /// internal model fits across up to `threads` worker threads (`1` =

@@ -1,0 +1,137 @@
+//! The closed-loop fleet harness: traces → serving engine (scores →
+//! policy → committed action log) → deterministic simulator → metrics.
+//!
+//! [`run_fleet`] is the one call the property suite, the bench sweep, and
+//! the `mitigation_smoke` example all share. Determinism end to end: the
+//! trace generator, the engine's per-job streams, every shipped policy,
+//! and the simulator are all seed-deterministic, so the whole run — down
+//! to the canonical action log — is bit-identical across shard counts.
+
+use nurd_core::{NurdConfig, NurdPredictor};
+use nurd_data::{ActionRecord, JobSpec, JobTrace};
+use nurd_runtime::ThreadPool;
+use nurd_serve::{Engine, EngineConfig, JobReport, MitigatorFactory, PredictorFactory};
+use nurd_sim::{
+    execute_actions, summarize_mitigation, MitigationOutcome, MitigationSimConfig,
+    MitigationSummary,
+};
+
+/// Knobs for one [`run_fleet`] pass.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Engine shard count. Changes wall-clock only — the run's outputs,
+    /// action log included, are identical at any value.
+    pub shards: usize,
+    /// Per-job straggler-threshold quantile (the paper's p90 at `0.9`).
+    pub threshold_quantile: f64,
+    /// Warmup quorum fraction before predictions start (the paper's 4%).
+    pub warmup_fraction: f64,
+    /// Arrival spread for the staggered fleet stream (`0.0` =
+    /// simultaneous arrivals).
+    pub spread: f64,
+    /// Seed for the fleet stream's arrival stagger.
+    pub stream_seed: u64,
+    /// Simulator seed (clone/relaunch duration sampling).
+    pub sim: MitigationSimConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            threshold_quantile: 0.9,
+            warmup_fraction: 0.04,
+            spread: 120.0,
+            stream_seed: 0xF1EE7,
+            sim: MitigationSimConfig::default(),
+        }
+    }
+}
+
+/// Everything one closed-loop fleet pass produced.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Per-job engine reports, job-id order.
+    pub reports: Vec<JobReport>,
+    /// The canonical fleet action log: each job's committed actions in
+    /// decision order, jobs concatenated in job-id order. This is the
+    /// artifact the bit-identical-across-shard-counts property compares.
+    pub action_log: Vec<ActionRecord>,
+    /// Per-job simulator outcomes, job-id order.
+    pub outcomes: Vec<MitigationOutcome>,
+    /// Fleet-level aggregation of `outcomes`.
+    pub summary: MitigationSummary,
+}
+
+/// The harness's stock predictor factory: a fresh default-configured
+/// [`NurdPredictor`] per job.
+#[must_use]
+pub fn nurd_predictor_factory() -> PredictorFactory {
+    Box::new(|_spec: &JobSpec| Box::new(NurdPredictor::new(NurdConfig::default())))
+}
+
+/// Runs the whole loop once: serves `jobs` as a staggered fleet stream
+/// through a caller-driven [`Engine`] with `mitigator` attached (`None` =
+/// the no-mitigation baseline — not even a [`crate::NoopPolicy`], so the
+/// engine takes its zero-overhead `predict` path), then executes every
+/// job's committed action log in the simulator and aggregates.
+///
+/// # Panics
+///
+/// Panics if `jobs` is empty or a served job's report goes missing (both
+/// indicate harness bugs, not workload conditions).
+#[must_use]
+pub fn run_fleet(
+    jobs: &[JobTrace],
+    mitigator: Option<MitigatorFactory>,
+    config: &FleetConfig,
+) -> FleetRun {
+    assert!(!jobs.is_empty(), "fleet needs at least one job");
+    let engine = Engine::new(
+        EngineConfig {
+            shards: config.shards,
+            warmup_fraction: config.warmup_fraction,
+            ..EngineConfig::default()
+        },
+        nurd_predictor_factory(),
+    );
+    if let Some(mitigator) = mitigator {
+        assert!(engine.attach_mitigator(mitigator), "fresh engine");
+    }
+    let events = nurd_trace::staggered_fleet_events(
+        jobs,
+        config.threshold_quantile,
+        config.spread,
+        config.stream_seed,
+    );
+    engine.push_all_sync(events);
+    let pool = ThreadPool::new(2);
+    let report = engine.finish(&pool);
+
+    let mut sorted: Vec<&JobTrace> = jobs.iter().collect();
+    sorted.sort_by_key(|job| job.job_id());
+    let outcomes: Vec<MitigationOutcome> = sorted
+        .iter()
+        .map(|job| {
+            let reported = report.job(job.job_id()).expect("served job reported");
+            execute_actions(
+                job,
+                job.straggler_threshold(config.threshold_quantile),
+                &reported.actions,
+                &config.sim,
+            )
+        })
+        .collect();
+    let action_log = report
+        .jobs
+        .iter()
+        .flat_map(|r| r.actions.iter().copied())
+        .collect();
+    let summary = summarize_mitigation(&outcomes);
+    FleetRun {
+        reports: report.jobs,
+        action_log,
+        outcomes,
+        summary,
+    }
+}

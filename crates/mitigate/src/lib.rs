@@ -1,0 +1,36 @@
+//! `nurd-mitigate` — score-driven straggler **mitigation** on top of the
+//! serving engine, closing the loop the paper's §5 schedulers open:
+//! instead of replaying flags offline, the live engine's per-barrier
+//! straggler scores feed a [`nurd_data::MitigationPolicy`] whose typed
+//! actions ([`nurd_data::MitigationAction`]) are committed to a per-job
+//! action log, and a deterministic simulator
+//! ([`nurd_sim::execute_actions`]) executes that log against ground
+//! truth to price the decisions in job-completion time and wasted work.
+//!
+//! The crate ships:
+//!
+//! * **Policies** — [`NoopPolicy`] (the no-mitigation anchor),
+//!   [`ThresholdClonePolicy`] (score threshold + per-job clone budget),
+//!   [`TopKPolicy`] (k clones per barrier), and [`OraclePolicy`] (ground
+//!   truth; the structural upper bound), each with a factory helper for
+//!   [`nurd_serve::Engine::attach_mitigator`];
+//! * **The fleet harness** — [`run_fleet`] drives traces through the
+//!   engine with a policy attached and sims the committed log, returning
+//!   per-job [`nurd_sim::MitigationOutcome`]s, a fleet
+//!   [`nurd_sim::MitigationSummary`], and the canonical action log.
+//!
+//! Everything is seed-deterministic end to end; `tests/policy_properties.rs`
+//! pins the load-bearing invariants (every task completes exactly once,
+//! the oracle never loses to no-mitigation, the action log is
+//! bit-identical at shard counts {1, 2, 8}).
+
+#![warn(missing_docs)]
+
+mod harness;
+mod policies;
+
+pub use harness::{nurd_predictor_factory, run_fleet, FleetConfig, FleetRun};
+pub use policies::{
+    noop_mitigator, oracle_mitigator, threshold_mitigator, topk_mitigator, NoopPolicy,
+    OraclePolicy, ThresholdClonePolicy, TopKPolicy,
+};

@@ -1,0 +1,337 @@
+//! Concrete [`MitigationPolicy`] implementations.
+//!
+//! Every policy here honors the determinism contract of
+//! [`nurd_data::mitigation`](nurd_data::BarrierView): decisions are pure
+//! functions of the barrier views seen so far (none reads
+//! [`BarrierView::backlog`]), so each produces a bit-identical action log
+//! at any shard count. Per-job state is a set of already-proposed tasks —
+//! the engine would suppress repeats anyway, but proposing them would
+//! inflate its `mitigation_suppressed` counter and hide real policy bugs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nurd_data::{BarrierView, JobTrace, MitigationAction, MitigationPolicy};
+use nurd_serve::MitigatorFactory;
+
+/// The do-nothing baseline: sees every barrier, acts on none. The
+/// mitigated run is identical to the unmitigated one — the anchor the
+/// acceptance gates compare real policies against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopPolicy;
+
+impl MitigationPolicy for NoopPolicy {
+    fn name(&self) -> &str {
+        "noop"
+    }
+
+    fn decide(&mut self, _view: &BarrierView<'_>) -> Vec<(usize, MitigationAction)> {
+        Vec::new()
+    }
+}
+
+/// Score-threshold cloning with a per-job clone budget: every running
+/// task whose normalized score reaches `score_threshold` gets one
+/// [`MitigationAction::Clone`], highest scores first, until the budget
+/// runs out. A threshold of `1.0` clones exactly the predictor-flagged
+/// tasks; lower values act earlier (more catches, more waste).
+#[derive(Debug, Clone)]
+pub struct ThresholdClonePolicy {
+    score_threshold: f64,
+    budget: Option<usize>,
+    proposed: BTreeSet<usize>,
+}
+
+impl ThresholdClonePolicy {
+    /// A policy cloning at `score_threshold` with an optional per-job
+    /// clone budget (`None` = unlimited).
+    #[must_use]
+    pub fn new(score_threshold: f64, budget: Option<usize>) -> Self {
+        ThresholdClonePolicy {
+            score_threshold,
+            budget,
+            proposed: BTreeSet::new(),
+        }
+    }
+}
+
+impl MitigationPolicy for ThresholdClonePolicy {
+    fn name(&self) -> &str {
+        "threshold-clone"
+    }
+
+    fn clone_budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    fn decide(&mut self, view: &BarrierView<'_>) -> Vec<(usize, MitigationAction)> {
+        let mut candidates: Vec<_> = view
+            .scores
+            .iter()
+            .filter(|s| s.score >= self.score_threshold && !self.proposed.contains(&s.task))
+            .collect();
+        // Budget is spent best-first: highest score, then lowest task id
+        // so ties break the same way everywhere.
+        candidates.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.task.cmp(&b.task)));
+        let mut remaining = view.clones_remaining;
+        let mut actions = Vec::new();
+        for candidate in candidates {
+            if remaining == Some(0) {
+                break;
+            }
+            if let Some(r) = remaining.as_mut() {
+                *r -= 1;
+            }
+            self.proposed.insert(candidate.task);
+            actions.push((candidate.task, MitigationAction::Clone));
+        }
+        actions
+    }
+}
+
+/// Clones the `k` highest-scoring **newly flagged** tasks at each
+/// barrier: a rate-limited alternative to the threshold policy for
+/// fleets where clone capacity per scheduling round is the scarce
+/// resource rather than clones per job.
+#[derive(Debug, Clone)]
+pub struct TopKPolicy {
+    k: usize,
+    proposed: BTreeSet<usize>,
+}
+
+impl TopKPolicy {
+    /// A policy cloning at most `k` flagged tasks per barrier.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        TopKPolicy {
+            k,
+            proposed: BTreeSet::new(),
+        }
+    }
+}
+
+impl MitigationPolicy for TopKPolicy {
+    fn name(&self) -> &str {
+        "top-k"
+    }
+
+    fn decide(&mut self, view: &BarrierView<'_>) -> Vec<(usize, MitigationAction)> {
+        let flagged: BTreeSet<usize> = view.flagged.iter().copied().collect();
+        let mut candidates: Vec<_> = view
+            .scores
+            .iter()
+            .filter(|s| flagged.contains(&s.task) && !self.proposed.contains(&s.task))
+            .collect();
+        candidates.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.task.cmp(&b.task)));
+        candidates
+            .into_iter()
+            .take(self.k)
+            .map(|s| {
+                self.proposed.insert(s.task);
+                (s.task, MitigationAction::Clone)
+            })
+            .collect()
+    }
+}
+
+/// The upper-bound baseline: knows each job's ground-truth stragglers
+/// and clones exactly those, at the first barrier where each appears in
+/// the scored view. Clone-only, so `JCT(oracle) ≤ JCT(no-mitigation)`
+/// holds **structurally** (the simulator's `min(original, clone)` race
+/// rule) — the gap between the oracle and a learned policy is the room
+/// the predictor leaves on the table.
+#[derive(Debug, Clone)]
+pub struct OraclePolicy {
+    stragglers: BTreeSet<usize>,
+    proposed: BTreeSet<usize>,
+}
+
+impl OraclePolicy {
+    /// An oracle for a job whose true stragglers are `stragglers`.
+    #[must_use]
+    pub fn new(stragglers: impl IntoIterator<Item = usize>) -> Self {
+        OraclePolicy {
+            stragglers: stragglers.into_iter().collect(),
+            proposed: BTreeSet::new(),
+        }
+    }
+
+    /// Builds the oracle from a job's ground truth at `quantile` (the
+    /// paper's p90 labeling at `0.9`).
+    #[must_use]
+    pub fn for_job(job: &JobTrace, quantile: f64) -> Self {
+        OraclePolicy::new(job.true_stragglers(job.straggler_threshold(quantile)))
+    }
+}
+
+impl MitigationPolicy for OraclePolicy {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn decide(&mut self, view: &BarrierView<'_>) -> Vec<(usize, MitigationAction)> {
+        let mut actions = Vec::new();
+        for s in view.scores {
+            if self.stragglers.contains(&s.task) && self.proposed.insert(s.task) {
+                actions.push((s.task, MitigationAction::Clone));
+            }
+        }
+        actions
+    }
+}
+
+/// Factory for [`NoopPolicy`] — the no-mitigation baseline in factory
+/// form, for wiring into [`nurd_serve::Engine::attach_mitigator`].
+#[must_use]
+pub fn noop_mitigator() -> MitigatorFactory {
+    Box::new(|_spec| Box::new(NoopPolicy))
+}
+
+/// Factory giving every job a [`ThresholdClonePolicy`] with the given
+/// knobs.
+#[must_use]
+pub fn threshold_mitigator(score_threshold: f64, budget: Option<usize>) -> MitigatorFactory {
+    Box::new(move |_spec| Box::new(ThresholdClonePolicy::new(score_threshold, budget)))
+}
+
+/// Factory giving every job a [`TopKPolicy`] cloning at most `k` flagged
+/// tasks per barrier.
+#[must_use]
+pub fn topk_mitigator(k: usize) -> MitigatorFactory {
+    Box::new(move |_spec| Box::new(TopKPolicy::new(k)))
+}
+
+/// Factory giving every job an [`OraclePolicy`] built from the fleet's
+/// ground truth at `quantile`. Jobs not in `jobs` (never the case in the
+/// harness) get an oracle with no stragglers, i.e. a no-op.
+#[must_use]
+pub fn oracle_mitigator(jobs: &[JobTrace], quantile: f64) -> MitigatorFactory {
+    let labels: BTreeMap<u64, Vec<usize>> = jobs
+        .iter()
+        .map(|job| {
+            (
+                job.job_id(),
+                job.true_stragglers(job.straggler_threshold(quantile)),
+            )
+        })
+        .collect();
+    Box::new(move |spec| {
+        Box::new(OraclePolicy::new(
+            labels.get(&spec.job).cloned().unwrap_or_default(),
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nurd_data::{JobPhase, TaskScore};
+
+    fn view<'a>(
+        scores: &'a [TaskScore],
+        flagged: &'a [usize],
+        clones_remaining: Option<usize>,
+    ) -> BarrierView<'a> {
+        BarrierView {
+            job: 1,
+            ordinal: 0,
+            time: 10.0,
+            threshold: 100.0,
+            phase: JobPhase::Scoring,
+            scores,
+            flagged,
+            clones_remaining,
+            backlog: 0,
+        }
+    }
+
+    #[test]
+    fn noop_never_acts() {
+        let scores = [TaskScore {
+            task: 0,
+            score: 99.0,
+        }];
+        assert!(NoopPolicy.decide(&view(&scores, &[0], None)).is_empty());
+    }
+
+    #[test]
+    fn threshold_policy_clones_best_first_within_budget() {
+        let scores = [
+            TaskScore {
+                task: 0,
+                score: 1.2,
+            },
+            TaskScore {
+                task: 1,
+                score: 3.0,
+            },
+            TaskScore {
+                task: 2,
+                score: 0.4,
+            },
+        ];
+        let mut policy = ThresholdClonePolicy::new(1.0, Some(1));
+        let actions = policy.decide(&view(&scores, &[0, 1], Some(1)));
+        // Budget 1 goes to the highest score (task 1), not task 0.
+        assert_eq!(actions, vec![(1, MitigationAction::Clone)]);
+        // Next barrier: budget exhausted, nothing proposed.
+        assert!(policy.decide(&view(&scores, &[], Some(0))).is_empty());
+    }
+
+    #[test]
+    fn threshold_policy_never_reproposes_a_task() {
+        let scores = [TaskScore {
+            task: 5,
+            score: 2.0,
+        }];
+        let mut policy = ThresholdClonePolicy::new(1.0, None);
+        assert_eq!(policy.decide(&view(&scores, &[5], None)).len(), 1);
+        assert!(policy.decide(&view(&scores, &[5], None)).is_empty());
+    }
+
+    #[test]
+    fn topk_takes_k_newly_flagged_by_score() {
+        let scores = [
+            TaskScore {
+                task: 0,
+                score: 1.1,
+            },
+            TaskScore {
+                task: 1,
+                score: 1.5,
+            },
+            TaskScore {
+                task: 2,
+                score: 1.3,
+            },
+            TaskScore {
+                task: 3,
+                score: 9.0, // not flagged this barrier → not a candidate
+            },
+        ];
+        let mut policy = TopKPolicy::new(2);
+        let actions = policy.decide(&view(&scores, &[0, 1, 2], None));
+        assert_eq!(
+            actions,
+            vec![(1, MitigationAction::Clone), (2, MitigationAction::Clone),]
+        );
+    }
+
+    #[test]
+    fn oracle_clones_exactly_its_labels() {
+        let scores = [
+            TaskScore {
+                task: 0,
+                score: 0.1,
+            },
+            TaskScore {
+                task: 7,
+                score: 0.2, // low score — the oracle doesn't care
+            },
+        ];
+        let mut policy = OraclePolicy::new([7, 9]);
+        let actions = policy.decide(&view(&scores, &[], None));
+        assert_eq!(actions, vec![(7, MitigationAction::Clone)]);
+        // Task 9 never appeared in a view; task 7 is never re-proposed.
+        assert!(policy.decide(&view(&scores, &[], None)).is_empty());
+    }
+}

@@ -17,8 +17,10 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use std::sync::OnceLock;
+
 use nurd_codec::Checkpointable;
-use nurd_data::{JobSpec, OnlinePredictor, TaskEvent};
+use nurd_data::{ActionRecord, JobSpec, MitigationPolicy, OnlinePredictor, TaskEvent};
 use nurd_runtime::{Channel, Notifier, ThreadPool, TrySendError};
 use nurd_sim::ReplayOutcome;
 
@@ -34,6 +36,13 @@ use crate::wal::WalWriter;
 /// [`TaskEvent::JobStart`], so it must be `Sync` (drains run in
 /// parallel, on background service workers and producer threads alike).
 pub type PredictorFactory = Box<dyn Fn(&JobSpec) -> Box<dyn OnlinePredictor + Send> + Send + Sync>;
+
+/// Builds a fresh [`MitigationPolicy`] for an admitted job — the
+/// mitigation twin of [`PredictorFactory`]. Registered once per engine
+/// via [`Engine::attach_mitigator`] /
+/// [`EngineService::attach_mitigator`](crate::EngineService::attach_mitigator);
+/// invoked by shard drains, so it must be `Sync`.
+pub type MitigatorFactory = Box<dyn Fn(&JobSpec) -> Box<dyn MitigationPolicy + Send> + Send + Sync>;
 
 /// Adaptive shard balancing: when a shard's ingress backlog stays above
 /// [`BalanceConfig::backlog_threshold`], the drain loop grants that
@@ -132,6 +141,10 @@ pub struct JobReport {
     pub finalized: FinalizeReason,
     /// Protocol scoring, identical to sequential replay.
     pub outcome: ReplayOutcome,
+    /// The mitigation actions committed for this job, decision order
+    /// (empty when no mitigator was attached). Deterministic per stream:
+    /// same seed + same policy ⇒ bit-identical at any shard count.
+    pub actions: Vec<ActionRecord>,
 }
 
 impl Checkpointable for JobReport {
@@ -140,6 +153,7 @@ impl Checkpointable for JobReport {
         enc.put_usize(self.checkpoints_scored);
         self.finalized.encode(enc);
         self.outcome.encode(enc);
+        self.actions.encode(enc);
     }
 
     fn decode(dec: &mut nurd_codec::Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
@@ -148,6 +162,7 @@ impl Checkpointable for JobReport {
             checkpoints_scored: dec.take_usize()?,
             finalized: Checkpointable::decode(dec)?,
             outcome: Checkpointable::decode(dec)?,
+            actions: Checkpointable::decode(dec)?,
         })
     }
 }
@@ -268,6 +283,17 @@ pub struct EngineStats {
     /// valid one was found. Nonzero means the newest snapshot was
     /// corrupt — triage with the runbook in `docs/OPERATIONS.md`.
     pub recovery_fallbacks: usize,
+    /// `Clone` mitigation actions committed to job action logs (zero
+    /// when no mitigator is attached). Read it together with the
+    /// simulator's `clones_wasted` — the triage recipe is in
+    /// `docs/OPERATIONS.md`.
+    pub clones_issued: usize,
+    /// `Quarantine` mitigation actions committed to job action logs.
+    pub quarantines_issued: usize,
+    /// Policy decisions the engine refused (target not running, already
+    /// actioned, or clone budget exhausted). A high rate means the
+    /// policy is over-asking — tune its threshold or budget.
+    pub mitigation_suppressed: usize,
     /// Overload loss accounting (see [`OverloadCounters`]).
     pub overload: OverloadCounters,
 }
@@ -313,6 +339,9 @@ pub(crate) struct PersistHandle {
 pub(crate) struct EngineCore {
     config: EngineConfig,
     factory: PredictorFactory,
+    /// Builds each admitted job's mitigation policy; unset = scorer-only
+    /// mode. Write-once (`OnceLock`) so drains can read it lock-free.
+    mitigator: OnceLock<MitigatorFactory>,
     cells: Vec<ShardCell>,
     /// Idle drain workers (and quiescence waiters) park here; every
     /// accepted push and every productive drain batch unparks.
@@ -343,10 +372,30 @@ impl EngineCore {
         EngineCore {
             config,
             factory,
+            mitigator: OnceLock::new(),
             cells,
             notifier: Notifier::new(),
             persist: None,
         }
+    }
+
+    /// Registers the engine's mitigator factory (write-once; returns
+    /// `false` if one is already attached) and builds policies for any
+    /// job admitted before the attach — which is how a recovered service
+    /// re-arms mitigation for jobs resumed from a snapshot. For the
+    /// bit-identical action-log guarantee, attach before pushing events:
+    /// a job scored *between* admission and a late attach decides nothing
+    /// at those barriers.
+    pub(crate) fn set_mitigator(&self, mitigator: MitigatorFactory) -> bool {
+        if self.mitigator.set(mitigator).is_err() {
+            return false;
+        }
+        let mitigator = self.mitigator.get().expect("just set");
+        for idx in 0..self.cells.len() {
+            self.lock_shard(idx).attach_policies(mitigator);
+        }
+        self.notifier.unpark();
+        true
     }
 
     /// A core whose shards write-ahead-log every drained event into
@@ -530,11 +579,13 @@ impl EngineCore {
                 .unwrap_or_else(|e| panic!("WAL append failed on shard {idx}: {e}"));
             persist.wal_appended.fetch_add(appended, Ordering::Relaxed);
         }
+        // The backlog *left behind* after this pop: the adaptive-balance
+        // signal, and the advisory load hint mitigation policies see.
+        let backlog = cell.ingress.len();
         if let Some(balance) = &self.config.balance {
-            // Decide on the backlog *left behind* after this pop: a queue
-            // that refills faster than a whole batch drains is the
-            // sustained-overload signal worth spending threads on.
-            let backlog = cell.ingress.len();
+            // Decide on the leftover backlog: a queue that refills faster
+            // than a whole batch drains is the sustained-overload signal
+            // worth spending threads on.
             if backlog >= balance.backlog_threshold.max(1) {
                 shard.set_parallelism(
                     if balance.threads == 0 {
@@ -549,7 +600,13 @@ impl EngineCore {
                 shard.set_parallelism(1, balance.min_tasks, &cell.stats);
             }
         }
-        shard.apply_batch(batch.drain(..), &self.factory, &cell.stats);
+        shard.apply_batch(
+            batch.drain(..),
+            &self.factory,
+            self.mitigator.get(),
+            backlog,
+            &cell.stats,
+        );
         drop(shard);
         // Unpark peers and quiescence waiters: more work may remain on
         // this shard, and watchers re-evaluate their condition on every
@@ -688,6 +745,9 @@ impl EngineCore {
                 .persist
                 .as_ref()
                 .map_or(0, |p| p.recovery_fallbacks.load(Ordering::Relaxed)),
+            clones_issued: load(|s| &s.clones_issued),
+            quarantines_issued: load(|s| &s.quarantines_issued),
+            mitigation_suppressed: load(|s| &s.mitigation_suppressed),
             overload: self.overload(),
         }
     }
@@ -780,6 +840,7 @@ impl EngineCore {
             jobs.push(JobState::decode(
                 &mut dec,
                 &self.factory,
+                self.mitigator.get(),
                 self.config.warmup_fraction,
             )?);
         }
@@ -818,6 +879,9 @@ impl EngineCore {
         put(&stats.poisoned_jobs, c.poisoned_jobs);
         put(&stats.shed_events, c.shed_events);
         put(&stats.rejected_ingress, c.rejected_ingress);
+        put(&stats.clones_issued, c.clones_issued);
+        put(&stats.quarantines_issued, c.quarantines_issued);
+        put(&stats.mitigation_suppressed, c.mitigation_suppressed);
         Ok((resumed, finalized, donors))
     }
 
@@ -830,8 +894,13 @@ impl EngineCore {
         for event in events {
             let idx = self.shard_of(event.job());
             let cell = &self.cells[idx];
-            self.lock_shard(idx)
-                .apply_batch(std::iter::once(event), &self.factory, &cell.stats);
+            self.lock_shard(idx).apply_batch(
+                std::iter::once(event),
+                &self.factory,
+                self.mitigator.get(),
+                0,
+                &cell.stats,
+            );
         }
         if let Some(persist) = &self.persist {
             persist.wal_replayed.fetch_add(replayed, Ordering::Relaxed);
@@ -963,6 +1032,12 @@ impl EngineHandle {
     pub fn shard_of(&self, job: u64) -> usize {
         self.core.shard_of(job)
     }
+
+    /// Attaches the engine's mitigator (see [`Engine::attach_mitigator`];
+    /// write-once, `false` if one is already attached).
+    pub fn attach_mitigator(&self, mitigator: MitigatorFactory) -> bool {
+        self.core.set_mitigator(mitigator)
+    }
 }
 
 /// The single-threaded engine shim: the PR-4-era caller-driven API over
@@ -1049,6 +1124,20 @@ impl Engine {
     /// Convenience admission: see [`EngineHandle::admit`].
     pub fn admit(&self, spec: JobSpec) {
         self.push_sync(TaskEvent::JobStart { spec });
+    }
+
+    /// Attaches a mitigator: `mitigator` builds one fresh
+    /// [`MitigationPolicy`] per admitted job, and from then on every
+    /// scored barrier runs scores → policy → committed
+    /// [`ActionRecord`]s (surfaced on each [`JobReport::actions`]).
+    /// Write-once — returns `false` (and changes nothing) if a mitigator
+    /// is already attached. Jobs admitted *before* the attach get a
+    /// policy too, but barriers they already scored decided nothing; for
+    /// the bit-identical action-log guarantee attach before pushing
+    /// events (or recover with
+    /// [`EngineService::recover_with_mitigator`](crate::EngineService::recover_with_mitigator)).
+    pub fn attach_mitigator(&self, mitigator: MitigatorFactory) -> bool {
+        self.core.set_mitigator(mitigator)
     }
 
     /// Enqueues one event (see [`EngineHandle::push`] for the stream

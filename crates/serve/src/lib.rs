@@ -122,7 +122,7 @@ mod wal;
 
 pub use engine::{
     BalanceConfig, Engine, EngineConfig, EngineHandle, EngineReport, EngineStats, JobReport,
-    PredictorFactory,
+    MitigatorFactory, PredictorFactory,
 };
 pub use lifecycle::{FinalizeReason, JobPhase, OverloadCounters, OverloadPolicy};
 pub use persist::{

@@ -17,24 +17,11 @@
 //! than every job ever seen. `docs/OPERATIONS.md` walks the state
 //! machine from an operator's perspective.
 
-/// Where a job currently sits in its serving lifecycle (see the module
-/// docs for the state machine). Returned by
-/// [`Engine::job_phase`](crate::Engine::job_phase).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JobPhase {
-    /// Admitted (its `JobStart` was drained) but no checkpoint activity
-    /// has been applied yet.
-    Admitted,
-    /// Events are flowing but the warmup quorum has not yet held at a
-    /// barrier — the predictor exists but has never been invoked.
-    Warming,
-    /// The warmup quorum held; the predictor is scored at each barrier
-    /// inside the prediction window.
-    Scoring,
-    /// The job's stream ended; its report is (or was) available and its
-    /// state has been dropped.
-    Finalized,
-}
+// `JobPhase` (see the state machine above) is defined in `nurd-data` so
+// mitigation policies can receive it inside `nurd_data::BarrierView`
+// without depending on this crate; it is re-exported here, where it has
+// always lived, and returned by `Engine::job_phase`.
+pub use nurd_data::JobPhase;
 
 /// Why a job was finalized. Deterministic for a given event stream — it
 /// depends only on the job's own event prefix, never on shard count or

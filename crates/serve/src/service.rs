@@ -42,7 +42,7 @@ use crate::persist::{
 };
 use crate::snapshot::read_snapshot_data;
 use crate::wal::{read_wal_segment, WalTail};
-use crate::{EngineConfig, EngineStats, JobPhase, JobReport, PredictorFactory};
+use crate::{EngineConfig, EngineStats, JobPhase, JobReport, MitigatorFactory, PredictorFactory};
 
 /// Tuning for the background drain loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -384,10 +384,43 @@ impl EngineService {
         service: ServiceConfig,
         factory: PredictorFactory,
     ) -> Result<(Self, RecoverReport), RecoverError> {
+        Self::recover_inner(persistence, config, service, factory, None)
+    }
+
+    /// Like [`EngineService::recover`], but installs `mitigator` *before*
+    /// the snapshot is decoded and the WAL trail replays, so recovered
+    /// jobs get their policies back and any barrier inside the replayed
+    /// suffix decides actions exactly as the crashed engine would have.
+    /// This is the recovery counterpart of
+    /// [`EngineService::attach_mitigator`]: a run that attaches at start,
+    /// crashes, and recovers through this method produces the same
+    /// per-job action logs as one that never crashed.
+    pub fn recover_with_mitigator(
+        persistence: PersistenceConfig,
+        config: EngineConfig,
+        service: ServiceConfig,
+        factory: PredictorFactory,
+        mitigator: MitigatorFactory,
+    ) -> Result<(Self, RecoverReport), RecoverError> {
+        Self::recover_inner(persistence, config, service, factory, Some(mitigator))
+    }
+
+    fn recover_inner(
+        persistence: PersistenceConfig,
+        config: EngineConfig,
+        service: ServiceConfig,
+        factory: PredictorFactory,
+        mitigator: Option<MitigatorFactory>,
+    ) -> Result<(Self, RecoverReport), RecoverError> {
         std::fs::create_dir_all(&persistence.dir)?;
         let scan = scan_dir(&persistence.dir)?;
         let new_gen = scan.max_generation().map_or(0, |g| g + 1);
         let core = EngineCore::new_persistent(config, factory, persistence.clone(), new_gen)?;
+        if let Some(mitigator) = mitigator {
+            // Before any decode or replay: recovered jobs must carry
+            // policies from the first replayed barrier onward.
+            core.set_mitigator(mitigator);
+        }
 
         // Newest snapshot that both reads (framing, CRCs) and decodes
         // (every job record through the factory) wins; everything newer
@@ -501,6 +534,18 @@ impl EngineService {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         self.handle.stats()
+    }
+
+    /// Installs a mitigation-policy factory (write-once; returns `false`
+    /// if one is already installed). Jobs admitted after this call get a
+    /// policy at `JobStart`; jobs already live get one at their next
+    /// barrier. For the bit-identical-action-log guarantee, attach before
+    /// pushing any events — see
+    /// [`Engine::attach_mitigator`](crate::Engine::attach_mitigator) for
+    /// the contract, and [`EngineService::recover_with_mitigator`] for
+    /// the recovery path.
+    pub fn attach_mitigator(&self, mitigator: MitigatorFactory) -> bool {
+        self.core.set_mitigator(mitigator)
     }
 
     /// Where `job` sits in its lifecycle, judging by *drained* state.

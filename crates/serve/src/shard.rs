@@ -7,11 +7,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nurd_codec::{Checkpointable, Decoder, Encoder};
 use nurd_data::{
-    Checkpoint, FinishedTask, JobSpec, OnlinePredictor, RunningTask, StreamContext, TaskEvent,
+    ActionRecord, BarrierView, Checkpoint, FinishedTask, JobSpec, MitigationAction,
+    MitigationPolicy, OnlinePredictor, RunningTask, StreamContext, TaskEvent,
 };
 use nurd_sim::outcome_from_flags;
 
-use crate::engine::{JobReport, PredictorFactory};
+use crate::engine::{JobReport, MitigatorFactory, PredictorFactory};
 use crate::lifecycle::{FinalizeReason, JobPhase, OverloadCounters};
 use crate::persist::{job_signature, DonorSeed, RecoverError};
 use crate::snapshot::SnapshotData;
@@ -54,6 +55,13 @@ pub(crate) struct ShardStats {
     /// Jobs quarantined because their predictor panicked during apply
     /// (see [`FinalizeReason::Poisoned`]).
     pub(crate) poisoned_jobs: AtomicUsize,
+    /// `Clone` mitigation actions committed to job action logs.
+    pub(crate) clones_issued: AtomicUsize,
+    /// `Quarantine` mitigation actions committed to job action logs.
+    pub(crate) quarantines_issued: AtomicUsize,
+    /// Policy decisions the engine refused: target not running, already
+    /// actioned, or the per-job clone budget was exhausted.
+    pub(crate) mitigation_suppressed: AtomicUsize,
 }
 
 impl ShardStats {
@@ -108,6 +116,16 @@ pub(crate) struct JobState {
     /// fresh factory instance. `None` on non-persistent engines and for
     /// blob-capable predictors — the zero-overhead common case.
     history: Option<Vec<TaskEvent>>,
+    /// Mitigation policy deciding actions at this job's scored barriers
+    /// (`None` when no mitigator is attached — the scorer-only mode).
+    policy: Option<Box<dyn MitigationPolicy + Send>>,
+    /// Actions committed for this job so far, decision order. Rides the
+    /// job's snapshot record and, at finalization, its [`JobReport`].
+    actions: Vec<ActionRecord>,
+    /// Per-task "already actioned" marks (one action per task, ever).
+    actioned: Vec<bool>,
+    /// `Clone` actions committed, checked against the policy's budget.
+    clones_used: usize,
 }
 
 impl std::fmt::Debug for Shard {
@@ -129,6 +147,7 @@ impl JobState {
         spec: JobSpec,
         mut predictor: Box<dyn OnlinePredictor + Send>,
         persistent: bool,
+        policy: Option<Box<dyn MitigationPolicy + Send>>,
     ) -> Self {
         predictor.begin_stream(&StreamContext {
             threshold: spec.threshold,
@@ -137,6 +156,7 @@ impl JobState {
         });
         let history = (persistent && predictor.snapshot_state().is_none()).then(Vec::new);
         let tasks = (0..spec.task_count).map(|_| TaskState::default()).collect();
+        let actioned = vec![false; spec.task_count];
         JobState {
             spec,
             predictor,
@@ -146,6 +166,10 @@ impl JobState {
             barriers_seen: 0,
             checkpoints_scored: 0,
             history,
+            policy,
+            actions: Vec::new(),
+            actioned,
+            clones_used: 0,
         }
     }
 
@@ -191,7 +215,13 @@ impl JobState {
     /// event of one job from panicking a drain that holds every job's
     /// state: a ragged snapshot would otherwise surface as a ragged
     /// checkpoint matrix deep inside the predictor.
-    fn apply(&mut self, event: TaskEvent, warmup_fraction: f64) -> bool {
+    fn apply(
+        &mut self,
+        event: TaskEvent,
+        warmup_fraction: f64,
+        backlog: usize,
+        stats: &ShardStats,
+    ) -> bool {
         match event {
             TaskEvent::JobStart { .. } | TaskEvent::JobEnd { .. } => {
                 unreachable!("lifecycle events are handled by the shard drain")
@@ -242,7 +272,7 @@ impl JobState {
                 }
             }
             TaskEvent::Barrier { ordinal, time, .. } => {
-                return self.barrier(ordinal, time, warmup_fraction);
+                return self.barrier(ordinal, time, warmup_fraction, backlog, stats);
             }
         }
         true
@@ -254,7 +284,14 @@ impl JobState {
     /// expected ordinal — re-scoring an already-closed checkpoint (e.g.
     /// a duplicate from at-least-once delivery) would silently diverge
     /// from sequential replay.
-    fn barrier(&mut self, ordinal: usize, time: f64, warmup_fraction: f64) -> bool {
+    fn barrier(
+        &mut self,
+        ordinal: usize,
+        time: f64,
+        warmup_fraction: f64,
+        backlog: usize,
+        stats: &ShardStats,
+    ) -> bool {
         if ordinal != self.barriers_seen {
             return false;
         }
@@ -305,12 +342,72 @@ impl JobState {
             running,
         };
         self.checkpoints_scored += 1;
-        for id in predictor.predict(&checkpoint) {
-            // Same guard as the simulator: only actually-running tasks
-            // can be flagged.
+        if self.policy.is_none() {
+            for id in predictor.predict(&checkpoint) {
+                // Same guard as the simulator: only actually-running tasks
+                // can be flagged.
+                if running_ids.contains(&id) {
+                    self.tasks[id].flagged_at = Some(ordinal);
+                }
+            }
+            return true;
+        }
+
+        // Mitigation path: one `predict_scored` call per barrier — by the
+        // predictor contract its flag set and state transition are
+        // bit-identical to `predict`, so attaching a mitigator never
+        // changes what gets flagged, only what gets *done* about it.
+        let scored = predictor.predict_scored(&checkpoint);
+        let mut newly_flagged = Vec::new();
+        for id in scored.flagged {
             if running_ids.contains(&id) {
                 self.tasks[id].flagged_at = Some(ordinal);
+                newly_flagged.push(id);
             }
+        }
+        let policy = self.policy.as_mut().expect("checked above");
+        let budget = policy.clone_budget();
+        let view = BarrierView {
+            job: self.spec.job,
+            ordinal,
+            time,
+            threshold: self.spec.threshold,
+            phase: nurd_data::JobPhase::Scoring,
+            scores: &scored.scores,
+            flagged: &newly_flagged,
+            clones_remaining: budget.map(|b| b.saturating_sub(self.clones_used)),
+            backlog,
+        };
+        let decisions = policy.decide(&view);
+        for (task, action) in decisions {
+            if matches!(action, MitigationAction::Ignore) {
+                continue;
+            }
+            // `running_ids` is task-id sorted by construction, so the
+            // membership probe (which also bounds `task`) can bisect.
+            let actionable = running_ids.binary_search(&task).is_ok() && !self.actioned[task];
+            let within_budget = !matches!(action, MitigationAction::Clone)
+                || budget.is_none_or(|b| self.clones_used < b);
+            if !actionable || !within_budget {
+                stats.add(&stats.mitigation_suppressed, 1);
+                continue;
+            }
+            match action {
+                MitigationAction::Clone => {
+                    self.clones_used += 1;
+                    stats.add(&stats.clones_issued, 1);
+                }
+                MitigationAction::Quarantine => stats.add(&stats.quarantines_issued, 1),
+                MitigationAction::Ignore => unreachable!("filtered above"),
+            }
+            self.actioned[task] = true;
+            self.actions.push(ActionRecord {
+                job: self.spec.job,
+                ordinal,
+                time,
+                task,
+                action,
+            });
         }
         true
     }
@@ -339,6 +436,7 @@ impl JobState {
             checkpoints_scored: self.checkpoints_scored,
             finalized,
             outcome,
+            actions: self.actions.clone(),
         }
     }
 
@@ -371,6 +469,26 @@ impl JobState {
                 enc.put_usize(self.checkpoints_scored);
             }
         }
+        // Both modes persist the committed action log (the `actioned`
+        // marks and clone-budget consumption are derived from it at
+        // decode), so budget enforcement survives a crash even when the
+        // policy object itself is rebuilt from the factory.
+        self.actions.encode(enc);
+    }
+
+    /// Restores the action log and the bookkeeping derived from it.
+    fn adopt_actions(&mut self, actions: Vec<ActionRecord>) {
+        self.actioned = vec![false; self.spec.task_count];
+        self.clones_used = 0;
+        for record in &actions {
+            if let Some(mark) = self.actioned.get_mut(record.task) {
+                *mark = true;
+            }
+            if record.action == MitigationAction::Clone {
+                self.clones_used += 1;
+            }
+        }
+        self.actions = actions;
     }
 
     /// Rebuilds a job from its snapshot record: blob mode restores the
@@ -381,16 +499,18 @@ impl JobState {
     pub(crate) fn decode(
         dec: &mut Decoder<'_>,
         factory: &PredictorFactory,
+        mitigator: Option<&MitigatorFactory>,
         warmup_fraction: f64,
     ) -> Result<Self, RecoverError> {
         let mode = dec.take_u8()?;
         let spec = JobSpec::decode(dec)?;
-        match mode {
+        let policy = mitigator.map(|m| m(&spec));
+        let mut state = match mode {
             0 => {
                 let blob = dec.take_bytes()?.to_vec();
                 let predictor = factory(&spec);
                 let job = spec.job;
-                let mut state = JobState::new(spec, predictor, true);
+                let mut state = JobState::new(spec, predictor, true, policy);
                 if !state.predictor.restore_state(&blob) {
                     return Err(RecoverError::PredictorRestore(job));
                 }
@@ -409,24 +529,43 @@ impl JobState {
                 state.warmup_at = Checkpointable::decode(dec)?;
                 state.barriers_seen = dec.take_usize()?;
                 state.checkpoints_scored = dec.take_usize()?;
-                Ok(state)
+                state
             }
             1 => {
                 let history: Vec<TaskEvent> = Checkpointable::decode(dec)?;
                 let predictor = factory(&spec);
-                let mut state = JobState::new(spec, predictor, true);
+                let mut state = JobState::new(spec, predictor, true, policy);
+                // Replay counter bumps land in a throwaway: the pre-crash
+                // bumps are already in the snapshot's persisted counters.
+                let replay_stats = ShardStats::default();
                 for event in &history {
-                    let applied = state.apply(event.clone(), warmup_fraction);
+                    let applied = state.apply(event.clone(), warmup_fraction, 0, &replay_stats);
                     debug_assert!(applied, "history events were accepted when retained");
                 }
                 state.history = Some(history);
-                Ok(state)
+                state
             }
-            tag => Err(nurd_codec::CodecError::InvalidTag {
-                what: "JobState mode",
-                tag,
+            tag => {
+                return Err(nurd_codec::CodecError::InvalidTag {
+                    what: "JobState mode",
+                    tag,
+                }
+                .into())
             }
-            .into()),
+        };
+        // The persisted log is authoritative (a history replay with the
+        // mitigator attached re-derives the identical log; without one it
+        // derives none) — restore it and the bookkeeping it implies.
+        let actions: Vec<ActionRecord> = Checkpointable::decode(dec)?;
+        state.adopt_actions(actions);
+        Ok(state)
+    }
+
+    /// Attaches a freshly-built policy to a job admitted before the
+    /// mitigator existed (post-recovery attach). No-op if one is present.
+    fn attach_policy(&mut self, mitigator: &MitigatorFactory) {
+        if self.policy.is_none() {
+            self.policy = Some(mitigator(&self.spec));
         }
     }
 }
@@ -544,6 +683,18 @@ impl Shard {
         counters.poisoned_jobs += load(&stats.poisoned_jobs);
         counters.shed_events += load(&stats.shed_events);
         counters.rejected_ingress += load(&stats.rejected_ingress);
+        counters.clones_issued += load(&stats.clones_issued);
+        counters.quarantines_issued += load(&stats.quarantines_issued);
+        counters.mitigation_suppressed += load(&stats.mitigation_suppressed);
+    }
+
+    /// Attaches policies (via `mitigator`) to live jobs that lack one —
+    /// the late-attach path for services recovered or started before the
+    /// mitigator was registered.
+    pub(crate) fn attach_policies(&mut self, mitigator: &MitigatorFactory) {
+        for job in self.jobs.values_mut() {
+            job.attach_policy(mitigator);
+        }
     }
 
     /// Installs a recovered live job (routing already done by the caller).
@@ -664,6 +815,8 @@ impl Shard {
         &mut self,
         events: impl IntoIterator<Item = TaskEvent>,
         factory: &PredictorFactory,
+        mitigator: Option<&MitigatorFactory>,
+        backlog: usize,
         stats: &ShardStats,
     ) {
         for event in events {
@@ -678,7 +831,8 @@ impl Shard {
                         if spec.task_count >= self.grant_min_tasks {
                             predictor.set_parallelism(self.granted_threads);
                         }
-                        let state = JobState::new(spec, predictor, self.wal.is_some());
+                        let policy = mitigator.map(|m| m(&spec));
+                        let state = JobState::new(spec, predictor, self.wal.is_some(), policy);
                         if self.jobs.insert(state.job(), state).is_none() {
                             stats.add(&stats.live_jobs, 1);
                         }
@@ -703,7 +857,7 @@ impl Shard {
                             let retained = job.history.is_some().then(|| event.clone());
                             let warmup_fraction = self.warmup_fraction;
                             match catch_unwind(AssertUnwindSafe(|| {
-                                job.apply(event, warmup_fraction)
+                                job.apply(event, warmup_fraction, backlog, stats)
                             })) {
                                 Err(_) => {
                                     // Predictor panic: quarantine *this*

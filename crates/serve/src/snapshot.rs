@@ -34,8 +34,10 @@ use crate::persist::{DonorSeed, RecoverError};
 
 /// First 8 bytes of every snapshot file.
 pub(crate) const SNAPSHOT_MAGIC: [u8; 8] = *b"NURDSNAP";
-/// Format version this build writes and the only one it reads.
-pub(crate) const SNAPSHOT_VERSION: u32 = 1;
+/// Format version this build writes and the only one it reads. Version 2
+/// added mitigation state: per-job action logs (inside each job record
+/// and each [`JobReport`]) and the mitigation counters below.
+pub(crate) const SNAPSHOT_VERSION: u32 = 2;
 
 /// The deterministic fleet-wide counters a snapshot carries, so a
 /// recovered engine's accounting continues where the crashed one's
@@ -51,6 +53,9 @@ pub(crate) struct PersistedCounters {
     pub(crate) poisoned_jobs: u64,
     pub(crate) shed_events: u64,
     pub(crate) rejected_ingress: u64,
+    pub(crate) clones_issued: u64,
+    pub(crate) quarantines_issued: u64,
+    pub(crate) mitigation_suppressed: u64,
 }
 
 impl Checkpointable for PersistedCounters {
@@ -63,6 +68,9 @@ impl Checkpointable for PersistedCounters {
         enc.put_u64(self.poisoned_jobs);
         enc.put_u64(self.shed_events);
         enc.put_u64(self.rejected_ingress);
+        enc.put_u64(self.clones_issued);
+        enc.put_u64(self.quarantines_issued);
+        enc.put_u64(self.mitigation_suppressed);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, nurd_codec::CodecError> {
@@ -75,6 +83,9 @@ impl Checkpointable for PersistedCounters {
             poisoned_jobs: dec.take_u64()?,
             shed_events: dec.take_u64()?,
             rejected_ingress: dec.take_u64()?,
+            clones_issued: dec.take_u64()?,
+            quarantines_issued: dec.take_u64()?,
+            mitigation_suppressed: dec.take_u64()?,
         })
     }
 }

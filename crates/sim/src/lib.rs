@@ -11,7 +11,10 @@
 //! * [`simulate_jct`] — the straggler-mitigation schedulers of §5
 //!   (Algorithm 2 for unlimited machines, Algorithm 3 for a bounded pool)
 //!   with relaunch durations resampled from the job's empirical latencies,
-//!   yielding the job-completion-time reductions of Figures 4–9.
+//!   yielding the job-completion-time reductions of Figures 4–9;
+//! * [`execute_actions`] — deterministic execution of a serving engine's
+//!   committed [`nurd_data::ActionRecord`] log (clone races, quarantine
+//!   relaunches, wasted-work ledger), closing the predict→mitigate loop.
 //!
 //! # Example
 //!
@@ -34,9 +37,14 @@
 //! ```
 
 mod metrics;
+mod mitigation;
 mod replay;
 mod scheduler;
 
 pub use metrics::{Confusion, MethodSummary};
+pub use mitigation::{
+    execute_actions, summarize_mitigation, MitigationOutcome, MitigationSimConfig,
+    MitigationSummary, TaskCompletion,
+};
 pub use replay::{outcome_from_flags, replay_job, ReplayConfig, ReplayOutcome};
 pub use scheduler::{simulate_jct, JctOutcome, SchedulerConfig};

@@ -95,6 +95,14 @@ pub struct SuiteConfig {
     /// Fraction of jobs drawn from the long-tailed latency family (the rest
     /// are close-tailed).
     pub long_tail_fraction: f64,
+    /// How far stragglers overshoot the body: each family's latency
+    /// multiplier range `(lo, hi)` is rescaled to
+    /// `1 + (x − 1) · severity`. `1.0` (the default) reproduces the
+    /// family's native ranges **bit-for-bit** — same RNG stream, same
+    /// traces; `0.0` collapses stragglers into the body (multiplier 1);
+    /// values above `1.0` exaggerate the tail. The mitigation experiments
+    /// sweep this knob to control how much a clone can possibly save.
+    pub straggler_severity: f64,
     /// Master RNG seed; each job derives its own stream from it.
     pub seed: u64,
 }
@@ -114,6 +122,7 @@ impl SuiteConfig {
             decoy_fraction: 0.12,
             cause_mix: CauseMix::default(),
             long_tail_fraction: 0.5,
+            straggler_severity: 1.0,
             seed: 0x5ed_c0de,
         }
     }
@@ -177,6 +186,21 @@ impl SuiteConfig {
     #[must_use]
     pub fn with_long_tail_fraction(mut self, fraction: f64) -> Self {
         self.long_tail_fraction = fraction;
+        self
+    }
+
+    /// Sets the straggler severity (latency-multiplier rescaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `severity` is negative or not finite.
+    #[must_use]
+    pub fn with_straggler_severity(mut self, severity: f64) -> Self {
+        assert!(
+            severity.is_finite() && severity >= 0.0,
+            "severity must be finite and >= 0"
+        );
+        self.straggler_severity = severity;
         self
     }
 }

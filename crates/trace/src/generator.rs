@@ -44,7 +44,11 @@ pub fn generate_job_detailed(
 
     let n_tasks = rng.gen_range(config.tasks_min..=config.tasks_max);
     let median = dist::uniform(&mut rng, 60.0, 600.0);
-    let family = LatencyFamily::sample(&mut rng, config.long_tail_fraction);
+    let family = LatencyFamily::sample_with_severity(
+        &mut rng,
+        config.long_tail_fraction,
+        config.straggler_severity,
+    );
     let plans = plan_job(
         &mut rng,
         n_tasks,

@@ -48,15 +48,34 @@ impl LatencyFamily {
     /// Draws a family for a job: long-tailed with probability
     /// `long_tail_fraction`.
     pub fn sample<R: Rng + ?Sized>(rng: &mut R, long_tail_fraction: f64) -> Self {
+        Self::sample_with_severity(rng, long_tail_fraction, 1.0)
+    }
+
+    /// Like [`LatencyFamily::sample`], but rescales each family's
+    /// straggler multiplier range `(lo, hi)` to `1 + (x − 1) · severity`.
+    ///
+    /// `severity = 1.0` is the identity **bit-for-bit**: `1 + (x − 1)` is
+    /// exact in f64 for the ranges used here, and the rescaling draws no
+    /// extra random numbers, so the RNG stream — and therefore every
+    /// downstream trace — is unchanged from [`LatencyFamily::sample`].
+    /// `0.0` collapses stragglers into the body; `> 1.0` stretches the
+    /// tail.
+    pub fn sample_with_severity<R: Rng + ?Sized>(
+        rng: &mut R,
+        long_tail_fraction: f64,
+        severity: f64,
+    ) -> Self {
+        let scale =
+            |(lo, hi): (f64, f64)| (1.0 + (lo - 1.0) * severity, 1.0 + (hi - 1.0) * severity);
         if rng.gen_bool(long_tail_fraction.clamp(0.0, 1.0)) {
             LatencyFamily::LongTail {
                 body_sigma: dist::uniform(rng, 0.28, 0.42),
-                factor: (2.5, 6.0),
+                factor: scale((2.5, 6.0)),
             }
         } else {
             LatencyFamily::CloseTail {
                 body_sigma: dist::uniform(rng, 0.35, 0.50),
-                factor: (1.4, 1.9),
+                factor: scale((1.4, 1.9)),
             }
         }
     }
@@ -367,6 +386,37 @@ mod tests {
         let plans = plan_job(&mut r, 300, 100.0, &family, &mix, 0.5, 0.0);
         for p in plans.iter().filter(|p| p.cause.is_some()) {
             assert_eq!(p.signature, 0.0);
+        }
+    }
+
+    #[test]
+    fn severity_one_is_bit_identical_to_plain_sample() {
+        for seed in 0..20 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let plain = LatencyFamily::sample(&mut a, 0.5);
+            let scaled = LatencyFamily::sample_with_severity(&mut b, 0.5, 1.0);
+            assert_eq!(plain, scaled, "seed {seed}");
+            // The RNG streams stayed in lockstep too.
+            assert_eq!(
+                a.gen_range(0.0..1.0f64),
+                b.gen_range(0.0..1.0f64),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn severity_rescales_factor_ranges() {
+        let mut r = rng();
+        // severity 0 collapses every multiplier to exactly 1.0.
+        let flat = LatencyFamily::sample_with_severity(&mut r, 1.0, 0.0);
+        assert_eq!(flat.straggler_factor(&mut r), 1.0);
+        // severity 2 doubles the overshoot: LongTail (2.5, 6.0) → (4, 11).
+        let harsh = LatencyFamily::sample_with_severity(&mut r, 1.0, 2.0);
+        for _ in 0..50 {
+            let f = harsh.straggler_factor(&mut r);
+            assert!((4.0..11.0).contains(&f), "factor {f}");
         }
     }
 

@@ -1,0 +1,124 @@
+//! The closed mitigation loop **as an end-to-end gate**: traces are
+//! served through the engine with a mitigation policy attached, the
+//! committed action log is executed in the deterministic simulator, and
+//! the run fails unless the economics and the determinism both hold:
+//!
+//! 1. the **oracle** (ground-truth cloning) strictly improves mean job
+//!    completion time over **no mitigation**;
+//! 2. the learned **threshold** policy lands between the two — it never
+//!    loses to no-mitigation, and it cannot beat the oracle (if it did,
+//!    the "oracle" wouldn't be one — a harness bug);
+//! 3. the threshold policy's catch is a sane share of the oracle gap —
+//!    it must capture *something* (> 2% of the oracle's improvement),
+//!    or score egress has silently rotted;
+//! 4. the action log is **bit-identical at shard counts {1, 2, 8}**.
+//!
+//! CI runs this example; it exits nonzero on any violated gate.
+//!
+//! ```sh
+//! cargo run --release --example mitigation_smoke
+//! ```
+
+use nurd::mitigate::{oracle_mitigator, run_fleet, threshold_mitigator, FleetConfig, FleetRun};
+use nurd::trace::{SuiteConfig, TraceStyle};
+
+const JOBS: usize = 8;
+const QUANTILE: f64 = 0.9;
+const SCORE_THRESHOLD: f64 = 1.0;
+const CLONE_BUDGET: usize = 8;
+/// Minimum share of the oracle's JCT improvement the threshold policy
+/// must capture. Deliberately loose — the gate is "the loop works", not
+/// "the predictor is good" — but nonzero, so dead score egress fails.
+const MIN_ORACLE_GAP_SHARE: f64 = 0.02;
+
+fn fleet() -> Vec<nurd::data::JobTrace> {
+    let cfg = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(JOBS)
+        .with_task_range(80, 120)
+        .with_checkpoints(10)
+        .with_seed(0x317);
+    nurd::trace::generate_suite(&cfg)
+}
+
+fn config(shards: usize) -> FleetConfig {
+    FleetConfig {
+        shards,
+        ..FleetConfig::default()
+    }
+}
+
+fn report(name: &str, run: &FleetRun) {
+    println!(
+        "  {name:<12} jct-reduction {:6.2}%   wasted-work {:5.2}%   \
+         clones {} (won {}, wasted {})   catch-rate {:.2}",
+        run.summary.mean_jct_reduction_percent,
+        run.summary.wasted_fraction * 100.0,
+        run.summary.clones_issued,
+        run.summary.clones_won,
+        run.summary.clones_wasted,
+        run.summary.catch_rate,
+    );
+}
+
+fn main() {
+    let jobs = fleet();
+    println!("mitigation smoke: {JOBS} jobs, policies priced on ground truth");
+
+    let baseline = run_fleet(&jobs, None, &config(4));
+    let threshold = run_fleet(
+        &jobs,
+        Some(threshold_mitigator(SCORE_THRESHOLD, Some(CLONE_BUDGET))),
+        &config(4),
+    );
+    let oracle = run_fleet(&jobs, Some(oracle_mitigator(&jobs, QUANTILE)), &config(4));
+    report("none", &baseline);
+    report("threshold", &threshold);
+    report("oracle", &oracle);
+
+    // Gate 1: the oracle strictly beats no-mitigation.
+    let oracle_gain = oracle.summary.mean_jct_reduction_percent;
+    assert_eq!(baseline.summary.mean_jct_reduction_percent, 0.0);
+    assert!(
+        oracle_gain > 0.0,
+        "oracle gained nothing over no-mitigation — the loop is dead"
+    );
+
+    // Gate 2: the threshold policy sits between the baselines.
+    let threshold_gain = threshold.summary.mean_jct_reduction_percent;
+    assert!(
+        threshold_gain >= 0.0,
+        "threshold policy lost to no-mitigation: {threshold_gain:.3}%"
+    );
+    assert!(
+        threshold_gain <= oracle_gain + 1e-9,
+        "threshold policy beat the oracle ({threshold_gain:.3}% > {oracle_gain:.3}%) — \
+         ground truth is broken"
+    );
+
+    // Gate 3: the oracle-gap sanity bound — the learned policy must
+    // capture a nonzero share of what the oracle proves is available.
+    assert!(
+        threshold_gain >= MIN_ORACLE_GAP_SHARE * oracle_gain,
+        "threshold policy captured {threshold_gain:.3}% of a {oracle_gain:.3}% \
+         opportunity — below the {MIN_ORACLE_GAP_SHARE:.0e} sanity share; \
+         score egress has likely rotted"
+    );
+
+    // Gate 4: bit-identical action logs across shard counts.
+    for shards in [1usize, 2, 8] {
+        let rerun = run_fleet(
+            &jobs,
+            Some(threshold_mitigator(SCORE_THRESHOLD, Some(CLONE_BUDGET))),
+            &config(shards),
+        );
+        assert_eq!(
+            rerun.action_log, threshold.action_log,
+            "action log diverged at {shards} shards"
+        );
+    }
+    println!(
+        "  action log: {} records, bit-identical at shards {{1, 2, 8}}",
+        threshold.action_log.len()
+    );
+    println!("mitigation smoke: all gates passed");
+}

@@ -10,6 +10,12 @@
 //!   the `NURD-WS` warm-refit row).
 //! * [`sim`] — the online replay protocol, metrics, and the mitigation
 //!   schedulers of Algorithms 2 and 3.
+//! * [`mitigate`] — score-driven straggler mitigation on top of
+//!   [`serve`]: policies ([`mitigate::ThresholdClonePolicy`],
+//!   [`mitigate::OraclePolicy`], …) turn per-barrier scores into typed
+//!   actions, and the [`mitigate::run_fleet`] harness prices the
+//!   committed action log in JCT and wasted work via
+//!   [`sim::execute_actions`].
 //! * [`serve`] — the concurrent streaming prediction service: producers
 //!   push from any thread through cloneable `EngineHandle`s into
 //!   per-shard MPSC ingress queues, a background drain service scores
@@ -55,6 +61,7 @@ pub use nurd_baselines as baselines;
 pub use nurd_core as core;
 pub use nurd_data as data;
 pub use nurd_linalg as linalg;
+pub use nurd_mitigate as mitigate;
 pub use nurd_ml as ml;
 pub use nurd_outlier as outlier;
 pub use nurd_pu as pu;

@@ -1,0 +1,75 @@
+//! Tier-1 acceptance for the closed mitigation loop: score egress →
+//! policy → committed action log → simulated execution, through the
+//! umbrella crate's public API.
+
+use nurd::mitigate::{
+    noop_mitigator, oracle_mitigator, run_fleet, threshold_mitigator, FleetConfig,
+};
+use nurd::trace::{SuiteConfig, TraceStyle};
+
+const QUANTILE: f64 = 0.9;
+
+fn suite(seed: u64) -> Vec<nurd::data::JobTrace> {
+    let cfg = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(4)
+        .with_task_range(50, 70)
+        .with_checkpoints(8)
+        .with_seed(seed);
+    nurd::trace::generate_suite(&cfg)
+}
+
+#[test]
+fn mitigation_orders_oracle_threshold_and_baseline() {
+    let jobs = suite(0x10_0b);
+    let config = FleetConfig::default();
+    let baseline = run_fleet(&jobs, None, &config);
+    let noop = run_fleet(&jobs, Some(noop_mitigator()), &config);
+    let threshold = run_fleet(&jobs, Some(threshold_mitigator(1.0, Some(8))), &config);
+    let oracle = run_fleet(&jobs, Some(oracle_mitigator(&jobs, QUANTILE)), &config);
+
+    // A noop policy is observationally the no-mitigation baseline.
+    assert!(noop.action_log.is_empty());
+    assert_eq!(
+        noop.summary.mean_jct_reduction_percent,
+        baseline.summary.mean_jct_reduction_percent
+    );
+    assert_eq!(baseline.summary.mean_jct_reduction_percent, 0.0);
+    assert_eq!(baseline.summary.wasted_fraction, 0.0);
+
+    // The oracle strictly improves on no-mitigation, and the learned
+    // threshold policy lands in between (at worst equal to either end).
+    assert!(oracle.summary.mean_jct_reduction_percent > 0.0);
+    assert!(threshold.summary.mean_jct_reduction_percent >= 0.0);
+    assert!(
+        threshold.summary.mean_jct_reduction_percent
+            <= oracle.summary.mean_jct_reduction_percent + 1e-9
+    );
+
+    // Work conservation: every task completes exactly once under every
+    // policy.
+    for run in [&baseline, &noop, &threshold, &oracle] {
+        for (job, outcome) in jobs.iter().zip(&run.outcomes) {
+            assert_eq!(outcome.completions.len(), job.task_count());
+        }
+    }
+}
+
+#[test]
+fn action_log_is_shard_count_invariant() {
+    let jobs = suite(0x5AAD);
+    let runs: Vec<_> = [1usize, 2]
+        .iter()
+        .map(|&shards| {
+            run_fleet(
+                &jobs,
+                Some(threshold_mitigator(1.0, Some(4))),
+                &FleetConfig {
+                    shards,
+                    ..FleetConfig::default()
+                },
+            )
+        })
+        .collect();
+    assert_eq!(runs[0].action_log, runs[1].action_log);
+    assert_eq!(runs[0].reports, runs[1].reports);
+}
