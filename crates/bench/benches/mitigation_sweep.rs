@@ -6,6 +6,12 @@
 //!   at score thresholds 0.8 / 1.0 / 1.2 (×100 in the id), budget 8
 //!   clones per job. Lower thresholds act earlier: more catches, more
 //!   wasted speculation.
+//! * `mitigation_sweep/banded/120_90` — [`BandedClonePolicy`] calibrated
+//!   at hi 1.2 / lo 0.9 / patience 2, same budget: instant clones above
+//!   the best single threshold plus patience-gated clones for the
+//!   slow-burn stragglers hovering in the dead band. The pricing table
+//!   asserts it beats the best plain-threshold row on JCT reduction —
+//!   the dead band is where the single threshold leaves its gap.
 //! * `mitigation_sweep/oracle` — ground-truth cloning, the structural
 //!   upper bound.
 //!
@@ -22,7 +28,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use nurd_mitigate::{oracle_mitigator, run_fleet, threshold_mitigator, FleetConfig, FleetRun};
+use nurd_mitigate::{
+    banded_mitigator, oracle_mitigator, run_fleet, threshold_mitigator, FleetConfig, FleetRun,
+};
 use nurd_serve::MitigatorFactory;
 use nurd_trace::{SuiteConfig, TraceStyle};
 
@@ -30,6 +38,9 @@ const JOBS: usize = 8;
 const QUANTILE: f64 = 0.9;
 const THRESHOLDS: [f64; 3] = [0.8, 1.0, 1.2];
 const CLONE_BUDGET: usize = 8;
+/// The calibrated band: instant clones at 1.2 (the best single
+/// threshold), patience-2 clones for hoverers in [0.9, 1.2).
+const BAND: (f64, f64, usize) = (1.2, 0.9, 2);
 
 fn fleet_jobs() -> Vec<nurd_data::JobTrace> {
     let cfg = SuiteConfig::new(TraceStyle::Google)
@@ -81,6 +92,28 @@ fn bench_mitigation_sweep(c: &mut Criterion) {
             "threshold {threshold} fell outside [none, oracle]"
         );
     }
+    // The two-sided threshold must beat the best plain-threshold row:
+    // same budget, same instant threshold as the best row, plus the
+    // patience-gated dead band below it.
+    let best_threshold = THRESHOLDS
+        .iter()
+        .map(|&t| {
+            run(&jobs, Some(threshold_mitigator(t, Some(CLONE_BUDGET))))
+                .summary
+                .mean_jct_reduction_percent
+        })
+        .fold(f64::MIN, f64::max);
+    let (hi, lo, patience) = BAND;
+    let banded = run(
+        &jobs,
+        Some(banded_mitigator(hi, lo, patience, Some(CLONE_BUDGET))),
+    );
+    line(&format!("banded@{hi}/{lo}"), &banded);
+    assert!(
+        banded.summary.mean_jct_reduction_percent > best_threshold,
+        "banded {:.2}% did not beat the best threshold row {best_threshold:.2}%",
+        banded.summary.mean_jct_reduction_percent,
+    );
     line("oracle", &oracle);
     assert_eq!(baseline.summary.mean_jct_reduction_percent, 0.0);
     assert!(
@@ -104,6 +137,17 @@ fn bench_mitigation_sweep(c: &mut Criterion) {
             },
         );
     }
+    group.bench_function(
+        BenchmarkId::new("banded", format!("{:.0}_{:.0}", hi * 100.0, lo * 100.0)),
+        |b| {
+            b.iter(|| {
+                run(
+                    &jobs,
+                    Some(banded_mitigator(hi, lo, patience, Some(CLONE_BUDGET))),
+                )
+            });
+        },
+    );
     group.bench_function("oracle", |b| {
         b.iter(|| run(&jobs, Some(oracle_mitigator(&jobs, QUANTILE))));
     });

@@ -96,6 +96,19 @@ pub enum TaskEvent {
         /// Task id within the job.
         task: TaskId,
     },
+    /// The scheduler's node placement for the whole job: `nodes[t]` is the
+    /// machine task `t` was placed on. Optional — jobs without placement
+    /// metadata never emit it — and when present it arrives once, before
+    /// the first barrier, so node-aware consumers (mitigation policies,
+    /// the health aggregator) see placement from the first scored
+    /// checkpoint on. Placement is invisible to predictors.
+    Placed {
+        /// Owning job.
+        job: u64,
+        /// Machine id per task, dense task-id order (`nodes.len()` equals
+        /// the job's task count).
+        nodes: Vec<u32>,
+    },
     /// Feature snapshot of a still-running task at a checkpoint.
     Progress {
         /// Owning job.
@@ -147,6 +160,7 @@ impl TaskEvent {
             TaskEvent::JobStart { spec } => spec.job,
             TaskEvent::JobEnd { job, .. }
             | TaskEvent::Submitted { job, .. }
+            | TaskEvent::Placed { job, .. }
             | TaskEvent::Progress { job, .. }
             | TaskEvent::Finished { job, .. }
             | TaskEvent::Barrier { job, .. } => *job,
@@ -158,7 +172,9 @@ impl TaskEvent {
     #[must_use]
     pub fn time(&self) -> f64 {
         match self {
-            TaskEvent::JobStart { .. } | TaskEvent::Submitted { .. } => 0.0,
+            TaskEvent::JobStart { .. } | TaskEvent::Submitted { .. } | TaskEvent::Placed { .. } => {
+                0.0
+            }
             TaskEvent::JobEnd { time, .. }
             | TaskEvent::Progress { time, .. }
             | TaskEvent::Finished { time, .. }
@@ -243,6 +259,14 @@ impl nurd_codec::Checkpointable for TaskEvent {
                 enc.put_usize(*ordinal);
                 enc.put_f64(*time);
             }
+            TaskEvent::Placed { job, nodes } => {
+                enc.put_u8(6);
+                enc.put_u64(*job);
+                enc.put_usize(nodes.len());
+                for &node in nodes {
+                    enc.put_u32(node);
+                }
+            }
         }
     }
 
@@ -279,6 +303,15 @@ impl nurd_codec::Checkpointable for TaskEvent {
                 ordinal: dec.take_usize()?,
                 time: dec.take_f64()?,
             },
+            6 => {
+                let job = dec.take_u64()?;
+                let len = dec.take_usize()?;
+                let mut nodes = Vec::with_capacity(len);
+                for _ in 0..len {
+                    nodes.push(dec.take_u32()?);
+                }
+                TaskEvent::Placed { job, nodes }
+            }
             tag => {
                 return Err(nurd_codec::CodecError::InvalidTag {
                     what: "TaskEvent",
@@ -313,6 +346,12 @@ pub fn job_events(job: &JobTrace, threshold_quantile: f64) -> (JobSpec, Vec<Task
         events.push(TaskEvent::Submitted {
             job: spec.job,
             task: task.id(),
+        });
+    }
+    if let Some(nodes) = job.node_placement() {
+        events.push(TaskEvent::Placed {
+            job: spec.job,
+            nodes: nodes.to_vec(),
         });
     }
     let mut finished = vec![false; job.task_count()];
@@ -430,7 +469,7 @@ mod tests {
                 TaskEvent::Progress { ordinal, .. } | TaskEvent::Finished { ordinal, .. } => {
                     assert!(*ordinal >= closed, "event after its barrier");
                 }
-                TaskEvent::Submitted { .. } => assert_eq!(closed, 0),
+                TaskEvent::Submitted { .. } | TaskEvent::Placed { .. } => assert_eq!(closed, 0),
                 TaskEvent::JobStart { .. } | TaskEvent::JobEnd { .. } => {
                     panic!("job_events must not emit lifecycle markers")
                 }
@@ -464,6 +503,35 @@ mod tests {
         assert_eq!(stream[0].job(), 3);
         assert_eq!(stream[0].time(), 0.0);
         assert_eq!(stream.last().unwrap().time(), 10.0);
+    }
+
+    #[test]
+    fn placed_event_emitted_once_before_first_barrier() {
+        let j = job().with_nodes(vec![0, 1, 0]).unwrap();
+        let (_, events) = job_events(&j, 0.9);
+        let placed: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, TaskEvent::Placed { .. }).then_some(i))
+            .collect();
+        assert_eq!(placed.len(), 1);
+        let first_barrier = events
+            .iter()
+            .position(|e| matches!(e, TaskEvent::Barrier { .. }))
+            .unwrap();
+        assert!(placed[0] < first_barrier);
+
+        // Placement round-trips through the codec bit-exactly.
+        use nurd_codec::{Checkpointable, Decoder, Encoder};
+        let mut enc = Encoder::new();
+        events[placed[0]].encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let back = TaskEvent::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(back, events[placed[0]]);
+
+        // A trace without placement emits no Placed event at all.
+        let (_, bare) = job_events(&job(), 0.9);
+        assert!(bare.iter().all(|e| !matches!(e, TaskEvent::Placed { .. })));
     }
 
     #[test]

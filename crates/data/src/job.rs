@@ -14,6 +14,7 @@ pub struct JobTrace {
     feature_names: Vec<String>,
     checkpoint_times: Vec<f64>,
     tasks: Vec<TaskRecord>,
+    nodes: Option<Vec<u32>>,
 }
 
 impl JobTrace {
@@ -75,7 +76,34 @@ impl JobTrace {
             feature_names,
             checkpoint_times,
             tasks,
+            nodes: None,
         })
+    }
+
+    /// Attaches a node placement: `nodes[t]` is the machine task `t` runs
+    /// on. Placement is optional metadata — traces without it behave
+    /// exactly as before this field existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Invalid`] when `nodes.len() != task_count()`.
+    pub fn with_nodes(mut self, nodes: Vec<u32>) -> Result<Self, DataError> {
+        if nodes.len() != self.tasks.len() {
+            return Err(DataError::Invalid(format!(
+                "placement covers {} tasks, job has {}",
+                nodes.len(),
+                self.tasks.len()
+            )));
+        }
+        self.nodes = Some(nodes);
+        Ok(self)
+    }
+
+    /// The job's node placement (`nodes[t]` = machine of task `t`), if one
+    /// was attached.
+    #[must_use]
+    pub fn node_placement(&self) -> Option<&[u32]> {
+        self.nodes.as_deref()
     }
 
     /// The job's identifier.
@@ -320,6 +348,18 @@ mod tests {
     fn rejects_sparse_task_ids() {
         let tasks = vec![TaskRecord::new(5, 1.0, vec![vec![1.0]])];
         assert!(JobTrace::new(1, vec!["f0".into()], vec![1.0], tasks).is_err());
+    }
+
+    #[test]
+    fn node_placement_validates_length() {
+        let job = small_job();
+        assert!(job.node_placement().is_none());
+        assert!(job.clone().with_nodes(vec![0; 3]).is_err());
+        let placed = job
+            .with_nodes((0..10).map(|t| t as u32 % 4).collect())
+            .unwrap();
+        assert_eq!(placed.node_placement().unwrap().len(), 10);
+        assert_eq!(placed.node_placement().unwrap()[5], 1);
     }
 
     #[test]

@@ -181,6 +181,11 @@ pub struct BarrierView<'a> {
     /// Remaining clone budget the engine will honor for this job, if the
     /// policy declared one ([`MitigationPolicy::clone_budget`]).
     pub clones_remaining: Option<usize>,
+    /// The job's node placement (`nodes[t]` = machine of task `t`), when a
+    /// [`crate::TaskEvent::Placed`] event arrived for the job. Placement
+    /// is part of the job's own event stream, so node-aware policies keep
+    /// the bit-identical action-log guarantee.
+    pub nodes: Option<&'a [u32]>,
     /// Scheduling-dependent hint: events queued on the job's shard when
     /// this barrier was drained. **Reading it forfeits the bit-identical
     /// action-log guarantee** — see the module docs.

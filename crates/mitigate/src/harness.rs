@@ -7,14 +7,22 @@
 //! and the simulator are all seed-deterministic, so the whole run — down
 //! to the canonical action log — is bit-identical across shard counts.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use nurd_core::{NurdConfig, NurdPredictor};
 use nurd_data::{ActionRecord, JobSpec, JobTrace};
+use nurd_health::{HealthAggregator, HealthConfig, NodeVerdict};
 use nurd_runtime::ThreadPool;
-use nurd_serve::{Engine, EngineConfig, JobReport, MitigatorFactory, PredictorFactory};
+use nurd_serve::{
+    Engine, EngineConfig, HealthObserver, JobReport, MitigatorFactory, PredictorFactory,
+};
 use nurd_sim::{
     execute_actions, summarize_mitigation, MitigationOutcome, MitigationSimConfig,
     MitigationSummary,
 };
+
+use crate::node_aware_mitigator;
 
 /// Knobs for one [`run_fleet`] pass.
 #[derive(Debug, Clone)]
@@ -86,6 +94,19 @@ pub fn run_fleet(
     mitigator: Option<MitigatorFactory>,
     config: &FleetConfig,
 ) -> FleetRun {
+    run_fleet_observed(jobs, mitigator, None, config)
+}
+
+/// [`run_fleet`] with an optional [`HealthObserver`] attached before any
+/// event is pushed — the observation pass of [`run_node_fleet`].
+/// Attaching an observer is bit-invisible to the run's outputs (the
+/// engine contract); it only fills the observer.
+fn run_fleet_observed(
+    jobs: &[JobTrace],
+    mitigator: Option<MitigatorFactory>,
+    observer: Option<Arc<dyn HealthObserver>>,
+    config: &FleetConfig,
+) -> FleetRun {
     assert!(!jobs.is_empty(), "fleet needs at least one job");
     let engine = Engine::new(
         EngineConfig {
@@ -97,6 +118,9 @@ pub fn run_fleet(
     );
     if let Some(mitigator) = mitigator {
         assert!(engine.attach_mitigator(mitigator), "fresh engine");
+    }
+    if let Some(observer) = observer {
+        assert!(engine.attach_observer(observer), "fresh engine");
     }
     let events = nurd_trace::staggered_fleet_events(
         jobs,
@@ -133,5 +157,99 @@ pub fn run_fleet(
         action_log,
         outcomes,
         summary,
+    }
+}
+
+/// Knobs for the two-pass [`run_node_fleet`].
+#[derive(Debug, Clone)]
+pub struct NodeFleetConfig {
+    /// The shared fleet knobs. Set
+    /// [`MitigationSimConfig::node_resample`] here to price quarantines
+    /// with node-correlated resampling (both passes use the same sim
+    /// config, so comparisons stay apples-to-apples).
+    pub fleet: FleetConfig,
+    /// The aggregator's rate folding and verdict boundaries.
+    pub health: HealthConfig,
+    /// Clone threshold for healthy-node (and placement-less) tasks.
+    pub score_threshold: f64,
+    /// Lowered clone threshold for [`NodeVerdict::Watch`]-node tasks.
+    pub watch_threshold: f64,
+    /// Per-job clone budget for the mitigation pass.
+    pub clone_budget: Option<usize>,
+}
+
+impl Default for NodeFleetConfig {
+    fn default() -> Self {
+        NodeFleetConfig {
+            fleet: FleetConfig {
+                sim: MitigationSimConfig {
+                    node_resample: true,
+                    ..MitigationSimConfig::default()
+                },
+                ..FleetConfig::default()
+            },
+            health: HealthConfig::default(),
+            score_threshold: 1.0,
+            watch_threshold: 0.6,
+            clone_budget: Some(8),
+        }
+    }
+}
+
+/// Everything the two-pass node-health loop produced.
+#[derive(Debug)]
+pub struct NodeFleetRun {
+    /// The aggregator after the observation pass — read
+    /// [`HealthAggregator::rates`] for the full per-node statistics.
+    pub aggregator: Arc<HealthAggregator>,
+    /// The verdict map frozen between the passes (what the mitigation
+    /// pass's [`crate::NodeAwarePolicy`] consulted).
+    pub verdicts: BTreeMap<u32, NodeVerdict>,
+    /// Pass 1: observation only (no mitigator) — also the unmitigated
+    /// baseline for pricing pass 2.
+    pub observed: FleetRun,
+    /// Pass 2: [`crate::NodeAwarePolicy`] over the frozen verdicts.
+    pub mitigated: FleetRun,
+}
+
+/// The closed **node-health** loop, two passes over the same fleet:
+///
+/// 1. **Observe** — serve the jobs with a fresh [`HealthAggregator`]
+///    attached as the engine's [`HealthObserver`] and no mitigator; every
+///    finalized job feeds per-node straggler truth into the aggregator.
+/// 2. **Freeze & mitigate** — freeze [`HealthAggregator::verdicts`] into
+///    a [`crate::NodeAwarePolicy`] and serve the same fleet again,
+///    quarantining convicted machines' tasks and cloning the rest by
+///    score; the committed log is priced by the simulator.
+///
+/// Freezing between passes (rather than reading the live aggregator
+/// mid-run) is what keeps the mitigation pass's action log bit-identical
+/// across shard counts — see [`crate::NodeAwarePolicy`]. Both passes are
+/// seed-deterministic, so the whole `NodeFleetRun` is too.
+#[must_use]
+pub fn run_node_fleet(jobs: &[JobTrace], config: &NodeFleetConfig) -> NodeFleetRun {
+    let aggregator = Arc::new(HealthAggregator::new(config.health.clone()));
+    let observed = run_fleet_observed(
+        jobs,
+        None,
+        Some(Arc::clone(&aggregator) as Arc<dyn HealthObserver>),
+        &config.fleet,
+    );
+    let verdicts = aggregator.verdicts();
+    let mitigated = run_fleet(
+        jobs,
+        Some(node_aware_mitigator(
+            verdicts.clone(),
+            config.score_threshold,
+            config.watch_threshold,
+            config.clone_budget,
+        )),
+        &config.fleet,
+    );
+    NodeFleetRun {
+        aggregator,
+        verdicts,
+        observed,
+        mitigated,
     }
 }

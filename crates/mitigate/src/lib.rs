@@ -11,13 +11,19 @@
 //!
 //! * **Policies** — [`NoopPolicy`] (the no-mitigation anchor),
 //!   [`ThresholdClonePolicy`] (score threshold + per-job clone budget),
-//!   [`TopKPolicy`] (k clones per barrier), and [`OraclePolicy`] (ground
-//!   truth; the structural upper bound), each with a factory helper for
-//!   [`nurd_serve::Engine::attach_mitigator`];
+//!   [`BandedClonePolicy`] (two-sided threshold: instant clones above
+//!   `hi`, patience-gated clones in the `[lo, hi)` dead band),
+//!   [`TopKPolicy`] (k clones per barrier), [`OraclePolicy`] (ground
+//!   truth; the structural upper bound), and [`NodeAwarePolicy`]
+//!   (quarantines tasks on machines a frozen
+//!   [`nurd_health::HealthAggregator`] verdict map convicted), each with
+//!   a factory helper for [`nurd_serve::Engine::attach_mitigator`];
 //! * **The fleet harness** — [`run_fleet`] drives traces through the
 //!   engine with a policy attached and sims the committed log, returning
 //!   per-job [`nurd_sim::MitigationOutcome`]s, a fleet
-//!   [`nurd_sim::MitigationSummary`], and the canonical action log.
+//!   [`nurd_sim::MitigationSummary`], and the canonical action log;
+//!   [`run_node_fleet`] is the two-pass node-health loop (observe with
+//!   the aggregator attached → freeze verdicts → mitigate node-aware).
 //!
 //! Everything is seed-deterministic end to end; `tests/policy_properties.rs`
 //! pins the load-bearing invariants (every task completes exactly once,
@@ -29,8 +35,12 @@
 mod harness;
 mod policies;
 
-pub use harness::{nurd_predictor_factory, run_fleet, FleetConfig, FleetRun};
+pub use harness::{
+    nurd_predictor_factory, run_fleet, run_node_fleet, FleetConfig, FleetRun, NodeFleetConfig,
+    NodeFleetRun,
+};
 pub use policies::{
-    noop_mitigator, oracle_mitigator, threshold_mitigator, topk_mitigator, NoopPolicy,
-    OraclePolicy, ThresholdClonePolicy, TopKPolicy,
+    banded_mitigator, node_aware_mitigator, noop_mitigator, oracle_mitigator, threshold_mitigator,
+    topk_mitigator, BandedClonePolicy, NodeAwarePolicy, NoopPolicy, OraclePolicy,
+    ThresholdClonePolicy, TopKPolicy,
 };

@@ -11,6 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use nurd_data::{BarrierView, JobTrace, MitigationAction, MitigationPolicy};
+use nurd_health::NodeVerdict;
 use nurd_serve::MitigatorFactory;
 
 /// The do-nothing baseline: sees every barrier, acts on none. The
@@ -133,6 +134,202 @@ impl MitigationPolicy for TopKPolicy {
     }
 }
 
+/// Two-sided threshold cloning: clone **immediately** at `hi`, and clone
+/// out of the dead band `[lo, hi)` only after a task has *lingered* there
+/// for `patience` consecutive scored barriers (a score below `lo` resets
+/// the streak). The single-threshold policy faces a bad trade: a high
+/// threshold misses the slow-burn stragglers whose scores hover just
+/// below it until far too late, while lowering it clones every transient
+/// spike. The dead band splits the difference — spikes above `hi` still
+/// get instant clones, hoverers get caught after `patience` barriers of
+/// sustained evidence, and noise below `lo` is ignored — which is why a
+/// calibrated band beats the best single threshold in the
+/// `mitigation_sweep` pricing table at comparable waste.
+#[derive(Debug, Clone)]
+pub struct BandedClonePolicy {
+    hi: f64,
+    lo: f64,
+    patience: usize,
+    budget: Option<usize>,
+    streaks: BTreeMap<usize, usize>,
+    proposed: BTreeSet<usize>,
+}
+
+impl BandedClonePolicy {
+    /// A banded policy cloning instantly at `hi`, after `patience`
+    /// consecutive in-band barriers for scores in `[lo, hi)`, never below
+    /// `lo`, with an optional per-job clone budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` — the band would be empty in a way that makes
+    /// every knob a lie; use [`ThresholdClonePolicy`] instead.
+    #[must_use]
+    pub fn new(hi: f64, lo: f64, patience: usize, budget: Option<usize>) -> Self {
+        assert!(lo <= hi, "banded policy needs lo <= hi");
+        BandedClonePolicy {
+            hi,
+            lo,
+            patience: patience.max(1),
+            budget,
+            streaks: BTreeMap::new(),
+            proposed: BTreeSet::new(),
+        }
+    }
+}
+
+impl MitigationPolicy for BandedClonePolicy {
+    fn name(&self) -> &str {
+        "banded-clone"
+    }
+
+    fn clone_budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    fn decide(&mut self, view: &BarrierView<'_>) -> Vec<(usize, MitigationAction)> {
+        let mut candidates = Vec::new();
+        for s in view.scores {
+            if self.proposed.contains(&s.task) {
+                continue;
+            }
+            if s.score >= self.hi {
+                candidates.push(s);
+            } else if s.score >= self.lo {
+                let streak = self.streaks.entry(s.task).or_insert(0);
+                *streak += 1;
+                if *streak >= self.patience {
+                    candidates.push(s);
+                }
+            } else {
+                self.streaks.remove(&s.task);
+            }
+        }
+        // Budget is spent best-first, ties to the lowest task id —
+        // identical to the single-threshold policy so the comparison is
+        // purely about the band.
+        candidates.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.task.cmp(&b.task)));
+        let mut remaining = view.clones_remaining;
+        let mut actions = Vec::new();
+        for candidate in candidates {
+            if remaining == Some(0) {
+                break;
+            }
+            if let Some(r) = remaining.as_mut() {
+                *r -= 1;
+            }
+            self.streaks.remove(&candidate.task);
+            self.proposed.insert(candidate.task);
+            actions.push((candidate.task, MitigationAction::Clone));
+        }
+        actions
+    }
+}
+
+/// Node-health-aware mitigation: tasks placed on a
+/// [`NodeVerdict::Quarantine`] node are **quarantined** (evicted and
+/// restarted on a healthy machine — the simulator's clock restart) at
+/// the first scored barrier they appear in, score unseen; tasks on
+/// [`NodeVerdict::Watch`] nodes clone at the lowered `watch_threshold`;
+/// everything else behaves like [`ThresholdClonePolicy`] at
+/// `score_threshold`.
+///
+/// The verdict map is **frozen at construction** (capture it from
+/// [`nurd_health::HealthAggregator::verdicts`] between harness passes,
+/// as [`crate::run_node_fleet`] does) rather than read live: a live read
+/// would make decisions depend on how far *other* jobs' observations had
+/// progressed — scheduling order — and break the bit-identical action
+/// log across shard counts. Jobs without a node placement fall back to
+/// pure threshold cloning.
+#[derive(Debug, Clone)]
+pub struct NodeAwarePolicy {
+    verdicts: BTreeMap<u32, NodeVerdict>,
+    score_threshold: f64,
+    watch_threshold: f64,
+    budget: Option<usize>,
+    proposed: BTreeSet<usize>,
+}
+
+impl NodeAwarePolicy {
+    /// A node-aware policy over a frozen verdict map: quarantine
+    /// `Quarantine`-node tasks on sight, clone `Watch`-node tasks at
+    /// `watch_threshold`, everyone else at `score_threshold`, with an
+    /// optional per-job clone budget (quarantines are not clones and do
+    /// not consume it).
+    #[must_use]
+    pub fn new(
+        verdicts: BTreeMap<u32, NodeVerdict>,
+        score_threshold: f64,
+        watch_threshold: f64,
+        budget: Option<usize>,
+    ) -> Self {
+        NodeAwarePolicy {
+            verdicts,
+            score_threshold,
+            watch_threshold,
+            budget,
+            proposed: BTreeSet::new(),
+        }
+    }
+
+    fn verdict_for(&self, nodes: Option<&[u32]>, task: usize) -> NodeVerdict {
+        nodes
+            .and_then(|nodes| nodes.get(task))
+            .and_then(|node| self.verdicts.get(node).copied())
+            .unwrap_or(NodeVerdict::Healthy)
+    }
+}
+
+impl MitigationPolicy for NodeAwarePolicy {
+    fn name(&self) -> &str {
+        "node-aware"
+    }
+
+    fn clone_budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    fn decide(&mut self, view: &BarrierView<'_>) -> Vec<(usize, MitigationAction)> {
+        let mut actions = Vec::new();
+        // Quarantined machines first: evict on sight, no score needed —
+        // the node itself is the evidence.
+        for s in view.scores {
+            if !self.proposed.contains(&s.task)
+                && self.verdict_for(view.nodes, s.task) == NodeVerdict::Quarantine
+            {
+                self.proposed.insert(s.task);
+                actions.push((s.task, MitigationAction::Quarantine));
+            }
+        }
+        // Everyone else: threshold cloning, with the watch discount.
+        let mut candidates: Vec<_> = view
+            .scores
+            .iter()
+            .filter(|s| {
+                !self.proposed.contains(&s.task)
+                    && s.score
+                        >= match self.verdict_for(view.nodes, s.task) {
+                            NodeVerdict::Watch => self.watch_threshold,
+                            _ => self.score_threshold,
+                        }
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.task.cmp(&b.task)));
+        let mut remaining = view.clones_remaining;
+        for candidate in candidates {
+            if remaining == Some(0) {
+                break;
+            }
+            if let Some(r) = remaining.as_mut() {
+                *r -= 1;
+            }
+            self.proposed.insert(candidate.task);
+            actions.push((candidate.task, MitigationAction::Clone));
+        }
+        actions
+    }
+}
+
 /// The upper-bound baseline: knows each job's ground-truth stragglers
 /// and clones exactly those, at the first barrier where each appears in
 /// the scored view. Clone-only, so `JCT(oracle) ≤ JCT(no-mitigation)`
@@ -200,6 +397,36 @@ pub fn topk_mitigator(k: usize) -> MitigatorFactory {
     Box::new(move |_spec| Box::new(TopKPolicy::new(k)))
 }
 
+/// Factory giving every job a [`BandedClonePolicy`] with the given band.
+#[must_use]
+pub fn banded_mitigator(
+    hi: f64,
+    lo: f64,
+    patience: usize,
+    budget: Option<usize>,
+) -> MitigatorFactory {
+    Box::new(move |_spec| Box::new(BandedClonePolicy::new(hi, lo, patience, budget)))
+}
+
+/// Factory giving every job a [`NodeAwarePolicy`] over one shared frozen
+/// verdict map (cloned per job).
+#[must_use]
+pub fn node_aware_mitigator(
+    verdicts: BTreeMap<u32, NodeVerdict>,
+    score_threshold: f64,
+    watch_threshold: f64,
+    budget: Option<usize>,
+) -> MitigatorFactory {
+    Box::new(move |_spec| {
+        Box::new(NodeAwarePolicy::new(
+            verdicts.clone(),
+            score_threshold,
+            watch_threshold,
+            budget,
+        ))
+    })
+}
+
 /// Factory giving every job an [`OraclePolicy`] built from the fleet's
 /// ground truth at `quantile`. Jobs not in `jobs` (never the case in the
 /// harness) get an oracle with no stragglers, i.e. a no-op.
@@ -240,6 +467,7 @@ mod tests {
             scores,
             flagged,
             clones_remaining,
+            nodes: None,
             backlog: 0,
         }
     }
@@ -313,6 +541,136 @@ mod tests {
         assert_eq!(
             actions,
             vec![(1, MitigationAction::Clone), (2, MitigationAction::Clone),]
+        );
+    }
+
+    fn view_on_nodes<'a>(scores: &'a [TaskScore], nodes: &'a [u32]) -> BarrierView<'a> {
+        BarrierView {
+            nodes: Some(nodes),
+            ..view(scores, &[], None)
+        }
+    }
+
+    #[test]
+    fn banded_clones_instantly_above_hi_and_never_below_lo() {
+        let scores = [
+            TaskScore {
+                task: 0,
+                score: 1.3,
+            }, // above hi → instant
+            TaskScore {
+                task: 1,
+                score: 0.3,
+            }, // below lo → never
+        ];
+        let mut policy = BandedClonePolicy::new(1.0, 0.5, 2, None);
+        assert_eq!(
+            policy.decide(&view(&scores, &[], None)),
+            vec![(0, MitigationAction::Clone)]
+        );
+        // Task 1 stays below lo forever: no streak, no clone.
+        for _ in 0..5 {
+            assert!(policy.decide(&view(&scores, &[], None)).is_empty());
+        }
+    }
+
+    #[test]
+    fn banded_catches_hoverers_after_patience() {
+        let hover = [TaskScore {
+            task: 4,
+            score: 0.7,
+        }];
+        let mut policy = BandedClonePolicy::new(1.0, 0.5, 3, None);
+        assert!(policy.decide(&view(&hover, &[], None)).is_empty());
+        assert!(policy.decide(&view(&hover, &[], None)).is_empty());
+        // Third consecutive in-band barrier: patience reached.
+        assert_eq!(
+            policy.decide(&view(&hover, &[], None)),
+            vec![(4, MitigationAction::Clone)]
+        );
+    }
+
+    #[test]
+    fn banded_streak_resets_below_lo() {
+        let hover = [TaskScore {
+            task: 9,
+            score: 0.8,
+        }];
+        let dip = [TaskScore {
+            task: 9,
+            score: 0.1,
+        }];
+        let mut policy = BandedClonePolicy::new(1.0, 0.5, 2, None);
+        assert!(policy.decide(&view(&hover, &[], None)).is_empty());
+        assert!(policy.decide(&view(&dip, &[], None)).is_empty()); // reset
+        assert!(policy.decide(&view(&hover, &[], None)).is_empty()); // streak 1 again
+        assert_eq!(policy.decide(&view(&hover, &[], None)).len(), 1);
+    }
+
+    #[test]
+    fn node_aware_quarantines_sick_node_on_sight() {
+        let scores = [
+            TaskScore {
+                task: 0,
+                score: 0.1,
+            }, // node 5 (quarantined): evicted, score unseen
+            TaskScore {
+                task: 1,
+                score: 1.4,
+            }, // node 2 (healthy): plain threshold clone
+            TaskScore {
+                task: 2,
+                score: 0.1,
+            }, // node 2: below threshold
+        ];
+        let verdicts = BTreeMap::from([(5, NodeVerdict::Quarantine), (2, NodeVerdict::Healthy)]);
+        let mut policy = NodeAwarePolicy::new(verdicts, 1.0, 0.6, None);
+        let actions = policy.decide(&view_on_nodes(&scores, &[5, 2, 2]));
+        assert_eq!(
+            actions,
+            vec![
+                (0, MitigationAction::Quarantine),
+                (1, MitigationAction::Clone),
+            ]
+        );
+        // Nothing is ever re-proposed.
+        assert!(policy
+            .decide(&view_on_nodes(&scores, &[5, 2, 2]))
+            .is_empty());
+    }
+
+    #[test]
+    fn node_aware_watch_nodes_clone_at_the_discount() {
+        let scores = [
+            TaskScore {
+                task: 0,
+                score: 0.7,
+            }, // watch node: 0.7 >= 0.6
+            TaskScore {
+                task: 1,
+                score: 0.7,
+            }, // healthy node: 0.7 < 1.0
+        ];
+        let verdicts = BTreeMap::from([(3, NodeVerdict::Watch)]);
+        let mut policy = NodeAwarePolicy::new(verdicts, 1.0, 0.6, None);
+        assert_eq!(
+            policy.decide(&view_on_nodes(&scores, &[3, 8])),
+            vec![(0, MitigationAction::Clone)]
+        );
+    }
+
+    #[test]
+    fn node_aware_without_placement_is_pure_threshold() {
+        let scores = [TaskScore {
+            task: 0,
+            score: 1.2,
+        }];
+        let verdicts = BTreeMap::from([(0, NodeVerdict::Quarantine)]);
+        let mut policy = NodeAwarePolicy::new(verdicts, 1.0, 0.6, None);
+        // No `nodes` in the view: the verdict map cannot apply.
+        assert_eq!(
+            policy.decide(&view(&scores, &[], None)),
+            vec![(0, MitigationAction::Clone)]
         );
     }
 

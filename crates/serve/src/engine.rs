@@ -25,6 +25,7 @@ use nurd_runtime::{Channel, Notifier, ThreadPool, TrySendError};
 use nurd_sim::ReplayOutcome;
 
 use crate::lifecycle::{FinalizeReason, JobPhase, OverloadCounters, OverloadPolicy};
+use crate::observer::HealthObserver;
 use crate::persist::{snapshot_path, wal_path, DonorSeed, PersistenceConfig, RecoverError};
 use crate::shard::{JobState, Shard, ShardStats};
 use crate::snapshot::{write_snapshot_file, SnapshotData};
@@ -342,6 +343,10 @@ pub(crate) struct EngineCore {
     /// Builds each admitted job's mitigation policy; unset = scorer-only
     /// mode. Write-once (`OnceLock`) so drains can read it lock-free.
     mitigator: OnceLock<MitigatorFactory>,
+    /// Fleet-level node-health listener fed by drains (finalized jobs,
+    /// scored barriers); unset = no observation. Write-once like the
+    /// mitigator, and bit-invisible to reports by construction.
+    observer: OnceLock<Arc<dyn HealthObserver>>,
     cells: Vec<ShardCell>,
     /// Idle drain workers (and quiescence waiters) park here; every
     /// accepted push and every productive drain batch unparks.
@@ -373,10 +378,29 @@ impl EngineCore {
             config,
             factory,
             mitigator: OnceLock::new(),
+            observer: OnceLock::new(),
             cells,
             notifier: Notifier::new(),
             persist: None,
         }
+    }
+
+    /// Registers the engine's health observer (write-once; returns
+    /// `false` if one is already attached). For observation parity with a
+    /// never-restarted run, attach before pushing events — barriers
+    /// scored before the attach were never observed.
+    pub(crate) fn set_observer(&self, observer: Arc<dyn HealthObserver>) -> bool {
+        let attached = self.observer.set(observer).is_ok();
+        if attached {
+            self.notifier.unpark();
+        }
+        attached
+    }
+
+    /// The attached observer as a trait object, for drains to hand into
+    /// shard application.
+    fn observer(&self) -> Option<&dyn HealthObserver> {
+        self.observer.get().map(|o| &**o as &dyn HealthObserver)
     }
 
     /// Registers the engine's mitigator factory (write-once; returns
@@ -604,6 +628,7 @@ impl EngineCore {
             batch.drain(..),
             &self.factory,
             self.mitigator.get(),
+            self.observer(),
             backlog,
             &cell.stats,
         );
@@ -769,7 +794,7 @@ impl EngineCore {
         let mut jobs: Vec<JobReport> = (0..self.cells.len())
             .flat_map(|i| {
                 let stats = &self.cells[i].stats;
-                self.lock_shard(i).finish_reports(stats)
+                self.lock_shard(i).finish_reports(self.observer(), stats)
             })
             .collect();
         jobs.sort_by_key(|r| r.job);
@@ -817,6 +842,14 @@ impl EngineCore {
             shard.rotate_wal(wal_path(&persist.config.dir, new_gen, idx))?;
             shard.capture_into(&mut data, &cell.stats);
         }
+        // The observer's state rides the snapshot like the donor cache;
+        // captured after the shard sweep, so it covers every observation
+        // from events in WAL generations < new_gen (the WAL suffix past
+        // this snapshot is re-observed on replay at recovery).
+        data.observer = self
+            .observer
+            .get()
+            .map_or_else(Vec::new, |o| o.snapshot_state());
         write_snapshot_file(&snapshot_path(&persist.config.dir, new_gen), &data)?;
         persist.generation.store(new_gen, Ordering::Relaxed);
         persist.snapshots_written.fetch_add(1, Ordering::Relaxed);
@@ -866,6 +899,16 @@ impl EngineCore {
         for seed in data.donors {
             self.lock_shard(0).adopt_donor(seed);
         }
+        // Restore the observer's persisted state (no attached observer =
+        // the blob is dropped, like donor seeds on a non-donating run; a
+        // rejected blob is a typed error, never a half-restored observer).
+        if !data.observer.is_empty() {
+            if let Some(observer) = self.observer.get() {
+                if !observer.restore_state(&data.observer) {
+                    return Err(RecoverError::ObserverRestore);
+                }
+            }
+        }
         let stats = &self.cells[0].stats;
         let c = data.counters;
         let put = |counter: &AtomicUsize, v: u64| {
@@ -898,6 +941,7 @@ impl EngineCore {
                 std::iter::once(event),
                 &self.factory,
                 self.mitigator.get(),
+                self.observer(),
                 0,
                 &cell.stats,
             );
@@ -1038,6 +1082,13 @@ impl EngineHandle {
     pub fn attach_mitigator(&self, mitigator: MitigatorFactory) -> bool {
         self.core.set_mitigator(mitigator)
     }
+
+    /// Attaches the engine's health observer (see
+    /// [`Engine::attach_observer`]; write-once, `false` if one is
+    /// already attached).
+    pub fn attach_observer(&self, observer: Arc<dyn HealthObserver>) -> bool {
+        self.core.set_observer(observer)
+    }
 }
 
 /// The single-threaded engine shim: the PR-4-era caller-driven API over
@@ -1138,6 +1189,19 @@ impl Engine {
     /// [`EngineService::recover_with_mitigator`](crate::EngineService::recover_with_mitigator)).
     pub fn attach_mitigator(&self, mitigator: MitigatorFactory) -> bool {
         self.core.set_mitigator(mitigator)
+    }
+
+    /// Attaches a fleet-level [`HealthObserver`]: from then on every
+    /// finalized job (report, node placement, per-task straggler truth)
+    /// and every scored barrier's scores are fed to it. Observation is
+    /// bit-invisible to predictions and reports — the scored path is
+    /// flag-identical by the predictor contract — and write-once:
+    /// returns `false` (and changes nothing) if an observer is already
+    /// attached. For parity with a never-restarted run, attach before
+    /// pushing events; the recovery counterpart is
+    /// [`EngineService::recover_with_observer`](crate::EngineService::recover_with_observer).
+    pub fn attach_observer(&self, observer: Arc<dyn HealthObserver>) -> bool {
+        self.core.set_observer(observer)
     }
 
     /// Enqueues one event (see [`EngineHandle::push`] for the stream

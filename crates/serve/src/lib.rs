@@ -114,6 +114,7 @@
 
 mod engine;
 mod lifecycle;
+mod observer;
 mod persist;
 mod service;
 mod shard;
@@ -125,6 +126,7 @@ pub use engine::{
     MitigatorFactory, PredictorFactory,
 };
 pub use lifecycle::{FinalizeReason, JobPhase, OverloadCounters, OverloadPolicy};
+pub use observer::HealthObserver;
 pub use persist::{
     job_signature, DonorSeed, FaultInjector, FsyncPolicy, PersistenceConfig, RecoverError,
     RecoverReport,

@@ -174,6 +174,9 @@ pub enum RecoverError {
     /// A job's persisted predictor blob was rejected by the freshly
     /// built predictor's `restore_state` (carries the job id).
     PredictorRestore(u64),
+    /// The snapshot's health-observer blob was rejected by the attached
+    /// observer's `restore_state`.
+    ObserverRestore,
 }
 
 impl std::fmt::Display for RecoverError {
@@ -189,6 +192,9 @@ impl std::fmt::Display for RecoverError {
             RecoverError::Codec(e) => write!(f, "snapshot payload failed to decode: {e}"),
             RecoverError::PredictorRestore(job) => {
                 write!(f, "predictor for job {job} rejected its persisted state")
+            }
+            RecoverError::ObserverRestore => {
+                write!(f, "health observer rejected its persisted state")
             }
         }
     }

@@ -42,7 +42,10 @@ use crate::persist::{
 };
 use crate::snapshot::read_snapshot_data;
 use crate::wal::{read_wal_segment, WalTail};
-use crate::{EngineConfig, EngineStats, JobPhase, JobReport, MitigatorFactory, PredictorFactory};
+use crate::{
+    EngineConfig, EngineStats, HealthObserver, JobPhase, JobReport, MitigatorFactory,
+    PredictorFactory,
+};
 
 /// Tuning for the background drain loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -384,7 +387,7 @@ impl EngineService {
         service: ServiceConfig,
         factory: PredictorFactory,
     ) -> Result<(Self, RecoverReport), RecoverError> {
-        Self::recover_inner(persistence, config, service, factory, None)
+        Self::recover_inner(persistence, config, service, factory, None, None)
     }
 
     /// Like [`EngineService::recover`], but installs `mitigator` *before*
@@ -402,7 +405,35 @@ impl EngineService {
         factory: PredictorFactory,
         mitigator: MitigatorFactory,
     ) -> Result<(Self, RecoverReport), RecoverError> {
-        Self::recover_inner(persistence, config, service, factory, Some(mitigator))
+        Self::recover_inner(persistence, config, service, factory, Some(mitigator), None)
+    }
+
+    /// Like [`EngineService::recover`], but installs `observer` *before*
+    /// the snapshot is decoded and the WAL trail replays: the snapshot's
+    /// observer blob restores its pre-crash state (a rejected blob is
+    /// [`RecoverError::ObserverRestore`]), and the replayed WAL suffix is
+    /// then re-observed live — exactly once overall, because the blob was
+    /// captured at the snapshot's WAL-rotation instant. This is the
+    /// recovery counterpart of [`EngineService::attach_observer`]: a run
+    /// that attaches at start, crashes, and recovers through this method
+    /// leaves the observer in the same state as one that never crashed.
+    /// Pass `mitigator` too when the crashed run had one attached.
+    pub fn recover_with_observer(
+        persistence: PersistenceConfig,
+        config: EngineConfig,
+        service: ServiceConfig,
+        factory: PredictorFactory,
+        mitigator: Option<MitigatorFactory>,
+        observer: Arc<dyn HealthObserver>,
+    ) -> Result<(Self, RecoverReport), RecoverError> {
+        Self::recover_inner(
+            persistence,
+            config,
+            service,
+            factory,
+            mitigator,
+            Some(observer),
+        )
     }
 
     fn recover_inner(
@@ -411,6 +442,7 @@ impl EngineService {
         service: ServiceConfig,
         factory: PredictorFactory,
         mitigator: Option<MitigatorFactory>,
+        observer: Option<Arc<dyn HealthObserver>>,
     ) -> Result<(Self, RecoverReport), RecoverError> {
         std::fs::create_dir_all(&persistence.dir)?;
         let scan = scan_dir(&persistence.dir)?;
@@ -420,6 +452,12 @@ impl EngineService {
             // Before any decode or replay: recovered jobs must carry
             // policies from the first replayed barrier onward.
             core.set_mitigator(mitigator);
+        }
+        if let Some(observer) = observer {
+            // Likewise before the snapshot installs (its blob restores
+            // into this observer) and before the WAL suffix replays
+            // (which this observer re-observes live).
+            core.set_observer(observer);
         }
 
         // Newest snapshot that both reads (framing, CRCs) and decodes
@@ -546,6 +584,17 @@ impl EngineService {
     /// the recovery path.
     pub fn attach_mitigator(&self, mitigator: MitigatorFactory) -> bool {
         self.core.set_mitigator(mitigator)
+    }
+
+    /// Installs a node-health observer (write-once; returns `false` if
+    /// one is already attached). Bit-invisible to predictions, flags,
+    /// and action logs — see
+    /// [`Engine::attach_observer`](crate::Engine::attach_observer) for
+    /// the contract, and [`EngineService::recover_with_observer`] for the
+    /// recovery path. Attach before pushing events so the observer sees
+    /// every barrier and finalization.
+    pub fn attach_observer(&self, observer: Arc<dyn HealthObserver>) -> bool {
+        self.core.set_observer(observer)
     }
 
     /// Where `job` sits in its lifecycle, judging by *drained* state.

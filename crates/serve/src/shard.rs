@@ -14,6 +14,7 @@ use nurd_sim::outcome_from_flags;
 
 use crate::engine::{JobReport, MitigatorFactory, PredictorFactory};
 use crate::lifecycle::{FinalizeReason, JobPhase, OverloadCounters};
+use crate::observer::HealthObserver;
 use crate::persist::{job_signature, DonorSeed, RecoverError};
 use crate::snapshot::SnapshotData;
 use crate::wal::WalWriter;
@@ -126,6 +127,12 @@ pub(crate) struct JobState {
     actioned: Vec<bool>,
     /// `Clone` actions committed, checked against the policy's budget.
     clones_used: usize,
+    /// Task → node placement, set by the job's
+    /// [`TaskEvent::Placed`] event (`None` until one arrives; traces
+    /// without a node model never send one). Part of the job's own event
+    /// stream, so exposing it to policies and observers preserves the
+    /// bit-identical-across-shard-counts guarantee.
+    nodes: Option<Vec<u32>>,
 }
 
 impl std::fmt::Debug for Shard {
@@ -170,6 +177,7 @@ impl JobState {
             actions: Vec::new(),
             actioned,
             clones_used: 0,
+            nodes: None,
         }
     }
 
@@ -220,6 +228,7 @@ impl JobState {
         event: TaskEvent,
         warmup_fraction: f64,
         backlog: usize,
+        observer: Option<&dyn HealthObserver>,
         stats: &ShardStats,
     ) -> bool {
         match event {
@@ -231,6 +240,15 @@ impl JobState {
                     return false;
                 };
                 state.seen = true;
+            }
+            TaskEvent::Placed { nodes, .. } => {
+                // A placement must cover every task exactly once; a second
+                // Placed (at-least-once delivery) is a duplicate, rejected
+                // like a replayed barrier.
+                if nodes.len() != self.spec.task_count || self.nodes.is_some() {
+                    return false;
+                }
+                self.nodes = Some(nodes);
             }
             TaskEvent::Progress { task, features, .. } => {
                 if features.len() != self.spec.feature_dim {
@@ -272,7 +290,7 @@ impl JobState {
                 }
             }
             TaskEvent::Barrier { ordinal, time, .. } => {
-                return self.barrier(ordinal, time, warmup_fraction, backlog, stats);
+                return self.barrier(ordinal, time, warmup_fraction, backlog, observer, stats);
             }
         }
         true
@@ -290,6 +308,7 @@ impl JobState {
         time: f64,
         warmup_fraction: f64,
         backlog: usize,
+        observer: Option<&dyn HealthObserver>,
         stats: &ShardStats,
     ) -> bool {
         if ordinal != self.barriers_seen {
@@ -342,7 +361,7 @@ impl JobState {
             running,
         };
         self.checkpoints_scored += 1;
-        if self.policy.is_none() {
+        if self.policy.is_none() && observer.is_none() {
             for id in predictor.predict(&checkpoint) {
                 // Same guard as the simulator: only actually-running tasks
                 // can be flagged.
@@ -353,10 +372,11 @@ impl JobState {
             return true;
         }
 
-        // Mitigation path: one `predict_scored` call per barrier — by the
-        // predictor contract its flag set and state transition are
-        // bit-identical to `predict`, so attaching a mitigator never
-        // changes what gets flagged, only what gets *done* about it.
+        // Mitigation/observation path: one `predict_scored` call per
+        // barrier — by the predictor contract its flag set and state
+        // transition are bit-identical to `predict`, so attaching a
+        // mitigator or observer never changes what gets flagged, only
+        // what gets *done* (or learned) about it.
         let scored = predictor.predict_scored(&checkpoint);
         let mut newly_flagged = Vec::new();
         for id in scored.flagged {
@@ -365,7 +385,18 @@ impl JobState {
                 newly_flagged.push(id);
             }
         }
-        let policy = self.policy.as_mut().expect("checked above");
+        if let Some(observer) = observer {
+            observer.observe_barrier(
+                self.spec.job,
+                ordinal,
+                time,
+                self.nodes.as_deref(),
+                &scored.scores,
+            );
+        }
+        let Some(policy) = self.policy.as_mut() else {
+            return true;
+        };
         let budget = policy.clone_budget();
         let view = BarrierView {
             job: self.spec.job,
@@ -376,6 +407,7 @@ impl JobState {
             scores: &scored.scores,
             flagged: &newly_flagged,
             clones_remaining: budget.map(|b| b.saturating_sub(self.clones_used)),
+            nodes: self.nodes.as_deref(),
             backlog,
         };
         let decisions = policy.decide(&view);
@@ -412,16 +444,23 @@ impl JobState {
         true
     }
 
+    /// Per-task ground truth against the job's threshold — the labels the
+    /// report's confusion accounting and the health observer both use. A
+    /// task whose completion never arrived outlived the stream and is
+    /// counted a straggler.
+    fn straggled(&self) -> Vec<bool> {
+        self.tasks
+            .iter()
+            .map(|t| t.latency.is_none_or(|l| l >= self.spec.threshold))
+            .collect()
+    }
+
     /// Post-hoc scoring once the stream is exhausted. A task whose
     /// completion never arrived outlived the stream and is counted as a
     /// straggler (it certainly outlived `τ_stra` if the stream covered
     /// the job's horizon).
     fn report(&self, finalized: FinalizeReason) -> JobReport {
-        let truth: Vec<bool> = self
-            .tasks
-            .iter()
-            .map(|t| t.latency.is_none_or(|l| l >= self.spec.threshold))
-            .collect();
+        let truth: Vec<bool> = self.straggled();
         let flagged_at: Vec<Option<usize>> = self.tasks.iter().map(|t| t.flagged_at).collect();
         let outcome = outcome_from_flags(
             self.spec.threshold,
@@ -467,6 +506,7 @@ impl JobState {
                 self.warmup_at.encode(enc);
                 enc.put_usize(self.barriers_seen);
                 enc.put_usize(self.checkpoints_scored);
+                self.nodes.encode(enc);
             }
         }
         // Both modes persist the committed action log (the `actioned`
@@ -529,6 +569,7 @@ impl JobState {
                 state.warmup_at = Checkpointable::decode(dec)?;
                 state.barriers_seen = dec.take_usize()?;
                 state.checkpoints_scored = dec.take_usize()?;
+                state.nodes = Checkpointable::decode(dec)?;
                 state
             }
             1 => {
@@ -537,9 +578,12 @@ impl JobState {
                 let mut state = JobState::new(spec, predictor, true, policy);
                 // Replay counter bumps land in a throwaway: the pre-crash
                 // bumps are already in the snapshot's persisted counters.
+                // No observer either — the observer's own snapshot blob
+                // already contains these barriers' observations.
                 let replay_stats = ShardStats::default();
                 for event in &history {
-                    let applied = state.apply(event.clone(), warmup_fraction, 0, &replay_stats);
+                    let applied =
+                        state.apply(event.clone(), warmup_fraction, 0, None, &replay_stats);
                     debug_assert!(applied, "history events were accepted when retained");
                 }
                 state.history = Some(history);
@@ -775,7 +819,13 @@ impl Shard {
     /// On persistent engines a healthy finalized job additionally leaves
     /// its predictor state behind as a [`DonorSeed`] for the snapshot's
     /// donor cache (poisoned predictors are never donated).
-    fn finalize(&mut self, job: u64, reason: FinalizeReason, stats: &ShardStats) {
+    fn finalize(
+        &mut self,
+        job: u64,
+        reason: FinalizeReason,
+        observer: Option<&dyn HealthObserver>,
+        stats: &ShardStats,
+    ) {
         if let Some(state) = self.jobs.remove(&job) {
             if self.wal.is_some() && reason != FinalizeReason::Poisoned {
                 if let Some(blob) = state.predictor.snapshot_state() {
@@ -791,8 +841,12 @@ impl Shard {
                     );
                 }
             }
+            let report = state.report(reason);
+            if let Some(observer) = observer {
+                observer.observe_finalized(&report, state.nodes.as_deref(), &state.straggled());
+            }
             self.finalized_ids.insert(job);
-            self.finalized.insert(job, state.report(reason));
+            self.finalized.insert(job, report);
             stats
                 .live_jobs
                 .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
@@ -816,6 +870,7 @@ impl Shard {
         events: impl IntoIterator<Item = TaskEvent>,
         factory: &PredictorFactory,
         mitigator: Option<&MitigatorFactory>,
+        observer: Option<&dyn HealthObserver>,
         backlog: usize,
         stats: &ShardStats,
     ) {
@@ -840,7 +895,7 @@ impl Shard {
                 }
                 TaskEvent::JobEnd { job, .. } => {
                     if self.jobs.contains_key(&job) {
-                        self.finalize(job, FinalizeReason::JobEnd, stats);
+                        self.finalize(job, FinalizeReason::JobEnd, observer, stats);
                     } else if self.finalized_ids.contains(&job) {
                         stats.add(&stats.stale_events, 1);
                     } else {
@@ -857,14 +912,19 @@ impl Shard {
                             let retained = job.history.is_some().then(|| event.clone());
                             let warmup_fraction = self.warmup_fraction;
                             match catch_unwind(AssertUnwindSafe(|| {
-                                job.apply(event, warmup_fraction, backlog, stats)
+                                job.apply(event, warmup_fraction, backlog, observer, stats)
                             })) {
                                 Err(_) => {
                                     // Predictor panic: quarantine *this*
                                     // job; every other job on the shard —
                                     // and the drain worker — lives on.
                                     stats.add(&stats.poisoned_jobs, 1);
-                                    self.finalize(job_id, FinalizeReason::Poisoned, stats);
+                                    self.finalize(
+                                        job_id,
+                                        FinalizeReason::Poisoned,
+                                        observer,
+                                        stats,
+                                    );
                                 }
                                 Ok(false) => stats.add(&stats.rejected_events, 1),
                                 Ok(true) => {
@@ -880,6 +940,7 @@ impl Shard {
                                         self.finalize(
                                             job_id,
                                             FinalizeReason::StreamComplete,
+                                            observer,
                                             stats,
                                         );
                                     }
@@ -905,10 +966,14 @@ impl Shard {
     /// Finalizes every still-live job (reason
     /// [`FinalizeReason::EngineFinish`]) and returns all not-yet-taken
     /// reports, job-id order.
-    pub(crate) fn finish_reports(&mut self, stats: &ShardStats) -> Vec<JobReport> {
+    pub(crate) fn finish_reports(
+        &mut self,
+        observer: Option<&dyn HealthObserver>,
+        stats: &ShardStats,
+    ) -> Vec<JobReport> {
         let live: Vec<u64> = self.jobs.keys().copied().collect();
         for job in live {
-            self.finalize(job, FinalizeReason::EngineFinish, stats);
+            self.finalize(job, FinalizeReason::EngineFinish, observer, stats);
         }
         self.take_finalized()
     }

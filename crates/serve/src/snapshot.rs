@@ -36,8 +36,11 @@ use crate::persist::{DonorSeed, RecoverError};
 pub(crate) const SNAPSHOT_MAGIC: [u8; 8] = *b"NURDSNAP";
 /// Format version this build writes and the only one it reads. Version 2
 /// added mitigation state: per-job action logs (inside each job record
-/// and each [`JobReport`]) and the mitigation counters below.
-pub(crate) const SNAPSHOT_VERSION: u32 = 2;
+/// and each [`JobReport`]) and the mitigation counters below. Version 3
+/// added node-health state: each blob-mode job record carries its node
+/// placement, and the header carries the attached
+/// [`HealthObserver`](crate::HealthObserver)'s state blob.
+pub(crate) const SNAPSHOT_VERSION: u32 = 3;
 
 /// The deterministic fleet-wide counters a snapshot carries, so a
 /// recovered engine's accounting continues where the crashed one's
@@ -105,6 +108,10 @@ pub(crate) struct SnapshotData {
     pub(crate) finalized: Vec<JobReport>,
     /// Donor-cache seeds (see [`DonorSeed`]).
     pub(crate) donors: Vec<DonorSeed>,
+    /// The attached [`HealthObserver`](crate::HealthObserver)'s state
+    /// blob at the snapshot point (empty = none attached, or nothing to
+    /// persist).
+    pub(crate) observer: Vec<u8>,
     /// One encoded `JobState` per live job.
     pub(crate) jobs: Vec<Vec<u8>>,
 }
@@ -125,6 +132,7 @@ pub(crate) fn write_snapshot_file(path: &Path, data: &SnapshotData) -> std::io::
     data.finalized_ids.encode(&mut header);
     data.finalized.encode(&mut header);
     data.donors.encode(&mut header);
+    header.put_bytes(&data.observer);
     header.put_usize(data.jobs.len());
     write_frame(&mut out, header.as_slice())?;
     for job in &data.jobs {
@@ -177,6 +185,7 @@ pub(crate) fn read_snapshot_data(path: &Path) -> Result<SnapshotData, RecoverErr
     let finalized_ids = Checkpointable::decode(&mut dec)?;
     let finalized = Checkpointable::decode(&mut dec)?;
     let donors = Checkpointable::decode(&mut dec)?;
+    let observer = dec.take_bytes()?.to_vec();
     let job_count = dec.take_usize()?;
     let mut jobs = Vec::with_capacity(job_count.min(1 << 20));
     for _ in 0..job_count {
@@ -188,6 +197,7 @@ pub(crate) fn read_snapshot_data(path: &Path) -> Result<SnapshotData, RecoverErr
         finalized_ids,
         finalized,
         donors,
+        observer,
         jobs,
     })
 }
@@ -242,6 +252,7 @@ mod tests {
             finalized_ids: vec![9],
             finalized: Vec::new(),
             donors: Vec::new(),
+            observer: vec![0xAB, 0xCD],
             jobs: vec![vec![1, 2, 3], vec![4, 5]],
         }
     }

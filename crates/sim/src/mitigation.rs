@@ -29,11 +29,24 @@ pub struct MitigationSimConfig {
     /// Seed for clone/relaunch duration sampling. Part of the replay
     /// identity: same seed + same action log ⇒ bit-identical outcome.
     pub seed: u64,
+    /// Node-correlated resampling: when the job carries a node placement
+    /// ([`JobTrace::node_placement`]), a copy's duration is drawn only
+    /// from latencies of tasks on **other** nodes — the scheduler lands
+    /// the clone/relaunch on a different machine, so a sick node's slow
+    /// latencies never contaminate its own replacement draws. This is
+    /// what makes quarantining a sick machine economically measurable.
+    /// `false` (the default) keeps the original fleet-wide pool and is
+    /// bit-identical to the pre-node-model simulator; jobs without
+    /// placement always use the fleet-wide pool.
+    pub node_resample: bool,
 }
 
 impl Default for MitigationSimConfig {
     fn default() -> Self {
-        MitigationSimConfig { seed: 0x4d17_16a7 }
+        MitigationSimConfig {
+            seed: 0x4d17_16a7,
+            node_resample: false,
+        }
     }
 }
 
@@ -222,6 +235,39 @@ pub fn execute_actions(
     let mut sorted = latencies.clone();
     sorted.sort_by(f64::total_cmp);
 
+    // Node-correlated donor pools: per node, the sorted latencies of all
+    // *other* nodes' tasks. Empty pools (single-node jobs) fall back to
+    // the fleet-wide pool so sampling never panics.
+    let placement = if config.node_resample {
+        job.node_placement()
+    } else {
+        None
+    };
+    let node_pools: std::collections::BTreeMap<u32, Vec<f64>> = placement
+        .map(|nodes| {
+            let mut pools = std::collections::BTreeMap::new();
+            for &node in nodes {
+                pools.entry(node).or_insert_with(|| {
+                    let mut pool: Vec<f64> = latencies
+                        .iter()
+                        .zip(nodes)
+                        .filter(|(_, &m)| m != node)
+                        .map(|(&l, _)| l)
+                        .collect();
+                    pool.sort_by(f64::total_cmp);
+                    pool
+                });
+            }
+            pools
+        })
+        .unwrap_or_default();
+    let pool_for = |task: usize| -> &[f64] {
+        placement
+            .and_then(|nodes| node_pools.get(&nodes[task]))
+            .filter(|pool| !pool.is_empty())
+            .map_or(&sorted[..], Vec::as_slice)
+    };
+
     let mut completions: Vec<TaskCompletion> = latencies
         .iter()
         .enumerate()
@@ -258,7 +304,7 @@ pub fn execute_actions(
             MitigationAction::Clone => {
                 actioned[t] = true;
                 clones_issued += 1;
-                let duration = sample_copy_duration(&sorted, now, config.seed, record.job, t);
+                let duration = sample_copy_duration(pool_for(t), now, config.seed, record.job, t);
                 let finish = (now + duration).min(original);
                 // Winner and loser both stop at `finish`; the clone's full
                 // runtime is the speculative cost, win or lose.
@@ -279,7 +325,7 @@ pub fn execute_actions(
             MitigationAction::Quarantine => {
                 actioned[t] = true;
                 quarantines += 1;
-                let duration = sample_copy_duration(&sorted, now, config.seed, record.job, t);
+                let duration = sample_copy_duration(pool_for(t), now, config.seed, record.job, t);
                 // The original is killed at `now` — everything it ran is
                 // wasted — and the relaunch restarts the clock.
                 wasted_work += now;
@@ -459,10 +505,85 @@ mod tests {
             let actions: Vec<ActionRecord> = (0..5)
                 .map(|t| record(t, (t as f64) * 3.0, MitigationAction::Clone))
                 .collect();
-            let out = execute_actions(&j, 50.0, &actions, &MitigationSimConfig { seed });
+            let out = execute_actions(
+                &j,
+                50.0,
+                &actions,
+                &MitigationSimConfig {
+                    seed,
+                    node_resample: false,
+                },
+            );
             assert!(out.jct_mitigated <= out.jct_baseline);
             assert_eq!(out.completions.len(), 5);
         }
+    }
+
+    #[test]
+    fn node_resample_draws_from_other_nodes_only() {
+        // Node 0 is sick: its tasks are 100+. Node 1 is healthy: 1..=3.
+        let latencies = [100.0, 120.0, 1.0, 2.0, 3.0];
+        let tasks: Vec<TaskRecord> = latencies
+            .iter()
+            .enumerate()
+            .map(|(id, &l)| TaskRecord::new(id, l, vec![vec![0.0]]))
+            .collect();
+        let j = JobTrace::new(9, vec!["f".into()], vec![1.0], tasks)
+            .unwrap()
+            .with_nodes(vec![0, 0, 1, 1, 1])
+            .unwrap();
+        let cfg = MitigationSimConfig {
+            node_resample: true,
+            ..MitigationSimConfig::default()
+        };
+        // Quarantine a sick-node task at t=50: the node pool is {1,2,3}
+        // only (never the co-located 120.0), so the relaunch always
+        // completes by 53.
+        let out = execute_actions(
+            &j,
+            50.0,
+            &[record(0, 50.0, MitigationAction::Quarantine)],
+            &cfg,
+        );
+        assert!(out.completions[0].time <= 53.0);
+        assert!(out.completions[0].via_mitigation);
+
+        // Disabled, placement is ignored: identical to a placement-free
+        // trace (the pre-node-model pool).
+        let legacy = execute_actions(
+            &j,
+            50.0,
+            &[record(0, 50.0, MitigationAction::Quarantine)],
+            &MitigationSimConfig::default(),
+        );
+        let bare = execute_actions(
+            &j.clone(),
+            50.0,
+            &[record(0, 50.0, MitigationAction::Quarantine)],
+            &MitigationSimConfig::default(),
+        );
+        assert_eq!(legacy, bare);
+    }
+
+    #[test]
+    fn node_resample_without_placement_matches_fleet_pool() {
+        let j = job(&[1.0, 2.0, 3.0, 100.0]);
+        let with = execute_actions(
+            &j,
+            50.0,
+            &[record(3, 4.0, MitigationAction::Clone)],
+            &MitigationSimConfig {
+                node_resample: true,
+                ..MitigationSimConfig::default()
+            },
+        );
+        let without = execute_actions(
+            &j,
+            50.0,
+            &[record(3, 4.0, MitigationAction::Clone)],
+            &MitigationSimConfig::default(),
+        );
+        assert_eq!(with, without);
     }
 
     #[test]

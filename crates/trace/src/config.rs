@@ -1,5 +1,7 @@
 //! Suite-level generation configuration.
 
+use crate::node::NodeModelConfig;
+
 /// Which production trace family to imitate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceStyle {
@@ -103,6 +105,12 @@ pub struct SuiteConfig {
     /// values above `1.0` exaggerate the tail. The mitigation experiments
     /// sweep this knob to control how much a clone can possibly save.
     pub straggler_severity: f64,
+    /// Optional machine axis: a seeded fleet of nodes with per-node
+    /// health, task placement, and correlated latency factors for
+    /// co-located tasks (see [`NodeModelConfig`]). `None` (the default)
+    /// is **bit-identical** to the pre-node-model generator — no extra
+    /// RNG draws, no placement metadata, no node feature columns.
+    pub node_model: Option<NodeModelConfig>,
     /// Master RNG seed; each job derives its own stream from it.
     pub seed: u64,
 }
@@ -123,6 +131,7 @@ impl SuiteConfig {
             cause_mix: CauseMix::default(),
             long_tail_fraction: 0.5,
             straggler_severity: 1.0,
+            node_model: None,
             seed: 0x5ed_c0de,
         }
     }
@@ -201,6 +210,14 @@ impl SuiteConfig {
             "severity must be finite and >= 0"
         );
         self.straggler_severity = severity;
+        self
+    }
+
+    /// Enables the node model (machine placement + correlated per-node
+    /// straggler factors).
+    #[must_use]
+    pub fn with_node_model(mut self, model: NodeModelConfig) -> Self {
+        self.node_model = Some(model);
         self
     }
 }

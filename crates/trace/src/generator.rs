@@ -9,6 +9,12 @@ use crate::config::{SuiteConfig, TraceStyle};
 use crate::dist;
 use crate::features::{self, JobBaselines, ALIBABA_FEATURES, GOOGLE_FEATURES};
 use crate::latency::{plan_job, LatencyFamily};
+use crate::node::NodeModel;
+
+/// Names of the feature columns the node-model overlay appends (in
+/// order): co-resident task count on the task's node, and the node's
+/// rolling straggler rate among its finished tasks.
+pub const NODE_FEATURES: [&str; 2] = ["node_coresident", "node_strag_rate"];
 
 /// Generates one job deterministically from `(config, job_id)`.
 ///
@@ -49,7 +55,7 @@ pub fn generate_job_detailed(
         config.long_tail_fraction,
         config.straggler_severity,
     );
-    let plans = plan_job(
+    let mut plans = plan_job(
         &mut rng,
         n_tasks,
         median,
@@ -90,14 +96,118 @@ pub fn generate_job_detailed(
         })
         .collect();
 
-    let feature_names: Vec<String> = match config.style {
+    let mut feature_names: Vec<String> = match config.style {
         TraceStyle::Google => GOOGLE_FEATURES.iter().map(|(n, _)| (*n).into()).collect(),
         TraceStyle::Alibaba => ALIBABA_FEATURES.iter().map(|(n, _)| (*n).into()).collect(),
     };
 
+    // The node model is a pure overlay: the base stream above never saw
+    // it, so a `None` model is bit-identical to the pre-node-model
+    // generator. When enabled, co-located tasks are stretched by their
+    // node's factor, the checkpoint schedule is re-derived (same formula
+    // over the new max latency), snapshots are re-frozen at each task's
+    // *new* finishing checkpoint, and two node feature columns are
+    // appended (no extra RNG draws anywhere on this path).
+    let placement = config.node_model.as_ref().map(|nm| {
+        let model = NodeModel::build(nm, config.straggler_severity);
+        (model.placement(job_id, n_tasks), model)
+    });
+    let (tasks, checkpoint_times, placement) = match placement {
+        None => (tasks, checkpoint_times, None),
+        Some((placement, model)) => {
+            for (plan, &node) in plans.iter_mut().zip(&placement) {
+                plan.latency *= model.factor(node);
+            }
+            let max_latency = plans
+                .iter()
+                .map(|p| p.latency)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let horizon = max_latency * 1.02;
+            let new_times: Vec<f64> = (1..=config.checkpoints)
+                .map(|k| horizon * k as f64 / config.checkpoints as f64)
+                .collect();
+
+            // Per-node bookkeeping for the derived columns.
+            let coresident: Vec<f64> = placement
+                .iter()
+                .map(|&n| placement.iter().filter(|&&m| m == n).count() as f64)
+                .collect();
+            let threshold = quantile(plans.iter().map(|p| p.latency).collect(), 0.9);
+            // finishing ordinal of each task under the new schedule
+            let fin_at: Vec<usize> = plans
+                .iter()
+                .map(|p| new_times.partition_point(|&t| t < p.latency))
+                .collect();
+            // rate[k][node] = straggler share among node's tasks finished
+            // by checkpoint k (0 while none have finished).
+            let node_count = model.node_count() as usize;
+            let mut rate = vec![vec![0.0f64; node_count]; config.checkpoints];
+            for (k, row) in rate.iter_mut().enumerate() {
+                for (node, slot) in row.iter_mut().enumerate() {
+                    let mut fin = 0u32;
+                    let mut strag = 0u32;
+                    for (t, plan) in plans.iter().enumerate() {
+                        if placement[t] as usize == node && fin_at[t] <= k {
+                            fin += 1;
+                            if plan.latency >= threshold {
+                                strag += 1;
+                            }
+                        }
+                    }
+                    if fin > 0 {
+                        *slot = f64::from(strag) / f64::from(fin);
+                    }
+                }
+            }
+
+            let tasks: Vec<TaskRecord> = tasks
+                .iter()
+                .enumerate()
+                .map(|(t, task)| {
+                    let kstar = fin_at[t].min(config.checkpoints - 1);
+                    let node = placement[t] as usize;
+                    let series: Vec<Vec<f64>> = (0..config.checkpoints)
+                        .map(|k| {
+                            let e = k.min(kstar);
+                            let mut snap = task.snapshot(e).to_vec();
+                            snap.push(coresident[t]);
+                            snap.push(rate[e][node]);
+                            snap
+                        })
+                        .collect();
+                    TaskRecord::new(t, plans[t].latency, series)
+                })
+                .collect();
+            feature_names.extend(NODE_FEATURES.iter().map(|n| (*n).to_string()));
+            (tasks, new_times, Some(placement))
+        }
+    };
+
     let trace = JobTrace::new(job_id, feature_names, checkpoint_times, tasks)
         .expect("generator produces structurally valid jobs");
+    let trace = match placement {
+        Some(nodes) => trace
+            .with_nodes(nodes)
+            .expect("placement covers every task"),
+        None => trace,
+    };
     (trace, plans)
+}
+
+/// Interpolated latency quantile (the same order-statistic interpolation
+/// [`JobTrace::straggler_threshold`] uses, applied before the trace
+/// object exists).
+fn quantile(mut values: Vec<f64>, q: f64) -> f64 {
+    values.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (values.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        values[lo]
+    } else {
+        let frac = pos - lo as f64;
+        values[lo] * (1.0 - frac) + values[hi] * frac
+    }
 }
 
 /// Generates the whole suite.
@@ -220,6 +330,77 @@ mod tests {
                 assert!(snap.iter().all(|v| v.is_finite()));
             }
         }
+    }
+
+    #[test]
+    fn node_model_overlay_places_stretches_and_appends_columns() {
+        use crate::node::{NodeModel, NodeModelConfig};
+        let nm = NodeModelConfig::new(6).with_unhealthy(1, 1).with_seed(0x11);
+        let base_cfg = tiny(TraceStyle::Google);
+        let node_cfg = base_cfg.clone().with_node_model(nm);
+        let base = generate_job(&base_cfg, 0);
+        let noded = generate_job(&node_cfg, 0);
+
+        // Placement exists, covers every task, and the derived columns
+        // are appended after the base feature set.
+        let placement = noded.node_placement().expect("placement attached");
+        assert_eq!(placement.len(), noded.task_count());
+        assert_eq!(noded.feature_dim(), base.feature_dim() + 2);
+        assert_eq!(
+            &noded.feature_names()[base.feature_dim()..],
+            &["node_coresident", "node_strag_rate"]
+        );
+
+        // Tasks on unhealthy nodes are stretched by exactly their node's
+        // factor; healthy-node tasks keep their base latency.
+        let model = NodeModel::build(&nm, 1.0);
+        for (t, task) in noded.tasks().iter().enumerate() {
+            let factor = model.factor(placement[t]);
+            let expect = base.tasks()[t].latency() * factor;
+            assert!(
+                (task.latency() - expect).abs() < 1e-9,
+                "task {t} latency {} != base*factor {expect}",
+                task.latency()
+            );
+        }
+
+        // Frozen-after-completion holds for the rebuilt snapshots.
+        for task in noded.tasks() {
+            let kstar = noded
+                .checkpoint_times()
+                .iter()
+                .position(|&ct| ct >= task.latency())
+                .expect("horizon covers every task");
+            for k in kstar..noded.checkpoint_count() {
+                assert_eq!(task.snapshot(k), task.snapshot(kstar));
+            }
+        }
+
+        // The sick node's rolling straggler rate ends high; an all-healthy
+        // node's stays lower. Use the last checkpoint's column value.
+        let sick = model.sick_nodes()[0];
+        let last = noded.checkpoint_count() - 1;
+        let rate_col = base.feature_dim() + 1;
+        let sick_task = (0..noded.task_count()).find(|&t| placement[t] == sick);
+        if let Some(t) = sick_task {
+            let rate = noded.tasks()[t].snapshot(last)[rate_col];
+            // The p90 threshold rises with the stretched tail, so not
+            // every sick-node task ends above it — but a clear plurality
+            // does, far above the ~10% fleet-wide base rate.
+            assert!(rate > 0.3, "sick node rate {rate} should be elevated");
+        }
+    }
+
+    #[test]
+    fn disabled_node_model_is_bit_identical_to_default_config() {
+        // `node_model: None` must not perturb a single RNG draw.
+        let cfg = tiny(TraceStyle::Google);
+        let mut explicit = cfg.clone();
+        explicit.node_model = None;
+        assert_eq!(generate_job(&cfg, 3), generate_job(&explicit, 3));
+        let job = generate_job(&cfg, 3);
+        assert!(job.node_placement().is_none());
+        assert_eq!(job.feature_dim(), 15);
     }
 
     proptest! {

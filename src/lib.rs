@@ -16,6 +16,12 @@
 //!   actions, and the [`mitigate::run_fleet`] harness prices the
 //!   committed action log in JCT and wasted work via
 //!   [`sim::execute_actions`].
+//! * [`health`] — the Guard-style node-health manager:
+//!   [`health::HealthAggregator`] attaches to the engine as a
+//!   [`serve::HealthObserver`], folds per-node straggler truth into
+//!   rolling rates, and renders [`health::NodeVerdict`]s that
+//!   [`mitigate::NodeAwarePolicy`] turns into machine quarantines
+//!   (the two-pass loop is [`mitigate::run_node_fleet`]).
 //! * [`serve`] — the concurrent streaming prediction service: producers
 //!   push from any thread through cloneable `EngineHandle`s into
 //!   per-shard MPSC ingress queues, a background drain service scores
@@ -60,6 +66,7 @@
 pub use nurd_baselines as baselines;
 pub use nurd_core as core;
 pub use nurd_data as data;
+pub use nurd_health as health;
 pub use nurd_linalg as linalg;
 pub use nurd_mitigate as mitigate;
 pub use nurd_ml as ml;
