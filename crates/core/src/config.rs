@@ -28,6 +28,13 @@ pub struct NurdConfig {
     /// (the paper's protocol) or warm-started from the previous
     /// checkpoint's ensemble and bin layout. See [`RefitPolicy`].
     pub refit_policy: RefitPolicy,
+    /// Score running tasks through the flattened structure-of-arrays
+    /// ensemble ([`nurd_ml::FlatForest`], rebuilt once per refit) instead
+    /// of walking the pointer trees per task. The two paths are
+    /// **bit-identical** (property-tested), so this knob trades nothing
+    /// but wall-clock time; it exists so benches can isolate the layout's
+    /// effect. Default `true`.
+    pub flat_scoring: bool,
 }
 
 /// How the latency head is refit at each checkpoint.
@@ -131,6 +138,7 @@ impl Default for NurdConfig {
             },
             refit_every: 1,
             refit_policy: RefitPolicy::AlwaysCold,
+            flat_scoring: true,
         }
     }
 }
@@ -199,6 +207,15 @@ impl NurdConfig {
             }
         }
         self.refit_policy = policy;
+        self
+    }
+
+    /// Enables or disables flat-layout scoring (see
+    /// [`NurdConfig::flat_scoring`]); predictions are bit-identical either
+    /// way.
+    #[must_use]
+    pub fn with_flat_scoring(mut self, flat: bool) -> Self {
+        self.flat_scoring = flat;
         self
     }
 }

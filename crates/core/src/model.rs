@@ -2,7 +2,7 @@
 
 use nurd_data::{Checkpoint, OnlinePredictor, ScoredPrediction, StreamContext, TaskScore};
 use nurd_linalg::{FeatureMatrix, MatrixView};
-use nurd_ml::{GradientBoosting, LogisticRegression, SquaredLoss};
+use nurd_ml::{FlatForest, GradientBoosting, LogisticRegression, SquaredLoss};
 
 use crate::refit::WarmRefitState;
 use crate::{calibration, weighting, NurdConfig, RefitPolicy, RefitStats};
@@ -40,6 +40,9 @@ pub struct NurdPredictor {
     propensity_model: Option<LogisticRegression>,
     checkpoints_seen: usize,
     fit_failures: usize,
+    /// Batches scored through the flattened SoA kernel (diagnostic; lets
+    /// smoke gates assert the hot path was actually exercised).
+    flat_batches: usize,
     name: &'static str,
     /// Scratch buffers refilled in place at every checkpoint so the
     /// per-checkpoint refit allocates nothing beyond first use: the
@@ -48,6 +51,15 @@ pub struct NurdPredictor {
     scratch_x_all: FeatureMatrix,
     scratch_labels: Vec<f64>,
     scratch_y_fin: Vec<f64>,
+    /// Reused per-checkpoint output buffers for the batch scoring pass
+    /// (raw latency predictions and propensities over the running set).
+    scratch_raw: Vec<f64>,
+    scratch_prop: Vec<f64>,
+    /// Flattened structure-of-arrays copy of the current latency head
+    /// (see [`FlatForest`]): *derived* state, rebuilt after every refit
+    /// and lazily after a restore — never serialized. `None` until the
+    /// first fit or when [`crate::NurdConfig::flat_scoring`] is off.
+    flat: Option<FlatForest>,
     /// Cross-checkpoint state for warm [`RefitPolicy`] variants: the
     /// absorbed finished set, its quantization, and the latency model it
     /// carries. Unused (and empty) under [`RefitPolicy::AlwaysCold`],
@@ -77,10 +89,14 @@ impl NurdPredictor {
             propensity_model: None,
             checkpoints_seen: 0,
             fit_failures: 0,
+            flat_batches: 0,
             name,
             scratch_x_all: FeatureMatrix::new(),
             scratch_labels: Vec::new(),
             scratch_y_fin: Vec::new(),
+            scratch_raw: Vec::new(),
+            scratch_prop: Vec::new(),
+            flat: None,
             warm: WarmRefitState::new(),
         }
     }
@@ -97,6 +113,15 @@ impl NurdPredictor {
     #[must_use]
     pub fn fit_failures(&self) -> usize {
         self.fit_failures
+    }
+
+    /// Number of running-set batches scored through the flattened
+    /// structure-of-arrays kernel so far ([`crate::NurdConfig::flat_scoring`]);
+    /// stays zero on the pointer-tree path. Diagnostic only — smoke gates
+    /// use it to assert the hot path is actually exercised.
+    #[must_use]
+    pub fn flat_batches(&self) -> usize {
+        self.flat_batches
     }
 
     /// Warm/cold refit counters for the current job; all-zero under
@@ -138,6 +163,9 @@ impl NurdPredictor {
             || !have_latency_model;
         self.checkpoints_seen += 1;
         if refit {
+            // Invalidated up front so an early return on a failed fit can
+            // never leave the flat cache pointing at a superseded ensemble.
+            self.flat = None;
             match &self.config.refit_policy {
                 // The historical from-scratch path, kept byte-identical:
                 // bin and fit over the checkpoint's own row order.
@@ -202,6 +230,20 @@ impl NurdPredictor {
                 }
             }
         }
+        // Keep the flattened inference copy in sync: rebuilt after every
+        // refit and lazily after a restore (the flat layout is derived
+        // state, never serialized or snapshotted).
+        if self.config.flat_scoring {
+            if refit || self.flat.is_none() {
+                let model = match self.config.refit_policy {
+                    RefitPolicy::AlwaysCold => self.latency_model.as_ref(),
+                    _ => self.warm.model(),
+                };
+                self.flat = model.map(GradientBoosting::flatten);
+            }
+        } else {
+            self.flat = None;
+        }
         let h = match self.config.refit_policy {
             RefitPolicy::AlwaysCold => self.latency_model.as_ref(),
             _ => self.warm.model(),
@@ -210,14 +252,27 @@ impl NurdPredictor {
             return Vec::new();
         };
 
-        // Batch scoring over the zero-copy running-task view.
-        let raw_preds = h.predict_view(MatrixView::RowSlices(&x_run));
-        let propensities = g.predict_proba_view(MatrixView::RowSlices(&x_run));
+        // Batch scoring over the zero-copy running-task view: one
+        // structure-of-arrays pass per model into reused scratch, so the
+        // steady state allocates nothing here. The pointer-tree path stays
+        // selectable (`flat_scoring = false`) and is bit-identical.
+        match &self.flat {
+            Some(flat) => {
+                flat.predict_view_into(MatrixView::RowSlices(&x_run), &mut self.scratch_raw);
+                self.flat_batches += 1;
+            }
+            None => {
+                self.scratch_raw.clear();
+                self.scratch_raw
+                    .extend(h.predict_view(MatrixView::RowSlices(&x_run)));
+            }
+        }
+        g.predict_proba_view_into(MatrixView::RowSlices(&x_run), &mut self.scratch_prop);
         checkpoint
             .running
             .iter()
-            .zip(raw_preds.into_iter().zip(propensities))
-            .map(|(task, (raw, z))| {
+            .zip(self.scratch_raw.iter().zip(&self.scratch_prop))
+            .map(|(task, (&raw, &z))| {
                 let w = match self.delta {
                     Some(delta) => weighting::weight(z, delta, self.config.epsilon),
                     // NURD-NC: w = z, floored only to keep division defined.
@@ -247,6 +302,8 @@ impl OnlinePredictor for NurdPredictor {
         self.propensity_model = None;
         self.checkpoints_seen = 0;
         self.fit_failures = 0;
+        self.flat_batches = 0;
+        self.flat = None;
         self.warm.reset();
     }
 
@@ -341,6 +398,8 @@ impl OnlinePredictor for NurdPredictor {
         self.checkpoints_seen = checkpoints_seen;
         self.fit_failures = fit_failures;
         self.warm = warm;
+        // Derived from the restored model at the next scoring pass.
+        self.flat = None;
         true
     }
 }

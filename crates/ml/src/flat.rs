@@ -1,0 +1,779 @@
+//! Structure-of-arrays ensemble layout for the scoring hot path.
+//!
+//! [`RegressionTree`] stores its nodes as a `Vec` of two-variant enums —
+//! perfect for growth, hostile to inference: every traversal step pattern
+//! matches a 40-byte node and chases `usize` children through an allocation
+//! shared with split metadata the walk never reads. [`FlatForest`] re-lays
+//! an entire fitted ensemble into parallel primitive arrays once, so the
+//! per-event scoring loop of `nurd-core` touches only what it needs:
+//!
+//! ```text
+//!            node 0   node 1   node 2  …            (all trees, contiguous)
+//! feature   [  u32  ][  u32  ][  u32  ]   split feature (0 at leaves)
+//! split_bin [  u8   ][  u8   ][  u8   ]   bin-code threshold (MAX at leaves)
+//! threshold [  f64  ][  f64  ][  f64  ]   raw threshold (+∞ at leaves)
+//! children  [u32 u32][u32 u32][u32 u32]   left/right pairs; leaves self-loop
+//! value     [  f64  ][  f64  ][  f64  ]   leaf weight (0 at splits)
+//! ```
+//!
+//! Because every leaf's children point back at the leaf itself, a walk can
+//! run a **fixed** number of steps (the tree's depth) with one
+//! unconditional indexed load per step — `idx = children[2·idx + go_right]`
+//! — and no branch mispredicts on the routing decision. Past its leaf, a
+//! short path simply treads water.
+//!
+//! # Bit-for-bit equivalence
+//!
+//! Every batch kernel accumulates leaf values *tree by tree, in ensemble
+//! order*, exactly as the pointer-tree paths fold them
+//! (`trees.iter().map(...).sum::<f64>()` is a left fold from `0.0`), and
+//! applies `base_score + learning_rate · Σ` as the final step. Routing
+//! compares are the identical expressions (`x <= threshold` on raw
+//! features, `code <= split_bin` on bin codes — NaN routes right on both
+//! paths). The flat kernels are therefore **bit-identical** to
+//! [`RegressionTree::predict`] / [`RegressionTree::predict_binned`] sums,
+//! a property pinned by this module's differential proptests and the
+//! workspace-level `hot_path_equivalence` suite.
+
+use std::ops::Range;
+
+use nurd_linalg::MatrixView;
+
+use crate::binned::BinnedMatrix;
+use crate::tree::{Node, RegressionTree};
+
+/// A whole fitted ensemble flattened into contiguous structure-of-arrays
+/// node storage (see the module docs for the layout and the equivalence
+/// contract).
+///
+/// Build one with [`crate::GradientBoosting::flatten`] (or
+/// [`FlatForest::from_trees`] for raw trees), rebuild it whenever the
+/// source ensemble is refit, and score batches through
+/// [`FlatForest::predict_binned_batch`] / [`FlatForest::predict_view_into`].
+#[derive(Debug, Clone, Default)]
+pub struct FlatForest {
+    /// Split feature per node (`0` at leaves — never routed on, but kept a
+    /// valid index so the fixed-depth walk's loads stay in bounds).
+    feature: Vec<u32>,
+    /// Raw-feature threshold per node (`+∞` at leaves).
+    threshold: Vec<f64>,
+    /// Bin-code threshold per node (`u8::MAX` at leaves, or everywhere on
+    /// ensembles with exact-grown trees — see [`FlatForest::supports_binned`]).
+    split_bin: Vec<u8>,
+    /// Child pairs: `children[2i]` = left, `children[2i+1]` = right;
+    /// leaves store their own index twice (the self-loop).
+    children: Vec<u32>,
+    /// Leaf weight per node (`0.0` at splits; splits are never read back).
+    value: Vec<f64>,
+    /// Root node index of each tree.
+    roots: Vec<u32>,
+    /// Depth of each tree — how many routing steps the fixed walk takes.
+    depths: Vec<u32>,
+    base_score: f64,
+    learning_rate: f64,
+    /// Whether every flattened tree carried a bin-code cache.
+    binned_capable: bool,
+    /// `1 + max split feature index` over all nodes (0 with no splits).
+    /// Checked once per row/matrix so the walk itself can elide per-step
+    /// bounds checks: every reachable node's `feature` — including the
+    /// `0` stored at leaves — indexes below this.
+    min_width: u32,
+}
+
+impl FlatForest {
+    /// An empty forest (predicts `base_score` everywhere). Use
+    /// [`FlatForest::push_tree`] to grow it; `clear` + `push_tree` recycle
+    /// one instance across boosting rounds without reallocating.
+    #[must_use]
+    pub fn new(base_score: f64, learning_rate: f64) -> Self {
+        FlatForest {
+            base_score,
+            learning_rate,
+            binned_capable: true,
+            ..FlatForest::default()
+        }
+    }
+
+    /// Flattens an ensemble: trees in slice order (the order every
+    /// pointer-path sum folds them in).
+    #[must_use]
+    pub fn from_trees(trees: &[RegressionTree], base_score: f64, learning_rate: f64) -> Self {
+        let mut forest = FlatForest::new(base_score, learning_rate);
+        for tree in trees {
+            forest.push_tree(tree);
+        }
+        forest
+    }
+
+    /// Appends one tree's nodes to the arrays (becoming the new last tree
+    /// of the ensemble-order accumulation).
+    pub fn push_tree(&mut self, tree: &RegressionTree) {
+        let base = self.feature.len();
+        let nodes = tree.nodes();
+        let bins = tree.split_bins();
+        self.binned_capable &= tree.supports_binned_predict();
+        self.roots.push(base as u32);
+        self.depths.push(tree.depth() as u32);
+        self.feature.reserve(nodes.len());
+        self.threshold.reserve(nodes.len());
+        self.split_bin.reserve(nodes.len());
+        self.children.reserve(2 * nodes.len());
+        self.value.reserve(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            match node {
+                Node::Leaf { weight } => {
+                    self.feature.push(0);
+                    self.threshold.push(f64::INFINITY);
+                    self.split_bin.push(u8::MAX);
+                    let own = (base + i) as u32;
+                    self.children.push(own);
+                    self.children.push(own);
+                    self.value.push(*weight);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    self.feature.push(*feature as u32);
+                    self.threshold.push(*threshold);
+                    self.split_bin.push(bins.get(i).copied().unwrap_or(u8::MAX));
+                    self.children.push((base + *left) as u32);
+                    self.children.push((base + *right) as u32);
+                    self.value.push(0.0);
+                    self.min_width = self.min_width.max(*feature as u32 + 1);
+                }
+            }
+        }
+    }
+
+    /// Removes every tree while keeping the array capacities (and the
+    /// base score / learning rate) — the boosting loop's recycle path.
+    pub fn clear(&mut self) {
+        self.feature.clear();
+        self.threshold.clear();
+        self.split_bin.clear();
+        self.children.clear();
+        self.value.clear();
+        self.roots.clear();
+        self.depths.clear();
+        self.binned_capable = true;
+        self.min_width = 0;
+    }
+
+    /// Number of flattened trees.
+    #[must_use]
+    pub fn tree_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total nodes across all trees.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// The constant initial score `f₀` applied by the prediction kernels.
+    #[must_use]
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// The shrinkage applied to the accumulated leaf sum.
+    #[must_use]
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Whether the binned kernels are available (every flattened tree was
+    /// histogram-grown and carries its bin-code cache).
+    #[must_use]
+    pub fn supports_binned(&self) -> bool {
+        self.binned_capable
+    }
+
+    /// Ensemble score for a single raw-feature sample — bit-identical to
+    /// the pointer path `base + lr · Σ_t tree_t.predict(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is narrower than a split feature index.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (t, &root) in self.roots.iter().enumerate() {
+            let mut idx = root as usize;
+            for _ in 0..self.depths[t] {
+                // NaN fails the compare and routes right, as on all paths.
+                let go_left = features[self.feature[idx] as usize] <= self.threshold[idx];
+                idx = self.children[2 * idx + 1 - usize::from(go_left)] as usize;
+            }
+            acc += self.value[idx];
+        }
+        self.base_score + self.learning_rate * acc
+    }
+
+    /// Scores every row of a matrix view into `out` (cleared and refilled
+    /// — the reusable-buffer twin of `predict_view`). Bit-identical to
+    /// [`crate::GradientBoosting::predict_view`] on the source ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is narrower than a split feature index.
+    pub fn predict_view_into(&self, xs: MatrixView<'_>, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(xs.rows(), 0.0);
+        self.accumulate_view(xs, 1.0, out);
+        for v in out.iter_mut() {
+            *v = self.base_score + self.learning_rate * *v;
+        }
+    }
+
+    /// Allocating convenience wrapper over [`FlatForest::predict_view_into`].
+    #[must_use]
+    pub fn predict_view(&self, xs: MatrixView<'_>) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_view_into(xs, &mut out);
+        out
+    }
+
+    /// Scores the half-open row range `rows` of a binned matrix, appending
+    /// one score per row to `out` — the warm-start suffix-replay kernel.
+    /// Bit-identical to `base + lr · Σ_t tree_t.predict_binned(row)` per
+    /// row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the forest contains exact-grown trees (no bin-code
+    /// cache; see [`FlatForest::supports_binned`]) or `rows` exceeds the
+    /// matrix.
+    pub fn predict_binned_extend(
+        &self,
+        binned: &BinnedMatrix,
+        rows: Range<usize>,
+        out: &mut Vec<f64>,
+    ) {
+        let start = out.len();
+        out.resize(start + rows.len(), 0.0);
+        let acc = &mut out[start..];
+        self.accumulate_binned_from(binned, rows.start, 1.0, acc);
+        for v in acc.iter_mut() {
+            *v = self.base_score + self.learning_rate * *v;
+        }
+    }
+
+    /// Batch ensemble scores for the row range `rows` of a binned matrix —
+    /// the whole-barrier scoring entry point. Allocating wrapper over
+    /// [`FlatForest::predict_binned_extend`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FlatForest::predict_binned_extend`].
+    #[must_use]
+    pub fn predict_binned_batch(&self, binned: &BinnedMatrix, rows: Range<usize>) -> Vec<f64> {
+        let mut out = Vec::with_capacity(rows.len());
+        self.predict_binned_extend(binned, rows, &mut out);
+        out
+    }
+
+    /// `scores[i] += scale · leaf_t(row i)` for every tree `t` in ensemble
+    /// order, over rows `0..scores.len()` of the binned matrix — the
+    /// boosting-round score-update kernel (one freshly fit tree, `scale` =
+    /// learning rate). `base_score`/`learning_rate` are **not** applied.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FlatForest::predict_binned_extend`].
+    pub fn accumulate_binned(&self, binned: &BinnedMatrix, scale: f64, scores: &mut [f64]) {
+        self.accumulate_binned_from(binned, 0, scale, scores);
+    }
+
+    /// `scores[i] += scale · leaf_t(row i)` for every tree in ensemble
+    /// order, reading raw features from the view — the exact-growth twin
+    /// of [`FlatForest::accumulate_binned`].
+    pub fn accumulate_view(&self, xs: MatrixView<'_>, scale: f64, scores: &mut [f64]) {
+        // Row-major views get a monomorphized kernel with the row slice
+        // hoisted out of the walk; the (cold-path) column-major view
+        // falls back to per-cell access.
+        match xs {
+            MatrixView::Rows(rows) => self.accumulate_rows(|i| rows[i].as_slice(), scale, scores),
+            MatrixView::RowSlices(rows) => self.accumulate_rows(|i| rows[i], scale, scores),
+            columns => {
+                for (t, &root) in self.roots.iter().enumerate() {
+                    let root = root as usize;
+                    let depth = self.depths[t];
+                    if depth == 0 {
+                        let w = scale * self.value[root];
+                        for s in scores.iter_mut() {
+                            *s += w;
+                        }
+                        continue;
+                    }
+                    for (row, s) in scores.iter_mut().enumerate() {
+                        let mut idx = root;
+                        for _ in 0..depth {
+                            let x = columns.get(row, self.feature[idx] as usize);
+                            let go_left = x <= self.threshold[idx];
+                            idx = self.children[2 * idx + 1 - usize::from(go_left)] as usize;
+                        }
+                        *s += scale * self.value[idx];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tree-outer / row-inner raw-feature walker. The row-fetch closure is
+    /// monomorphized per view variant, so the inner loop is pure indexed
+    /// loads plus one branchless select per step; consecutive rows' walks
+    /// carry independent load chains the CPU overlaps. The walk is
+    /// dispatched on the tree's depth so the common shallow depths get a
+    /// fully unrolled step sequence.
+    fn accumulate_rows<'a>(
+        &self,
+        row: impl Fn(usize) -> &'a [f64],
+        scale: f64,
+        scores: &mut [f64],
+    ) {
+        /// One fixed-depth descent, no per-step bounds checks.
+        ///
+        /// # Safety
+        ///
+        /// `features.len() >= forest.min_width`, and `root` must be one of
+        /// `forest.roots` (then every step stays on indices `push_tree`
+        /// wrote: `children` entries and roots are valid node indices, and
+        /// every reachable node's `feature` — `0` at self-looping leaves —
+        /// is below `min_width`).
+        #[inline(always)]
+        unsafe fn walk(forest: &FlatForest, features: &[f64], root: usize, depth: usize) -> usize {
+            let mut idx = root;
+            for _ in 0..depth {
+                // SAFETY: the caller's contract above.
+                unsafe {
+                    let x = *features.get_unchecked(*forest.feature.get_unchecked(idx) as usize);
+                    let go_left = x <= *forest.threshold.get_unchecked(idx);
+                    idx = *forest
+                        .children
+                        .get_unchecked(2 * idx + 1 - usize::from(go_left))
+                        as usize;
+                }
+            }
+            idx
+        }
+        let min_width = self.min_width as usize;
+        let value = self.value.as_slice();
+        // Row-outer: the row slice and the running sum live in registers
+        // across the whole ensemble (one score store per row instead of
+        // one read-modify-write per tree), and the per-row tree walks are
+        // independent load chains the CPU overlaps. The addition sequence
+        // per score element is unchanged from tree-outer (tree order), so
+        // the result is bit-identical. The depth match makes the common
+        // shallow walks fully unrolled fixed-trip sequences.
+        for (i, s) in scores.iter_mut().enumerate() {
+            let features = row(i);
+            assert!(
+                features.len() >= min_width,
+                "row {i} is narrower ({}) than the forest's split features ({min_width})",
+                features.len()
+            );
+            let mut acc = *s;
+            for (t, &root) in self.roots.iter().enumerate() {
+                let root = root as usize;
+                // SAFETY: the row width was checked against `min_width`
+                // above; `root`/`depth` come from this forest's tables.
+                let idx = unsafe {
+                    match self.depths[t] as usize {
+                        0 => root,
+                        1 => walk(self, features, root, 1),
+                        2 => walk(self, features, root, 2),
+                        3 => walk(self, features, root, 3),
+                        4 => walk(self, features, root, 4),
+                        d => walk(self, features, root, d),
+                    }
+                };
+                acc += scale * value[idx];
+            }
+            *s = acc;
+        }
+    }
+
+    /// The shared binned walker: `scores[j] += scale · leaf(first_row + j)`
+    /// per tree, ensemble order.
+    fn accumulate_binned_from(
+        &self,
+        binned: &BinnedMatrix,
+        first_row: usize,
+        scale: f64,
+        scores: &mut [f64],
+    ) {
+        assert!(
+            self.binned_capable,
+            "binned kernels require histogram-grown trees (bin-code cache)"
+        );
+        assert!(
+            first_row + scores.len() <= binned.rows(),
+            "row range {}..{} out of bounds for {} matrix rows",
+            first_row,
+            first_row + scores.len(),
+            binned.rows()
+        );
+        if scores.is_empty() {
+            return;
+        }
+        // One slice per feature, hoisted out of the walk so the inner loop
+        // is pure indexed loads (the only allocation in this kernel, a few
+        // machine words per feature).
+        let cols: Vec<&[u8]> = (0..binned.features()).map(|f| binned.codes(f)).collect();
+        assert!(
+            cols.len() >= self.min_width as usize,
+            "binned matrix is narrower ({}) than the forest's split features ({})",
+            cols.len(),
+            self.min_width
+        );
+        assert!(
+            cols.iter().all(|c| c.len() == binned.rows()),
+            "every bin-code column must span all {} rows",
+            binned.rows()
+        );
+        /// One fixed-depth descent, no per-step bounds checks.
+        ///
+        /// # Safety
+        ///
+        /// `cols.len() >= forest.min_width` with every column at least
+        /// `row + 1` long, and `root` must be one of `forest.roots` (then
+        /// every step stays on indices `push_tree` wrote: `children`
+        /// entries and roots are valid node indices, and every reachable
+        /// node's `feature` — `0` at self-looping leaves — is below
+        /// `min_width`).
+        #[inline(always)]
+        unsafe fn walk(
+            forest: &FlatForest,
+            cols: &[&[u8]],
+            row: usize,
+            root: usize,
+            depth: usize,
+        ) -> usize {
+            let mut idx = root;
+            for _ in 0..depth {
+                // SAFETY: the caller's contract above.
+                unsafe {
+                    let code = *cols
+                        .get_unchecked(*forest.feature.get_unchecked(idx) as usize)
+                        .get_unchecked(row);
+                    let go_right = code > *forest.split_bin.get_unchecked(idx);
+                    idx = *forest
+                        .children
+                        .get_unchecked(2 * idx + usize::from(go_right))
+                        as usize;
+                }
+            }
+            idx
+        }
+        let value = self.value.as_slice();
+        // Row-outer with a register accumulator, same shape (and the same
+        // bit-identity argument) as the raw-feature walker above.
+        for (j, s) in scores.iter_mut().enumerate() {
+            let row = first_row + j;
+            let mut acc = *s;
+            for (t, &root) in self.roots.iter().enumerate() {
+                let root = root as usize;
+                // SAFETY: the matrix width was checked against `min_width`
+                // and every column's length against `binned.rows()` above
+                // (`row < binned.rows()` by the range assert); `root` and
+                // `depth` come from this forest's tables.
+                let idx = unsafe {
+                    match self.depths[t] as usize {
+                        0 => root,
+                        1 => walk(self, &cols, row, root, 1),
+                        2 => walk(self, &cols, row, root, 2),
+                        3 => walk(self, &cols, row, root, 3),
+                        4 => walk(self, &cols, row, root, 4),
+                        d => walk(self, &cols, row, root, d),
+                    }
+                };
+                acc += scale * value[idx];
+            }
+            *s = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GbtConfig, GradientBoosting, SquaredLoss, TreeConfig, TreeGrowth};
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random rows with mild structure (and exact
+    /// duplicates, exercising shared bin codes).
+    fn rows(n: usize, d: usize, salt: u64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|c| {
+                        let h = (i as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add((c as u64) << 7)
+                            .wrapping_add(salt);
+                        ((h >> 33) % 97) as f64 / 9.7 - 5.0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn targets(x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(c, v)| (c as f64 + 1.0) * v)
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_forest_predicts_base_score() {
+        let forest = FlatForest::new(2.5, 0.3);
+        assert_eq!(forest.predict(&[1.0, 2.0]), 2.5);
+        assert_eq!(forest.tree_count(), 0);
+        assert!(forest.supports_binned());
+        let x = rows(4, 2, 1);
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), 16);
+        assert_eq!(forest.predict_binned_batch(&binned, 0..4), vec![2.5; 4]);
+    }
+
+    #[test]
+    fn flatten_matches_pointer_paths_bit_for_bit() {
+        let x = rows(120, 3, 7);
+        let y = targets(&x);
+        let cfg = GbtConfig {
+            n_rounds: 25,
+            ..GbtConfig::default()
+        };
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let model = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        let flat = model.flatten();
+        assert_eq!(flat.tree_count(), model.tree_count());
+        let batch = flat.predict_binned_batch(&binned, 0..x.len());
+        for (i, row) in x.iter().enumerate() {
+            assert_eq!(flat.predict(row), model.predict(row), "raw row {i}");
+            assert_eq!(batch[i], model.predict(row), "binned row {i}");
+        }
+        assert_eq!(
+            flat.predict_view(MatrixView::Rows(&x)),
+            model.predict_view(MatrixView::Rows(&x))
+        );
+    }
+
+    #[test]
+    fn exact_grown_forest_supports_raw_but_not_binned() {
+        let x = rows(40, 2, 3);
+        let y = targets(&x);
+        let cfg = GbtConfig {
+            n_rounds: 5,
+            tree: TreeConfig {
+                growth: TreeGrowth::Exact,
+                ..TreeConfig::default()
+            },
+            ..GbtConfig::default()
+        };
+        let model = GradientBoosting::fit(&x, &y, SquaredLoss, &cfg).unwrap();
+        let flat = model.flatten();
+        assert!(!flat.supports_binned());
+        for row in &x {
+            assert_eq!(flat.predict(row), model.predict(row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "binned kernels require histogram-grown trees")]
+    fn binned_kernel_rejects_exact_grown_trees() {
+        let x = rows(30, 2, 9);
+        let y = targets(&x);
+        let cfg = GbtConfig {
+            n_rounds: 3,
+            tree: TreeConfig {
+                growth: TreeGrowth::Exact,
+                ..TreeConfig::default()
+            },
+            ..GbtConfig::default()
+        };
+        let model = GradientBoosting::fit(&x, &y, SquaredLoss, &cfg).unwrap();
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), 256);
+        let _ = model.flatten().predict_binned_batch(&binned, 0..x.len());
+    }
+
+    #[test]
+    fn leaf_only_trees_walk_zero_steps() {
+        // min_split_gain so high no split survives: every tree is a single
+        // leaf (the "max-depth leaf-only" edge case — depth 0, the fixed
+        // walk must not touch features at all).
+        let x = rows(25, 2, 11);
+        let y = targets(&x);
+        let cfg = GbtConfig {
+            n_rounds: 4,
+            tree: TreeConfig {
+                min_split_gain: f64::INFINITY,
+                ..TreeConfig::default()
+            },
+            ..GbtConfig::default()
+        };
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let model = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        let flat = model.flatten();
+        let batch = flat.predict_binned_batch(&binned, 0..x.len());
+        for (i, row) in x.iter().enumerate() {
+            assert_eq!(batch[i], model.predict(row));
+            // Features can be anything for a leaf-only ensemble — even empty.
+            assert_eq!(flat.predict(&[]), model.predict(row));
+        }
+    }
+
+    #[test]
+    fn single_bin_features_route_identically() {
+        // Constant columns collapse to a single bin; splits on them are
+        // impossible, but the walk must still be in-bounds and identical.
+        let mut x = rows(30, 3, 13);
+        for row in &mut x {
+            row[1] = 4.2;
+        }
+        let y = targets(&x);
+        let cfg = GbtConfig {
+            n_rounds: 8,
+            ..GbtConfig::default()
+        };
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let model = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        let flat = model.flatten();
+        let batch = flat.predict_binned_batch(&binned, 0..x.len());
+        for (i, row) in x.iter().enumerate() {
+            assert_eq!(batch[i], model.predict(row));
+        }
+    }
+
+    #[test]
+    fn subranges_and_extend_agree_with_full_batch() {
+        let x = rows(60, 2, 17);
+        let y = targets(&x);
+        let cfg = GbtConfig {
+            n_rounds: 10,
+            ..GbtConfig::default()
+        };
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let model = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        let flat = model.flatten();
+        let full = flat.predict_binned_batch(&binned, 0..60);
+        assert_eq!(flat.predict_binned_batch(&binned, 20..45), full[20..45]);
+        assert_eq!(flat.predict_binned_batch(&binned, 7..7), Vec::<f64>::new());
+        let mut out = vec![-1.0; 3];
+        flat.predict_binned_extend(&binned, 10..20, &mut out);
+        assert_eq!(out[..3], [-1.0; 3], "extend must not clobber the prefix");
+        assert_eq!(out[3..], full[10..20]);
+    }
+
+    #[test]
+    fn clear_and_push_recycle_matches_fresh_build() {
+        let x = rows(50, 2, 19);
+        let y = targets(&x);
+        let cfg = GbtConfig {
+            n_rounds: 6,
+            ..GbtConfig::default()
+        };
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let model = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        let fresh = model.flatten();
+        let mut recycled = FlatForest::new(model.base_score(), model.learning_rate());
+        // Dirty it first, then recycle — the boosting loop's usage pattern.
+        recycled.push_tree(&model.trees()[0]);
+        recycled.clear();
+        for tree in model.trees() {
+            recycled.push_tree(tree);
+        }
+        assert_eq!(
+            recycled.predict_binned_batch(&binned, 0..x.len()),
+            fresh.predict_binned_batch(&binned, 0..x.len())
+        );
+    }
+
+    proptest! {
+        /// Differential property (satellite 1): across random data shapes,
+        /// depths, thread hints, and subtraction settings, the flat batch
+        /// kernel, the per-tree binned walk, and the exact-mode raw walk
+        /// agree bit-for-bit on the training matrix.
+        #[test]
+        fn prop_flat_equals_pointer_paths(
+            n in 12usize..70,
+            d in 1usize..4,
+            depth in 1usize..6,
+            rounds in 1usize..14,
+            max_bins in 2usize..32,
+            threads in 1usize..3,
+            subtraction_bit in 0u8..2,
+            salt in 0u64..1000,
+        ) {
+            let subtraction = subtraction_bit == 1;
+            let x = rows(n, d, salt);
+            let y = targets(&x);
+            let cfg = GbtConfig {
+                n_rounds: rounds,
+                tree: TreeConfig {
+                    max_depth: depth,
+                    max_bins,
+                    hist_subtraction: subtraction,
+                    n_threads: threads,
+                    ..TreeConfig::default()
+                },
+                ..GbtConfig::default()
+            };
+            let binned = BinnedMatrix::build_for(MatrixView::Rows(&x), &cfg.tree);
+            let model = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+            let flat = model.flatten();
+            let batch = flat.predict_binned_batch(&binned, 0..n);
+            for (i, row) in x.iter().enumerate() {
+                prop_assert_eq!(batch[i], model.predict(row), "row {}", i);
+                prop_assert_eq!(flat.predict(row), model.predict(row), "raw row {}", i);
+            }
+        }
+
+        /// Differential property across a warm-start append: the rebuilt
+        /// flat forest stays bit-identical to the grown pointer ensemble,
+        /// on both the original prefix and the appended suffix.
+        #[test]
+        fn prop_flat_survives_warm_start_rebuild(
+            n in 30usize..80,
+            extra in 2usize..12,
+            salt in 0u64..500,
+        ) {
+            let x = rows(n, 2, salt);
+            let y = targets(&x);
+            let split = n * 2 / 3;
+            let cfg = GbtConfig { n_rounds: 8, ..GbtConfig::default() };
+            let mut binned = BinnedMatrix::build(MatrixView::Rows(&x[..split]), cfg.tree.max_bins);
+            let prev =
+                GradientBoosting::fit_binned(&binned, &y[..split], SquaredLoss, &cfg).unwrap();
+            binned.append_from(MatrixView::Rows(&x));
+            let grown =
+                GradientBoosting::warm_start(&prev, &binned, &y, extra, &cfg).unwrap();
+            let flat = grown.flatten();
+            prop_assert_eq!(flat.tree_count(), grown.tree_count());
+            let batch = flat.predict_binned_batch(&binned, 0..n);
+            for (i, row) in x.iter().enumerate() {
+                prop_assert_eq!(flat.predict(row), grown.predict(row), "raw row {}", i);
+            }
+            // And the batch kernel agrees with the per-tree binned walk.
+            let per_tree = (0..n).map(|i| {
+                grown.base_score()
+                    + grown.learning_rate()
+                        * grown.trees().iter()
+                            .map(|t| t.predict_binned(&binned, i))
+                            .sum::<f64>()
+            });
+            for (i, expect) in per_tree.enumerate() {
+                prop_assert_eq!(batch[i], expect, "binned row {}", i);
+            }
+        }
+    }
+}

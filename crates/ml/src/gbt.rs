@@ -352,12 +352,14 @@ impl<L: Loss> GradientBoosting<L> {
         }
 
         // Replay the previous ensemble over bin codes — u8 compares, no
-        // f64 feature loads — for the rows the cache does not cover.
+        // f64 feature loads — for the rows the cache does not cover. The
+        // flat batch kernel accumulates tree-by-tree in ensemble order,
+        // bit-identical to the historical per-row `predict_binned` sum.
         let cached = scores.len();
-        scores.extend((cached..binned.rows()).map(|i| {
-            let tree_sum: f64 = prev.trees.iter().map(|t| t.predict_binned(binned, i)).sum();
-            prev.base_score + prev.learning_rate * tree_sum
-        }));
+        if cached < binned.rows() {
+            prev.flatten()
+                .predict_binned_extend(binned, cached..binned.rows(), scores);
+        }
 
         let mut trees = prev.trees.clone();
         trees.reserve(extra_rounds);
@@ -435,6 +437,27 @@ impl<L: Loss> GradientBoosting<L> {
     pub fn base_score(&self) -> f64 {
         self.base_score
     }
+
+    /// The shrinkage each tree's output is scaled by.
+    #[must_use]
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Flattens the ensemble into the structure-of-arrays inference layout
+    /// ([`crate::FlatForest`]) — bit-identical predictions, cache-friendly
+    /// batch traversal. Rebuild after every refit / warm start; the flat
+    /// copy does not track later changes to `self`.
+    #[must_use]
+    pub fn flatten(&self) -> crate::FlatForest {
+        crate::FlatForest::from_trees(self.trees(), self.base_score, self.learning_rate)
+    }
+
+    /// Tree storage, ensemble order (the order every prediction sum folds
+    /// them in).
+    pub(crate) fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
 }
 
 fn check_gbt_config(config: &GbtConfig) -> Result<(), MlError> {
@@ -481,6 +504,11 @@ fn boost_rounds<L: Loss>(
 
     let mut grads = vec![0.0; n];
     let mut hess = vec![0.0; n];
+    // One flat single-tree scratch recycled across rounds: the per-round
+    // score update walks the freshly fit tree over all rows through the
+    // structure-of-arrays kernel instead of re-walking the pointer tree
+    // per row (`scores[i] += lr · leaf(i)` either way, bit-for-bit).
+    let mut flat = crate::FlatForest::new(0.0, 1.0);
     for _round in 0..rounds {
         // Subsampling selects indices into the shared matrix — rows
         // are never materialized. With subsample == 1.0 the identity
@@ -503,17 +531,13 @@ fn boost_rounds<L: Loss>(
                 RegressionTree::fit_exact_rows(x, &grads, &hess, rows.to_vec(), &config.tree)
             }
         };
+        flat.clear();
+        flat.push_tree(&tree);
         match binned {
-            Some(binned) => {
-                for (i, score) in scores.iter_mut().enumerate() {
-                    *score += learning_rate * tree.predict_binned(binned, i);
-                }
-            }
+            Some(binned) => flat.accumulate_binned(binned, learning_rate, scores),
             None => {
                 let x = x.expect("exact growth requires a raw matrix view");
-                for (i, score) in scores.iter_mut().enumerate() {
-                    *score += learning_rate * tree.predict_at(x, i);
-                }
+                flat.accumulate_view(x, learning_rate, scores);
             }
         }
         trees.push(tree);

@@ -53,10 +53,18 @@
 //!   previous ensemble over such a grown matrix
 //!   ([`GradientBoosting::fit_binned`] is the matching cold entry);
 //! * [`RegressionTree::predict_binned`] replays trees over contiguous
-//!   `u8` bin codes, which also serves every boosting round's score
-//!   update inside `fit` — raw `f64` features are never touched in a
+//!   `u8` bin codes — raw `f64` features are never touched in a
 //!   histogram-mode fit. Histogram construction itself uses LightGBM-style
 //!   sibling subtraction (see [`TreeConfig::hist_subtraction`]).
+//!
+//! # The flat inference layout
+//!
+//! Fitted ensembles flatten into [`FlatForest`] — a structure-of-arrays
+//! node layout with self-looping leaves walked a fixed number of steps per
+//! row, **bit-identical** to the pointer-tree paths (property-tested).
+//! Every boosting round's score update and every warm-start replay run
+//! through its batch kernels, and `nurd-core` scores whole barriers with
+//! one [`FlatForest::predict_binned_batch`]-style pass per model.
 //!
 //! # Example
 //!
@@ -75,6 +83,7 @@
 
 mod binned;
 mod error;
+mod flat;
 mod gbt;
 mod kmeans;
 mod logistic;
@@ -86,6 +95,7 @@ mod tree;
 
 pub use binned::{BinnedMatrix, FeatureBins};
 pub use error::MlError;
+pub use flat::FlatForest;
 pub use gbt::{GbtConfig, GradientBoosting, LogisticLoss, Loss, SquaredLoss};
 pub use kmeans::{KMeans, KMeansConfig};
 pub use logistic::{LogisticConfig, LogisticRegression};

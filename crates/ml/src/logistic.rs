@@ -348,20 +348,28 @@ impl LogisticRegression {
     /// Probabilities for every row of a matrix view (no row copies).
     #[must_use]
     pub fn predict_proba_view(&self, xs: MatrixView<'_>) -> Vec<f64> {
-        (0..xs.rows())
-            .map(|i| {
-                let mut z = self.intercept;
-                for (c, (&w, (&m, &s))) in self
-                    .weights
-                    .iter()
-                    .zip(self.feature_means.iter().zip(&self.feature_stds))
-                    .enumerate()
-                {
-                    z += w * (xs.get(i, c) - m) / s;
-                }
-                crate::sigmoid(z)
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.predict_proba_view_into(xs, &mut out);
+        out
+    }
+
+    /// As [`LogisticRegression::predict_proba_view`], but filling a
+    /// caller-owned buffer (cleared and refilled) — the serving hot path's
+    /// allocation-free variant.
+    pub fn predict_proba_view_into(&self, xs: MatrixView<'_>, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..xs.rows()).map(|i| {
+            let mut z = self.intercept;
+            for (c, (&w, (&m, &s))) in self
+                .weights
+                .iter()
+                .zip(self.feature_means.iter().zip(&self.feature_stds))
+                .enumerate()
+            {
+                z += w * (xs.get(i, c) - m) / s;
+            }
+            crate::sigmoid(z)
+        }));
     }
 
     /// Learned weights in standardized feature space.

@@ -118,7 +118,7 @@ impl TreeConfig {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         weight: f64,
     },
@@ -420,6 +420,18 @@ impl RegressionTree {
     #[must_use]
     pub fn supports_binned_predict(&self) -> bool {
         self.split_bins.len() == self.nodes.len()
+    }
+
+    /// Node storage, index order — the flattening access path for
+    /// [`crate::FlatForest`].
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The bin-code cache parallel to [`RegressionTree::nodes`] (empty for
+    /// exact-grown trees).
+    pub(crate) fn split_bins(&self) -> &[u8] {
+        &self.split_bins
     }
 
     /// Number of nodes (splits + leaves).

@@ -133,6 +133,53 @@ pub(crate) struct JobState {
     /// stream, so exposing it to policies and observers preserves the
     /// bit-identical-across-shard-counts guarantee.
     nodes: Option<Vec<u32>>,
+    /// Pooled capacity for the per-barrier checkpoint assembly, so a
+    /// steady-state barrier commit allocates nothing (see
+    /// [`BarrierScratch`]). Never serialized: it holds no state, only
+    /// reusable allocations.
+    scratch: BarrierScratch,
+}
+
+/// Reusable allocation capacity for [`JobState::barrier`].
+///
+/// The checkpoint views borrow feature slices from the job's task table,
+/// so their element types carry a lifetime and cannot be stored in
+/// `JobState` directly. Instead the *emptied* vectors are parked here
+/// under a placeholder `'static` lifetime between barriers — an empty
+/// `Vec` owns raw capacity and no elements, so no borrow ever outlives
+/// the barrier that created it — and [`recycle_capacity`] moves that
+/// capacity back under the short borrow at the next barrier.
+#[derive(Default)]
+struct BarrierScratch {
+    /// Finished-task view carcass (capacity only between barriers).
+    finished: Vec<FinishedTask<'static>>,
+    /// Running-task view carcass (capacity only between barriers).
+    running: Vec<RunningTask<'static>>,
+    /// Sorted running-task ids, rebuilt in place each barrier.
+    running_ids: Vec<usize>,
+    /// Tasks first flagged at this barrier (the finished-set delta fed to
+    /// observers and mitigation policies), rebuilt in place each barrier.
+    newly_flagged: Vec<usize>,
+}
+
+/// Moves the raw capacity of an *emptied* `Vec` across a change of its
+/// element type's lifetime parameters only (e.g. `FinishedTask<'static>`
+/// → `FinishedTask<'a>` and back).
+fn recycle_capacity<A, B>(mut v: Vec<A>) -> Vec<B> {
+    assert!(
+        std::mem::size_of::<A>() == std::mem::size_of::<B>()
+            && std::mem::align_of::<A>() == std::mem::align_of::<B>(),
+        "recycle_capacity requires identical element layout"
+    );
+    v.clear();
+    let capacity = v.capacity();
+    let ptr = v.as_mut_ptr().cast::<B>();
+    std::mem::forget(v);
+    // SAFETY: the vector was emptied above, so no value of type `A` is
+    // ever read back as a `B`; the allocation was made by `Vec<A>` and —
+    // with element size and alignment equality asserted above — has
+    // exactly the layout `Vec<B>` would request for `capacity` elements.
+    unsafe { Vec::from_raw_parts(ptr, 0, capacity) }
 }
 
 impl std::fmt::Debug for Shard {
@@ -178,6 +225,7 @@ impl JobState {
             actioned,
             clones_used: 0,
             nodes: None,
+            scratch: BarrierScratch::default(),
         }
     }
 
@@ -332,11 +380,18 @@ impl JobState {
 
         // Assemble the checkpoint exactly as the simulator does: task-id
         // order, flagged tasks in neither list, finished features frozen.
+        // The list vectors are drawn from the job's pooled scratch, so a
+        // steady-state barrier allocates nothing here.
         let JobState {
-            tasks, predictor, ..
+            tasks,
+            predictor,
+            scratch,
+            ..
         } = self;
-        let mut finished = Vec::new();
-        let mut running = Vec::new();
+        let mut finished: Vec<FinishedTask<'_>> =
+            recycle_capacity(std::mem::take(&mut scratch.finished));
+        let mut running: Vec<RunningTask<'_>> =
+            recycle_capacity(std::mem::take(&mut scratch.running));
         for (id, state) in tasks.iter().enumerate() {
             if state.flagged_at.is_some() || !state.seen {
                 continue;
@@ -353,7 +408,9 @@ impl JobState {
                 }),
             }
         }
-        let running_ids: Vec<usize> = running.iter().map(|r| r.id).collect();
+        let mut running_ids = std::mem::take(&mut scratch.running_ids);
+        running_ids.clear();
+        running_ids.extend(running.iter().map(|r| r.id));
         let checkpoint = Checkpoint {
             ordinal,
             time,
@@ -362,13 +419,23 @@ impl JobState {
         };
         self.checkpoints_scored += 1;
         if self.policy.is_none() && observer.is_none() {
-            for id in predictor.predict(&checkpoint) {
+            let flagged = predictor.predict(&checkpoint);
+            // Park the emptied view vectors back in the pool *before*
+            // mutating the task table: once cleared and re-lifetimed they
+            // no longer borrow from it.
+            let Checkpoint {
+                finished, running, ..
+            } = checkpoint;
+            scratch.finished = recycle_capacity(finished);
+            scratch.running = recycle_capacity(running);
+            for id in flagged {
                 // Same guard as the simulator: only actually-running tasks
                 // can be flagged.
                 if running_ids.contains(&id) {
-                    self.tasks[id].flagged_at = Some(ordinal);
+                    tasks[id].flagged_at = Some(ordinal);
                 }
             }
+            scratch.running_ids = running_ids;
             return true;
         }
 
@@ -378,10 +445,16 @@ impl JobState {
         // mitigator or observer never changes what gets flagged, only
         // what gets *done* (or learned) about it.
         let scored = predictor.predict_scored(&checkpoint);
-        let mut newly_flagged = Vec::new();
+        let Checkpoint {
+            finished, running, ..
+        } = checkpoint;
+        scratch.finished = recycle_capacity(finished);
+        scratch.running = recycle_capacity(running);
+        let mut newly_flagged = std::mem::take(&mut scratch.newly_flagged);
+        newly_flagged.clear();
         for id in scored.flagged {
             if running_ids.contains(&id) {
-                self.tasks[id].flagged_at = Some(ordinal);
+                tasks[id].flagged_at = Some(ordinal);
                 newly_flagged.push(id);
             }
         }
@@ -395,6 +468,8 @@ impl JobState {
             );
         }
         let Some(policy) = self.policy.as_mut() else {
+            scratch.running_ids = running_ids;
+            scratch.newly_flagged = newly_flagged;
             return true;
         };
         let budget = policy.clone_budget();
@@ -441,6 +516,8 @@ impl JobState {
                 action,
             });
         }
+        scratch.running_ids = running_ids;
+        scratch.newly_flagged = newly_flagged;
         true
     }
 

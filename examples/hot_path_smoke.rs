@@ -1,0 +1,194 @@
+//! Scoring hot-path smoke test **as an end-to-end gate**: the flattened
+//! structure-of-arrays scoring path (`flat_scoring = true`, the default)
+//! must be *actually exercised* — not silently skipped — and must stay
+//! bit-identical to the pointer-tree reference everywhere it can be
+//! observed:
+//!
+//! 1. **Kernel**: a fitted latency head is flattened and batch-scored;
+//!    the output must equal the pointer walk bit for bit, on both the
+//!    raw-feature and the binned kernels.
+//! 2. **Predictor**: a default-config [`NurdPredictor`] replays a job and
+//!    the [`NurdPredictor::flat_batches`] counter must show the SoA
+//!    kernel ran at (at least) every scored checkpoint, while a
+//!    `flat_scoring = false` twin shows zero — and both produce the same
+//!    replay outcome.
+//! 3. **Engine**: a staggered multi-job fleet served concurrently at
+//!    shard counts {1, 2, 8} yields one identical report under flat and
+//!    pointer scoring, with a nonzero number of flagged tasks (so the
+//!    equality is not vacuous).
+//!
+//! CI runs this example as the gate on the hot path: it exits nonzero on
+//! any panic or divergence.
+//!
+//! ```sh
+//! cargo run --release --example hot_path_smoke
+//! ```
+
+use nurd::core::{NurdConfig, NurdPredictor, RefitPolicy, WarmRefitConfig};
+use nurd::data::{JobSpec, TaskEvent};
+use nurd::linalg::MatrixView;
+use nurd::ml::{GbtConfig, GradientBoosting, SquaredLoss, TreeConfig};
+use nurd::runtime::ThreadPool;
+use nurd::serve::{Engine, EngineConfig, EngineReport, PredictorFactory};
+use nurd::sim::{replay_job, ReplayConfig};
+use nurd::trace::{SuiteConfig, TraceStyle};
+
+const QUANTILE: f64 = 0.9;
+const WARMUP: f64 = 0.04;
+
+fn config(flat: bool) -> NurdConfig {
+    NurdConfig::default()
+        .with_refit_policy(RefitPolicy::Warm(WarmRefitConfig::default()))
+        .with_flat_scoring(flat)
+}
+
+fn run_engine(
+    jobs: &[nurd::data::JobTrace],
+    events: Vec<TaskEvent>,
+    shards: usize,
+    pool: &ThreadPool,
+    flat: bool,
+) -> EngineReport {
+    let factory: PredictorFactory =
+        Box::new(move |_spec: &JobSpec| Box::new(NurdPredictor::new(config(flat))));
+    let engine = Engine::new(
+        EngineConfig {
+            shards,
+            warmup_fraction: WARMUP,
+            ..EngineConfig::default()
+        },
+        factory,
+    );
+    for job in jobs {
+        engine.admit(JobSpec::of_trace(job, QUANTILE));
+    }
+    engine.push_all_sync(events);
+    engine.finish(pool)
+}
+
+/// Deterministic synthetic regression rows (no RNG in smoke gates).
+fn synthetic_rows(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = Vec::with_capacity(d);
+        let mut acc = 0.0;
+        for f in 0..d {
+            let v = ((i * 2654435761 + f * 40503) % 10_000) as f64 / 10_000.0;
+            acc += v * (f as f64 + 1.0);
+            row.push(v);
+        }
+        xs.push(row);
+        ys.push(acc + ((i % 17) as f64) * 0.25);
+    }
+    (xs, ys)
+}
+
+fn main() {
+    // 1. Kernel-level bit identity: flatten a serving-shaped ensemble
+    //    (50 rounds × depth 3) and score a batch both ways.
+    let (xs, ys) = synthetic_rows(1500, 8);
+    let rows: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+    let gbt = GbtConfig {
+        n_rounds: 50,
+        learning_rate: 0.15,
+        tree: TreeConfig {
+            max_depth: 3,
+            min_child_weight: 2.0,
+            ..TreeConfig::default()
+        },
+        subsample: 1.0,
+        seed: 17,
+    };
+    let model = GradientBoosting::fit_view(MatrixView::RowSlices(&rows), &ys, SquaredLoss, &gbt)
+        .expect("fit");
+    let flat = model.flatten();
+    assert!(flat.tree_count() > 0, "flattened ensemble is empty");
+    let batch: Vec<&[f64]> = rows[..256].to_vec();
+    let mut scratch = Vec::new();
+    flat.predict_view_into(MatrixView::RowSlices(&batch), &mut scratch);
+    let pointer = model.predict_view(MatrixView::RowSlices(&batch));
+    assert_eq!(
+        scratch, pointer,
+        "flat kernel is not bit-identical to the pointer walk"
+    );
+    println!(
+        "kernel: {} trees / {} nodes flattened, {}-row batch bit-identical to pointer walk",
+        flat.tree_count(),
+        flat.node_count(),
+        batch.len(),
+    );
+
+    // 2. Predictor-level: the flat path must actually run under the
+    //    default configuration (flat_scoring = true), once per scored
+    //    checkpoint, and change nothing observable.
+    let suite = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(3)
+        .with_task_range(60, 90)
+        .with_checkpoints(10)
+        .with_seed(0x407_u64);
+    let jobs = nurd::trace::generate_suite(&suite);
+    let replay_cfg = ReplayConfig {
+        quantile: QUANTILE,
+        warmup_fraction: WARMUP,
+    };
+    assert!(
+        NurdConfig::default().flat_scoring,
+        "flat scoring must be the default"
+    );
+    let mut flat_batches = 0usize;
+    for job in &jobs {
+        let mut with_flat = NurdPredictor::new(config(true));
+        let mut with_pointer = NurdPredictor::new(config(false));
+        let out_flat = replay_job(job, &mut with_flat, &replay_cfg);
+        let out_pointer = replay_job(job, &mut with_pointer, &replay_cfg);
+        assert_eq!(
+            out_flat,
+            out_pointer,
+            "flat and pointer replay diverged on job {}",
+            job.job_id()
+        );
+        assert!(
+            with_flat.flat_batches() > 0,
+            "job {} never scored through the flat kernel — hot path not exercised",
+            job.job_id()
+        );
+        assert_eq!(
+            with_pointer.flat_batches(),
+            0,
+            "pointer-path predictor used the flat kernel"
+        );
+        flat_batches += with_flat.flat_batches();
+    }
+    println!(
+        "predictor: {} jobs replayed, {flat_batches} running-set batches through the SoA kernel, \
+         outcomes bit-identical to the pointer path",
+        jobs.len(),
+    );
+
+    // 3. Engine-level: the concurrent barrier path (pooled scratch,
+    //    checkpoint views) over a staggered fleet, flat vs pointer, at
+    //    shard counts {1, 2, 8}.
+    let pool = ThreadPool::new(2);
+    let events = nurd::trace::staggered_fleet_events(&jobs, 0.9, 300.0, 0x407);
+    let reference = run_engine(&jobs, events.clone(), 1, &pool, false);
+    let flagged: usize = reference
+        .jobs
+        .iter()
+        .map(|r| r.outcome.flagged_at.iter().flatten().count())
+        .sum();
+    assert!(flagged > 0, "no task ever flagged — comparison is vacuous");
+    for shards in [1usize, 2, 8] {
+        let report = run_engine(&jobs, events.clone(), shards, &pool, true);
+        assert_eq!(
+            report, reference,
+            "flat engine at {shards} shards diverged from the pointer engine"
+        );
+    }
+    println!(
+        "engine: {} events served at shards {{1, 2, 8}}, {flagged} tasks flagged, \
+         flat reports identical to pointer",
+        events.len(),
+    );
+    println!("hot-path smoke: OK");
+}

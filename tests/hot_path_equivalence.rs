@@ -1,0 +1,320 @@
+//! Differential acceptance for the flattened scoring hot path: the
+//! structure-of-arrays batch kernels ([`nurd::ml::FlatForest`], pooled
+//! barrier scratch in the serving engine) must be **bit-identical** to
+//! the pointer-tree reference on every observable — per-task score
+//! breakdowns, sequential replay outcomes, and whole engine reports —
+//! across refit policies, shard counts, and the barrier edge cases
+//! (single-task jobs, all-flagged barriers, truncated streams).
+
+use nurd::core::{NurdConfig, NurdPredictor, RefitPolicy, WarmRefitConfig};
+use nurd::data::{Checkpoint, FinishedTask, JobSpec, OnlinePredictor, RunningTask, TaskEvent};
+use nurd::runtime::ThreadPool;
+use nurd::serve::{Engine, EngineConfig, EngineReport, PredictorFactory};
+use nurd::sim::{replay_job, ReplayConfig};
+use nurd::trace::{SuiteConfig, TraceStyle};
+
+const QUANTILE: f64 = 0.9;
+const WARMUP: f64 = 0.04;
+
+fn suite(style: TraceStyle, jobs: usize, seed: u64) -> Vec<nurd::data::JobTrace> {
+    let cfg = SuiteConfig::new(style)
+        .with_jobs(jobs)
+        .with_task_range(50, 70)
+        .with_checkpoints(8)
+        .with_seed(seed);
+    nurd::trace::generate_suite(&cfg)
+}
+
+fn config(flat: bool, policy: RefitPolicy) -> NurdConfig {
+    NurdConfig::default()
+        .with_refit_policy(policy)
+        .with_flat_scoring(flat)
+}
+
+fn policies() -> [RefitPolicy; 2] {
+    [
+        RefitPolicy::AlwaysCold,
+        RefitPolicy::Warm(WarmRefitConfig::default()),
+    ]
+}
+
+fn nurd_factory(flat: bool, policy: RefitPolicy) -> PredictorFactory {
+    Box::new(move |_spec: &JobSpec| Box::new(NurdPredictor::new(config(flat, policy.clone()))))
+}
+
+fn run_engine(
+    jobs: &[nurd::data::JobTrace],
+    events: Vec<TaskEvent>,
+    shards: usize,
+    pool: &ThreadPool,
+    factory: PredictorFactory,
+) -> EngineReport {
+    let engine = Engine::new(
+        EngineConfig {
+            shards,
+            warmup_fraction: WARMUP,
+            ..EngineConfig::default()
+        },
+        factory,
+    );
+    for job in jobs {
+        engine.admit(JobSpec::of_trace(job, QUANTILE));
+    }
+    engine.push_all_sync(events);
+    engine.finish(pool)
+}
+
+/// Sequential replay: the flat path and the pointer path produce the
+/// same `ReplayOutcome` bit for bit, on both trace styles and under both
+/// refit families — and the comparison is not vacuous (tasks do flag).
+#[test]
+fn replay_outcomes_identical_under_flat_and_pointer_scoring() {
+    let replay_cfg = ReplayConfig {
+        quantile: QUANTILE,
+        warmup_fraction: WARMUP,
+    };
+    let mut total_flags = 0usize;
+    for style in [TraceStyle::Google, TraceStyle::Alibaba] {
+        for job in suite(style, 3, 0xF1A7) {
+            for policy in policies() {
+                let mut flat = NurdPredictor::new(config(true, policy.clone()));
+                let mut pointer = NurdPredictor::new(config(false, policy.clone()));
+                let out_flat = replay_job(&job, &mut flat, &replay_cfg);
+                let out_pointer = replay_job(&job, &mut pointer, &replay_cfg);
+                assert_eq!(
+                    out_flat,
+                    out_pointer,
+                    "flat and pointer scoring diverged on job {} ({style:?}, {policy:?})",
+                    job.job_id()
+                );
+                total_flags += out_flat.flagged_at.iter().flatten().count();
+            }
+        }
+    }
+    assert!(
+        total_flags > 0,
+        "no task ever flagged — comparison is vacuous"
+    );
+}
+
+/// The full per-task score breakdown — raw prediction, propensity,
+/// weight, adjusted latency — is bit-identical between the two paths at
+/// every checkpoint, including across warm-start refits of the same
+/// predictor instance.
+#[test]
+fn score_breakdowns_identical_at_every_checkpoint() {
+    // Finished tasks accrue checkpoint by checkpoint so each call refits
+    // on new data; running tasks include a typical and an alien point.
+    let finished: Vec<(Vec<f64>, f64)> = (0..60)
+        .map(|i| {
+            let x = i as f64 / 60.0;
+            let y = (i as f64 * 0.37).sin();
+            (vec![x, 1.0 - x, y], 20.0 + 30.0 * x + 5.0 * y)
+        })
+        .collect();
+    let running = [
+        vec![0.5, 0.5, 0.1],
+        vec![0.9, 0.1, -0.4],
+        vec![7.0, -5.0, 3.0],
+    ];
+    for policy in policies() {
+        let mut flat = NurdPredictor::new(config(true, policy.clone()));
+        let mut pointer = NurdPredictor::new(config(false, policy.clone()));
+        for (ordinal, take) in [10usize, 25, 40, 60].into_iter().enumerate() {
+            let checkpoint = Checkpoint {
+                ordinal,
+                time: 10.0 * (ordinal + 1) as f64,
+                finished: finished[..take]
+                    .iter()
+                    .enumerate()
+                    .map(|(id, (f, l))| FinishedTask {
+                        id,
+                        features: f,
+                        latency: *l,
+                    })
+                    .collect(),
+                running: running
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| RunningTask {
+                        id: finished.len() + i,
+                        features: f,
+                    })
+                    .collect(),
+            };
+            let a = flat.score_running(&checkpoint);
+            let b = pointer.score_running(&checkpoint);
+            assert_eq!(a.len(), running.len());
+            assert_eq!(
+                a, b,
+                "score breakdowns diverged at checkpoint {ordinal} under {policy:?}"
+            );
+        }
+    }
+}
+
+/// End to end through the concurrent engine: with flat scoring on, shard
+/// counts {1, 2, 8} all produce the identical report, that report equals
+/// the pointer-path engine's, and every job's outcome equals sequential
+/// replay.
+#[test]
+fn engine_reports_flat_equals_pointer_at_all_shard_counts() {
+    let jobs = suite(TraceStyle::Google, 3, 0xF1A8);
+    let pool = ThreadPool::new(2);
+    let (_, events) = nurd::trace::fleet_events(&jobs, QUANTILE);
+    let replay_cfg = ReplayConfig {
+        quantile: QUANTILE,
+        warmup_fraction: WARMUP,
+    };
+    for policy in policies() {
+        let pointer = run_engine(
+            &jobs,
+            events.clone(),
+            1,
+            &pool,
+            nurd_factory(false, policy.clone()),
+        );
+        for shards in [1usize, 2, 8] {
+            let flat = run_engine(
+                &jobs,
+                events.clone(),
+                shards,
+                &pool,
+                nurd_factory(true, policy.clone()),
+            );
+            assert_eq!(
+                flat, pointer,
+                "flat engine at {shards} shards diverged from the pointer engine ({policy:?})"
+            );
+        }
+        for job in &jobs {
+            let mut reference = NurdPredictor::new(config(true, policy.clone()));
+            let expected = replay_job(job, &mut reference, &replay_cfg);
+            let got = pointer.job(job.job_id()).expect("job reported");
+            assert_eq!(got.outcome, expected, "engine diverged from replay");
+        }
+    }
+}
+
+/// Degenerate barrier shapes — a single-task job (warmup quorum of one,
+/// checkpoints where the running view is empty or a singleton) — take
+/// the same pooled-scratch barrier path and still match replay exactly.
+#[test]
+fn single_task_jobs_match_replay() {
+    let cfg = SuiteConfig::new(TraceStyle::Google)
+        .with_jobs(3)
+        .with_task_range(1, 3)
+        .with_checkpoints(6)
+        .with_seed(0xF1A9);
+    let jobs = nurd::trace::generate_suite(&cfg);
+    assert!(jobs.iter().any(|j| j.task_count() == 1));
+    let pool = ThreadPool::new(2);
+    let (_, events) = nurd::trace::fleet_events(&jobs, QUANTILE);
+    let report = run_engine(
+        &jobs,
+        events,
+        2,
+        &pool,
+        nurd_factory(true, RefitPolicy::AlwaysCold),
+    );
+    let replay_cfg = ReplayConfig {
+        quantile: QUANTILE,
+        warmup_fraction: WARMUP,
+    };
+    for job in &jobs {
+        let mut reference = NurdPredictor::new(config(true, RefitPolicy::AlwaysCold));
+        let expected = replay_job(job, &mut reference, &replay_cfg);
+        let got = report.job(job.job_id()).expect("job reported");
+        assert_eq!(
+            got.outcome,
+            expected,
+            "single-task-range job {} diverged from replay",
+            job.job_id()
+        );
+    }
+}
+
+/// Flags everything it sees: after the first scoring barrier every task
+/// is flagged, so every later barrier assembles *empty* finished/running
+/// views from the recycled scratch — the all-flagged edge case.
+struct FlagAll;
+impl OnlinePredictor for FlagAll {
+    fn name(&self) -> &str {
+        "ALL"
+    }
+    fn predict(&mut self, c: &Checkpoint<'_>) -> Vec<usize> {
+        c.running.iter().map(|r| r.id).collect()
+    }
+}
+
+#[test]
+fn all_flagged_barriers_match_replay() {
+    let jobs = suite(TraceStyle::Google, 2, 0xF1AA);
+    let pool = ThreadPool::new(2);
+    let (_, events) = nurd::trace::fleet_events(&jobs, QUANTILE);
+    let factory: PredictorFactory = Box::new(|_spec: &JobSpec| Box::new(FlagAll));
+    let report = run_engine(&jobs, events, 2, &pool, factory);
+    let replay_cfg = ReplayConfig {
+        quantile: QUANTILE,
+        warmup_fraction: WARMUP,
+    };
+    let mut flagged = 0usize;
+    for job in &jobs {
+        let expected = replay_job(job, &mut FlagAll, &replay_cfg);
+        let got = report.job(job.job_id()).expect("job reported");
+        assert_eq!(got.outcome, expected, "FlagAll engine diverged from replay");
+        flagged += expected.flagged_at.iter().flatten().count();
+    }
+    assert!(flagged > 0, "nothing flagged — edge case not exercised");
+}
+
+/// Finalizing with the stream cut mid-job (no `JobEnd`, barriers missing)
+/// is deterministic and prefix-consistent: two identical truncated runs
+/// agree bit for bit, and every flag the truncated run commits is
+/// exactly the full run's flag for that task.
+#[test]
+fn truncated_stream_finalize_is_deterministic_and_prefix_consistent() {
+    let jobs = suite(TraceStyle::Google, 2, 0xF1AB);
+    let pool = ThreadPool::new(2);
+    let (_, events) = nurd::trace::fleet_events(&jobs, QUANTILE);
+    let cut = events.len() * 2 / 3;
+    let truncated: Vec<TaskEvent> = events[..cut].to_vec();
+
+    let full = run_engine(
+        &jobs,
+        events,
+        2,
+        &pool,
+        nurd_factory(true, RefitPolicy::AlwaysCold),
+    );
+    let run = |shards: usize| {
+        run_engine(
+            &jobs,
+            truncated.clone(),
+            shards,
+            &pool,
+            nurd_factory(true, RefitPolicy::AlwaysCold),
+        )
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_eq!(a, b, "truncated finalize depends on shard count");
+
+    for job in &jobs {
+        let full_flags = &full.job(job.job_id()).expect("full run").outcome.flagged_at;
+        let cut_flags = &a
+            .job(job.job_id())
+            .expect("truncated run")
+            .outcome
+            .flagged_at;
+        for (task, flag) in cut_flags.iter().enumerate() {
+            if let Some(ordinal) = flag {
+                assert_eq!(
+                    Some(ordinal),
+                    full_flags[task].as_ref(),
+                    "truncated run flagged task {task} differently from the full run"
+                );
+            }
+        }
+    }
+}
