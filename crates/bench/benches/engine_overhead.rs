@@ -16,6 +16,17 @@
 //!   [`nurd_ml::GradientBoosting::predict_view`]. Bit-identical outputs
 //!   are asserted before timing, and the measured speedup is printed;
 //!   the tentpole target is ≥ 1.5× here.
+//! * `engine_overhead/scoring/flat_l{1,4,8}` — the same kernel at pinned
+//!   lane widths ([`nurd_ml::FlatForest::set_lanes`]): `flat_l1` is the
+//!   scalar one-row-per-step walk (the pre-lane kernel), `flat_l4` /
+//!   `flat_l8` interleave 4 / 8 rows per tree step. Every width is
+//!   asserted bit-identical to the pointer walk before timing; the lane
+//!   tentpole target is ≥ 1.3× for the best width over `flat_l1`.
+//! * `engine_overhead/deque/{owner_only,contended_steal}` — the
+//!   work-stealing [`nurd_runtime::Deque`] under its two regimes: the
+//!   uncontended owner push/pop cycle the pool's common path takes, and
+//!   the same cycle with persistent stealer threads racing the owner for
+//!   every item (the Chase–Lev CAS path).
 //!
 //! Determinism cover: `tests/hot_path_equivalence.rs` proves all three
 //! predictor variants produce bit-identical flags/reports, so every
@@ -26,8 +37,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nurd_core::{NurdConfig, NurdPredictor, RefitPolicy, WarmRefitConfig};
 use nurd_data::{Checkpoint, OnlinePredictor, TaskEvent};
 use nurd_linalg::MatrixView;
-use nurd_ml::{GbtConfig, GradientBoosting, SquaredLoss, TreeConfig};
-use nurd_runtime::ThreadPool;
+use nurd_ml::{FlatForest, GbtConfig, GradientBoosting, SquaredLoss, TreeConfig};
+use nurd_runtime::{Deque, ThreadPool};
 use nurd_serve::{Engine, EngineConfig, EngineReport, PredictorFactory};
 use nurd_trace::{SuiteConfig, TraceStyle};
 
@@ -173,8 +184,8 @@ fn bench_engine_overhead(c: &mut Criterion) {
     // Unmeasured speedup probe printed next to the criterion estimates,
     // so the ≥1.5× tentpole target is visible in the bench log itself.
     fn time(mut f: impl FnMut()) -> f64 {
-        let iters = 500;
-        for _ in 0..50 {
+        let iters = 2000;
+        for _ in 0..200 {
             f(); // warm caches and clocks before timing
         }
         let start = std::time::Instant::now();
@@ -197,11 +208,108 @@ fn bench_engine_overhead(c: &mut Criterion) {
         t_pointer / t_flat,
     );
 
+    // Lane-width sweep over the same model/batch, each width guarded by
+    // a bit-identity assertion against the pointer walk before timing.
+    let lane_forests: Vec<(usize, FlatForest)> = [1usize, 4, 8]
+        .into_iter()
+        .map(|l| (l, model.flatten().with_lanes(l)))
+        .collect();
+    for (lanes, forest) in &lane_forests {
+        let mut out = Vec::new();
+        forest.predict_view_into(MatrixView::RowSlices(&batch), &mut out);
+        assert_eq!(
+            out, pointer_preds,
+            "lane width {lanes} is not bit-identical to the pointer walk"
+        );
+    }
+    let lane_times: Vec<(usize, f64)> = lane_forests
+        .iter()
+        .map(|(lanes, forest)| {
+            let t = time(|| {
+                forest.predict_view_into(MatrixView::RowSlices(&batch), &mut scratch);
+                std::hint::black_box(&mut scratch);
+            });
+            (*lanes, t)
+        })
+        .collect();
+    let t_l1 = lane_times[0].1;
+    let (best_lanes, best_t) = lane_times
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("lane sweep nonempty");
+    eprintln!(
+        "lane sweep (same kernel): {} — best L={} at {:.2}x over the scalar L=1 walk",
+        lane_times
+            .iter()
+            .map(|(l, t)| format!("L{l} {:.1}µs", t * 1e6))
+            .collect::<Vec<_>>()
+            .join(", "),
+        best_lanes,
+        t_l1 / best_t,
+    );
+
     group.bench_function(BenchmarkId::new("scoring", "flat"), |b| {
         b.iter(|| flat.predict_view_into(MatrixView::RowSlices(&batch), &mut scratch));
     });
     group.bench_function(BenchmarkId::new("scoring", "pointer"), |b| {
         b.iter(|| model.predict_view(MatrixView::RowSlices(&batch)));
+    });
+    for (lanes, forest) in &lane_forests {
+        group.bench_function(BenchmarkId::new("scoring", format!("flat_l{lanes}")), |b| {
+            b.iter(|| forest.predict_view_into(MatrixView::RowSlices(&batch), &mut scratch));
+        });
+    }
+
+    // The work-stealing deque in isolation: 256 pushes then a full drain
+    // per iteration — first with the owner alone (the pool's common
+    // path: pop never leaves the fast path), then with two persistent
+    // stealer threads racing the owner for every item, forcing the
+    // Chase–Lev CAS on the shared slots.
+    group.bench_function(BenchmarkId::new("deque", "owner_only"), |b| {
+        let deque: Deque<u64> = Deque::new();
+        b.iter(|| {
+            for i in 0..256u64 {
+                deque.push(i);
+            }
+            let mut sum = 0u64;
+            while let Some(v) = deque.pop() {
+                sum += v;
+            }
+            std::hint::black_box(sum)
+        });
+    });
+    group.bench_function(BenchmarkId::new("deque", "contended_steal"), |b| {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let deque: Deque<u64> = Deque::new();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let stealer = deque.stealer();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut sum = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        match stealer.steal() {
+                            Some(v) => sum += v,
+                            None => std::hint::spin_loop(),
+                        }
+                    }
+                    std::hint::black_box(sum);
+                });
+            }
+            b.iter(|| {
+                for i in 0..256u64 {
+                    deque.push(i);
+                }
+                let mut sum = 0u64;
+                while let Some(v) = deque.pop() {
+                    sum += v;
+                }
+                std::hint::black_box(sum)
+            });
+            stop.store(true, Ordering::Relaxed);
+        });
     });
     group.finish();
 }

@@ -35,6 +35,19 @@ pub struct NurdConfig {
     /// but wall-clock time; it exists so benches can isolate the layout's
     /// effect. Default `true`.
     pub flat_scoring: bool,
+    /// Rows the flat scoring kernels walk per tree step (one of
+    /// [`nurd_ml::SUPPORTED_LANES`]; see [`nurd_ml::FlatForest::set_lanes`]).
+    /// Wider = more independent walk chains in flight per core; scores are
+    /// **bit-identical** at every width. Default
+    /// [`nurd_ml::DEFAULT_LANES`].
+    pub scoring_lanes: usize,
+    /// Minimum running-set size before a barrier's score batch is split
+    /// into lane-aligned chunks and fanned onto the shared thread pool —
+    /// only when the engine has granted this predictor within-job
+    /// parallelism (`set_parallelism`, `gbt.tree.n_threads > 1`). Below
+    /// it, chunking overhead beats the win. Scores stay **bit-identical**
+    /// at any thread count. Default 64.
+    pub parallel_score_min: usize,
 }
 
 /// How the latency head is refit at each checkpoint.
@@ -139,6 +152,8 @@ impl Default for NurdConfig {
             refit_every: 1,
             refit_policy: RefitPolicy::AlwaysCold,
             flat_scoring: true,
+            scoring_lanes: nurd_ml::DEFAULT_LANES,
+            parallel_score_min: 64,
         }
     }
 }
@@ -218,6 +233,39 @@ impl NurdConfig {
         self.flat_scoring = flat;
         self
     }
+
+    /// Sets the lane width of the flat scoring kernels (see
+    /// [`NurdConfig::scoring_lanes`]); predictions are bit-identical at
+    /// every width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lanes` is one of [`nurd_ml::SUPPORTED_LANES`].
+    #[must_use]
+    pub fn with_scoring_lanes(mut self, lanes: usize) -> Self {
+        assert!(
+            nurd_ml::SUPPORTED_LANES.contains(&lanes),
+            "scoring_lanes must be one of {:?}",
+            nurd_ml::SUPPORTED_LANES
+        );
+        self.scoring_lanes = lanes;
+        self
+    }
+
+    /// Sets the minimum batch size for pool-parallel barrier scoring
+    /// (see [`NurdConfig::parallel_score_min`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero (use a large value, not 0, to effectively
+    /// disable splitting — 0 would claim "always split", including
+    /// empty batches).
+    #[must_use]
+    pub fn with_parallel_score_min(mut self, min: usize) -> Self {
+        assert!(min > 0, "parallel_score_min must be >= 1");
+        self.parallel_score_min = min;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +280,32 @@ mod tests {
         assert!(cfg.calibrate);
         assert_eq!(cfg.refit_every, 1);
         assert_eq!(cfg.refit_policy, RefitPolicy::AlwaysCold);
+        assert_eq!(cfg.scoring_lanes, nurd_ml::DEFAULT_LANES);
+        assert_eq!(cfg.parallel_score_min, 64);
+    }
+
+    #[test]
+    fn scoring_lane_builder_accepts_supported_widths() {
+        for lanes in nurd_ml::SUPPORTED_LANES {
+            assert_eq!(
+                NurdConfig::default()
+                    .with_scoring_lanes(lanes)
+                    .scoring_lanes,
+                lanes
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scoring_lanes must be one of")]
+    fn scoring_lanes_validated() {
+        let _ = NurdConfig::default().with_scoring_lanes(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_score_min must be >= 1")]
+    fn parallel_score_min_validated() {
+        let _ = NurdConfig::default().with_parallel_score_min(0);
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub struct NurdPredictor {
     /// Batches scored through the flattened SoA kernel (diagnostic; lets
     /// smoke gates assert the hot path was actually exercised).
     flat_batches: usize,
+    /// Lane groups harvested from flat copies already torn down (each
+    /// refit rebuilds `flat`, so the live forest's counter alone would
+    /// forget every pre-refit group). [`NurdPredictor::lane_chunks`]
+    /// reports this plus the live forest's count.
+    lane_chunks: usize,
     name: &'static str,
     /// Scratch buffers refilled in place at every checkpoint so the
     /// per-checkpoint refit allocates nothing beyond first use: the
@@ -90,6 +95,7 @@ impl NurdPredictor {
             checkpoints_seen: 0,
             fit_failures: 0,
             flat_batches: 0,
+            lane_chunks: 0,
             name,
             scratch_x_all: FeatureMatrix::new(),
             scratch_labels: Vec::new(),
@@ -122,6 +128,24 @@ impl NurdPredictor {
     #[must_use]
     pub fn flat_batches(&self) -> usize {
         self.flat_batches
+    }
+
+    /// Number of full lane groups the multi-lane scoring kernels have
+    /// processed for this job so far (across every flat rebuild); stays
+    /// zero with `scoring_lanes == 1`, on the pointer-tree path, and for
+    /// batches narrower than the lane width. Diagnostic only — the
+    /// lane-width twin of [`NurdPredictor::flat_batches`], used by smoke
+    /// gates to assert the lane kernels actually ran.
+    #[must_use]
+    pub fn lane_chunks(&self) -> usize {
+        self.lane_chunks + self.flat.as_ref().map_or(0, FlatForest::lane_chunks)
+    }
+
+    /// Folds the live flat copy's lane-group count into the harvested
+    /// total; must be called before any `self.flat = None` teardown so
+    /// [`NurdPredictor::lane_chunks`] never moves backwards.
+    fn harvest_lane_chunks(&mut self) {
+        self.lane_chunks += self.flat.as_ref().map_or(0, FlatForest::lane_chunks);
     }
 
     /// Warm/cold refit counters for the current job; all-zero under
@@ -165,6 +189,7 @@ impl NurdPredictor {
         if refit {
             // Invalidated up front so an early return on a failed fit can
             // never leave the flat cache pointing at a superseded ensemble.
+            self.harvest_lane_chunks();
             self.flat = None;
             match &self.config.refit_policy {
                 // The historical from-scratch path, kept byte-identical:
@@ -239,9 +264,11 @@ impl NurdPredictor {
                     RefitPolicy::AlwaysCold => self.latency_model.as_ref(),
                     _ => self.warm.model(),
                 };
-                self.flat = model.map(GradientBoosting::flatten);
+                let lanes = self.config.scoring_lanes;
+                self.flat = model.map(|m| m.flatten().with_lanes(lanes));
             }
         } else {
+            self.harvest_lane_chunks();
             self.flat = None;
         }
         let h = match self.config.refit_policy {
@@ -256,9 +283,27 @@ impl NurdPredictor {
         // structure-of-arrays pass per model into reused scratch, so the
         // steady state allocates nothing here. The pointer-tree path stays
         // selectable (`flat_scoring = false`) and is bit-identical.
+        //
+        // When the engine has granted this job within-job parallelism
+        // (`set_parallelism` → `gbt.tree.n_threads`, the same plumbing
+        // that accelerates refits) and the barrier's running set is big
+        // enough to amortize the fan-out, the batch splits into
+        // lane-aligned chunks scored concurrently on the shared pool —
+        // still bit-identical (disjoint output slices, per-row
+        // accumulation untouched; see `predict_view_into_pooled`).
         match &self.flat {
             Some(flat) => {
-                flat.predict_view_into(MatrixView::RowSlices(&x_run), &mut self.scratch_raw);
+                let threads = self.config.gbt.tree.n_threads;
+                if threads > 1 && x_run.len() >= self.config.parallel_score_min {
+                    flat.predict_view_into_pooled(
+                        MatrixView::RowSlices(&x_run),
+                        nurd_runtime::global(),
+                        threads,
+                        &mut self.scratch_raw,
+                    );
+                } else {
+                    flat.predict_view_into(MatrixView::RowSlices(&x_run), &mut self.scratch_raw);
+                }
                 self.flat_batches += 1;
             }
             None => {
@@ -303,14 +348,18 @@ impl OnlinePredictor for NurdPredictor {
         self.checkpoints_seen = 0;
         self.fit_failures = 0;
         self.flat_batches = 0;
+        self.lane_chunks = 0;
         self.flat = None;
         self.warm.reset();
     }
 
     /// Routes the serving engine's hint to [`nurd_ml::TreeConfig::n_threads`],
     /// which fans the latency head's quantization and histogram fills onto
-    /// the shared pool with bit-identical output at every thread count —
-    /// so honoring the hint can never change a prediction.
+    /// the shared pool — and, for barriers whose running set reaches
+    /// [`NurdConfig::parallel_score_min`], splits the flat scoring batch
+    /// into lane-aligned chunks scored on the same pool. Both are
+    /// bit-identical at every thread count, so honoring the hint can
+    /// never change a prediction.
     fn set_parallelism(&mut self, threads: usize) {
         self.config.gbt.tree.n_threads = threads;
     }
@@ -398,7 +447,11 @@ impl OnlinePredictor for NurdPredictor {
         self.checkpoints_seen = checkpoints_seen;
         self.fit_failures = fit_failures;
         self.warm = warm;
-        // Derived from the restored model at the next scoring pass.
+        // Derived from the restored model at the next scoring pass. Like
+        // `flat_batches`, the lane counter is diagnostic local state, not
+        // part of the snapshot — but the groups this process already ran
+        // are still harvested so the counter never moves backwards.
+        self.harvest_lane_chunks();
         self.flat = None;
         true
     }

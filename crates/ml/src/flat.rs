@@ -36,11 +36,20 @@
 //! workspace-level `hot_path_equivalence` suite.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nurd_linalg::MatrixView;
+use nurd_runtime::ThreadPool;
 
 use crate::binned::BinnedMatrix;
 use crate::tree::{Node, RegressionTree};
+
+/// Default number of rows the batch kernels walk per tree step
+/// ([`FlatForest::set_lanes`]).
+pub const DEFAULT_LANES: usize = 4;
+
+/// The lane widths the batch kernels are compiled for.
+pub const SUPPORTED_LANES: [usize; 4] = [1, 2, 4, 8];
 
 /// A whole fitted ensemble flattened into contiguous structure-of-arrays
 /// node storage (see the module docs for the layout and the equivalence
@@ -50,7 +59,7 @@ use crate::tree::{Node, RegressionTree};
 /// [`FlatForest::from_trees`] for raw trees), rebuild it whenever the
 /// source ensemble is refit, and score batches through
 /// [`FlatForest::predict_binned_batch`] / [`FlatForest::predict_view_into`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct FlatForest {
     /// Split feature per node (`0` at leaves — never routed on, but kept a
     /// valid index so the fixed-depth walk's loads stay in bounds).
@@ -78,6 +87,56 @@ pub struct FlatForest {
     /// bounds checks: every reachable node's `feature` — including the
     /// `0` stored at leaves — indexes below this.
     min_width: u32,
+    /// Rows the batch kernels walk per tree step (one of
+    /// [`SUPPORTED_LANES`]; see [`FlatForest::set_lanes`]).
+    lanes: u32,
+    /// Full lane groups processed by the multi-lane kernels — the
+    /// counter CI gates observe to prove the lane path actually ran
+    /// (the lane-width twin of `NurdPredictor::flat_batches`). Atomic so
+    /// pool-parallel scoring can share one forest across threads; the
+    /// value is exact (every group is counted once), only its
+    /// observation point races.
+    lane_chunks: AtomicUsize,
+}
+
+impl Default for FlatForest {
+    fn default() -> Self {
+        FlatForest {
+            feature: Vec::new(),
+            threshold: Vec::new(),
+            split_bin: Vec::new(),
+            children: Vec::new(),
+            value: Vec::new(),
+            roots: Vec::new(),
+            depths: Vec::new(),
+            base_score: 0.0,
+            learning_rate: 0.0,
+            binned_capable: false,
+            min_width: 0,
+            lanes: DEFAULT_LANES as u32,
+            lane_chunks: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Clone for FlatForest {
+    fn clone(&self) -> Self {
+        FlatForest {
+            feature: self.feature.clone(),
+            threshold: self.threshold.clone(),
+            split_bin: self.split_bin.clone(),
+            children: self.children.clone(),
+            value: self.value.clone(),
+            roots: self.roots.clone(),
+            depths: self.depths.clone(),
+            base_score: self.base_score,
+            learning_rate: self.learning_rate,
+            binned_capable: self.binned_capable,
+            min_width: self.min_width,
+            lanes: self.lanes,
+            lane_chunks: AtomicUsize::new(self.lane_chunks.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl FlatForest {
@@ -193,6 +252,45 @@ impl FlatForest {
         self.binned_capable
     }
 
+    /// Rows the batch kernels walk per tree step.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes as usize
+    }
+
+    /// Sets the lane width: how many rows each batch kernel interleaves
+    /// per tree step. The per-row accumulation order is identical at
+    /// every width, so scores are **bit-identical** across lane widths —
+    /// this knob trades only instruction-level parallelism (wider = more
+    /// independent load chains in flight, more register pressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lanes` is one of [`SUPPORTED_LANES`].
+    pub fn set_lanes(&mut self, lanes: usize) {
+        assert!(
+            SUPPORTED_LANES.contains(&lanes),
+            "unsupported lane width {lanes}: the kernels are compiled for {SUPPORTED_LANES:?}"
+        );
+        self.lanes = lanes as u32;
+    }
+
+    /// Builder-style [`FlatForest::set_lanes`].
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.set_lanes(lanes);
+        self
+    }
+
+    /// How many full lane groups the multi-lane kernels have processed
+    /// (0 whenever `lanes == 1` or every batch was narrower than the
+    /// lane width) — the observable CI gates use to prove the lane path
+    /// ran.
+    #[must_use]
+    pub fn lane_chunks(&self) -> usize {
+        self.lane_chunks.load(Ordering::Relaxed)
+    }
+
     /// Ensemble score for a single raw-feature sample — bit-identical to
     /// the pointer path `base + lr · Σ_t tree_t.predict(x)`.
     ///
@@ -224,10 +322,7 @@ impl FlatForest {
     pub fn predict_view_into(&self, xs: MatrixView<'_>, out: &mut Vec<f64>) {
         out.clear();
         out.resize(xs.rows(), 0.0);
-        self.accumulate_view(xs, 1.0, out);
-        for v in out.iter_mut() {
-            *v = self.base_score + self.learning_rate * *v;
-        }
+        self.score_chunk(xs, out);
     }
 
     /// Allocating convenience wrapper over [`FlatForest::predict_view_into`].
@@ -236,6 +331,74 @@ impl FlatForest {
         let mut out = Vec::new();
         self.predict_view_into(xs, &mut out);
         out
+    }
+
+    /// Pool-parallel twin of [`FlatForest::predict_view_into`]: splits
+    /// the batch into at most `max_chunks` contiguous, lane-aligned
+    /// chunks and scores them concurrently on `pool` (the calling thread
+    /// participates).
+    ///
+    /// **Bit-identical at any thread count**: every row's score is a
+    /// function of that row alone (accumulated from 0.0 in ensemble
+    /// order by whichever worker owns its chunk), chunk boundaries
+    /// depend only on `(rows, max_chunks, lane width)` — never on
+    /// scheduling — and each chunk writes its own disjoint output
+    /// slice. Chunk sizes are rounded up to a lane multiple so only the
+    /// final chunk runs remainder rows through the scalar kernel.
+    ///
+    /// Falls back to the sequential path on a single-thread pool, with
+    /// `max_chunks <= 1`, when the batch is smaller than one chunk, or
+    /// for column-major views (no cheap contiguous row sub-slicing; the
+    /// serving hot path is row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is narrower than a split feature index.
+    pub fn predict_view_into_pooled(
+        &self,
+        xs: MatrixView<'_>,
+        pool: &ThreadPool,
+        max_chunks: usize,
+        out: &mut Vec<f64>,
+    ) {
+        let rows = xs.rows();
+        out.clear();
+        out.resize(rows, 0.0);
+        if rows == 0 {
+            return;
+        }
+        // ceil(rows / chunks), rounded up to a lane multiple.
+        let lanes = (self.lanes as usize).max(1);
+        let per = rows.div_ceil(max_chunks.max(1)).div_ceil(lanes) * lanes;
+        if pool.threads() <= 1 || per >= rows {
+            self.score_chunk(xs, out);
+            return;
+        }
+        match xs {
+            MatrixView::Rows(r) => pool.scope(|s| {
+                for (ci, chunk) in out.chunks_mut(per).enumerate() {
+                    let sub = &r[ci * per..ci * per + chunk.len()];
+                    s.spawn(move || self.score_chunk(MatrixView::Rows(sub), chunk));
+                }
+            }),
+            MatrixView::RowSlices(r) => pool.scope(|s| {
+                for (ci, chunk) in out.chunks_mut(per).enumerate() {
+                    let sub = &r[ci * per..ci * per + chunk.len()];
+                    s.spawn(move || self.score_chunk(MatrixView::RowSlices(sub), chunk));
+                }
+            }),
+            columns => self.score_chunk(columns, out),
+        }
+    }
+
+    /// Scores one contiguous chunk in place: accumulate from zero, then
+    /// apply `base + lr · Σ` — the unit of work `predict_view_into`
+    /// runs once and `predict_view_into_pooled` fans out.
+    fn score_chunk(&self, xs: MatrixView<'_>, out: &mut [f64]) {
+        self.accumulate_view(xs, 1.0, out);
+        for v in out.iter_mut() {
+            *v = self.base_score + self.learning_rate * *v;
+        }
     }
 
     /// Scores the half-open row range `rows` of a binned matrix, appending
@@ -324,15 +487,129 @@ impl FlatForest {
         }
     }
 
-    /// Tree-outer / row-inner raw-feature walker. The row-fetch closure is
-    /// monomorphized per view variant, so the inner loop is pure indexed
-    /// loads plus one branchless select per step; consecutive rows' walks
-    /// carry independent load chains the CPU overlaps. The walk is
-    /// dispatched on the tree's depth so the common shallow depths get a
-    /// fully unrolled step sequence.
+    /// Raw-feature batch walker: dispatches to the lane kernel compiled
+    /// for this forest's lane width (remainder rows and `lanes == 1`
+    /// take the scalar kernel). The per-row accumulation order is the
+    /// same on every path, so the choice is invisible in the output.
     fn accumulate_rows<'a>(
         &self,
         row: impl Fn(usize) -> &'a [f64],
+        scale: f64,
+        scores: &mut [f64],
+    ) {
+        match self.lanes {
+            8 => self.accumulate_rows_lanes::<8>(&row, scale, scores),
+            4 => self.accumulate_rows_lanes::<4>(&row, scale, scores),
+            2 => self.accumulate_rows_lanes::<2>(&row, scale, scores),
+            _ => self.accumulate_rows_scalar(&row, scale, scores),
+        }
+    }
+
+    /// Multi-row interleaved raw-feature walker: full groups of `L`
+    /// consecutive rows descend every tree *together*, one step per row
+    /// per iteration, as `L` independent dependency chains
+    /// (`[usize; L]` cursors) the CPU can overlap — the walk is latency-
+    /// bound on dependent loads, so interleaving is where the speedup
+    /// comes from. Each lane keeps its own `f64` accumulator and adds
+    /// leaf values in ensemble order, exactly like the scalar kernel, so
+    /// outputs are **bit-identical** at every lane width. The trailing
+    /// `scores.len() % L` rows run through the scalar kernel.
+    fn accumulate_rows_lanes<'a, const L: usize>(
+        &self,
+        row: &impl Fn(usize) -> &'a [f64],
+        scale: f64,
+        scores: &mut [f64],
+    ) {
+        /// One fixed-depth descent of all `L` lanes, no per-step bounds
+        /// checks. The per-step loop over lanes is a compile-time-sized
+        /// array walk the compiler unrolls (and, on the branchless
+        /// child-select, can auto-vectorize).
+        ///
+        /// # Safety
+        ///
+        /// Every `feats[l].len() >= forest.min_width`, and every
+        /// `idx[l]` must be one of `forest.roots` (then each step stays
+        /// on indices `push_tree` wrote: `children` entries and roots
+        /// are valid node indices, and every reachable node's `feature`
+        /// — `0` at self-looping leaves — is below `min_width`).
+        #[inline(always)]
+        unsafe fn walk<const L: usize>(
+            forest: &FlatForest,
+            feats: &[&[f64]; L],
+            idx: &mut [usize; L],
+            depth: usize,
+        ) {
+            for _ in 0..depth {
+                for l in 0..L {
+                    // SAFETY: the caller's contract above.
+                    unsafe {
+                        let i = idx[l];
+                        let x = *feats[l].get_unchecked(*forest.feature.get_unchecked(i) as usize);
+                        let go_left = x <= *forest.threshold.get_unchecked(i);
+                        idx[l] = *forest
+                            .children
+                            .get_unchecked(2 * i + 1 - usize::from(go_left))
+                            as usize;
+                    }
+                }
+            }
+        }
+        let min_width = self.min_width as usize;
+        let value = self.value.as_slice();
+        let full = scores.len() / L;
+        for g in 0..full {
+            let base = g * L;
+            let feats: [&[f64]; L] = std::array::from_fn(|l| row(base + l));
+            for (l, f) in feats.iter().enumerate() {
+                assert!(
+                    f.len() >= min_width,
+                    "row {} is narrower ({}) than the forest's split features ({min_width})",
+                    base + l,
+                    f.len()
+                );
+            }
+            let mut acc: [f64; L] = std::array::from_fn(|l| scores[base + l]);
+            for (t, &root) in self.roots.iter().enumerate() {
+                let mut idx = [root as usize; L];
+                let depth = self.depths[t] as usize;
+                // SAFETY: row widths were checked against `min_width`
+                // above; `root`/`depth` come from this forest's tables.
+                unsafe {
+                    match depth {
+                        0 => {}
+                        1 => walk(self, &feats, &mut idx, 1),
+                        2 => walk(self, &feats, &mut idx, 2),
+                        3 => walk(self, &feats, &mut idx, 3),
+                        4 => walk(self, &feats, &mut idx, 4),
+                        d => walk(self, &feats, &mut idx, d),
+                    }
+                }
+                // Per lane: one addition per tree, ensemble order — the
+                // identical FP sequence the scalar kernel performs.
+                for l in 0..L {
+                    acc[l] += scale * value[idx[l]];
+                }
+            }
+            scores[base..base + L].copy_from_slice(&acc);
+        }
+        if full > 0 {
+            self.lane_chunks.fetch_add(full, Ordering::Relaxed);
+        }
+        let done = full * L;
+        if done < scores.len() {
+            self.accumulate_rows_scalar(&|i| row(done + i), scale, &mut scores[done..]);
+        }
+    }
+
+    /// Single-row (scalar) raw-feature walker — the `lanes == 1` kernel
+    /// and the remainder path of the lane kernels. The row-fetch closure
+    /// is monomorphized per view variant, so the inner loop is pure
+    /// indexed loads plus one branchless select per step. The walk is
+    /// dispatched on the tree's depth so the common shallow depths get a
+    /// fully unrolled step sequence.
+    fn accumulate_rows_scalar<'a>(
+        &self,
+        row: &impl Fn(usize) -> &'a [f64],
         scale: f64,
         scores: &mut [f64],
     ) {
@@ -436,6 +713,112 @@ impl FlatForest {
             "every bin-code column must span all {} rows",
             binned.rows()
         );
+        // Safety preconditions for both kernels below are established by
+        // the asserts above: `cols.len() >= min_width`, every column
+        // spans all rows, and `first_row + scores.len() <= rows`.
+        match self.lanes {
+            8 => self.accumulate_binned_lanes::<8>(&cols, first_row, scale, scores),
+            4 => self.accumulate_binned_lanes::<4>(&cols, first_row, scale, scores),
+            2 => self.accumulate_binned_lanes::<2>(&cols, first_row, scale, scores),
+            _ => self.accumulate_binned_scalar(&cols, first_row, scale, scores),
+        }
+    }
+
+    /// Multi-row interleaved binned walker: the bin-code twin of
+    /// [`FlatForest::accumulate_rows_lanes`] — `L` consecutive rows
+    /// descend each tree together as independent cursor chains, each
+    /// lane accumulating in ensemble order (bit-identical to the scalar
+    /// kernel), remainder rows falling back to it.
+    ///
+    /// Caller (`accumulate_binned_from`) has already validated `cols`
+    /// against `min_width` and the row range against the matrix.
+    fn accumulate_binned_lanes<const L: usize>(
+        &self,
+        cols: &[&[u8]],
+        first_row: usize,
+        scale: f64,
+        scores: &mut [f64],
+    ) {
+        /// One fixed-depth descent of all `L` lanes (rows
+        /// `row0 .. row0 + L`), no per-step bounds checks.
+        ///
+        /// # Safety
+        ///
+        /// `cols.len() >= forest.min_width` with every column at least
+        /// `row0 + L` long, and every `idx[l]` must start at one of
+        /// `forest.roots` (then each step stays on indices `push_tree`
+        /// wrote; see [`FlatForest::accumulate_rows_lanes`]).
+        #[inline(always)]
+        unsafe fn walk<const L: usize>(
+            forest: &FlatForest,
+            cols: &[&[u8]],
+            row0: usize,
+            idx: &mut [usize; L],
+            depth: usize,
+        ) {
+            for _ in 0..depth {
+                for (l, ix) in idx.iter_mut().enumerate() {
+                    // SAFETY: the caller's contract above.
+                    unsafe {
+                        let i = *ix;
+                        let code = *cols
+                            .get_unchecked(*forest.feature.get_unchecked(i) as usize)
+                            .get_unchecked(row0 + l);
+                        let go_right = code > *forest.split_bin.get_unchecked(i);
+                        *ix =
+                            *forest.children.get_unchecked(2 * i + usize::from(go_right)) as usize;
+                    }
+                }
+            }
+        }
+        let value = self.value.as_slice();
+        let full = scores.len() / L;
+        for g in 0..full {
+            let base = g * L;
+            let row0 = first_row + base;
+            let mut acc: [f64; L] = std::array::from_fn(|l| scores[base + l]);
+            for (t, &root) in self.roots.iter().enumerate() {
+                let mut idx = [root as usize; L];
+                let depth = self.depths[t] as usize;
+                // SAFETY: the caller validated widths and the row range;
+                // `root`/`depth` come from this forest's tables.
+                unsafe {
+                    match depth {
+                        0 => {}
+                        1 => walk(self, cols, row0, &mut idx, 1),
+                        2 => walk(self, cols, row0, &mut idx, 2),
+                        3 => walk(self, cols, row0, &mut idx, 3),
+                        4 => walk(self, cols, row0, &mut idx, 4),
+                        d => walk(self, cols, row0, &mut idx, d),
+                    }
+                }
+                for l in 0..L {
+                    acc[l] += scale * value[idx[l]];
+                }
+            }
+            scores[base..base + L].copy_from_slice(&acc);
+        }
+        if full > 0 {
+            self.lane_chunks.fetch_add(full, Ordering::Relaxed);
+        }
+        let done = full * L;
+        if done < scores.len() {
+            self.accumulate_binned_scalar(cols, first_row + done, scale, &mut scores[done..]);
+        }
+    }
+
+    /// Single-row binned walker — the `lanes == 1` kernel and the
+    /// remainder path of [`FlatForest::accumulate_binned_lanes`].
+    ///
+    /// Caller (`accumulate_binned_from`) has already validated `cols`
+    /// against `min_width` and the row range against the matrix.
+    fn accumulate_binned_scalar(
+        &self,
+        cols: &[&[u8]],
+        first_row: usize,
+        scale: f64,
+        scores: &mut [f64],
+    ) {
         /// One fixed-depth descent, no per-step bounds checks.
         ///
         /// # Safety
@@ -479,17 +862,17 @@ impl FlatForest {
             for (t, &root) in self.roots.iter().enumerate() {
                 let root = root as usize;
                 // SAFETY: the matrix width was checked against `min_width`
-                // and every column's length against `binned.rows()` above
-                // (`row < binned.rows()` by the range assert); `root` and
-                // `depth` come from this forest's tables.
+                // and every column's length against `binned.rows()` by the
+                // caller (`row < binned.rows()` by its range assert);
+                // `root` and `depth` come from this forest's tables.
                 let idx = unsafe {
                     match self.depths[t] as usize {
                         0 => root,
-                        1 => walk(self, &cols, row, root, 1),
-                        2 => walk(self, &cols, row, root, 2),
-                        3 => walk(self, &cols, row, root, 3),
-                        4 => walk(self, &cols, row, root, 4),
-                        d => walk(self, &cols, row, root, d),
+                        1 => walk(self, cols, row, root, 1),
+                        2 => walk(self, cols, row, root, 2),
+                        3 => walk(self, cols, row, root, 3),
+                        4 => walk(self, cols, row, root, 4),
+                        d => walk(self, cols, row, root, d),
                     }
                 };
                 acc += scale * value[idx];
@@ -532,6 +915,118 @@ mod tests {
                     .sum()
             })
             .collect()
+    }
+
+    /// A shared pool for the pooled-scoring tests (spawning threads per
+    /// proptest case would dominate the suite's runtime).
+    fn test_pool() -> &'static ThreadPool {
+        use std::sync::OnceLock;
+        static POOL: OnceLock<ThreadPool> = OnceLock::new();
+        POOL.get_or_init(|| ThreadPool::new(3))
+    }
+
+    #[test]
+    fn lane_widths_are_bit_identical_and_counter_observable() {
+        // 37 rows: indivisible by every lane width, so each kernel runs
+        // full groups *and* a scalar remainder.
+        let x = rows(37, 3, 23);
+        let y = targets(&x);
+        let cfg = GbtConfig {
+            n_rounds: 12,
+            ..GbtConfig::default()
+        };
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let model = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        let scalar = model.flatten().with_lanes(1);
+        let raw1 = scalar.predict_view(MatrixView::Rows(&x));
+        let bin1 = scalar.predict_binned_batch(&binned, 0..x.len());
+        assert_eq!(scalar.lane_chunks(), 0, "lanes == 1 never counts groups");
+        for lanes in [2usize, 4, 8] {
+            let flat = model.flatten().with_lanes(lanes);
+            assert_eq!(flat.lanes(), lanes);
+            assert_eq!(
+                flat.predict_view(MatrixView::Rows(&x)),
+                raw1,
+                "raw kernel at {lanes} lanes"
+            );
+            assert_eq!(
+                flat.predict_binned_batch(&binned, 0..x.len()),
+                bin1,
+                "binned kernel at {lanes} lanes"
+            );
+            // One full-group count per kernel invocation (raw + binned).
+            assert_eq!(flat.lane_chunks(), 2 * (x.len() / lanes));
+        }
+    }
+
+    #[test]
+    fn lane_kernels_handle_tiny_batches() {
+        // Batches narrower than the lane width must run entirely on the
+        // scalar remainder path, bit-identically.
+        let x = rows(20, 2, 29);
+        let y = targets(&x);
+        let cfg = GbtConfig {
+            n_rounds: 6,
+            ..GbtConfig::default()
+        };
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let model = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        let flat = model.flatten().with_lanes(8);
+        for n in 0..8usize {
+            assert_eq!(
+                flat.predict_view(MatrixView::Rows(&x[..n])),
+                model.predict_view(MatrixView::Rows(&x[..n])),
+                "batch of {n} rows"
+            );
+        }
+        assert_eq!(flat.lane_chunks(), 0, "no full group ever formed");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported lane width")]
+    fn set_lanes_rejects_unsupported_widths() {
+        FlatForest::new(0.0, 0.1).set_lanes(3);
+    }
+
+    #[test]
+    fn pooled_scoring_is_bit_identical_at_any_chunking() {
+        let x = rows(101, 3, 31);
+        let y = targets(&x);
+        let cfg = GbtConfig {
+            n_rounds: 15,
+            ..GbtConfig::default()
+        };
+        let binned = BinnedMatrix::build(MatrixView::Rows(&x), cfg.tree.max_bins);
+        let model = GradientBoosting::fit_binned(&binned, &y, SquaredLoss, &cfg).unwrap();
+        let slices: Vec<&[f64]> = x.iter().map(Vec::as_slice).collect();
+        for lanes in SUPPORTED_LANES {
+            let flat = model.flatten().with_lanes(lanes);
+            let sequential = flat.predict_view(MatrixView::Rows(&x));
+            for pool in [&ThreadPool::new(1), test_pool()] {
+                for max_chunks in [0usize, 1, 2, 5, 64, 1000] {
+                    let mut out = vec![-7.0; 3]; // dirty buffer must be replaced
+                    flat.predict_view_into_pooled(MatrixView::Rows(&x), pool, max_chunks, &mut out);
+                    assert_eq!(
+                        out,
+                        sequential,
+                        "lanes {lanes}, {} threads, {max_chunks} chunks",
+                        pool.threads()
+                    );
+                    flat.predict_view_into_pooled(
+                        MatrixView::RowSlices(&slices),
+                        pool,
+                        max_chunks,
+                        &mut out,
+                    );
+                    assert_eq!(out, sequential, "row-slice view, lanes {lanes}");
+                }
+            }
+        }
+        // Empty batches are fine too.
+        let flat = model.flatten();
+        let mut out = vec![1.0];
+        flat.predict_view_into_pooled(MatrixView::Rows(&x[..0]), test_pool(), 4, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -735,6 +1230,33 @@ mod tests {
             for (i, row) in x.iter().enumerate() {
                 prop_assert_eq!(batch[i], model.predict(row), "row {}", i);
                 prop_assert_eq!(flat.predict(row), model.predict(row), "raw row {}", i);
+            }
+            // Every lane width (n is arbitrary, so remainder rows are
+            // covered) and the pooled path agree bit-for-bit with the
+            // pointer-equal batch above.
+            let pointer_view = model.predict_view(MatrixView::Rows(&x));
+            for lanes in SUPPORTED_LANES {
+                let lf = flat.clone().with_lanes(lanes);
+                prop_assert_eq!(
+                    lf.predict_view(MatrixView::Rows(&x)),
+                    pointer_view.clone(),
+                    "raw kernel, {} lanes",
+                    lanes
+                );
+                prop_assert_eq!(
+                    lf.predict_binned_batch(&binned, 0..n),
+                    batch.clone(),
+                    "binned kernel, {} lanes",
+                    lanes
+                );
+                let mut pooled = Vec::new();
+                lf.predict_view_into_pooled(
+                    MatrixView::Rows(&x),
+                    test_pool(),
+                    3,
+                    &mut pooled,
+                );
+                prop_assert_eq!(pooled, pointer_view.clone(), "pooled, {} lanes", lanes);
             }
         }
 

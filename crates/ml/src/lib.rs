@@ -95,7 +95,7 @@ mod tree;
 
 pub use binned::{BinnedMatrix, FeatureBins};
 pub use error::MlError;
-pub use flat::FlatForest;
+pub use flat::{FlatForest, DEFAULT_LANES, SUPPORTED_LANES};
 pub use gbt::{GbtConfig, GradientBoosting, LogisticLoss, Loss, SquaredLoss};
 pub use kmeans::{KMeans, KMeansConfig};
 pub use logistic::{LogisticConfig, LogisticRegression};

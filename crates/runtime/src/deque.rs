@@ -1,58 +1,462 @@
-//! The work-stealing deque underneath [`crate::ThreadPool`].
+//! The lock-free Chase–Lev work-stealing deque underneath
+//! [`crate::ThreadPool`].
+//!
+//! One [`Deque`] belongs to one worker: the **owner** pushes and pops
+//! LIFO at the bottom end — recently spawned tasks are cache-warm, and
+//! popping them first walks a fork-join tree depth-first, bounding the
+//! number of live tasks. **Thieves** hold [`Stealer`] handles and take
+//! FIFO from the top end: the oldest task in a fork-join tree is the
+//! root of the largest unstarted subtree, so a single steal migrates
+//! the most work.
+//!
+//! This is the classic Chase–Lev layout (Chase & Lev, SPAA '05, with
+//! the memory orderings of Lê et al., PPoPP '13): a growable
+//! power-of-two ring buffer indexed by two monotonically increasing
+//! counters, `top` (steal end, only ever advanced by a successful
+//! compare-and-swap) and `bottom` (owner end, written only by the
+//! owner). The hot operations take no lock:
+//!
+//! * `push` — one release store of `bottom` after writing the slot;
+//! * `pop` — one `bottom` store + one `SeqCst` fence + one `top` load,
+//!   and a single CAS only when racing thieves for the *last* item;
+//! * `steal` — two loads around a `SeqCst` fence and one CAS.
+//!
+//! The only mutex in the type guards the *retired-buffer list*, touched
+//! exclusively on the (amortized-logarithmic) grow path and at drop.
+//!
+//! # Invariants (the `unsafe` contract)
+//!
+//! All `unsafe` in this module is licensed by the following facts,
+//! property-tested under contention in `crates/runtime/tests/
+//! deque_stress.rs`:
+//!
+//! 1. **Single owner.** `push`/`pop` are only ever executed by one
+//!    thread at a time. This is enforced *by type*: [`Deque`] is
+//!    `Send` but `!Sync` and not `Clone`, so a `&Deque` can only exist
+//!    on one thread; cross-thread access goes through [`Stealer`],
+//!    which exposes only the CAS end.
+//! 2. **Initialized slots.** A slot at index `i` is written by the
+//!    owner before `bottom` advances past `i` (release store), and read
+//!    by a thief only when `top ≤ i < bottom` was observed after an
+//!    acquire load — so every read slot holds a initialized value of
+//!    `T`.
+//! 3. **No aliased writes.** The owner writes slot `b & mask` only when
+//!    `b − top < capacity` (it grows first otherwise), so a slot a
+//!    thief may still legitimately claim is never overwritten; after a
+//!    grow, owner writes go to the *new* buffer while a lagging thief
+//!    reads the *old* one — whose claimed-range bits are intact, because
+//!    growing copies and never clears.
+//! 4. **Exactly-once hand-off.** The bitwise copy a thief takes before
+//!    its CAS only *materializes* (is returned, and eventually dropped)
+//!    when the CAS on `top` succeeds; a loser forgets the copy without
+//!    dropping it. The owner's `pop` of the last remaining item runs the
+//!    same CAS, so owner and thieves agree on a single winner.
+//! 5. **Deferred reclamation.** A replaced (grown-out-of) buffer is
+//!    never freed while the deque is live — thieves may still hold the
+//!    old pointer — but parked on the retired list and freed in `Drop`,
+//!    when no other handle can exist. Doubling growth bounds retired
+//!    memory to less than one live buffer's worth.
+//!
+//! # `len` / `is_empty` are advisory
+//!
+//! [`Deque::len`], [`Stealer::len`] and both `is_empty`s are **racy
+//! snapshots**: they load `top` and `bottom` without synchronizing with
+//! concurrent operations, so the value may be stale before it returns
+//! (and a transient `pop` underflow is clamped to zero). They exist for
+//! monitoring, load heuristics, and tests only. Correctness decisions —
+//! "is there work?" — must be made by *attempting* `pop`/`steal` and
+//! handling `None`, which is exactly what [`crate::ThreadPool`]'s idle
+//! scan does (see the audit note on `Shared::find_task` in `pool.rs`).
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::cell::{Cell, UnsafeCell};
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// A mutex-guarded work-stealing deque.
+/// Initial ring capacity (slots); must be a power of two.
+const INITIAL_CAPACITY: usize = 64;
+
+/// A fixed-capacity power-of-two ring of possibly-uninitialized slots.
 ///
-/// The owner works LIFO at the back ([`Deque::push`] / [`Deque::pop`]):
-/// recently spawned tasks are cache-warm and popping them first walks a
-/// fork-join tree depth-first, bounding the number of live tasks. Thieves
-/// take FIFO from the front ([`Deque::steal`]): the oldest task in a
-/// fork-join tree is the root of the largest unstarted subtree, so a
-/// single steal migrates the most work.
-///
-/// Lock-free Chase–Lev deques buy throughput under very fine-grained
-/// tasking; this workspace's tasks are chunky (a feature column to
-/// quantize, a shard of jobs to replay), so an uncontended `Mutex` per
-/// deque is both simple and fast enough — and keeps the crate free of
-/// `unsafe` outside the one lifetime erasure in [`crate::ThreadPool::scope`].
-#[derive(Debug, Default)]
-pub struct Deque<T> {
-    items: Mutex<VecDeque<T>>,
+/// Slots are raw `UnsafeCell`s: the synchronization that makes reads and
+/// writes race-free lives entirely in `Inner`'s `top`/`bottom` protocol
+/// (see the module docs), never in the buffer itself.
+struct RingBuffer<T> {
+    /// `capacity − 1`; capacity is a power of two so `index & mask`
+    /// is `index % capacity`.
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
 }
 
-impl<T> Deque<T> {
+impl<T> RingBuffer<T> {
+    fn new(capacity: usize) -> Box<Self> {
+        assert!(capacity.is_power_of_two(), "ring capacity must be 2^k");
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::new(RingBuffer {
+            mask: capacity - 1,
+            slots,
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Writes `value` into slot `index % capacity`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the owner, and the slot must not currently hold a
+    /// value a thief could still claim (invariant 3).
+    unsafe fn write(&self, index: isize, value: T) {
+        // SAFETY: masked index is in bounds by construction; exclusive
+        // write access per the caller's contract.
+        unsafe {
+            let slot = self.slots.get_unchecked(index as usize & self.mask).get();
+            (*slot).write(value);
+        }
+    }
+
+    /// Bitwise copy of the value in slot `index % capacity`. The caller
+    /// decides — via the CAS protocol — whether the copy materializes
+    /// or must be forgotten (invariant 4).
+    ///
+    /// # Safety
+    ///
+    /// `index` must have been observed inside `[top, bottom)` per the
+    /// protocol in the module docs (invariant 2).
+    unsafe fn read(&self, index: isize) -> T {
+        // SAFETY: masked index is in bounds; the slot is initialized per
+        // the caller's contract.
+        unsafe {
+            let slot = self.slots.get_unchecked(index as usize & self.mask).get();
+            (*slot).assume_init_read()
+        }
+    }
+}
+
+/// The shared Chase–Lev state behind both handle types.
+struct Inner<T> {
+    /// Steal end: advanced only by successful CAS (thieves and the
+    /// owner's last-item pop).
+    top: AtomicIsize,
+    /// Owner end: written only by the owner.
+    bottom: AtomicIsize,
+    /// Current ring (owned; replaced on grow, freed in `Drop`).
+    buffer: AtomicPtr<RingBuffer<T>>,
+    /// Buffers replaced by `grow`, kept alive until `Drop` because
+    /// in-flight thieves may still read them (invariant 5). Locked only
+    /// on the grow path and at drop — never on push/pop/steal.
+    retired: Mutex<Vec<*mut RingBuffer<T>>>,
+}
+
+// SAFETY: `Inner` hands values of `T` across threads (a push on the
+// owner thread is consumed by a steal elsewhere), which is exactly what
+// `T: Send` licenses. The slot accesses racing on `&self` are governed
+// by the top/bottom protocol (module docs); no `&T` is ever shared.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    fn new() -> Self {
+        Inner {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(RingBuffer::new(INITIAL_CAPACITY))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Owner-end push.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the single owner (invariant 1).
+    unsafe fn push(&self, item: T) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buffer.load(Ordering::Relaxed);
+        // SAFETY (throughout): owner-only per the caller's contract.
+        unsafe {
+            if b - t >= (*buf).capacity() as isize {
+                buf = self.grow(t, b, buf);
+            }
+            (*buf).write(b, item);
+        }
+        // Release: the slot write above happens-before any thief that
+        // observes the new bottom.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Doubles the ring, copying the live range `t..b`; returns the new
+    /// buffer and parks the old one on the retired list.
+    ///
+    /// # Safety
+    ///
+    /// Owner-only, and `old` must be the current buffer.
+    unsafe fn grow(&self, t: isize, b: isize, old: *mut RingBuffer<T>) -> *mut RingBuffer<T> {
+        // SAFETY: owner-only; reads of `t..b` are initialized (invariant
+        // 2), and writes target a buffer no other thread has seen yet.
+        unsafe {
+            let new = Box::into_raw(RingBuffer::new((*old).capacity() * 2));
+            for i in t..b {
+                // A *copy*, not a move: a thief that loaded `old` before
+                // the swap below may still claim index `i` from it, and
+                // the CAS on `top` guarantees each index materializes
+                // exactly once regardless of which buffer served it.
+                (*new).write(i, (*old).read(i));
+            }
+            // Release: the copied slots happen-before any thief that
+            // acquires the new pointer.
+            self.buffer.store(new, Ordering::Release);
+            self.retired
+                .lock()
+                .expect("retired list poisoned")
+                .push(old);
+            new
+        }
+    }
+
+    /// Owner-end pop (LIFO).
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the single owner (invariant 1).
+    unsafe fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buffer.load(Ordering::Relaxed);
+        // Publish the claim on index `b` *before* reading `top`: the
+        // SeqCst fence pairs with the one in `steal`, so a thief either
+        // sees the decremented bottom (and leaves index `b` alone) or
+        // its CAS on `top` is ordered against ours below.
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty: restore the canonical empty state.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        if t < b {
+            // More than one item: index `b` is unreachable by thieves
+            // (they need top == b, but top ≤ t < b and only CAS moves
+            // it forward one at a time past winners).
+            // SAFETY: t < b ⇒ slot `b` initialized and exclusively ours.
+            return Some(unsafe { (*buf).read(b) });
+        }
+        // Exactly one item left: race the thieves for it with the same
+        // CAS they use (invariant 4).
+        let won = self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        self.bottom.store(b + 1, Ordering::Relaxed);
+        if won {
+            // SAFETY: the CAS made index `b` ours exclusively.
+            Some(unsafe { (*buf).read(b) })
+        } else {
+            None
+        }
+    }
+
+    /// Thief-end steal (FIFO); safe to call from any thread. Retries
+    /// internally on a lost CAS race while items remain.
+    fn steal(&self) -> Option<T> {
+        loop {
+            let t = self.top.load(Ordering::Acquire);
+            // Pairs with the fence in `pop`: see there.
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return None;
+            }
+            // Acquire: slot writes (and grow copies) up to the observed
+            // `bottom`/buffer happen-before the read below.
+            let buf = self.buffer.load(Ordering::Acquire);
+            // SAFETY: `t ∈ [top, bottom)` was observed above (invariant
+            // 2); the copy is forgotten unless the CAS wins (invariant 4).
+            let item = unsafe { (*buf).read(t) };
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(item);
+            }
+            // Lost the race — some other thief (or the owner's last-item
+            // pop) owns this index. Drop the bitwise copy on the floor
+            // *without* running its destructor and try the next index.
+            std::mem::forget(item);
+        }
+    }
+
+    /// Racy advisory length (see the module docs).
+    fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        usize::try_from(b - t).unwrap_or(0)
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: both handle types share one `Arc`, so this
+        // runs after the last owner *and* the last stealer is gone.
+        let buf = *self.buffer.get_mut();
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        unsafe {
+            // SAFETY: `[top, bottom)` of the *current* buffer holds the
+            // not-yet-consumed items (retired buffers only hold bits
+            // already copied forward or already claimed — never dropped
+            // here, invariant 5).
+            for i in t..b {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+            for old in self
+                .retired
+                .get_mut()
+                .expect("retired list poisoned")
+                .drain(..)
+            {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+/// The owner handle of a lock-free Chase–Lev work-stealing deque.
+///
+/// The owner works LIFO at the bottom end ([`Deque::push`] /
+/// [`Deque::pop`]); any number of [`Stealer`] handles (from
+/// [`Deque::stealer`]) take FIFO from the top end via a CAS. All three
+/// hot operations are lock-free; the ring grows by doubling when full
+/// (replaced buffers are reclaimed at drop — see the module docs for
+/// the full invariant list).
+///
+/// `Deque` is `Send` but **`!Sync`** and not `Clone`: the Chase–Lev
+/// owner end is single-threaded *by algorithm*, and the type system
+/// enforces it — move the deque to the thread that works it, hand
+/// `Stealer`s to everyone else.
+///
+/// [`Deque::len`]/[`Deque::is_empty`] are racy advisory snapshots; see
+/// the module docs.
+pub struct Deque<T> {
+    inner: Arc<Inner<T>>,
+    /// `!Sync` marker: owner operations must not be callable through
+    /// shared references from two threads (invariant 1).
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+impl<T: Send> Default for Deque<T> {
+    fn default() -> Self {
+        Deque::new()
+    }
+}
+
+impl<T: Send> Deque<T> {
     /// An empty deque.
     #[must_use]
     pub fn new() -> Self {
         Deque {
-            items: Mutex::new(VecDeque::new()),
+            inner: Arc::new(Inner::new()),
+            _not_sync: PhantomData,
         }
     }
 
-    /// Pushes a task at the owner end (back).
+    /// A cloneable, `Sync` handle onto this deque's steal end.
+    #[must_use]
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Pushes a task at the owner end (bottom). Lock-free; grows the
+    /// ring (amortized O(1)) when full.
     pub fn push(&self, item: T) {
-        self.items.lock().expect("deque poisoned").push_back(item);
+        // SAFETY: `Deque` is `!Sync` and not `Clone`, so this thread is
+        // the only one that can reach the owner end (invariant 1).
+        unsafe { self.inner.push(item) }
     }
 
     /// Pops the most recently pushed task (owner end, LIFO).
     pub fn pop(&self) -> Option<T> {
-        self.items.lock().expect("deque poisoned").pop_back()
+        // SAFETY: as in `push` — single owner by type.
+        unsafe { self.inner.pop() }
     }
 
-    /// Steals the oldest task (thief end, FIFO).
+    /// Steals the oldest task (thief end, FIFO) — the owner acting as
+    /// its own thief; equivalent to `self.stealer().steal()`.
     pub fn steal(&self) -> Option<T> {
-        self.items.lock().expect("deque poisoned").pop_front()
+        self.inner.steal()
     }
 
-    /// Number of queued tasks (racy snapshot — informational only).
+    /// Number of queued tasks — a **racy advisory snapshot**, stale the
+    /// moment it returns (see the module docs). Never use it to decide
+    /// whether `pop`/`steal` will succeed; attempt the operation.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.items.lock().expect("deque poisoned").len()
+        self.inner.len()
     }
 
-    /// Whether the deque is currently empty (racy snapshot).
+    /// Whether the deque looked empty at the snapshot instant — racy
+    /// advisory, like [`Deque::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A cloneable, thread-safe handle onto the steal (top) end of a
+/// [`Deque`]. Any number of threads may steal concurrently; each item
+/// is delivered to exactly one caller (owner pops included).
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> std::fmt::Debug for Deque<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deque")
+            .field("len", &self.inner.len())
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stealer")
+            .field("len", &self.inner.len())
+            .finish()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Steals the oldest task (FIFO). Lock-free: one CAS per claimed
+    /// item, retrying internally while the deque is non-empty.
+    pub fn steal(&self) -> Option<T> {
+        self.inner.steal()
+    }
+
+    /// Racy advisory length — same contract as [`Deque::len`].
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Racy advisory emptiness — same contract as [`Deque::is_empty`].
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -85,30 +489,71 @@ mod tests {
         assert_eq!(d.len(), 2);
         d.steal();
         assert_eq!(d.len(), 1);
+        assert_eq!(d.stealer().len(), 1);
+    }
+
+    #[test]
+    fn ring_grows_past_initial_capacity() {
+        let d = Deque::new();
+        let n = INITIAL_CAPACITY * 4 + 7;
+        for i in 0..n {
+            d.push(i);
+        }
+        assert_eq!(d.len(), n);
+        // FIFO from the top end across two grows.
+        for i in 0..n / 2 {
+            assert_eq!(d.steal(), Some(i));
+        }
+        // LIFO from the bottom end for the rest.
+        for i in (n / 2..n).rev() {
+            assert_eq!(d.pop(), Some(i));
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_items() {
+        // Leak detection via a drop counter: push across a grow, consume
+        // some, drop the rest with the deque.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        DROPS.store(0, Ordering::Relaxed);
+        let d = Deque::new();
+        let n = INITIAL_CAPACITY * 2 + 3;
+        for _ in 0..n {
+            d.push(Counted);
+        }
+        drop(d.pop());
+        drop(d.steal());
+        drop(d);
+        assert_eq!(DROPS.load(Ordering::Relaxed), n);
     }
 
     #[test]
     fn concurrent_stealing_drains_exactly_once() {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::Arc;
-        let d = Arc::new(Deque::new());
+        let d = Deque::new();
         for i in 0..1000u64 {
             d.push(i);
         }
-        let taken = Arc::new(AtomicUsize::new(0));
-        let mut handles = Vec::new();
-        for _ in 0..4 {
-            let d = Arc::clone(&d);
-            let taken = Arc::clone(&taken);
-            handles.push(std::thread::spawn(move || {
-                while d.steal().is_some() {
-                    taken.fetch_add(1, Ordering::Relaxed);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+        let taken = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stealer = d.stealer();
+                let taken = &taken;
+                s.spawn(move || {
+                    while stealer.steal().is_some() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
         assert_eq!(taken.load(Ordering::Relaxed), 1000);
     }
 }

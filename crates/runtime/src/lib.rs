@@ -2,15 +2,17 @@
 //! fork-join, shared by every compute layer of the NURD workspace.
 //!
 //! The build container has no crates.io access, so this crate plays the
-//! role rayon would: it is built entirely on `std::thread`,
-//! [`std::sync::Mutex`], and [`std::sync::Condvar`]. The design is the
-//! classic work-stealing shape in its simplest correct form:
+//! role rayon would: it is built on `std::thread` and std atomics. The
+//! design is the classic work-stealing shape:
 //!
-//! * every worker owns a [`Deque`] of pending tasks — the owner pushes
-//!   and pops LIFO at the back (cache-warm, depth-first), thieves steal
-//!   FIFO from the front (breadth-first, grabs the biggest subtrees);
-//! * an **injector** deque receives tasks spawned from threads outside
-//!   the pool;
+//! * every worker **owns** a lock-free Chase–Lev [`Deque`] of pending
+//!   tasks — the owner pushes and pops LIFO at the bottom (cache-warm,
+//!   depth-first), thieves hold [`Stealer`] handles and CAS-steal FIFO
+//!   from the top (breadth-first, grabs the biggest subtrees). The hot
+//!   scheduling path takes no lock;
+//! * a mutexed **injector** queue receives tasks spawned from threads
+//!   outside the pool (many producers, so the single-owner Chase–Lev
+//!   push end does not apply there);
 //! * [`ThreadPool::scope`] provides *scoped* fork-join: closures spawned
 //!   inside a scope may borrow from the caller's stack, and the scope
 //!   does not return until every spawned task has finished (panics are
@@ -65,7 +67,7 @@ mod notify;
 mod pool;
 
 pub use channel::{Channel, SendError, TrySendError};
-pub use deque::Deque;
+pub use deque::{Deque, Stealer};
 pub use notify::Notifier;
 pub use pool::Scope;
 pub use pool::{global, ThreadPool};

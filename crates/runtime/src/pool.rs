@@ -2,18 +2,50 @@
 
 use std::any::Any;
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
-use crate::Deque;
+use crate::{Deque, Stealer};
 
 /// A unit of queued work. Scoped tasks are lifetime-erased into this
 /// `'static` form; soundness is restored by [`ThreadPool::scope`], which
 /// never returns before every task it spawned has run to completion.
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// The ingress queue for tasks spawned from threads *outside* the pool.
+///
+/// This is deliberately **not** a Chase–Lev [`Deque`]: that algorithm's
+/// push end is single-owner by contract, while the injector is pushed by
+/// arbitrary producer threads. A plain mutexed FIFO is correct here and
+/// cheap enough — external spawns are the rare path (per scoring batch /
+/// per refit, not per task), and workers fall back to it only after
+/// their own lock-free deque is empty.
+struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, item: T) {
+        self.queue
+            .lock()
+            .expect("injector poisoned")
+            .push_back(item);
+    }
+
+    fn steal(&self) -> Option<T> {
+        self.queue.lock().expect("injector poisoned").pop_front()
+    }
+}
 
 /// Wake-up bookkeeping: every task push bumps `generation` under the
 /// mutex, so a worker that observed empty queues at generation `g` can
@@ -26,9 +58,11 @@ struct SleepState {
 
 struct Shared {
     /// Tasks injected from threads outside the pool.
-    injector: Deque<Task>,
-    /// One work-stealing deque per worker.
-    locals: Vec<Deque<Task>>,
+    injector: Injector<Task>,
+    /// Steal handles onto each worker's Chase–Lev deque. The owner ends
+    /// live on the workers' stacks (see [`worker_loop`]); everyone else
+    /// reaches a worker's queue only through these.
+    stealers: Vec<Stealer<Task>>,
     sleep: Mutex<SleepState>,
     wake: Condvar,
 }
@@ -42,26 +76,35 @@ impl Shared {
         self.wake.notify_all();
     }
 
-    /// Grabs a task as worker `me` would: own deque first (LIFO), then
-    /// the injector, then the other workers' deques (FIFO steals).
+    /// Grabs a task as worker `me` would: own deque first (LIFO pop),
+    /// then the injector, then the other workers' deques (FIFO steals).
     /// `me == None` is an external helper thread: injector, then steals.
-    fn find_task(&self, me: Option<usize>) -> Option<Task> {
-        if let Some(i) = me {
-            if let Some(t) = self.locals[i].pop() {
+    ///
+    /// Idle-scan audit (the `Deque::len` contract): this scan never
+    /// consults `len()`/`is_empty()` — emptiness is only ever concluded
+    /// from a failed `pop`/`steal` *attempt*, and a `None` that races a
+    /// concurrent push is repaired by the generation sleep protocol in
+    /// [`worker_loop`] (the push's `notify` bumps the generation the
+    /// sleeper pinned before its re-check). Nothing in the pool relies
+    /// on the advisory counters being exact.
+    fn find_task(&self, me: Option<(usize, &Deque<Task>)>) -> Option<Task> {
+        if let Some((_, own)) = me {
+            if let Some(t) = own.pop() {
                 return Some(t);
             }
         }
         if let Some(t) = self.injector.steal() {
             return Some(t);
         }
-        let n = self.locals.len();
-        let start = me.map_or(0, |i| i + 1);
+        let n = self.stealers.len();
+        let mine = me.map(|(i, _)| i);
+        let start = mine.map_or(0, |i| i + 1);
         for off in 0..n {
             let j = (start + off) % n;
-            if Some(j) == me {
+            if Some(j) == mine {
                 continue;
             }
-            if let Some(t) = self.locals[j].steal() {
+            if let Some(t) = self.stealers[j].steal() {
                 return Some(t);
             }
         }
@@ -69,10 +112,42 @@ impl Shared {
     }
 }
 
+/// Pool-worker identity stashed in TLS: which pool, which worker index,
+/// and a pointer to the worker's own stack-resident [`Deque`] so tasks
+/// spawned from inside the worker can push straight onto it.
+#[derive(Clone, Copy)]
+struct WorkerTls {
+    /// `Arc::as_ptr` of the pool's `Shared`, as an identity token.
+    pool: usize,
+    index: usize,
+    /// Points into the live `worker_loop` frame of *this* thread. Only
+    /// dereferenced from this same thread, while `worker_loop` is on the
+    /// stack below us — see the SAFETY comments at the deref sites.
+    deque: *const Deque<Task>,
+}
+
 thread_local! {
-    /// `(pool identity, worker index)` for pool worker threads, so tasks
-    /// spawned from inside a worker land on that worker's own deque.
-    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+    /// Worker identity for pool worker threads, so tasks spawned from
+    /// inside a worker land on that worker's own deque.
+    static WORKER: Cell<Option<WorkerTls>> = const { Cell::new(None) };
+}
+
+/// The calling thread's deque handle for `shared`'s pool, if the caller
+/// is one of its workers.
+///
+/// The returned reference is tied to the TLS pointer set by
+/// [`worker_loop`]; see the SAFETY argument there.
+fn own_deque(shared: &Shared) -> Option<(usize, &Deque<Task>)> {
+    let tls = WORKER.with(Cell::get)?;
+    if tls.pool != std::ptr::from_ref(shared) as usize {
+        return None;
+    }
+    // SAFETY: the TLS entry was set by `worker_loop` on this very
+    // thread, pointing at a deque owned by its stack frame. Everything
+    // the pool runs on a worker (tasks, and scopes/spawns made from
+    // inside tasks) executes synchronously *inside* that frame, so the
+    // frame — and the deque — outlive any borrow we hand out here.
+    Some((tls.index, unsafe { &*tls.deque }))
 }
 
 /// A fixed-size work-stealing thread pool.
@@ -107,21 +182,26 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let workers = threads - 1;
+        // Each worker *owns* its Chase–Lev deque (the algorithm's push/pop
+        // end is single-owner); the pool keeps only the steal handles.
+        let deques: Vec<Deque<Task>> = (0..workers).map(|_| Deque::new()).collect();
         let shared = Arc::new(Shared {
-            injector: Deque::new(),
-            locals: (0..workers).map(|_| Deque::new()).collect(),
+            injector: Injector::new(),
+            stealers: deques.iter().map(Deque::stealer).collect(),
             sleep: Mutex::new(SleepState {
                 generation: 0,
                 shutdown: false,
             }),
             wake: Condvar::new(),
         });
-        let handles = (0..workers)
-            .map(|index| {
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("nurd-runtime-{index}"))
-                    .spawn(move || worker_loop(&shared, index))
+                    .spawn(move || worker_loop(&shared, index, deque))
                     .expect("spawning pool worker")
             })
             .collect();
@@ -240,10 +320,23 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>, index: usize) {
-    WORKER.with(|w| w.set(Some((Arc::as_ptr(shared) as usize, index))));
+fn worker_loop(shared: &Arc<Shared>, index: usize, deque: Deque<Task>) {
+    // Publish this worker's identity — including a pointer to the deque
+    // now owned by this stack frame — so `Scope::spawn` and
+    // `help_until_done`, when called from tasks running here, can reach
+    // the owner end. The pointer never escapes this thread (TLS), and
+    // every deref happens inside `task()` calls below, i.e. while this
+    // frame is live.
+    WORKER.with(|w| {
+        w.set(Some(WorkerTls {
+            pool: Arc::as_ptr(shared) as usize,
+            index,
+            deque: std::ptr::addr_of!(deque),
+        }));
+    });
+    let me = Some((index, &deque));
     loop {
-        if let Some(task) = shared.find_task(Some(index)) {
+        if let Some(task) = shared.find_task(me) {
             task();
             continue;
         }
@@ -256,7 +349,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
             }
             state.generation
         };
-        if let Some(task) = shared.find_task(Some(index)) {
+        if let Some(task) = shared.find_task(me) {
             task();
             continue;
         }
@@ -331,11 +424,11 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         // `Box<dyn FnOnce>` is lifetime-independent.
         let task: Task =
             unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
-        let me = WORKER.with(Cell::get);
-        match me {
-            Some((pool, index)) if pool == Arc::as_ptr(&self.shared) as usize => {
-                self.shared.locals[index].push(task);
-            }
+        match own_deque(&self.shared) {
+            // Spawning from a worker of this pool: push onto its own
+            // deque (LIFO — cache-warm, depth-first). Sound because we
+            // *are* the owner thread here (see `own_deque`).
+            Some((_, own)) => own.push(task),
             _ => self.shared.injector.push(task),
         }
         self.shared.notify();
@@ -344,9 +437,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     /// Runs pool tasks on the calling thread until every task spawned in
     /// this scope has completed.
     fn help_until_done(&self) {
-        let me = WORKER.with(Cell::get).and_then(|(pool, index)| {
-            (pool == Arc::as_ptr(&self.shared) as usize).then_some(index)
-        });
+        let me = own_deque(&self.shared);
         loop {
             if let Some(task) = self.shared.find_task(me) {
                 task();

@@ -1,0 +1,188 @@
+//! Contention property tests for the lock-free Chase–Lev [`Deque`].
+//!
+//! The `unsafe` in `nurd_runtime::deque` is licensed by five invariants
+//! (see its module docs); this suite attacks the observable ones from
+//! the outside with one owner and N concurrent stealers over randomized
+//! schedules:
+//!
+//! * **exactly-once delivery** — every pushed item is received by
+//!   precisely one consumer (the owner's pops or one stealer), none
+//!   duplicated, none lost — across ring growth, the owner/thief
+//!   last-item CAS race, and lost steal races;
+//! * **no panics / no leaks** — drop counters confirm every item's
+//!   destructor runs exactly once even when items die with the deque;
+//! * **`len()` bounds** — the advisory snapshot never exceeds the
+//!   owner's outstanding count (pushes minus its own pops; steals only
+//!   shrink it further) and reads 0 once everything is consumed.
+//!
+//! These tests are scheduling-sensitive by design: they use real
+//! threads and `yield_now` to churn interleavings. They are
+//! deterministic in *outcome* (the asserted properties hold under every
+//! schedule), not in execution path.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+
+use nurd_runtime::{Deque, Stealer};
+use proptest::prelude::*;
+
+/// Drains `stealer` until the owner signals `done` *and* a subsequent
+/// steal comes back empty; returns everything taken.
+///
+/// A `None` before `done` may just mean the owner is slow, so keep
+/// spinning. After `done` no more pushes can happen and `bottom` only
+/// grows, so a `None` means every remaining item was claimed by some
+/// consumer — safe to stop.
+fn drain_until_done(stealer: &Stealer<u64>, done: &AtomicBool) -> Vec<u64> {
+    let mut taken = Vec::new();
+    loop {
+        match stealer.steal() {
+            Some(v) => taken.push(v),
+            None if done.load(Ordering::Acquire) => match stealer.steal() {
+                Some(v) => taken.push(v),
+                None => return taken,
+            },
+            None => thread::yield_now(),
+        }
+    }
+}
+
+/// Runs one randomized owner schedule against `n_stealers` concurrent
+/// thieves and asserts exactly-once delivery plus the `len()` bounds.
+///
+/// `ops` drives the owner: value 0 pops, anything else pushes the next
+/// sequential item. After the schedule, the owner drains what's left
+/// via `pop` so stealers can terminate.
+fn run_schedule(n_stealers: usize, ops: &[u8]) {
+    let deque = Deque::new();
+    let done = AtomicBool::new(false);
+    let mut owner_got = Vec::new();
+    let mut pushed: u64 = 0;
+
+    let stolen: Vec<Vec<u64>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..n_stealers)
+            .map(|_| {
+                let stealer = deque.stealer();
+                let done = &done;
+                s.spawn(move || drain_until_done(&stealer, done))
+            })
+            .collect();
+
+        for &op in ops {
+            if op == 0 {
+                if let Some(v) = deque.pop() {
+                    owner_got.push(v);
+                }
+            } else {
+                deque.push(pushed);
+                pushed += 1;
+            }
+            // Advisory bound: the snapshot can lag (a stolen item may
+            // still be counted) but can never exceed what the owner
+            // knows is outstanding.
+            assert!(
+                deque.len() <= (pushed as usize).saturating_sub(owner_got.len()),
+                "len() exceeded outstanding items"
+            );
+            if pushed.is_multiple_of(7) {
+                thread::yield_now();
+            }
+        }
+        // Drain the remainder ourselves so every item has a consumer,
+        // exercising the owner-vs-thief last-item CAS on the way down.
+        while let Some(v) = deque.pop() {
+            owner_got.push(v);
+        }
+        done.store(true, Ordering::Release);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stealer panicked"))
+            .collect()
+    });
+
+    let mut all: Vec<u64> = owner_got;
+    for mut s in stolen {
+        all.append(&mut s);
+    }
+    all.sort_unstable();
+    let expect: Vec<u64> = (0..pushed).collect();
+    assert_eq!(all, expect, "each pushed item delivered exactly once");
+    assert_eq!(deque.len(), 0);
+    assert!(deque.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One owner, 1–4 stealers, a randomized push/pop schedule long
+    /// enough to force ring growth (initial capacity is 64): every item
+    /// lands exactly once, nobody panics, `len()` stays bounded.
+    #[test]
+    fn randomized_schedules_deliver_exactly_once(
+        n_stealers in 1usize..5,
+        ops in proptest::collection::vec(0u8..5, 64..512),
+    ) {
+        run_schedule(n_stealers, &ops);
+    }
+}
+
+/// Heavy fixed-shape contention: a long all-push prologue (three ring
+/// doublings), then a pop-heavy epilogue, against four stealers.
+#[test]
+fn sustained_contention_with_growth() {
+    let mut ops = vec![1u8; 600];
+    ops.extend(std::iter::repeat_n([1u8, 0, 0], 200).flatten());
+    run_schedule(4, &ops);
+}
+
+/// Every item's destructor runs exactly once — consumed or not — even
+/// when the deque dies holding items spread across a grown ring, with
+/// stealers having taken some from the *old* (retired) buffer.
+#[test]
+fn destructors_run_exactly_once_under_contention() {
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct Counted(#[allow(dead_code)] u64);
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    const N: usize = 500;
+    DROPS.store(0, Ordering::Relaxed);
+    let deque = Deque::new();
+    let consumed = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..3 {
+            let stealer = deque.stealer();
+            let consumed = &consumed;
+            s.spawn(move || {
+                // Take roughly a third each; stop early so some items
+                // remain queued when the deque drops.
+                for _ in 0..N / 3 {
+                    if let Some(item) = stealer.steal() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                        drop(item);
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            });
+        }
+        for i in 0..N {
+            deque.push(Counted(i as u64));
+        }
+    });
+    let taken = consumed.load(Ordering::Relaxed);
+    assert_eq!(
+        DROPS.load(Ordering::Relaxed),
+        taken,
+        "consumed items dropped once"
+    );
+    drop(deque);
+    assert_eq!(
+        DROPS.load(Ordering::Relaxed),
+        N,
+        "queued items dropped with the deque"
+    );
+}

@@ -49,17 +49,20 @@ pub type MitigatorFactory = Box<dyn Fn(&JobSpec) -> Box<dyn MitigationPolicy + S
 /// [`BalanceConfig::backlog_threshold`], the drain loop grants that
 /// shard's *oversized* jobs (≥ [`BalanceConfig::min_tasks`] tasks)
 /// within-job parallelism via [`OnlinePredictor::set_parallelism`] —
-/// fanning their model refits across [`BalanceConfig::threads`] workers
+/// fanning their model refits **and their barrier score batches** (once
+/// the running set reaches the predictor's `parallel_score_min`, split
+/// into lane-aligned chunks) across [`BalanceConfig::threads`] workers
 /// of the shared [`nurd_runtime::global`] pool. This attacks the skew a
 /// shard count cannot: one giant job pins one shard (a job never spans
 /// shards — that is the determinism argument), so the only lever left is
-/// making *that job's* checkpoint refits faster.
+/// making *that job's* checkpoint refits and barrier scoring faster.
 ///
-/// Safe by construction: the parallel fit paths are bit-identical across
-/// thread counts (property-tested in `nurd-ml`), so flipping the grant on
-/// or off — at any moment, even mid-job — changes wall-clock only, never
-/// a report. The grant is withdrawn (with hysteresis, at half the
-/// threshold) once the backlog subsides, so a healthy fleet pays nothing.
+/// Safe by construction: the parallel fit and scoring paths are
+/// bit-identical across thread counts (property-tested in `nurd-ml`), so
+/// flipping the grant on or off — at any moment, even mid-job — changes
+/// wall-clock only, never a report. The grant is withdrawn (with
+/// hysteresis, at half the threshold) once the backlog subsides, so a
+/// healthy fleet pays nothing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BalanceConfig {
     /// Ingress backlog (queued, undrained events on the shard) at or

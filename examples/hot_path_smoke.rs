@@ -6,12 +6,16 @@
 //!
 //! 1. **Kernel**: a fitted latency head is flattened and batch-scored;
 //!    the output must equal the pointer walk bit for bit, on both the
-//!    raw-feature and the binned kernels.
+//!    raw-feature and the binned kernels — at every supported lane width,
+//!    with the multi-row lane kernel's chunk counter proving which kernel
+//!    actually ran.
 //! 2. **Predictor**: a default-config [`NurdPredictor`] replays a job and
 //!    the [`NurdPredictor::flat_batches`] counter must show the SoA
 //!    kernel ran at (at least) every scored checkpoint, while a
 //!    `flat_scoring = false` twin shows zero — and both produce the same
-//!    replay outcome.
+//!    replay outcome. The default lane width's replay must also equal a
+//!    `scoring_lanes = 1` twin's bit for bit, with
+//!    [`NurdPredictor::lane_chunks`] nonzero only for the wide one.
 //! 3. **Engine**: a staggered multi-job fleet served concurrently at
 //!    shard counts {1, 2, 8} yields one identical report under flat and
 //!    pointer scoring, with a nonzero number of flagged tasks (so the
@@ -112,11 +116,34 @@ fn main() {
         scratch, pointer,
         "flat kernel is not bit-identical to the pointer walk"
     );
+    for lanes in nurd::ml::SUPPORTED_LANES {
+        let forest = model.flatten().with_lanes(lanes);
+        let mut out = Vec::new();
+        forest.predict_view_into(MatrixView::RowSlices(&batch), &mut out);
+        assert_eq!(
+            out, pointer,
+            "lane-{lanes} kernel is not bit-identical to the pointer walk"
+        );
+        if lanes > 1 {
+            assert!(
+                forest.lane_chunks() > 0,
+                "lane-{lanes} kernel never took the multi-row path"
+            );
+        } else {
+            assert_eq!(
+                forest.lane_chunks(),
+                0,
+                "scalar kernel incremented the lane counter"
+            );
+        }
+    }
     println!(
-        "kernel: {} trees / {} nodes flattened, {}-row batch bit-identical to pointer walk",
+        "kernel: {} trees / {} nodes flattened, {}-row batch bit-identical to pointer walk \
+         at lane widths {:?}",
         flat.tree_count(),
         flat.node_count(),
         batch.len(),
+        nurd::ml::SUPPORTED_LANES,
     );
 
     // 2. Predictor-level: the flat path must actually run under the
@@ -137,15 +164,24 @@ fn main() {
         "flat scoring must be the default"
     );
     let mut flat_batches = 0usize;
+    let mut lane_chunks = 0usize;
     for job in &jobs {
         let mut with_flat = NurdPredictor::new(config(true));
         let mut with_pointer = NurdPredictor::new(config(false));
+        let mut with_scalar_lanes = NurdPredictor::new(config(true).with_scoring_lanes(1));
         let out_flat = replay_job(job, &mut with_flat, &replay_cfg);
         let out_pointer = replay_job(job, &mut with_pointer, &replay_cfg);
+        let out_scalar = replay_job(job, &mut with_scalar_lanes, &replay_cfg);
         assert_eq!(
             out_flat,
             out_pointer,
             "flat and pointer replay diverged on job {}",
+            job.job_id()
+        );
+        assert_eq!(
+            out_flat,
+            out_scalar,
+            "default lane width and scoring_lanes = 1 diverged on job {}",
             job.job_id()
         );
         assert!(
@@ -153,16 +189,27 @@ fn main() {
             "job {} never scored through the flat kernel — hot path not exercised",
             job.job_id()
         );
+        assert!(
+            with_flat.lane_chunks() > 0,
+            "job {} never took the multi-row lane kernel at the default width",
+            job.job_id()
+        );
+        assert_eq!(
+            with_scalar_lanes.lane_chunks(),
+            0,
+            "scoring_lanes = 1 predictor used the lane kernel"
+        );
         assert_eq!(
             with_pointer.flat_batches(),
             0,
             "pointer-path predictor used the flat kernel"
         );
         flat_batches += with_flat.flat_batches();
+        lane_chunks += with_flat.lane_chunks();
     }
     println!(
-        "predictor: {} jobs replayed, {flat_batches} running-set batches through the SoA kernel, \
-         outcomes bit-identical to the pointer path",
+        "predictor: {} jobs replayed, {flat_batches} running-set batches through the SoA kernel \
+         ({lane_chunks} lane groups), outcomes bit-identical to the pointer and scalar-lane paths",
         jobs.len(),
     );
 
